@@ -1,0 +1,241 @@
+// Benchmarks regenerating scaled-down versions of every table and figure
+// in the paper's evaluation. Each benchmark runs the same harness the
+// cmd/coolair-experiments binary uses at full scale, over fewer sampled
+// days and sites so `go test -bench=.` completes in minutes. The figure
+// ids in the names map to DESIGN.md's experiment index.
+package coolair_test
+
+import (
+	"sync"
+	"testing"
+
+	"coolair"
+	"coolair/internal/core"
+	"coolair/internal/experiments"
+	"coolair/internal/weather"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+// lab returns a shared Lab whose Cooling Models are trained once; the
+// training cost is excluded from every benchmark via b.ResetTimer.
+func lab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		benchLab = experiments.NewLab()
+		if _, err := benchLab.Model(coolair.RealSim); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := benchLab.Model(coolair.SmoothSim); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return benchLab
+}
+
+// benchDays is the scaled-down year sampling for benchmarks.
+const benchDays = 4
+
+// twoSites keeps grid benchmarks to one cold and one hot location.
+func twoSites() []weather.Climate {
+	return []weather.Climate{weather.Newark, weather.Singapore}
+}
+
+func BenchmarkFig1DiskTemps(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := l.RunFig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.CorrelationDiskInlet() < 0.5 {
+			b.Fatal("disk/inlet correlation collapsed")
+		}
+	}
+}
+
+func BenchmarkFig5ModelValidation(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunFig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6BaselineSim(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunFig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7CoolAirRuns(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := l.RunFig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchYearStudy(b *testing.B, check func(*experiments.YearStudy)) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := l.RunYearStudy(twoSites(), nil, benchDays, l.Facebook())
+		if err != nil {
+			b.Fatal(err)
+		}
+		check(st)
+	}
+}
+
+func BenchmarkFig8Violations(b *testing.B) {
+	benchYearStudy(b, func(st *experiments.YearStudy) {
+		_ = st.Fig8Table()
+	})
+}
+
+func BenchmarkFig9Ranges(b *testing.B) {
+	benchYearStudy(b, func(st *experiments.YearStudy) {
+		_ = st.Fig9Table()
+	})
+}
+
+func BenchmarkFig10PUE(b *testing.B) {
+	benchYearStudy(b, func(st *experiments.YearStudy) {
+		_ = st.Fig10Table()
+	})
+}
+
+func BenchmarkFig11Placement(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunPlacementStudy(twoSites(), benchDays); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12World(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := l.RunWorldStudy(8, benchDays)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = st.Fig12Table()
+	}
+}
+
+func BenchmarkFig13WorldPUE(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := l.RunWorldStudy(8, benchDays)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = st.Fig13Table()
+	}
+}
+
+func BenchmarkCostOfManaging(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunCostStudy(twoSites(), benchDays); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTemporalScheduling(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunTemporalStudy(twoSites()[:1], benchDays); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxTempSensitivity(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunMaxTempStudy(twoSites()[:1], benchDays); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForecastAccuracy(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunForecastStudy(twoSites()[:1], benchDays); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNutchWorkload(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunYearStudy(twoSites(), nil, benchDays, l.Nutch()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoolAirDecision isolates the optimizer's per-period cost:
+// candidate enumeration, horizon prediction, and utility scoring.
+func BenchmarkCoolAirDecision(b *testing.B) {
+	l := lab(b)
+	m, err := l.Model(coolair.SmoothSim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := coolair.NewEnv(coolair.Newark, coolair.SmoothSim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env.Model = m
+	ca, err := core.New(core.VersionOptions(core.VersionAllND, core.DefaultBandConfig()),
+		m, env.Forecast, env.Plant, env.Cluster)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prime the monitor history and a realistic observation.
+	res, err := coolair.Run(env, ca, coolair.RunConfig{Days: []int{150}, Trace: l.Facebook(), CollectSnapshots: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	obs := coolair.Observation{
+		Day: 150, HourOfDay: 12,
+		PodInlet:  []coolair.Celsius{26, 27, 27.5, 28},
+		PodActive: []bool{true, true, true, true},
+		InsideRH:  55, Utilization: 0.5, ITLoad: 0.5,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ca.Decide(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Command coolair-experiments regenerates the paper's tables and
+// figures. Invoke with one or more experiment ids (fig1, fig5, fig6,
+// fig7, fig8, fig9, fig10, fig11, fig12, fig13, cost, temporal, maxtemp,
+// forecast, nutch) or "all".
+//
+//	coolair-experiments -days 52 fig9 fig10
+//	coolair-experiments -days 12 -sites 100 fig12 fig13   # scaled sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"coolair/internal/experiments"
+)
+
+func main() {
+	days := flag.Int("days", 52, "sampled days per simulated year (the paper uses 52)")
+	sites := flag.Int("sites", 0, "world-sweep sites (0 = all 1520)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: coolair-experiments [-days N] [-sites N] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 cost temporal maxtemp forecast nutch all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "cost", "temporal", "maxtemp", "forecast", "nutch"}
+	}
+
+	lab := experiments.NewLab()
+	var yearStudy *experiments.YearStudy
+	var worldStudy *experiments.WorldStudy
+
+	needYear := func() *experiments.YearStudy {
+		if yearStudy == nil {
+			st, err := lab.RunYearStudy(nil, nil, *days, lab.Facebook())
+			check(err)
+			yearStudy = st
+		}
+		return yearStudy
+	}
+	needWorld := func() *experiments.WorldStudy {
+		if worldStudy == nil {
+			st, err := lab.RunWorldStudy(*sites, *days)
+			check(err)
+			worldStudy = st
+		}
+		return worldStudy
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		switch strings.ToLower(id) {
+		case "fig1":
+			r, err := lab.RunFig1()
+			check(err)
+			fmt.Print(r.Table())
+			fmt.Printf("disk/inlet correlation: %0.3f\n", r.CorrelationDiskInlet())
+		case "fig5":
+			r, err := lab.RunFig5()
+			check(err)
+			fmt.Print(r.Table())
+		case "fig6":
+			r, err := lab.RunFig6()
+			check(err)
+			fmt.Print(r.Table())
+			fmt.Printf("worst 12-minute move: %0.1f°C\n", r.Smoothness())
+		case "fig7":
+			real, smooth, err := lab.RunFig7()
+			check(err)
+			fmt.Print(real.Table())
+			fmt.Print(smooth.Table())
+			fmt.Printf("worst 12-minute move: real %0.1f°C, smooth %0.1f°C\n",
+				real.Smoothness(), smooth.Smoothness())
+		case "fig8":
+			fmt.Print(needYear().Fig8Table())
+		case "fig9":
+			fmt.Print(needYear().Fig9Table())
+		case "fig10":
+			fmt.Print(needYear().Fig10Table())
+		case "fig11":
+			st, err := lab.RunPlacementStudy(nil, *days)
+			check(err)
+			fmt.Print(st.Table())
+		case "fig12":
+			fmt.Print(needWorld().Fig12Table())
+		case "fig13":
+			fmt.Print(needWorld().Fig13Table())
+		case "cost":
+			st, err := lab.RunCostStudy(nil, *days)
+			check(err)
+			fmt.Print(st.Table())
+		case "temporal":
+			st, err := lab.RunTemporalStudy(nil, *days)
+			check(err)
+			fmt.Print(st.Table())
+		case "maxtemp":
+			st, err := lab.RunMaxTempStudy(nil, *days)
+			check(err)
+			fmt.Print(st.Table())
+		case "forecast":
+			st, err := lab.RunForecastStudy(nil, *days)
+			check(err)
+			fmt.Print(st.Table())
+		case "nutch":
+			st, err := lab.RunYearStudy(nil, nil, *days, lab.Nutch())
+			check(err)
+			fmt.Println("— Nutch workload —")
+			fmt.Print(st.Fig9Table())
+			fmt.Print(st.Fig10Table())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

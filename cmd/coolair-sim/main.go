@@ -1,0 +1,116 @@
+// Command coolair-sim runs one managed datacenter at one location for a
+// chosen number of days and prints either a summary or a CSV time
+// series.
+//
+//	coolair-sim -location newark -system all-nd -days 7 -csv
+//	coolair-sim -location singapore -system baseline -year
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coolair/internal/core"
+	"coolair/internal/experiments"
+	"coolair/internal/sim"
+	"coolair/internal/weather"
+)
+
+func main() {
+	location := flag.String("location", "newark", "newark|chad|santiago|iceland|singapore")
+	system := flag.String("system", "all-nd", "baseline|temperature|energy|variation|all-nd|all-def|energy-def")
+	workloadName := flag.String("workload", "facebook", "facebook|nutch")
+	days := flag.Int("days", 7, "number of consecutive days to simulate")
+	startDay := flag.Int("start", 150, "first day of year (0-based)")
+	year := flag.Bool("year", false, "simulate the paper's 52-day year sample instead of -days")
+	csv := flag.Bool("csv", false, "print a 2-minute CSV time series")
+	flag.Parse()
+
+	cl, ok := findClimate(*location)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown location %q\n", *location)
+		os.Exit(2)
+	}
+	sys, ok := findSystem(*system)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	lab := experiments.NewLab()
+	trace := lab.Facebook()
+	if *workloadName == "nutch" {
+		trace = lab.Nutch()
+	}
+
+	var runDays []int
+	if *year {
+		runDays = sim.WeekdaySample()
+	} else {
+		for d := 0; d < *days; d++ {
+			runDays = append(runDays, (*startDay+d)%weather.DaysPerYear)
+		}
+	}
+
+	res, err := lab.Run(cl, sys, runDays, trace, *csv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	s := res.Summary
+	fmt.Printf("location=%s system=%s days=%d workload=%s\n", cl.Name, sys.Name, s.Days, trace.Name)
+	fmt.Printf("avg violation           %8.2f °C above 30°C\n", s.AvgViolation)
+	fmt.Printf("worst daily range       %8.1f °C avg (%0.1f–%0.1f)\n", s.AvgWorstDailyRange, s.MinWorstDailyRange, s.MaxWorstDailyRange)
+	fmt.Printf("outside daily range     %8.1f °C avg\n", s.AvgOutsideDailyRange)
+	fmt.Printf("PUE                     %8.3f (incl. 0.08 delivery)\n", s.PUE)
+	fmt.Printf("energy                  %8.1f kWh IT, %0.1f kWh cooling\n", s.ITKWh, s.CoolingKWh)
+	fmt.Printf("RH violations           %8.1f %% of samples above 80%%\n", 100*s.RHViolationFraction)
+	fmt.Printf("jobs                    %8d submitted, %d completed\n", res.JobsSubmitted, res.JobsCompleted)
+	fmt.Printf("disk power-cycles       %8.2f /hour worst server (budget 2.2)\n", res.MaxPowerCycleRate)
+	fmt.Printf("disk reliability        %v\n", res.DiskReliability)
+
+	if *csv {
+		fmt.Println("\ntime_s,outside_c,inlet_min_c,inlet_max_c,disk_max_c,rh_pct,mode,fan,comp,cooling_w,it_w,util")
+		for _, p := range res.Series {
+			fmt.Printf("%0.0f,%0.2f,%0.2f,%0.2f,%0.2f,%0.1f,%s,%0.2f,%0.2f,%0.0f,%0.0f,%0.2f\n",
+				p.Time, float64(p.Outside), float64(p.InletMin), float64(p.InletMax), float64(p.DiskMax),
+				float64(p.InsideRH), p.Mode, p.FanSpeed, p.CompSpeed, float64(p.CoolingW), float64(p.ITW), p.Util)
+		}
+	}
+}
+
+func findClimate(name string) (weather.Climate, bool) {
+	for _, c := range weather.StudyLocations() {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return weather.Climate{}, false
+}
+
+func findSystem(name string) (experiments.System, bool) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return experiments.BaselineSystem(), true
+	case "temperature":
+		return experiments.CoolAirSystem(core.VersionTemperature), true
+	case "energy":
+		return experiments.CoolAirSystem(core.VersionEnergy), true
+	case "variation":
+		return experiments.CoolAirSystem(core.VersionVariation), true
+	case "all-nd", "allnd":
+		return experiments.CoolAirSystem(core.VersionAllND), true
+	case "all-def", "alldef":
+		s := experiments.CoolAirSystem(core.VersionAllDEF)
+		s.Deferrable = true
+		return s, true
+	case "energy-def":
+		s := experiments.CoolAirSystem(core.VersionEnergyDEF)
+		s.Deferrable = true
+		return s, true
+	}
+	return experiments.System{}, false
+}

@@ -1,0 +1,46 @@
+// Command coolair-world runs the world-wide sweep of Figures 12 and 13:
+// All-ND vs the baseline at up to 1520 locations.
+//
+//	coolair-world -sites 200 -days 12          # quick look
+//	coolair-world -days 52 -csv > world.csv    # full sweep, per-site CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"coolair/internal/experiments"
+)
+
+func main() {
+	sites := flag.Int("sites", 0, "number of sites (0 = all 1520)")
+	days := flag.Int("days", 12, "sampled days per simulated year (paper: 52)")
+	csv := flag.Bool("csv", false, "print per-site CSV after the tables")
+	flag.Parse()
+
+	lab := experiments.NewLab()
+	start := time.Now()
+	st, err := lab.RunWorldStudy(*sites, *days)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Print(st.Fig12Table())
+	fmt.Println()
+	fmt.Print(st.Fig13Table())
+	baseRange, caRange, basePUE, caPUE := st.Averages()
+	fmt.Printf("\nAverages: max range %0.1f → %0.1f °C, PUE %0.3f → %0.3f (paper: 18.6 → 12.1 °C, 1.08 → 1.09)\n",
+		baseRange, caRange, basePUE, caPUE)
+	fmt.Printf("Swept %d sites in %v\n", len(st.Sites), time.Since(start).Round(time.Second))
+
+	if *csv {
+		fmt.Println("\nname,lat,lon,base_max_range,coolair_max_range,range_reduction,base_pue,coolair_pue,pue_reduction")
+		for _, s := range st.Sites {
+			fmt.Printf("%s,%0.2f,%0.2f,%0.2f,%0.2f,%0.2f,%0.4f,%0.4f,%0.4f\n",
+				s.Name, s.Lat, s.Lon, s.BaselineMaxRange, s.CoolAirMaxRange, s.RangeReduction,
+				s.BaselinePUE, s.CoolAirPUE, s.PUEReduction)
+		}
+	}
+}

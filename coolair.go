@@ -1,0 +1,249 @@
+// Package coolair is a Go implementation of CoolAir (Goiri, Nguyen,
+// Bianchini — ASPLOS 2015): a temperature- and variation-aware workload
+// and cooling manager for free-cooled datacenters, together with every
+// substrate the paper's evaluation depends on — a lumped-parameter
+// thermal simulator of the Parasol container prototype, free-cooling and
+// DX air-conditioner device models, the commercial TKS baseline
+// controller, a Hadoop-style cluster simulator with server power states,
+// synthetic typical-meteorological-year weather for 1520+ world-wide
+// sites, and a stdlib-only regression toolkit for the learned cooling
+// models.
+//
+// This root package is the public facade: it re-exports the library's
+// main types so applications can depend on a single import path. The
+// implementation lives under internal/, one package per subsystem (see
+// DESIGN.md for the map).
+//
+// # Quick start
+//
+//	env, _ := coolair.NewEnv(coolair.Newark, coolair.SmoothSim)
+//	_ = env.Train(4, coolair.FacebookTrace(64, 1), 42)   // learn the Cooling Model
+//	ca, _ := coolair.New(coolair.VersionOptions(coolair.VersionAllND, coolair.DefaultBandConfig()),
+//	        env.Model, env.Forecast, env.Plant, env.Cluster)
+//	res, _ := coolair.Run(env, ca, coolair.RunConfig{Days: []int{150}, Trace: coolair.FacebookTrace(64, 1)})
+//	fmt.Println(res.Summary.PUE, res.Summary.MaxWorstDailyRange)
+package coolair
+
+import (
+	"io"
+
+	"coolair/internal/control"
+	"coolair/internal/cooling"
+	"coolair/internal/core"
+	"coolair/internal/experiments"
+	"coolair/internal/hadoop"
+	"coolair/internal/metrics"
+	"coolair/internal/model"
+	"coolair/internal/reliability"
+	"coolair/internal/sim"
+	"coolair/internal/tks"
+	"coolair/internal/units"
+	"coolair/internal/weather"
+	"coolair/internal/workload"
+)
+
+// Physical quantities.
+type (
+	// Celsius is a temperature in °C.
+	Celsius = units.Celsius
+	// Watts is a power draw.
+	Watts = units.Watts
+	// RelHumidity is a relative humidity in percent.
+	RelHumidity = units.RelHumidity
+)
+
+// Weather substrate.
+type (
+	// Climate parameterizes one site's synthetic weather.
+	Climate = weather.Climate
+	// Forecaster supplies outside-temperature predictions.
+	Forecaster = weather.Forecaster
+	// BiasedForecast perturbs a forecaster (the ±5°C accuracy study).
+	BiasedForecast = weather.BiasedForecast
+)
+
+// The five study locations of the paper's evaluation.
+var (
+	Newark    = weather.Newark
+	Chad      = weather.Chad
+	Santiago  = weather.Santiago
+	Iceland   = weather.Iceland
+	Singapore = weather.Singapore
+)
+
+// StudyLocations returns the five named locations in figure order.
+func StudyLocations() []Climate { return weather.StudyLocations() }
+
+// WorldGrid returns the 1520 world-wide sweep sites (Figures 12–13).
+func WorldGrid() []Climate { return weather.WorldGrid() }
+
+// Cooling infrastructure.
+type (
+	// CoolingCommand is one actuation request for the cooling plant.
+	CoolingCommand = cooling.Command
+	// CoolingMode is the commanded regime (closed, free-cooling, …).
+	CoolingMode = cooling.Mode
+	// Plant is an installed cooling infrastructure.
+	Plant = cooling.Plant
+)
+
+// Cooling modes.
+const (
+	ModeClosed      = cooling.ModeClosed
+	ModeFreeCooling = cooling.ModeFreeCooling
+	ModeACFan       = cooling.ModeACFan
+	ModeACCool      = cooling.ModeACCool
+)
+
+// ParasolPlant returns the prototype's cooling plant as built.
+func ParasolPlant() *Plant { return cooling.ParasolPlant() }
+
+// SmoothPlant returns the fine-grained plant of Smooth-Sim.
+func SmoothPlant() *Plant { return cooling.SmoothPlant() }
+
+// CoolAir core.
+type (
+	// CoolAir is the runtime manager (the paper's contribution).
+	CoolAir = core.CoolAir
+	// Options assembles one CoolAir variant.
+	Options = core.Options
+	// Version names the Table 1 configurations.
+	Version = core.Version
+	// Band is an inlet-temperature target range.
+	Band = core.Band
+	// BandConfig holds band-selection parameters.
+	BandConfig = core.BandConfig
+	// UtilityConfig selects the penalty terms.
+	UtilityConfig = core.UtilityConfig
+)
+
+// The CoolAir versions of Table 1 and the §5 ablations.
+const (
+	VersionTemperature   = core.VersionTemperature
+	VersionVariation     = core.VersionVariation
+	VersionEnergy        = core.VersionEnergy
+	VersionAllND         = core.VersionAllND
+	VersionAllDEF        = core.VersionAllDEF
+	VersionVarLowRecirc  = core.VersionVarLowRecirc
+	VersionVarHighRecirc = core.VersionVarHighRecirc
+	VersionEnergyDEF     = core.VersionEnergyDEF
+)
+
+// New assembles a CoolAir instance.
+func New(opts Options, m *Model, f Forecaster, plant *Plant, cluster *Cluster) (*CoolAir, error) {
+	return core.New(opts, m, f, plant, cluster)
+}
+
+// VersionOptions returns the Options implementing a named version.
+func VersionOptions(v Version, band BandConfig) Options { return core.VersionOptions(v, band) }
+
+// DefaultBandConfig returns the paper's band settings (Width 5°C,
+// Offset 8°C, Min 10°C, Max 30°C).
+func DefaultBandConfig() BandConfig { return core.DefaultBandConfig() }
+
+// SelectBand chooses a day's temperature band from a forecast.
+func SelectBand(cfg BandConfig, f Forecaster, day int) Band { return core.SelectBand(cfg, f, day) }
+
+// Baseline controller.
+type (
+	// TKSConfig parameterizes the commercial TKS control scheme.
+	TKSConfig = tks.Config
+	// TKS is the reimplemented TKS 3000 controller.
+	TKS = tks.Controller
+)
+
+// NewTKS creates a TKS controller (zero fields take factory defaults).
+func NewTKS(cfg TKSConfig) *TKS { return tks.New(cfg) }
+
+// Baseline returns the paper's baseline system (TKS at 30°C + RH≤80%).
+func Baseline() *TKS { return tks.Baseline() }
+
+// Learned models.
+type (
+	// Model is the learned Cooling Model.
+	Model = model.Model
+	// ModelLogger accumulates monitoring snapshots for training.
+	ModelLogger = model.Logger
+	// Snapshot is one monitoring sample.
+	Snapshot = model.Snapshot
+)
+
+// Workload and cluster.
+type (
+	// Trace is a day-long job trace.
+	Trace = workload.Trace
+	// Job is one MapReduce job.
+	Job = workload.Job
+	// Cluster is the simulated Hadoop deployment.
+	Cluster = hadoop.Cluster
+)
+
+// LoadModel reads a Cooling Model previously written with Model.Save —
+// real deployments train once from months of monitoring and persist the
+// result (paper §6).
+func LoadModel(r io.Reader) (*Model, error) { return model.Load(r) }
+
+// FacebookTrace generates the SWIM-like Facebook workload.
+func FacebookTrace(servers int, seed int64) *Trace { return workload.Facebook(servers, seed) }
+
+// NutchTrace generates the CloudSuite indexing workload.
+func NutchTrace(servers int, seed int64) *Trace { return workload.Nutch(servers, seed) }
+
+// Simulation engine.
+type (
+	// Env is an assembled simulated datacenter.
+	Env = sim.Env
+	// Fidelity selects Real-Sim or Smooth-Sim infrastructure.
+	Fidelity = sim.Fidelity
+	// RunConfig parameterizes one run.
+	RunConfig = sim.RunConfig
+	// Result is a run's outcome.
+	Result = sim.Result
+	// Summary is the metrics digest of a run.
+	Summary = metrics.Summary
+	// Controller is the decision-maker interface both the TKS baseline
+	// and CoolAir implement.
+	Controller = control.Controller
+	// Observation is the per-period sensor snapshot controllers see.
+	Observation = control.Observation
+)
+
+// Infrastructure fidelities.
+const (
+	// RealSim simulates Parasol as built (abrupt devices).
+	RealSim = sim.RealSim
+	// SmoothSim simulates the fine-grained commercial devices.
+	SmoothSim = sim.SmoothSim
+)
+
+// NewEnv builds a Parasol-like datacenter at a climate.
+func NewEnv(cl Climate, fid Fidelity) (*Env, error) { return sim.NewEnv(cl, fid) }
+
+// Run drives an environment under a controller.
+func Run(env *Env, ctrl Controller, cfg RunConfig) (*Result, error) { return sim.Run(env, ctrl, cfg) }
+
+// WeekdaySample returns the paper's 52-day year sampling.
+func WeekdaySample() []int { return sim.WeekdaySample() }
+
+// Reliability annotations.
+type (
+	// DiskProfile summarizes a run's disk thermal exposure.
+	DiskProfile = reliability.Profile
+	// DiskAssessment scores a profile under the three reliability
+	// lenses of the paper's motivating studies.
+	DiskAssessment = reliability.Assessment
+)
+
+// AssessDisks scores a disk thermal profile.
+func AssessDisks(p DiskProfile) (DiskAssessment, error) { return reliability.Assess(p) }
+
+// Experiments.
+type (
+	// Lab reproduces the paper's tables and figures.
+	Lab = experiments.Lab
+	// System specifies one managed configuration under study.
+	System = experiments.System
+)
+
+// NewLab creates an experiment lab with evaluation defaults.
+func NewLab() *Lab { return experiments.NewLab() }

@@ -1,0 +1,77 @@
+// baseline-vs-coolair: the paper's headline comparison in miniature —
+// one week at Newark under the existing TKS-extended baseline vs CoolAir
+// All-ND, reporting daily ranges, violations, and PUE side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coolair"
+)
+
+func main() {
+	// A 13-day sample spread across the year (every fourth week of the
+	// paper's 52-day year sampling).
+	var days []int
+	for _, d := range coolair.WeekdaySample() {
+		if (d/7)%4 == 0 {
+			days = append(days, d)
+		}
+	}
+	trace := coolair.FacebookTrace(64, 1)
+
+	// Baseline: Parasol as built, all servers always active.
+	envB, err := coolair.NewEnv(coolair.Newark, coolair.RealSim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resB, err := coolair.Run(envB, coolair.Baseline(), coolair.RunConfig{
+		Days: days, Trace: trace, KeepAllActive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// CoolAir All-ND: smooth infrastructure, learned model, managed
+	// servers. The lab trains the Cooling Model with the evaluation's
+	// two-climate campaign (home climate plus a hot one) so the learned
+	// models cover the whole operating envelope.
+	lab := coolair.NewLab()
+	m, err := lab.Model(coolair.SmoothSim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	envC, err := coolair.NewEnv(coolair.Newark, coolair.SmoothSim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	envC.Model = m
+	ca, err := coolair.New(
+		coolair.VersionOptions(coolair.VersionAllND, coolair.DefaultBandConfig()),
+		envC.Model, envC.Forecast, envC.Plant, envC.Cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resC, err := coolair.Run(envC, ca, coolair.RunConfig{Days: days, Trace: trace})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-24s %12s %12s\n", "13 sampled days, Newark", "Baseline", "All-ND")
+	row := func(name, format string, b, c float64) {
+		fmt.Printf("%-24s %12s %12s\n", name, fmt.Sprintf(format, b), fmt.Sprintf(format, c))
+	}
+	row("avg daily range (°C)", "%.1f", resB.Summary.AvgWorstDailyRange, resC.Summary.AvgWorstDailyRange)
+	row("max daily range (°C)", "%.1f", resB.Summary.MaxWorstDailyRange, resC.Summary.MaxWorstDailyRange)
+	row("avg violation (°C)", "%.2f", resB.Summary.AvgViolation, resC.Summary.AvgViolation)
+	row("PUE", "%.3f", resB.Summary.PUE, resC.Summary.PUE)
+	row("IT energy (kWh)", "%.1f", resB.Summary.ITKWh, resC.Summary.ITKWh)
+	row("cooling energy (kWh)", "%.1f", resB.Summary.CoolingKWh, resC.Summary.CoolingKWh)
+
+	fmt.Println("\nper-day worst-sensor ranges (°C):")
+	fmt.Printf("%8s %10s %10s\n", "day", "Baseline", "All-ND")
+	for i, d := range days {
+		fmt.Printf("%8d %10.1f %10.1f\n", d, resB.DailyWorstRanges[i], resC.DailyWorstRanges[i])
+	}
+}

@@ -1,0 +1,65 @@
+// custom-cooling: adapting CoolAir to a different cooling installation,
+// as §6 of the paper describes ("CoolAir can be adapted to any
+// free-cooled datacenter"). This example builds a plant with a larger
+// free-cooling unit and an oversized variable-speed AC, retrains the
+// Cooling Model against that hardware, and lets CoolAir manage a hot
+// week in Singapore with a wider temperature band.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coolair"
+)
+
+func main() {
+	// A hypothetical installation: 2× airflow fan unit (same cubic
+	// power law, bigger motor) and a 8 kW variable-speed AC.
+	env, err := coolair.NewEnv(coolair.Singapore, coolair.SmoothSim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env.Plant.FC.MaxAirflow = 2.1
+	env.Plant.FC.MaxPower = 700
+	env.Plant.AC.Capacity = 8000
+	env.Plant.AC.FullPower = 3000
+	env.Plant.AC.FanPower = 750
+
+	// The Cooling Model must be learned on the hardware it will
+	// manage: rerun the data-collection campaign on this plant.
+	trace := coolair.FacebookTrace(64, 1)
+	if err := env.Train(4, trace, 7); err != nil {
+		log.Fatal(err)
+	}
+
+	// A custom configuration: wider band (7°C) and a higher ceiling,
+	// reflecting an operator comfortable with warm inlets.
+	band := coolair.DefaultBandConfig()
+	band.Width = 7
+	band.Max = 32
+	opts := coolair.VersionOptions(coolair.VersionAllND, band)
+	opts.Name = "All-ND(custom)"
+
+	ca, err := coolair.New(opts, env.Model, env.Forecast, env.Plant, env.Cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := coolair.Run(env, ca, coolair.RunConfig{
+		Days: []int{200, 201, 202, 203, 204, 205, 206}, Trace: trace,
+		MaxTemp: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Summary
+	fmt.Println("custom plant at Singapore (2× fan, 8 kW variable AC, band ≤32°C):")
+	fmt.Printf("  band:              %v\n", ca.Band())
+	fmt.Printf("  avg violation:     %.2f °C above 32°C\n", s.AvgViolation)
+	fmt.Printf("  daily ranges:      %.1f °C avg, %.1f °C max\n", s.AvgWorstDailyRange, s.MaxWorstDailyRange)
+	fmt.Printf("  PUE:               %.3f\n", s.PUE)
+	fmt.Printf("  RH > 80%%:          %.1f%% of samples\n", 100*s.RHViolationFraction)
+	fmt.Printf("  disk power cycles: %.2f /hour worst server\n", res.MaxPowerCycleRate)
+}

@@ -1,0 +1,73 @@
+// deferrable: CoolAir's temporal scheduling (All-DEF) on a deferrable
+// workload — every job tolerates a 6-hour start delay, and CoolAir packs
+// load into hours whose outside forecast overlaps the temperature band
+// (§3.3). Contrast with Energy-DEF, the prior-work coolest-hours
+// scheduler, which saves energy but widens variation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coolair"
+)
+
+func main() {
+	trace := coolair.FacebookTrace(64, 1).WithDeadlines(6 * 3600)
+	days := []int{105, 112, 119, 126} // spring at Newark: band-friendly days
+
+	lab := coolair.NewLab()
+	m, err := lab.Model(coolair.SmoothSim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(v coolair.Version) *coolair.Result {
+		env, err := coolair.NewEnv(coolair.Newark, coolair.SmoothSim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		env.Model = m
+		ca, err := coolair.New(
+			coolair.VersionOptions(v, coolair.DefaultBandConfig()),
+			env.Model, env.Forecast, env.Plant, env.Cluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := coolair.Run(env, ca, coolair.RunConfig{Days: days, Trace: trace})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Show the scheduler's plan for the first day.
+		releases := ca.ScheduleDay(days[0], trace.Jobs)
+		deferred, maxDelay := 0, 0.0
+		for i, j := range trace.Jobs {
+			if d := releases[i] - j.Arrival; d > 60 {
+				deferred++
+				if d > maxDelay {
+					maxDelay = d
+				}
+			}
+		}
+		fmt.Printf("%-12s deferred %4d/%d jobs on day %d (max delay %0.1f h)\n",
+			v, deferred, len(trace.Jobs), days[0], maxDelay/3600)
+		return res
+	}
+
+	resND := run(coolair.VersionAllND)
+	resDEF := run(coolair.VersionAllDEF)
+	resEDEF := run(coolair.VersionEnergyDEF)
+
+	fmt.Printf("\n%-12s %10s %10s %8s %10s\n", "version", "avg range", "max range", "PUE", "completed")
+	for _, r := range []struct {
+		name string
+		res  *coolair.Result
+	}{{"All-ND", resND}, {"All-DEF", resDEF}, {"Energy-DEF", resEDEF}} {
+		fmt.Printf("%-12s %9.1f° %9.1f° %8.3f %10d\n", r.name,
+			r.res.Summary.AvgWorstDailyRange, r.res.Summary.MaxWorstDailyRange,
+			r.res.Summary.PUE, r.res.JobsCompleted)
+	}
+	fmt.Println("\nThe paper's finding: All-DEF ≈ All-ND (deferral adds little once the")
+	fmt.Println("band does the work), while Energy-DEF trades wider ranges for PUE.")
+}

@@ -1,0 +1,3 @@
+module coolair
+
+go 1.22

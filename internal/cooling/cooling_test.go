@@ -1,0 +1,326 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolair/internal/units"
+)
+
+func TestModeStringAndValid(t *testing.T) {
+	for _, m := range Modes() {
+		if !m.Valid() {
+			t.Errorf("%v should be valid", m)
+		}
+		if m.String() == "" {
+			t.Errorf("mode %d has empty string", int(m))
+		}
+	}
+	if Mode(99).Valid() {
+		t.Error("mode 99 should be invalid")
+	}
+	if Mode(-1).Valid() {
+		t.Error("mode -1 should be invalid")
+	}
+}
+
+func TestTransition(t *testing.T) {
+	tr := Transition{From: ModeFreeCooling, To: ModeACCool}
+	if tr.Steady() {
+		t.Error("FC→AC is not steady")
+	}
+	if tr.String() != "free-cooling→ac-cool" {
+		t.Errorf("transition string %q", tr.String())
+	}
+	st := Transition{From: ModeClosed, To: ModeClosed}
+	if !st.Steady() || st.String() != "closed" {
+		t.Errorf("steady transition: %v %q", st.Steady(), st.String())
+	}
+}
+
+func TestCommandValidate(t *testing.T) {
+	good := Command{Mode: ModeFreeCooling, FanSpeed: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Command{
+		{Mode: Mode(9)},
+		{Mode: ModeFreeCooling, FanSpeed: 1.5},
+		{Mode: ModeFreeCooling, FanSpeed: -0.1},
+		{Mode: ModeACCool, CompressorSpeed: 2},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v should fail validation", c)
+		}
+	}
+}
+
+func TestParasolFanPowerEnvelope(t *testing.T) {
+	fc := ParasolFreeCooling()
+	// Paper: 8 W to 425 W depending on speed.
+	if p := fc.Power(fc.MinSpeed); math.Abs(float64(p)-8) > 4 {
+		t.Errorf("power at min speed = %v, want ~8W", p)
+	}
+	if p := fc.Power(1); p != 425 {
+		t.Errorf("power at full speed = %v, want 425W", p)
+	}
+	if p := fc.Power(0); p != 0 {
+		t.Errorf("power off = %v, want 0", p)
+	}
+}
+
+func TestFanPowerCubicAndMonotone(t *testing.T) {
+	fc := ParasolFreeCooling()
+	// Cubic law: halving speed should cut dynamic power ~8x.
+	full := float64(fc.Power(1) - fc.IdlePower)
+	half := float64(fc.Power(0.5) - fc.IdlePower)
+	if ratio := full / half; math.Abs(ratio-8) > 0.5 {
+		t.Errorf("cubic law ratio %0.2f, want ~8", ratio)
+	}
+	f := func(raw float64) bool {
+		s := math.Mod(math.Abs(raw), 0.9) + 0.05
+		return fc.Power(s+0.05) > fc.Power(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampSpeed(t *testing.T) {
+	fc := ParasolFreeCooling()
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {-0.2, 0}, {0.05, 0.15}, {0.15, 0.15}, {0.5, 0.5}, {1.3, 1},
+	}
+	for _, c := range cases {
+		if got := fc.ClampSpeed(c.in); got != c.want {
+			t.Errorf("ClampSpeed(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	sm := SmoothFreeCooling()
+	if got := sm.ClampSpeed(0.005); got != 0.01 {
+		t.Errorf("smooth ClampSpeed(0.005) = %v, want 0.01", got)
+	}
+}
+
+func TestParasolACPower(t *testing.T) {
+	ac := ParasolAC()
+	// Paper: 135 W fan only, 2.2 kW with compressor.
+	if p := ac.Power(0); p != 135 {
+		t.Errorf("AC fan-only power = %v, want 135W", p)
+	}
+	if p := ac.Power(1); p != 2200 {
+		t.Errorf("AC full power = %v, want 2200W", p)
+	}
+	// Fixed-speed: any nonzero compressor command is full blast.
+	if p := ac.Power(0.3); p != 2200 {
+		t.Errorf("fixed-speed AC at 0.3 = %v, want 2200W", p)
+	}
+	if q := ac.HeatRemoval(1); q != 5500 {
+		t.Errorf("AC capacity = %v, want 5500W", q)
+	}
+}
+
+func TestSmoothACLinearPower(t *testing.T) {
+	ac := SmoothAC()
+	// Fan is 1/4 of unit power; compressor linear in speed.
+	if p := ac.Power(0); p != 550 {
+		t.Errorf("smooth AC fan power = %v, want 550W", p)
+	}
+	mid := float64(ac.Power(0.5))
+	want := 550 + 0.5*(2200-550)
+	if math.Abs(mid-want) > 1 {
+		t.Errorf("smooth AC at 50%% = %v, want %v", mid, want)
+	}
+	if q := ac.HeatRemoval(0.5); math.Abs(float64(q)-2750) > 1 {
+		t.Errorf("smooth AC heat removal at 50%% = %v, want 2750", q)
+	}
+}
+
+func TestACClampCompressor(t *testing.T) {
+	fixed := ParasolAC()
+	if got := fixed.ClampCompressor(0.4); got != 1 {
+		t.Errorf("fixed clamp(0.4) = %v, want 1", got)
+	}
+	varspeed := SmoothAC()
+	if got := varspeed.ClampCompressor(0.05); got != 0.15 {
+		t.Errorf("variable clamp(0.05) = %v, want 0.15", got)
+	}
+	if got := varspeed.ClampCompressor(0); got != 0 {
+		t.Errorf("clamp(0) = %v, want 0", got)
+	}
+}
+
+func TestCOPPositive(t *testing.T) {
+	ac := ParasolAC()
+	if cop := ac.COP(1); cop < 2 || cop > 3 {
+		t.Errorf("COP = %v, want ~2.5 for a DX unit", cop)
+	}
+	if ac.COP(0) != 0 {
+		t.Error("COP with compressor off should be 0")
+	}
+}
+
+func TestPlantParasolAbruptTransitions(t *testing.T) {
+	p := ParasolPlant()
+	// Commanding free cooling jumps straight to the requested speed.
+	got, err := p.Step(Command{Mode: ModeFreeCooling, FanSpeed: 0.8}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FanSpeed != 0.8 {
+		t.Errorf("Parasol fan jumped to %v, want 0.8", got.FanSpeed)
+	}
+	if !p.DamperOpen() {
+		t.Error("damper should be open under free cooling")
+	}
+	if p.Airflow() <= 0 {
+		t.Error("free cooling should move air")
+	}
+	// Switching to AC: compressor at full blast immediately.
+	got, _ = p.Step(Command{Mode: ModeACCool, CompressorSpeed: 1}, 30)
+	if got.CompressorSpeed != 1 {
+		t.Errorf("compressor at %v, want 1", got.CompressorSpeed)
+	}
+	if p.Airflow() != 0 {
+		t.Error("no outside airflow under AC")
+	}
+	if tr := p.Transition(); tr.From != ModeFreeCooling || tr.To != ModeACCool {
+		t.Errorf("transition = %v", tr)
+	}
+	// Start-up transient: removal ramps to capacity over ~3 minutes.
+	if hr := float64(p.HeatRemoval()); hr >= 5500 || hr < 5500*0.4 {
+		t.Errorf("heat removal just after start = %v, want between 40%% and 100%% of capacity", hr)
+	}
+	for i := 0; i < 6; i++ {
+		p.Step(Command{Mode: ModeACCool, CompressorSpeed: 1}, 30)
+	}
+	if p.HeatRemoval() != 5500 {
+		t.Errorf("heat removal after warm-up %v, want 5500", p.HeatRemoval())
+	}
+}
+
+func TestPlantSmoothRampUp(t *testing.T) {
+	p := SmoothPlant()
+	// 10%/minute ramp: after one 30 s step from off, fan ≈ 1% + 5%.
+	got, err := p.Step(Command{Mode: ModeFreeCooling, FanSpeed: 1}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FanSpeed > 0.07 || got.FanSpeed < 0.05 {
+		t.Errorf("smooth fan after 30s = %v, want ~0.06", got.FanSpeed)
+	}
+	// Keep stepping: should take ~10 minutes to reach full speed.
+	steps := 1
+	for got.FanSpeed < 1 && steps < 100 {
+		got, _ = p.Step(Command{Mode: ModeFreeCooling, FanSpeed: 1}, 30)
+		steps++
+	}
+	if steps < 18 || steps > 22 {
+		t.Errorf("full ramp took %d 30s-steps, want ~20", steps)
+	}
+	// Ramp down is immediate.
+	got, _ = p.Step(Command{Mode: ModeClosed}, 30)
+	if got.FanSpeed != 0 {
+		t.Errorf("fan after shutdown = %v, want 0", got.FanSpeed)
+	}
+}
+
+func TestPlantSmoothCompressorRamp(t *testing.T) {
+	p := SmoothPlant()
+	got, _ := p.Step(Command{Mode: ModeACCool, CompressorSpeed: 1}, 60)
+	if got.CompressorSpeed > 0.3 {
+		t.Errorf("smooth compressor after 1 min = %v, should still be ramping", got.CompressorSpeed)
+	}
+	// Variable-speed: can hold part load.
+	for i := 0; i < 20; i++ {
+		got, _ = p.Step(Command{Mode: ModeACCool, CompressorSpeed: 0.4}, 60)
+	}
+	if math.Abs(got.CompressorSpeed-0.4) > 1e-9 {
+		t.Errorf("compressor settled at %v, want 0.4", got.CompressorSpeed)
+	}
+	if hr := p.HeatRemoval(); math.Abs(float64(hr)-0.4*5500) > 1 {
+		t.Errorf("heat removal %v, want %v", hr, 0.4*5500)
+	}
+}
+
+func TestPlantEnergyAccounting(t *testing.T) {
+	p := ParasolPlant()
+	// 1 hour of AC with compressor: 2.2 kWh.
+	for i := 0; i < 120; i++ {
+		if _, err := p.Step(Command{Mode: ModeACCool, CompressorSpeed: 1}, 30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Energy().KWh(); math.Abs(got-2.2) > 1e-9 {
+		t.Errorf("energy = %v kWh, want 2.2", got)
+	}
+	if got := p.EnergyByMode(ModeACCool).KWh(); math.Abs(got-2.2) > 1e-9 {
+		t.Errorf("AC-mode energy = %v kWh, want 2.2", got)
+	}
+	if p.EnergyByMode(ModeFreeCooling) != 0 {
+		t.Error("free-cooling energy should be 0")
+	}
+	if p.EnergyByMode(Mode(50)) != 0 {
+		t.Error("invalid mode energy should be 0")
+	}
+	p.ResetEnergy()
+	if p.Energy() != 0 {
+		t.Error("ResetEnergy failed")
+	}
+}
+
+func TestPlantClosedDrawsNothing(t *testing.T) {
+	p := ParasolPlant()
+	p.Step(Command{Mode: ModeFreeCooling, FanSpeed: 1}, 30)
+	p.Step(Command{Mode: ModeClosed}, 30)
+	if p.Power() != 0 {
+		t.Errorf("closed plant draws %v", p.Power())
+	}
+	if p.Airflow() != 0 || p.HeatRemoval() != 0 {
+		t.Error("closed plant should neither move air nor remove heat")
+	}
+	before := p.Energy()
+	p.Step(Command{Mode: ModeClosed}, 3600)
+	if p.Energy() != before {
+		t.Error("closed plant accrued energy")
+	}
+}
+
+func TestPlantRejectsInvalidCommand(t *testing.T) {
+	p := ParasolPlant()
+	if _, err := p.Step(Command{Mode: Mode(42)}, 30); err == nil {
+		t.Error("invalid command should be rejected")
+	}
+}
+
+func TestPlantACFanMode(t *testing.T) {
+	p := ParasolPlant()
+	p.Step(Command{Mode: ModeACFan}, 30)
+	if p.Power() != 135 {
+		t.Errorf("AC fan-only power = %v, want 135W", p.Power())
+	}
+	if p.RecirculationAirflow() <= 0 {
+		t.Error("AC fan should circulate internal air")
+	}
+	if p.HeatRemoval() != 0 {
+		t.Error("fan-only mode removes no heat")
+	}
+}
+
+func TestMinFanSpeedFloorOnFreeCoolCommand(t *testing.T) {
+	p := ParasolPlant()
+	got, _ := p.Step(Command{Mode: ModeFreeCooling, FanSpeed: 0}, 30)
+	if got.FanSpeed != 0.15 {
+		t.Errorf("free-cooling at zero speed should floor to 15%%, got %v", got.FanSpeed)
+	}
+}
+
+func TestPlantStringer(t *testing.T) {
+	p := ParasolPlant()
+	if s := p.String(); s == "" {
+		t.Error("empty plant string")
+	}
+	var _ units.Watts = p.Power()
+}

@@ -1,0 +1,170 @@
+package cooling
+
+import (
+	"math"
+
+	"coolair/internal/units"
+)
+
+// FreeCoolingUnit models an air-side economizer fan unit (Parasol's
+// Dantherm Flexibox 450). Power is cubic in fan speed, per the fan
+// affinity laws the paper adopts from [27]; Parasol's unit draws 8 W at
+// its 15% minimum speed and 425 W at full speed.
+type FreeCoolingUnit struct {
+	// MinSpeed is the lowest sustainable fan speed fraction. 0.15 for
+	// Parasol; 0.01 for the smooth commercial variant.
+	MinSpeed float64
+	// MaxAirflow is the mass flow of outside air at full speed, kg/s.
+	MaxAirflow float64
+	// IdlePower is the standby draw of the unit's electronics, W.
+	IdlePower units.Watts
+	// MaxPower is the electrical draw at full speed, W.
+	MaxPower units.Watts
+	// RampUpPerMinute limits how fast the fan may accelerate, as a
+	// speed fraction per minute. Zero means unlimited (Parasol's unit
+	// jumps straight to the commanded speed — the abruptness the paper
+	// identifies as the obstacle to managing variation). Ramp *down*
+	// is always immediate: both units go from minimum speed straight
+	// to off.
+	RampUpPerMinute float64
+}
+
+// ParasolFreeCooling returns the Flexibox 450 model from the paper.
+func ParasolFreeCooling() FreeCoolingUnit {
+	return FreeCoolingUnit{MinSpeed: 0.15, MaxAirflow: 1.05, IdlePower: 8, MaxPower: 425}
+}
+
+// SmoothFreeCooling returns the fine-grained commercial variant used by
+// Smooth-Sim: ramp up starting from 1% fan speed, at most 10% per
+// minute, same airflow and power envelope (extrapolated to low speeds).
+func SmoothFreeCooling() FreeCoolingUnit {
+	return FreeCoolingUnit{MinSpeed: 0.01, MaxAirflow: 1.05, IdlePower: 8, MaxPower: 425, RampUpPerMinute: 0.10}
+}
+
+// ClampSpeed snaps a commanded speed into the unit's feasible range:
+// zero stays zero, anything else is raised to MinSpeed and capped at 1.
+func (f FreeCoolingUnit) ClampSpeed(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	if s < f.MinSpeed {
+		return f.MinSpeed
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Airflow returns the outside-air mass flow (kg/s) at fan speed s.
+func (f FreeCoolingUnit) Airflow(s float64) float64 {
+	return f.MaxAirflow * units.Clamp01(s)
+}
+
+// Power returns the electrical draw at fan speed s. The cubic fan law is
+// anchored so Power(MinSpeed) ≈ IdlePower and Power(1) = MaxPower.
+func (f FreeCoolingUnit) Power(s float64) units.Watts {
+	if s <= 0 {
+		return 0
+	}
+	s = units.Clamp01(s)
+	span := float64(f.MaxPower - f.IdlePower)
+	return f.IdlePower + units.Watts(span*math.Pow(s, 3))
+}
+
+// DXAirConditioner models a direct-expansion backup AC (Parasol's
+// Dantherm iA/C 19000): 135 W with the compressor off (fan only),
+// 2.2 kW with the compressor on, removing ~5.5 kW of heat (19,000
+// BTU/h). The smooth variant has a variable-speed compressor whose
+// power is linear in speed with the fan accounting for 1/4 of unit
+// power, per the paper's Smooth-Sim assumptions (derived from [26]).
+type DXAirConditioner struct {
+	// FanPower is the draw with the compressor off, W.
+	FanPower units.Watts
+	// FullPower is the total draw at full compressor speed, W.
+	FullPower units.Watts
+	// Capacity is the heat removal rate at full compressor speed, W
+	// (thermal).
+	Capacity units.Watts
+	// VariableSpeed enables fine-grained compressor speed control. A
+	// fixed-speed unit runs the compressor at 100% whenever commanded
+	// on (it cycles under controller hysteresis instead).
+	VariableSpeed bool
+	// RampUpPerMinute limits compressor (and fan) ramp-up for the
+	// smooth variant; zero means unlimited. Shut-down always goes
+	// straight from 15% to off.
+	RampUpPerMinute float64
+	// CoilTemp is the effective evaporator coil temperature used for
+	// latent (condensation) modeling, °C.
+	CoilTemp units.Celsius
+}
+
+// ParasolAC returns the iA/C 19000 model from the paper.
+func ParasolAC() DXAirConditioner {
+	return DXAirConditioner{FanPower: 135, FullPower: 2200, Capacity: 5500, CoilTemp: 10}
+}
+
+// SmoothAC returns the variable-speed variant used by Smooth-Sim: fan
+// fixed (1/4 of unit power once settled), compressor power linear in
+// speed, fine-grained ramp up from 1%.
+func SmoothAC() DXAirConditioner {
+	return DXAirConditioner{
+		FanPower: 2200 / 4, FullPower: 2200, Capacity: 5500,
+		VariableSpeed: true, RampUpPerMinute: 0.10, CoilTemp: 10,
+	}
+}
+
+// ClampCompressor snaps a commanded compressor speed into the feasible
+// range. Fixed-speed units quantize to {0, 1}; variable-speed units have
+// a 15% floor below which the compressor shuts off (matching the
+// paper's "straight from 15% to 0% when shutting down").
+func (a DXAirConditioner) ClampCompressor(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	if !a.VariableSpeed {
+		return 1
+	}
+	if c < 0.15 {
+		return 0.15
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// Power returns the electrical draw with the compressor at speed c
+// (0 = fan only).
+func (a DXAirConditioner) Power(c float64) units.Watts {
+	if c <= 0 {
+		return a.FanPower
+	}
+	c = units.Clamp01(c)
+	if !a.VariableSpeed {
+		return a.FullPower
+	}
+	return a.FanPower + units.Watts(c*float64(a.FullPower-a.FanPower))
+}
+
+// HeatRemoval returns the sensible heat removal rate (thermal watts) at
+// compressor speed c.
+func (a DXAirConditioner) HeatRemoval(c float64) units.Watts {
+	if c <= 0 {
+		return 0
+	}
+	if !a.VariableSpeed {
+		return a.Capacity
+	}
+	return units.Watts(units.Clamp01(c) * float64(a.Capacity))
+}
+
+// COP returns the coefficient of performance (heat removed per
+// electrical watt) at compressor speed c, or 0 with the compressor off.
+func (a DXAirConditioner) COP(c float64) float64 {
+	p := a.Power(c)
+	if c <= 0 || p == 0 {
+		return 0
+	}
+	return float64(a.HeatRemoval(c)) / float64(p)
+}

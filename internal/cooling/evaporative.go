@@ -1,0 +1,81 @@
+package cooling
+
+import (
+	"coolair/internal/units"
+	"coolair/internal/weather"
+)
+
+// EvaporativeCooler models adiabatic pre-cooling of the intake air — the
+// alternative warm-climate mechanism the paper describes in §2 ("some
+// free-cooled datacenters also apply adiabatic cooling (via water
+// evaporation, within the humidity constraint) to lower the temperature
+// of the outside air before letting it reach the servers"). It is an
+// optional attachment to a Plant's free-cooling path.
+//
+// Evaporation moves the intake state along a constant-enthalpy line
+// toward saturation: temperature falls toward the wet-bulb limit while
+// absolute humidity rises. The cooler throttles itself so the supplied
+// air never exceeds MaxSupplyRH.
+type EvaporativeCooler struct {
+	// Effectiveness is the fraction of the dry-bulb → wet-bulb
+	// depression achieved (direct evaporative media reach 0.7–0.9).
+	Effectiveness float64
+	// MaxSupplyRH caps the supplied air's relative humidity (the
+	// paper's "within the humidity constraint").
+	MaxSupplyRH units.RelHumidity
+	// PumpPower is the water pump and media fan overhead while active.
+	PumpPower units.Watts
+}
+
+// DefaultEvaporativeCooler returns a typical direct evaporative stage.
+func DefaultEvaporativeCooler() *EvaporativeCooler {
+	return &EvaporativeCooler{Effectiveness: 0.8, MaxSupplyRH: 75, PumpPower: 90}
+}
+
+// Condition returns the supply-air state after evaporative pre-cooling
+// of the given outside air, and whether the stage actually ran (it
+// shuts off when the outside air is already too humid to help).
+func (e *EvaporativeCooler) Condition(outside weather.Conditions) (weather.Conditions, bool) {
+	if e == nil || e.Effectiveness <= 0 {
+		return outside, false
+	}
+	wb := units.WetBulb(outside.Temp, outside.RH)
+	depression := float64(outside.Temp - wb)
+	if depression < 0.5 {
+		return outside, false // saturated air: nothing to gain
+	}
+
+	// Binary-search the largest effectiveness ≤ configured that honors
+	// the supply-RH cap. Enthalpy is conserved: the removed sensible
+	// heat reappears as vapor.
+	lo, hi := 0.0, units.Clamp01(e.Effectiveness)
+	best := weather.Conditions{}
+	ok := false
+	for i := 0; i < 24; i++ {
+		f := (lo + hi) / 2
+		sup := e.supplyAt(outside, wb, f)
+		if sup.RH <= e.MaxSupplyRH {
+			best, ok = sup, true
+			lo = f
+		} else {
+			hi = f
+		}
+	}
+	if !ok || float64(outside.Temp-best.Temp) < 0.3 {
+		return outside, false
+	}
+	return best, true
+}
+
+// supplyAt computes the supply state at a given effectiveness fraction.
+func (e *EvaporativeCooler) supplyAt(outside weather.Conditions, wb units.Celsius, f float64) weather.Conditions {
+	tSup := outside.Temp - units.Celsius(f*float64(outside.Temp-wb))
+	// Adiabatic: sensible heat removed = latent heat added.
+	dT := float64(outside.Temp - tSup)
+	wOut := float64(outside.Abs())
+	wSup := wOut + units.AirSpecificHeat*dT/units.WaterLatentHeat
+	return weather.Conditions{
+		Temp: tSup,
+		RH:   units.RelFromAbs(tSup, units.AbsHumidity(wSup)),
+	}
+}

@@ -1,0 +1,108 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolair/internal/units"
+	"coolair/internal/weather"
+)
+
+func TestEvaporativeCoolsHotDryAir(t *testing.T) {
+	e := DefaultEvaporativeCooler()
+	// Chad midday: 40°C at 20% RH. Wet bulb ≈ 22°C; at 0.8
+	// effectiveness the supply should approach 25–26°C, but the 75% RH
+	// cap may throttle it slightly.
+	sup, active := e.Condition(weather.Conditions{Temp: 40, RH: 20})
+	if !active {
+		t.Fatal("cooler should run on hot dry air")
+	}
+	drop := float64(40 - sup.Temp)
+	if drop < 8 || drop > 16 {
+		t.Errorf("supply drop %0.1f°C, want 8-16", drop)
+	}
+	if sup.RH > e.MaxSupplyRH+0.5 {
+		t.Errorf("supply RH %v exceeds cap %v", sup.RH, e.MaxSupplyRH)
+	}
+	// Moisture must have been added (evaporation).
+	if sup.Abs() <= (weather.Conditions{Temp: 40, RH: 20}).Abs() {
+		t.Error("evaporation should raise absolute humidity")
+	}
+}
+
+func TestEvaporativeShutsOffWhenHumid(t *testing.T) {
+	e := DefaultEvaporativeCooler()
+	// Singapore-like: 30°C at 90% RH — almost no wet-bulb depression
+	// available within the RH cap.
+	sup, active := e.Condition(weather.Conditions{Temp: 30, RH: 90})
+	if active {
+		t.Errorf("cooler should not run on near-saturated air (supplied %v)", sup.Temp)
+	}
+	if sup.Temp != 30 {
+		t.Error("inactive cooler must pass air through unchanged")
+	}
+}
+
+func TestEvaporativeNilSafe(t *testing.T) {
+	var e *EvaporativeCooler
+	out := weather.Conditions{Temp: 35, RH: 30}
+	sup, active := e.Condition(out)
+	if active || sup != out {
+		t.Error("nil cooler must be a pass-through")
+	}
+}
+
+func TestEvaporativeProperties(t *testing.T) {
+	e := DefaultEvaporativeCooler()
+	f := func(tRaw, rhRaw float64) bool {
+		out := weather.Conditions{
+			Temp: units.Celsius(10 + math.Mod(math.Abs(tRaw), 35)),
+			RH:   units.RelHumidity(5 + math.Mod(math.Abs(rhRaw), 90)),
+		}
+		sup, active := e.Condition(out)
+		if !active {
+			return sup == out
+		}
+		wb := units.WetBulb(out.Temp, out.RH)
+		// Never below wet bulb, never above dry bulb, never above the
+		// RH cap, and enthalpy approximately conserved (checked via
+		// humidity increase matching the temperature drop).
+		if sup.Temp < wb-0.3 || sup.Temp > out.Temp {
+			return false
+		}
+		if sup.RH > e.MaxSupplyRH+0.5 {
+			return false
+		}
+		dT := float64(out.Temp - sup.Temp)
+		dW := float64(sup.Abs() - out.Abs())
+		latent := dW * units.WaterLatentHeat
+		sensible := dT * units.AirSpecificHeat
+		return math.Abs(latent-sensible) < 0.05*sensible+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlantWithEvaporativeStage(t *testing.T) {
+	p := SmoothPlant()
+	p.Evap = DefaultEvaporativeCooler()
+	p.Step(Command{Mode: ModeFreeCooling, FanSpeed: 1}, 30)
+	hotDry := weather.Conditions{Temp: 38, RH: 25}
+	sup, active := p.Intake(hotDry)
+	if !active || sup.Temp >= 33 {
+		t.Errorf("evap intake = %v (active=%v), want several degrees below 38", sup.Temp, active)
+	}
+	// Pump power shows up while free cooling.
+	noEvap := SmoothPlant()
+	noEvap.Step(Command{Mode: ModeFreeCooling, FanSpeed: 1}, 30)
+	if p.Power() <= noEvap.Power() {
+		t.Error("evap stage should add pump power")
+	}
+	// Closed plant: no intake conditioning.
+	p.Step(Command{Mode: ModeClosed}, 30)
+	if _, active := p.Intake(hotDry); active {
+		t.Error("closed plant must not condition intake")
+	}
+}

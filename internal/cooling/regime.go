@@ -1,0 +1,112 @@
+// Package cooling models the cooling infrastructure of a free-cooled
+// datacenter in the style of Parasol (paper §4.1): a free-cooling unit
+// that blows filtered outside air through the cold aisle, a backup
+// direct-expansion (DX) air conditioner, and an exhaust damper. Both the
+// original Parasol devices (abrupt regime changes, 15% minimum fan
+// speed, on/off compressor) and the "smooth" commercial variants used by
+// Smooth-Sim (1% fine-grained fan ramp, variable-speed compressor) are
+// provided.
+package cooling
+
+import "fmt"
+
+// Mode is the commanded operating mode of the cooling plant — the
+// paper's "cooling regime".
+type Mode int
+
+const (
+	// ModeClosed: neither free cooling nor AC; the container is sealed
+	// and heat recirculates (used to raise temperature or lower RH).
+	ModeClosed Mode = iota
+	// ModeFreeCooling: damper open, outside air blown through at a
+	// commanded fan speed.
+	ModeFreeCooling
+	// ModeACFan: container closed, AC circulating air with the
+	// compressor off (fan only).
+	ModeACFan
+	// ModeACCool: container closed, AC compressor removing heat.
+	ModeACCool
+	numModes
+)
+
+// Modes lists every mode, for enumerating candidate regimes.
+func Modes() []Mode {
+	return []Mode{ModeClosed, ModeFreeCooling, ModeACFan, ModeACCool}
+}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeClosed:
+		return "closed"
+	case ModeFreeCooling:
+		return "free-cooling"
+	case ModeACFan:
+		return "ac-fan"
+	case ModeACCool:
+		return "ac-cool"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a defined mode.
+func (m Mode) Valid() bool { return m >= 0 && m < numModes }
+
+// Transition identifies a (previous mode → current mode) pair. The
+// Cooling Modeler learns a distinct thermal model per transition as well
+// as per steady regime (paper §3.1), because e.g. the minutes right
+// after free cooling shuts off behave very differently from steady
+// operation.
+type Transition struct {
+	From, To Mode
+}
+
+// Steady reports whether the transition is a steady regime (no change).
+func (t Transition) Steady() bool { return t.From == t.To }
+
+// String implements fmt.Stringer.
+func (t Transition) String() string {
+	if t.Steady() {
+		return t.To.String()
+	}
+	return t.From.String() + "→" + t.To.String()
+}
+
+// Command is one actuation request for the cooling plant.
+type Command struct {
+	Mode Mode
+	// FanSpeed is the free-cooling fan speed fraction (0–1), meaningful
+	// in ModeFreeCooling.
+	FanSpeed float64
+	// CompressorSpeed is the AC compressor speed fraction (0–1),
+	// meaningful in ModeACCool. Fixed-speed units treat any nonzero
+	// value as full speed.
+	CompressorSpeed float64
+}
+
+// Validate reports whether the command is well-formed.
+func (c Command) Validate() error {
+	if !c.Mode.Valid() {
+		return fmt.Errorf("cooling: invalid mode %d", int(c.Mode))
+	}
+	if c.FanSpeed < 0 || c.FanSpeed > 1 {
+		return fmt.Errorf("cooling: fan speed %.2f out of [0,1]", c.FanSpeed)
+	}
+	if c.CompressorSpeed < 0 || c.CompressorSpeed > 1 {
+		return fmt.Errorf("cooling: compressor speed %.2f out of [0,1]", c.CompressorSpeed)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	switch c.Mode {
+	case ModeFreeCooling:
+		return fmt.Sprintf("free-cooling@%.0f%%", c.FanSpeed*100)
+	case ModeACCool:
+		return fmt.Sprintf("ac-cool@%.0f%%", c.CompressorSpeed*100)
+	default:
+		return c.Mode.String()
+	}
+}

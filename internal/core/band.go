@@ -1,0 +1,82 @@
+// Package core implements CoolAir (paper §3): daily temperature-band
+// selection from weather forecasts, the penalty-based Cooling Optimizer
+// that picks a cooling regime every 10 minutes using the learned Cooling
+// Model, and the Compute Manager that sizes the active server set,
+// places load on pods by recirculation rank, and temporally schedules
+// deferrable jobs.
+package core
+
+import (
+	"fmt"
+
+	"coolair/internal/units"
+	"coolair/internal/weather"
+)
+
+// Band is an inlet-temperature target range [Lo, Hi].
+type Band struct {
+	Lo, Hi units.Celsius
+	// Slid records that the band had to slide back below Max or above
+	// Min (the temporal scheduler skips such days, §3.3).
+	Slid bool
+}
+
+// Width returns the band width in °C.
+func (b Band) Width() float64 { return float64(b.Hi - b.Lo) }
+
+// Contains reports whether t lies within the band.
+func (b Band) Contains(t units.Celsius) bool { return t >= b.Lo && t <= b.Hi }
+
+// String implements fmt.Stringer.
+func (b Band) String() string { return fmt.Sprintf("[%v, %v]", b.Lo, b.Hi) }
+
+// BandConfig holds the band-selection parameters (paper §5.1 defaults:
+// Width 5°C, Offset 8°C, Min 10°C, Max 30°C).
+type BandConfig struct {
+	Width  float64
+	Offset float64
+	Min    units.Celsius
+	Max    units.Celsius
+}
+
+// DefaultBandConfig returns the paper's configuration for Parasol.
+func DefaultBandConfig() BandConfig {
+	return BandConfig{Width: 5, Offset: 8, Min: 10, Max: 30}
+}
+
+// SelectBand chooses the day's temperature band (paper §3.2, Figure 3):
+// a Width-degree band centred on the forecast average outside
+// temperature plus Offset, slid back just below Max or just above Min
+// when it would protrude.
+func SelectBand(cfg BandConfig, f weather.Forecaster, day int) Band {
+	center := float64(f.DayMeanForecast(day)) + cfg.Offset
+	lo := center - cfg.Width/2
+	hi := center + cfg.Width/2
+	slid := false
+	if hi > float64(cfg.Max) {
+		hi = float64(cfg.Max)
+		lo = hi - cfg.Width
+		slid = true
+	}
+	if lo < float64(cfg.Min) {
+		lo = float64(cfg.Min)
+		hi = lo + cfg.Width
+		slid = true
+	}
+	return Band{Lo: units.Celsius(lo), Hi: units.Celsius(hi), Slid: slid}
+}
+
+// OverlapsForecast reports whether any hourly forecast for the day falls
+// within the band once translated to outside-air terms (band minus
+// Offset). Days with no overlap gain nothing from temporal scheduling
+// (§3.3) because outside temperatures never visit the band.
+func OverlapsForecast(cfg BandConfig, b Band, hourly []units.Celsius) bool {
+	lo := float64(b.Lo) - cfg.Offset
+	hi := float64(b.Hi) - cfg.Offset
+	for _, t := range hourly {
+		if float64(t) >= lo && float64(t) <= hi {
+			return true
+		}
+	}
+	return false
+}

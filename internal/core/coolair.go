@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"coolair/internal/control"
+	"coolair/internal/cooling"
+	"coolair/internal/hadoop"
+	"coolair/internal/model"
+	"coolair/internal/units"
+	"coolair/internal/weather"
+)
+
+// TemporalPolicy selects how (and whether) deferrable jobs are
+// temporally scheduled.
+type TemporalPolicy int
+
+const (
+	// TemporalNone runs jobs at arrival.
+	TemporalNone TemporalPolicy = iota
+	// TemporalBandAware is CoolAir's scheduler (§3.3): pack load into
+	// hours whose outside forecast falls within the temperature band,
+	// skipping days where the band slid or never overlaps the forecast.
+	TemporalBandAware
+	// TemporalCoolestHours is the prior-work energy scheduler the paper
+	// compares against (Energy-DEF): run jobs in the coldest in-deadline
+	// hours regardless of variation.
+	TemporalCoolestHours
+)
+
+// Options assembles one CoolAir variant. Use the Version constructors in
+// versions.go for the paper's named configurations.
+type Options struct {
+	Name    string
+	Utility UtilityConfig
+	Band    BandConfig
+	// FixedBand, if non-nil, replaces forecast-driven band selection
+	// (used by the Var-Low/High-Recirc ablations, Figure 11).
+	FixedBand *Band
+	// HighRecircFirst places load on high-recirculation pods first
+	// (CoolAir's placement); false selects low-recirculation pods first
+	// (the prior-work, energy-ideal placement).
+	HighRecircFirst bool
+	Temporal        TemporalPolicy
+	// ManageServers lets the Compute Manager sleep surplus servers.
+	ManageServers bool
+	// PeriodSeconds is the optimizer cadence (default 600 = 10 min).
+	PeriodSeconds float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PeriodSeconds == 0 {
+		o.PeriodSeconds = 600
+	}
+	if o.Band == (BandConfig{}) {
+		o.Band = DefaultBandConfig()
+	}
+	if o.Name == "" {
+		o.Name = "coolair"
+	}
+	return o
+}
+
+// CoolAir is the complete runtime manager. It implements
+// control.Controller, control.Monitor, and control.DayPlanner.
+type CoolAir struct {
+	opts     Options
+	model    *model.Model
+	forecast weather.Forecaster
+	plant    *cooling.Plant
+	cluster  *hadoop.Cluster
+
+	band Band
+	day  int
+
+	prevSnap, curSnap model.Snapshot
+	haveSnaps         int
+
+	activeTarget int
+	decisions    int
+}
+
+// New assembles a CoolAir instance. The plant must be the same object
+// the simulator actuates, so regime previews start from the true device
+// state; cluster may be nil when CoolAir only manages cooling.
+func New(opts Options, m *model.Model, f weather.Forecaster, plant *cooling.Plant, cluster *hadoop.Cluster) (*CoolAir, error) {
+	if m == nil || f == nil || plant == nil {
+		return nil, fmt.Errorf("core: model, forecast, and plant are required")
+	}
+	opts = opts.withDefaults()
+	c := &CoolAir{opts: opts, model: m, forecast: f, plant: plant, cluster: cluster, day: -1}
+	if cluster != nil {
+		order := c.placementOrder()
+		if err := cluster.SetPlacementOrder(order); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// placementOrder derives the pod preference from the model's
+// recirculation ranking and the version's placement direction.
+func (c *CoolAir) placementOrder() []int {
+	order := c.model.PodsByRecirc()
+	if c.opts.HighRecircFirst {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	return order
+}
+
+// Name implements control.Controller.
+func (c *CoolAir) Name() string { return c.opts.Name }
+
+// Period implements control.Controller.
+func (c *CoolAir) Period() float64 { return c.opts.PeriodSeconds }
+
+// Band returns the currently selected temperature band.
+func (c *CoolAir) Band() Band { return c.band }
+
+// StartDay implements control.DayPlanner: select the day's band.
+func (c *CoolAir) StartDay(day int) {
+	c.day = day
+	if c.opts.FixedBand != nil {
+		c.band = *c.opts.FixedBand
+		return
+	}
+	c.band = SelectBand(c.opts.Band, c.forecast, day)
+}
+
+// Observe implements control.Monitor: maintain the 2-minute snapshot
+// pair the learned models' lag features require.
+func (c *CoolAir) Observe(obs control.Observation) {
+	snap := snapshotFromObservation(obs)
+	if c.haveSnaps == 0 {
+		c.curSnap = snap
+		c.haveSnaps = 1
+		return
+	}
+	c.prevSnap = c.curSnap
+	c.curSnap = snap
+	if c.haveSnaps < 2 {
+		c.haveSnaps = 2
+	}
+}
+
+// snapshotFromObservation converts a sensor observation into the
+// Modeler's snapshot form (absolute humidity recovered at the coolest
+// pod, where the cold-aisle humidity sensor hangs).
+func snapshotFromObservation(obs control.Observation) model.Snapshot {
+	coolest := units.Celsius(25)
+	if len(obs.PodInlet) > 0 {
+		coolest = obs.PodInlet[0]
+		for _, v := range obs.PodInlet[1:] {
+			if v < coolest {
+				coolest = v
+			}
+		}
+	}
+	return model.Snapshot{
+		Time:        obs.Time,
+		Mode:        obs.Mode,
+		FanSpeed:    obs.FanSpeed,
+		CompSpeed:   obs.CompressorSpeed,
+		OutsideTemp: obs.Outside.Temp,
+		OutsideAbs:  obs.Outside.Abs(),
+		PodTemp:     append([]units.Celsius(nil), obs.PodInlet...),
+		InsideAbs:   units.AbsFromRel(coolest, obs.InsideRH),
+		Utilization: obs.Utilization,
+		ITLoad:      obs.ITLoad,
+	}
+}
+
+// Decide implements control.Controller: run the Compute Manager, then
+// the Cooling Optimizer.
+func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
+	if c.day < 0 {
+		c.StartDay(obs.Day)
+	}
+	c.decisions++
+
+	if c.cluster != nil && c.opts.ManageServers {
+		c.manageServers()
+	}
+
+	// Before two monitoring snapshots exist the models cannot run;
+	// fail safe to the current plant mode.
+	if c.haveSnaps < 2 {
+		return cooling.Command{
+			Mode: obs.Mode, FanSpeed: obs.FanSpeed, CompressorSpeed: obs.CompressorSpeed,
+		}, nil
+	}
+
+	cand := c.candidates()
+	state := model.StateFromSnapshots(c.prevSnap, c.curSnap)
+	const horizon = 5 // 5 × 2 min = the 10-minute optimizer period
+
+	best := cand[0]
+	bestPen := math.Inf(1)
+	bestPow := math.Inf(1)
+	for _, cmd := range cand {
+		sched, err := c.plant.PreviewSchedule(cmd, model.ModelStepSeconds, horizon)
+		if err != nil {
+			return cooling.Command{}, err
+		}
+		rollout, err := c.model.PredictWindow(state, sched)
+		if err != nil {
+			return cooling.Command{}, err
+		}
+		pen := c.opts.Utility.Penalty(c.band, state, rollout, sched, obs.PodActive, c.model)
+		pow := 0.0
+		for _, s := range sched {
+			pow += float64(c.model.PredictPower(s))
+		}
+		// Pick the lowest penalty; break ties toward lower energy.
+		if pen < bestPen-1e-9 || (math.Abs(pen-bestPen) <= 1e-9 && pow < bestPow) {
+			best, bestPen, bestPow = cmd, pen, pow
+		}
+	}
+	return best, nil
+}
+
+// candidates enumerates the regimes the optimizer scores, matching the
+// installed plant's granularity.
+func (c *CoolAir) candidates() []cooling.Command {
+	out := []cooling.Command{
+		{Mode: cooling.ModeClosed},
+		{Mode: cooling.ModeACFan},
+	}
+	var fanSpeeds []float64
+	if c.plant.FC.MinSpeed <= 0.05 {
+		fanSpeeds = []float64{0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1}
+	} else {
+		fanSpeeds = []float64{0.15, 0.25, 0.4, 0.6, 0.8, 1}
+	}
+	for _, s := range fanSpeeds {
+		out = append(out, cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: s})
+	}
+	if c.plant.AC.VariableSpeed {
+		for _, s := range []float64{0.25, 0.5, 0.75, 1} {
+			out = append(out, cooling.Command{Mode: cooling.ModeACCool, CompressorSpeed: s})
+		}
+	} else {
+		out = append(out, cooling.Command{Mode: cooling.ModeACCool, CompressorSpeed: 1})
+	}
+	return out
+}
+
+// manageServers sizes the active set to the current slot demand plus
+// headroom, never below the Covering Subset. Growth is immediate
+// (queued work must not wait), but shrinking is rate-limited so a lull
+// between job waves doesn't sleep half the cluster only to wake it ten
+// minutes later — which would both burn disk power cycles and whipsaw
+// the thermal load the Cooling Model has to predict.
+func (c *CoolAir) manageServers() {
+	demand := c.cluster.SlotDemand()
+	servers := (demand + hadoop.SlotsPerServer - 1) / hadoop.SlotsPerServer
+	want := servers + 3 // headroom for arrivals within the period
+	if want > len(c.cluster.Servers) {
+		want = len(c.cluster.Servers)
+	}
+	const shrinkPerPeriod = 2
+	switch {
+	case c.activeTarget == 0, want >= c.activeTarget:
+		c.activeTarget = want
+	case want < c.activeTarget-shrinkPerPeriod:
+		c.activeTarget -= shrinkPerPeriod
+	default:
+		c.activeTarget = want
+	}
+	// SetActiveTarget enforces the covering-subset floor itself.
+	_ = c.cluster.SetActiveTarget(c.activeTarget)
+}
+
+// Decisions returns how many times the optimizer ran (diagnostics).
+func (c *CoolAir) Decisions() int { return c.decisions }
+
+// CandidateEval is the diagnostic scoring of one candidate regime.
+type CandidateEval struct {
+	Cmd     cooling.Command
+	Penalty float64
+	// PredictedHottest is the predicted hottest-pod temperature at the
+	// end of the horizon.
+	PredictedHottest units.Celsius
+	// PredictedPower is the predicted average cooling power.
+	PredictedPower units.Watts
+}
+
+// EvaluateCandidates scores every candidate regime for the current
+// state without committing to a decision — the observability hook for
+// debugging and for the example programs. Returns nil before enough
+// monitoring history exists.
+func (c *CoolAir) EvaluateCandidates(obs control.Observation) []CandidateEval {
+	if c.haveSnaps < 2 {
+		return nil
+	}
+	state := model.StateFromSnapshots(c.prevSnap, c.curSnap)
+	var out []CandidateEval
+	for _, cmd := range c.candidates() {
+		sched, err := c.plant.PreviewSchedule(cmd, model.ModelStepSeconds, 5)
+		if err != nil {
+			continue
+		}
+		rollout, err := c.model.PredictWindow(state, sched)
+		if err != nil {
+			continue
+		}
+		ev := CandidateEval{
+			Cmd:     cmd,
+			Penalty: c.opts.Utility.Penalty(c.band, state, rollout, sched, obs.PodActive, c.model),
+		}
+		last := rollout[len(rollout)-1]
+		for _, v := range last.PodTemp {
+			if v > ev.PredictedHottest {
+				ev.PredictedHottest = v
+			}
+		}
+		var pw float64
+		for _, s := range sched {
+			pw += float64(c.model.PredictPower(s))
+		}
+		ev.PredictedPower = units.Watts(pw / float64(len(sched)))
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolair/internal/units"
+	"coolair/internal/weather"
+	"coolair/internal/workload"
+)
+
+// fixedForecast is a stub forecaster for band tests.
+type fixedForecast struct {
+	mean   units.Celsius
+	hourly []units.Celsius
+}
+
+func (f fixedForecast) DayMeanForecast(int) units.Celsius { return f.mean }
+func (f fixedForecast) HourlyForecast(int) []units.Celsius {
+	if f.hourly != nil {
+		return f.hourly
+	}
+	h := make([]units.Celsius, 24)
+	for i := range h {
+		h[i] = f.mean
+	}
+	return h
+}
+
+func TestSelectBandCentersOnForecastPlusOffset(t *testing.T) {
+	cfg := DefaultBandConfig()
+	b := SelectBand(cfg, fixedForecast{mean: 15}, 0)
+	// Center = 15 + 8 = 23, width 5 → [20.5, 25.5].
+	if math.Abs(float64(b.Lo)-20.5) > 1e-9 || math.Abs(float64(b.Hi)-25.5) > 1e-9 {
+		t.Errorf("band = %v, want [20.5, 25.5]", b)
+	}
+	if b.Slid {
+		t.Error("band should not have slid")
+	}
+	if b.Width() != 5 {
+		t.Errorf("width %v", b.Width())
+	}
+}
+
+func TestSelectBandSlidesAtExtremes(t *testing.T) {
+	cfg := DefaultBandConfig()
+	// Hot day: center 30+8=38 → slides below Max=30 → [25, 30].
+	hot := SelectBand(cfg, fixedForecast{mean: 30}, 0)
+	if hot.Hi != 30 || hot.Lo != 25 || !hot.Slid {
+		t.Errorf("hot band = %v (slid=%v), want [25, 30] slid", hot, hot.Slid)
+	}
+	// Cold day: center -10+8=-2 → slides above Min=10 → [10, 15].
+	cold := SelectBand(cfg, fixedForecast{mean: -10}, 0)
+	if cold.Lo != 10 || cold.Hi != 15 || !cold.Slid {
+		t.Errorf("cold band = %v (slid=%v), want [10, 15] slid", cold, cold.Slid)
+	}
+}
+
+func TestSelectBandProperties(t *testing.T) {
+	cfg := DefaultBandConfig()
+	f := func(raw float64) bool {
+		mean := units.Celsius(math.Mod(raw, 60)) // -60..60
+		b := SelectBand(cfg, fixedForecast{mean: mean}, 0)
+		// Invariants: width preserved, band within [Min, Max].
+		return math.Abs(b.Width()-cfg.Width) < 1e-9 &&
+			b.Lo >= cfg.Min-1e-9 && b.Hi <= cfg.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandContains(t *testing.T) {
+	b := Band{Lo: 20, Hi: 25}
+	if !b.Contains(22) || b.Contains(19) || b.Contains(26) {
+		t.Error("Contains")
+	}
+	if b.String() == "" {
+		t.Error("empty band string")
+	}
+}
+
+func TestOverlapsForecast(t *testing.T) {
+	cfg := DefaultBandConfig() // offset 8
+	b := Band{Lo: 20, Hi: 25}  // outside terms: [12, 17]
+	in := make([]units.Celsius, 24)
+	for i := range in {
+		in[i] = 5
+	}
+	if OverlapsForecast(cfg, b, in) {
+		t.Error("no hour within [12,17] should mean no overlap")
+	}
+	in[13] = 14
+	if !OverlapsForecast(cfg, b, in) {
+		t.Error("hour 13 at 14°C lies within [12,17]")
+	}
+}
+
+func TestVersionMatrix(t *testing.T) {
+	// Table 1: the configuration matrix of the paper's versions.
+	band := DefaultBandConfig()
+	cases := []struct {
+		v            Version
+		wantBand     bool
+		wantMaxTemp  units.Celsius
+		wantEnergy   bool
+		wantHighRec  bool
+		wantTemporal TemporalPolicy
+	}{
+		{VersionTemperature, false, 29, true, false, TemporalNone},
+		{VersionVariation, true, 0, false, true, TemporalNone},
+		{VersionEnergy, false, 30, true, false, TemporalNone},
+		{VersionAllND, true, 0, true, true, TemporalNone},
+		{VersionAllDEF, true, 0, true, false, TemporalBandAware},
+		{VersionEnergyDEF, false, 30, true, false, TemporalCoolestHours},
+	}
+	for _, tc := range cases {
+		o := VersionOptions(tc.v, band)
+		if o.Utility.UseBand != tc.wantBand {
+			t.Errorf("%v: UseBand = %v", tc.v, o.Utility.UseBand)
+		}
+		if o.Utility.MaxTemp != tc.wantMaxTemp {
+			t.Errorf("%v: MaxTemp = %v, want %v", tc.v, o.Utility.MaxTemp, tc.wantMaxTemp)
+		}
+		if got := o.Utility.EnergyWeight > 0; got != tc.wantEnergy {
+			t.Errorf("%v: energy term = %v", tc.v, got)
+		}
+		if o.HighRecircFirst != tc.wantHighRec {
+			t.Errorf("%v: HighRecircFirst = %v", tc.v, o.HighRecircFirst)
+		}
+		if o.Temporal != tc.wantTemporal {
+			t.Errorf("%v: Temporal = %v", tc.v, o.Temporal)
+		}
+		if !o.ManageServers {
+			t.Errorf("%v: all versions manage servers", tc.v)
+		}
+		if o.Name != tc.v.String() {
+			t.Errorf("%v: name %q", tc.v, o.Name)
+		}
+	}
+	// The Figure 11 ablations use fixed bands.
+	for _, v := range []Version{VersionVarLowRecirc, VersionVarHighRecirc} {
+		o := VersionOptions(v, band)
+		if o.FixedBand == nil {
+			t.Errorf("%v: expected a fixed band", v)
+		} else if o.FixedBand.Lo != 25 || o.FixedBand.Hi != 30 {
+			t.Errorf("%v: fixed band %v, want [25, 30]", v, *o.FixedBand)
+		}
+	}
+	if VersionVarHighRecirc.String() == "" || Version(99).String() == "" {
+		t.Error("version strings")
+	}
+	if len(Versions()) != 5 {
+		t.Error("Versions() should list the five Table 1 rows")
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	band := Band{Lo: 20, Hi: 25}
+	u := UtilityConfig{UseBand: true}
+	if d := u.deviation(band, 27); math.Abs(d-2) > 1e-9 {
+		t.Errorf("above-band deviation %v", d)
+	}
+	if d := u.deviation(band, 17); math.Abs(d-3) > 1e-9 {
+		t.Errorf("below-band deviation %v", d)
+	}
+	if d := u.deviation(band, 22); d != 0 {
+		t.Errorf("in-band deviation %v", d)
+	}
+	um := UtilityConfig{MaxTemp: 30}
+	if d := um.deviation(band, 33); math.Abs(d-3) > 1e-9 {
+		t.Errorf("max-temp deviation %v", d)
+	}
+	if d := um.deviation(band, 10); d != 0 {
+		t.Errorf("below max deviation %v (no lower bound)", d)
+	}
+}
+
+// temporalCoolAir builds a CoolAir with only the pieces ScheduleDay
+// needs (forecast + options).
+func temporalCoolAir(t *testing.T, pol TemporalPolicy, forecast weather.Forecaster) *CoolAir {
+	t.Helper()
+	return &CoolAir{
+		opts: Options{
+			Band:     DefaultBandConfig(),
+			Temporal: pol,
+		}.withDefaults(),
+		forecast: forecast,
+	}
+}
+
+func defJobs() []workload.Job {
+	var jobs []workload.Job
+	for i := 0; i < 24; i++ {
+		at := float64(i) * 3600
+		jobs = append(jobs, workload.Job{ID: i, Arrival: at, Deadline: at + 6*3600, Maps: 2, MapDur: 60})
+	}
+	return jobs
+}
+
+func TestScheduleDayNonePassesThrough(t *testing.T) {
+	c := temporalCoolAir(t, TemporalNone, fixedForecast{mean: 15})
+	jobs := defJobs()
+	rel := c.ScheduleDay(0, jobs)
+	for i, j := range jobs {
+		if rel[i] != j.Arrival {
+			t.Fatalf("job %d released at %0.0f, want arrival", i, rel[i])
+		}
+	}
+}
+
+func TestScheduleDayBandAwareInvariants(t *testing.T) {
+	// Forecast: cold at night (5°C), in-band midday (13–16°C given
+	// band [20.5,25.5] − offset 8 → eligible window [12.5, 17.5]).
+	hourly := make([]units.Celsius, 24)
+	for h := range hourly {
+		hourly[h] = 5
+		if h >= 10 && h <= 16 {
+			hourly[h] = 14
+		}
+	}
+	fc := fixedForecast{mean: 15, hourly: hourly}
+	c := temporalCoolAir(t, TemporalBandAware, fc)
+	jobs := defJobs()
+	rel := c.ScheduleDay(0, jobs)
+	deferred := 0
+	for i, j := range jobs {
+		if rel[i] < j.Arrival-1e-9 || rel[i] > j.Deadline+1e-9 {
+			t.Fatalf("job %d released at %0.0f outside [arrival, deadline]", i, rel[i])
+		}
+		if rel[i] > j.Arrival {
+			deferred++
+			h := int(rel[i] / 3600)
+			if hourly[h] != 14 {
+				t.Fatalf("job %d deferred into ineligible hour %d", i, h)
+			}
+		}
+	}
+	if deferred == 0 {
+		t.Error("band-aware scheduling deferred nothing despite eligible midday window")
+	}
+	// Early-morning jobs (arrival 4–10h) can reach the 10:00 window
+	// within their 6-hour deadline.
+	if rel[5] != 10*3600 {
+		t.Errorf("job arriving at 5:00 should defer to 10:00, got %0.0f h", rel[5]/3600)
+	}
+}
+
+func TestScheduleDaySkipsSlidAndNoOverlapDays(t *testing.T) {
+	// Hot day: band slides → no deferral.
+	c := temporalCoolAir(t, TemporalBandAware, fixedForecast{mean: 35})
+	jobs := defJobs()
+	rel := c.ScheduleDay(0, jobs)
+	for i, j := range jobs {
+		if rel[i] != j.Arrival {
+			t.Fatalf("slid-band day should not defer (job %d)", i)
+		}
+	}
+	// Mild mean but forecast never enters the band window.
+	hourly := make([]units.Celsius, 24)
+	for h := range hourly {
+		hourly[h] = 0
+	}
+	c2 := temporalCoolAir(t, TemporalBandAware, fixedForecast{mean: 15, hourly: hourly})
+	rel2 := c2.ScheduleDay(0, jobs)
+	for i, j := range jobs {
+		if rel2[i] != j.Arrival {
+			t.Fatalf("no-overlap day should not defer (job %d)", i)
+		}
+	}
+}
+
+func TestScheduleDayCoolestHours(t *testing.T) {
+	hourly := make([]units.Celsius, 24)
+	for h := range hourly {
+		hourly[h] = units.Celsius(20 + 10*math.Sin(float64(h-4)/24*2*math.Pi))
+	}
+	c := temporalCoolAir(t, TemporalCoolestHours, fixedForecast{mean: 20, hourly: hourly})
+	jobs := defJobs()
+	rel := c.ScheduleDay(0, jobs)
+	for i, j := range jobs {
+		if rel[i] < j.Arrival-1e-9 || rel[i] > j.Deadline+1e-9 {
+			t.Fatalf("job %d released at %0.0f outside [arrival, deadline]", i, rel[i])
+		}
+		// The chosen hour must be no warmer than the arrival hour.
+		ah := int(j.Arrival / 3600)
+		rh := int(rel[i] / 3600)
+		if rh < 24 && hourly[rh] > hourly[ah]+1e-9 {
+			t.Fatalf("job %d moved to a warmer hour (%v → %v)", i, hourly[ah], hourly[rh])
+		}
+	}
+	// Non-deferrable jobs never move.
+	fixed := []workload.Job{{ID: 0, Arrival: 3600, Deadline: 3600, Maps: 1, MapDur: 1}}
+	r := c.ScheduleDay(0, fixed)
+	if r[0] != 3600 {
+		t.Error("non-deferrable job moved")
+	}
+}
+
+func TestScheduleDayPropertyNeverViolatesDeadline(t *testing.T) {
+	hourly := make([]units.Celsius, 24)
+	for h := range hourly {
+		hourly[h] = units.Celsius(10 + h%7)
+	}
+	for _, pol := range []TemporalPolicy{TemporalBandAware, TemporalCoolestHours} {
+		c := temporalCoolAir(t, pol, fixedForecast{mean: 12, hourly: hourly})
+		f := func(arrRaw, slackRaw float64) bool {
+			arr := math.Mod(math.Abs(arrRaw), 86400)
+			slack := math.Mod(math.Abs(slackRaw), 12*3600)
+			j := workload.Job{ID: 1, Arrival: arr, Deadline: arr + slack, Maps: 1, MapDur: 1}
+			rel := c.ScheduleDay(0, []workload.Job{j})
+			return rel[0] >= arr-1e-9 && rel[0] <= j.Deadline+1e-9
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("policy %v: %v", pol, err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+
+	"coolair/internal/units"
+	"coolair/internal/workload"
+)
+
+// ScheduleDay computes release times for the day's jobs under the
+// version's temporal policy. The returned slice parallels jobs; each
+// release time is within [Arrival, Deadline]. For TemporalNone — and for
+// days where band-aware scheduling is pointless (band slid, or forecast
+// never overlaps the band, §3.3) — every job releases at arrival.
+func (c *CoolAir) ScheduleDay(day int, jobs []workload.Job) []float64 {
+	release := make([]float64, len(jobs))
+	for i, j := range jobs {
+		release[i] = j.Arrival
+	}
+	if c.opts.Temporal == TemporalNone {
+		return release
+	}
+
+	hourly := c.forecast.HourlyForecast(day)
+
+	switch c.opts.Temporal {
+	case TemporalBandAware:
+		band := c.band
+		if c.opts.FixedBand == nil {
+			band = SelectBand(c.opts.Band, c.forecast, day)
+		}
+		if band.Slid || !OverlapsForecast(c.opts.Band, band, hourly) {
+			return release // scheduling provides no benefit on such days
+		}
+		eligible := make([]bool, len(hourly))
+		lo := float64(band.Lo) - c.opts.Band.Offset
+		hi := float64(band.Hi) - c.opts.Band.Offset
+		for h, t := range hourly {
+			eligible[h] = float64(t) >= lo && float64(t) <= hi
+		}
+		for i, j := range jobs {
+			if !j.Deferrable() {
+				continue
+			}
+			release[i] = earliestEligible(j, eligible)
+		}
+	case TemporalCoolestHours:
+		for i, j := range jobs {
+			if !j.Deferrable() {
+				continue
+			}
+			release[i] = coldestHourStart(j, hourly)
+		}
+	}
+	return release
+}
+
+// earliestEligible returns the earliest time within [Arrival, Deadline]
+// that falls in an eligible hour, or Arrival if none exists.
+func earliestEligible(j workload.Job, eligible []bool) float64 {
+	if h := int(j.Arrival / 3600); h < len(eligible) && eligible[h] {
+		return j.Arrival
+	}
+	for h := int(j.Arrival/3600) + 1; h < len(eligible); h++ {
+		start := float64(h) * 3600
+		if start > j.Deadline {
+			break
+		}
+		if eligible[h] {
+			return start
+		}
+	}
+	return j.Arrival
+}
+
+// coldestHourStart returns the start of the coldest forecast hour within
+// [Arrival, Deadline] (clamped to the arrival when that hour has already
+// begun) — the prior-work energy-driven scheduler.
+func coldestHourStart(j workload.Job, hourly []units.Celsius) float64 {
+	bestH := int(j.Arrival / 3600)
+	if bestH >= len(hourly) {
+		return j.Arrival
+	}
+	bestT := math.Inf(1)
+	for h := int(j.Arrival / 3600); h < len(hourly); h++ {
+		start := float64(h) * 3600
+		if start > j.Deadline && float64(h) != math.Floor(j.Arrival/3600) {
+			break
+		}
+		if t := float64(hourly[h]); t < bestT {
+			bestT = t
+			bestH = h
+		}
+	}
+	rel := float64(bestH) * 3600
+	if rel < j.Arrival {
+		rel = j.Arrival
+	}
+	if rel > j.Deadline {
+		rel = j.Deadline
+	}
+	return rel
+}

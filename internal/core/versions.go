@@ -1,0 +1,116 @@
+package core
+
+// Version names the CoolAir configurations of the evaluation: the five
+// rows of Table 1 plus the ablations of Figure 11 and the Energy-DEF
+// comparison system of §5.2.
+type Version int
+
+const (
+	// VersionTemperature only limits absolute temperature below a low
+	// setpoint (29°C — the lowest achieving the baseline's PUE),
+	// representing today's energy-aware thermal management. Low-recirc
+	// placement, no band, no temporal scheduling.
+	VersionTemperature Version = iota
+	// VersionVariation focuses solely on limiting temperature
+	// variation: adaptive band (max 30°C) + humidity, high-recirc
+	// placement, no energy term.
+	VersionVariation
+	// VersionEnergy manages absolute temperature (max 30°C) while
+	// conserving cooling energy; no variation management.
+	VersionEnergy
+	// VersionAllND is the complete CoolAir for non-deferrable
+	// workloads: adaptive band + energy + humidity, high-recirc
+	// placement.
+	VersionAllND
+	// VersionAllDEF adds band-aware temporal scheduling for deferrable
+	// workloads (Table 1 pairs it with low-recirc placement).
+	VersionAllDEF
+	// VersionVarLowRecirc (Figure 11): fixed 25–30°C target range,
+	// low-recirculation placement — the prior-work spatial policy.
+	VersionVarLowRecirc
+	// VersionVarHighRecirc (Figure 11): fixed 25–30°C range with
+	// CoolAir's high-recirculation placement, but no band/forecast.
+	VersionVarHighRecirc
+	// VersionEnergyDEF (§5.2): the Energy version plus coolest-hours
+	// temporal scheduling — the prior-work temporal policy that
+	// conserves energy but widens variation.
+	VersionEnergyDEF
+)
+
+// String implements fmt.Stringer with the paper's names.
+func (v Version) String() string {
+	switch v {
+	case VersionTemperature:
+		return "Temperature"
+	case VersionVariation:
+		return "Variation"
+	case VersionEnergy:
+		return "Energy"
+	case VersionAllND:
+		return "All-ND"
+	case VersionAllDEF:
+		return "All-DEF"
+	case VersionVarLowRecirc:
+		return "Var-Low-Recirc"
+	case VersionVarHighRecirc:
+		return "Var-High-Recirc"
+	case VersionEnergyDEF:
+		return "Energy-DEF"
+	default:
+		return "version(?)"
+	}
+}
+
+// Versions lists the Table 1 configurations in presentation order.
+func Versions() []Version {
+	return []Version{VersionTemperature, VersionVariation, VersionEnergy, VersionAllND, VersionAllDEF}
+}
+
+// VersionOptions returns the Options implementing the named version with
+// the given band configuration (use DefaultBandConfig for the paper's
+// settings; Max may be tuned for the desired-maximum-temperature study).
+func VersionOptions(v Version, band BandConfig) Options {
+	u := DefaultUtility()
+	opts := Options{Name: v.String(), Band: band}
+	switch v {
+	case VersionTemperature:
+		u.MaxTemp = band.Max - 1 // the paper sets 29°C against Max 30
+		u.EnergyWeight = 0.25
+		u.RateLimit = 0
+	case VersionVariation:
+		u.RateLimit = 20
+		opts.HighRecircFirst = true
+	case VersionEnergy:
+		u.MaxTemp = band.Max
+		u.EnergyWeight = 0.25
+		u.RateLimit = 0
+	case VersionAllND:
+		u.EnergyWeight = 0.1
+		u.RateLimit = 20
+		opts.HighRecircFirst = true
+	case VersionAllDEF:
+		u.EnergyWeight = 0.25
+		u.RateLimit = 20
+		opts.Temporal = TemporalBandAware
+	case VersionVarLowRecirc:
+		u.RateLimit = 20
+		fixed := Band{Lo: band.Max - 5, Hi: band.Max}
+		opts.FixedBand = &fixed
+	case VersionVarHighRecirc:
+		u.RateLimit = 20
+		fixed := Band{Lo: band.Max - 5, Hi: band.Max}
+		opts.FixedBand = &fixed
+		opts.HighRecircFirst = true
+	case VersionEnergyDEF:
+		u.MaxTemp = band.Max
+		u.EnergyWeight = 0.25
+		u.RateLimit = 0
+		opts.Temporal = TemporalCoolestHours
+	}
+	// The band penalty applies to every version that has no explicit
+	// MaxTemp (the band's top bounds absolute temperature instead).
+	u.UseBand = u.MaxTemp == 0
+	opts.Utility = u
+	opts.ManageServers = true
+	return opts
+}

@@ -1,0 +1,275 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§5). Each experiment assembles environments,
+// trains or reuses the Cooling Model, runs the year (or day) simulations,
+// and returns a typed result whose Table method prints the same rows or
+// series the paper reports. The cmd/coolair-experiments binary exposes
+// them by figure id; scaled-down versions run as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"coolair/internal/core"
+	"coolair/internal/model"
+	"coolair/internal/sim"
+	"coolair/internal/tks"
+	"coolair/internal/units"
+	"coolair/internal/weather"
+	"coolair/internal/workload"
+)
+
+// baselineController builds a fresh baseline (TKS-extended) controller.
+func baselineController() *tks.Controller { return tks.Baseline() }
+
+// Lab holds the shared, reusable state of the evaluation: the trained
+// Cooling Models (one per infrastructure fidelity — the paper trains on
+// Parasol monitoring data once and reuses the models everywhere) and the
+// workload traces.
+type Lab struct {
+	Seed int64
+	// TrainDays is the length of the data-collection campaign.
+	TrainDays int
+
+	mu     sync.Mutex
+	models map[sim.Fidelity]*model.Model
+	faceb  *workload.Trace
+	nutch  *workload.Trace
+}
+
+// NewLab creates a lab with the evaluation defaults.
+func NewLab() *Lab {
+	return &Lab{Seed: 42, TrainDays: 4, models: map[sim.Fidelity]*model.Model{}}
+}
+
+// Facebook returns the (cached) Facebook workload trace.
+func (l *Lab) Facebook() *workload.Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.faceb == nil {
+		l.faceb = workload.Facebook(64, l.Seed)
+	}
+	return l.faceb
+}
+
+// Nutch returns the (cached) Nutch workload trace.
+func (l *Lab) Nutch() *workload.Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nutch == nil {
+		l.nutch = workload.Nutch(64, l.Seed)
+	}
+	return l.nutch
+}
+
+// Model returns the trained Cooling Model for the fidelity, running the
+// data-collection campaign at the prototype's home climate (Newark, like
+// Parasol's New Jersey site) on first use.
+func (l *Lab) Model(fid sim.Fidelity) (*model.Model, error) {
+	trace := l.Facebook() // acquire outside l.mu: Facebook locks too
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m := l.models[fid]; m != nil {
+		return m, nil
+	}
+	// The campaign covers both the prototype's home climate and a hot
+	// one, so the learned models interpolate rather than extrapolate
+	// when CoolAir is deployed at hot sites (the paper's 1.5 months of
+	// NJ data spanned spring-to-summer extremes similarly).
+	envN, err := sim.NewEnv(weather.Newark, fid)
+	if err != nil {
+		return nil, err
+	}
+	logN, err := envN.CollectTrainingData(l.TrainDays, trace, l.Seed)
+	if err != nil {
+		return nil, err
+	}
+	envC, err := sim.NewEnv(weather.Chad, fid)
+	if err != nil {
+		return nil, err
+	}
+	logC, err := envC.CollectTrainingData((l.TrainDays+1)/2, trace, l.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	if err := logN.Append(logC); err != nil {
+		return nil, err
+	}
+	m, err := model.Fit(logN, model.LearnerOptions{Seed: l.Seed})
+	if err != nil {
+		return nil, err
+	}
+	l.models[fid] = m
+	return m, nil
+}
+
+// System specifies one managed datacenter configuration to evaluate.
+type System struct {
+	// Name as the figures label it ("Baseline", "All-ND", …).
+	Name string
+	// Baseline selects the TKS-extended baseline instead of CoolAir.
+	Baseline bool
+	// Version selects the CoolAir variant when Baseline is false.
+	Version core.Version
+	// Band overrides the band configuration (zero value = defaults).
+	Band core.BandConfig
+	// Fidelity of the installed cooling plant. The baseline runs on
+	// Parasol as built (RealSim); CoolAir versions run on the smoother
+	// infrastructure (SmoothSim), as in the paper.
+	Fidelity sim.Fidelity
+	// ForecastBias perturbs the weather forecast (the ±5°C study).
+	ForecastBias float64
+	// Deferrable wraps the workload with 6-hour start deadlines.
+	Deferrable bool
+}
+
+// BaselineSystem returns the paper's baseline configuration.
+func BaselineSystem() System {
+	return System{Name: "Baseline", Baseline: true, Fidelity: sim.RealSim}
+}
+
+// CoolAirSystem returns a CoolAir version on the smooth infrastructure.
+func CoolAirSystem(v core.Version) System {
+	return System{Name: v.String(), Version: v, Fidelity: sim.SmoothSim}
+}
+
+// StandardSystems returns the five systems of Figures 8–10 in
+// presentation order.
+func StandardSystems() []System {
+	return []System{
+		BaselineSystem(),
+		CoolAirSystem(core.VersionTemperature),
+		CoolAirSystem(core.VersionEnergy),
+		CoolAirSystem(core.VersionVariation),
+		CoolAirSystem(core.VersionAllND),
+	}
+}
+
+// Run evaluates one system at one climate over the given days with the
+// given workload trace.
+func (l *Lab) Run(cl weather.Climate, sys System, days []int, trace *workload.Trace, record bool) (*sim.Result, error) {
+	env, err := sim.NewEnv(cl, sys.Fidelity)
+	if err != nil {
+		return nil, err
+	}
+	if sys.ForecastBias != 0 {
+		env.SetForecast(weather.BiasedForecast{
+			Base: weather.PerfectForecast{Series: env.Series},
+			Bias: units.Celsius(sys.ForecastBias),
+		})
+	}
+	if sys.Deferrable && trace != nil {
+		trace = trace.WithDeadlines(6 * 3600)
+	}
+	cfg := sim.RunConfig{Days: days, Trace: trace, RecordSeries: record}
+
+	if sys.Baseline {
+		cfg.KeepAllActive = true
+		res, err := sim.Run(env, baselineController(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Controller = sys.Name
+		return res, nil
+	}
+
+	m, err := l.Model(sys.Fidelity)
+	if err != nil {
+		return nil, err
+	}
+	env.Model = m
+	band := sys.Band
+	if band == (core.BandConfig{}) {
+		band = core.DefaultBandConfig()
+	}
+	ca, err := core.New(core.VersionOptions(sys.Version, band), m, env.Forecast, env.Plant, env.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(env, ca, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Controller = sys.Name
+	return res, nil
+}
+
+// YearDays returns n evenly spaced days of the year (the paper's year
+// sampling uses 52 — the first day of each week).
+func YearDays(n int) []int {
+	if n <= 0 || n > weather.DaysPerYear {
+		n = 52
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i * weather.DaysPerYear / n
+	}
+	return out
+}
+
+// celsius converts a float to units.Celsius (readability helper).
+func celsius(v float64) units.Celsius { return units.Celsius(v) }
+
+// coreVersionAllND and coreDefaultBand keep the experiment files free of
+// a direct core import spelled at every use site.
+func coreVersionAllND() core.Version   { return core.VersionAllND }
+func coreDefaultBand() core.BandConfig { return core.DefaultBandConfig() }
+
+// runGrid evaluates every (climate, system) pair in parallel, returning
+// results indexed [climate][system].
+func (l *Lab) runGrid(cls []weather.Climate, systems []System, days []int, trace *workload.Trace) ([][]*sim.Result, error) {
+	// Force model training up front (single-threaded) so workers share.
+	for _, s := range systems {
+		if !s.Baseline {
+			if _, err := l.Model(s.Fidelity); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([][]*sim.Result, len(cls))
+	for i := range out {
+		out[i] = make([]*sim.Result, len(systems))
+	}
+	type cell struct{ ci, si int }
+	jobs := make(chan cell)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > len(cls)*len(systems) {
+		workers = len(cls) * len(systems)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				res, err := l.Run(cls[c.ci], systems[c.si], days, trace, false)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("%s @ %s: %w", systems[c.si].Name, cls[c.ci].Name, err):
+					default:
+					}
+					continue
+				}
+				out[c.ci][c.si] = res
+			}
+		}()
+	}
+	for ci := range cls {
+		for si := range systems {
+			jobs <- cell{ci, si}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return out, nil
+}

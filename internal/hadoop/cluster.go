@@ -1,0 +1,292 @@
+// Package hadoop simulates the modified Hadoop cluster of the paper's
+// prototype (§4.2): servers with three power states (active,
+// decommissioned, sleep), a Covering Subset that always stays active so
+// the full dataset remains available, slot-based MapReduce task
+// execution, and disk power-cycle accounting.
+//
+// The simulation is time-stepped: Submit enqueues jobs, Step advances
+// task execution by dt seconds. CoolAir's Compute Configurer drives
+// power states through SetActiveTarget, and its spatial placement
+// through SetPlacementOrder.
+package hadoop
+
+import (
+	"fmt"
+	"sort"
+
+	"coolair/internal/units"
+	"coolair/internal/workload"
+)
+
+// PowerState is a server's ACPI-style power state.
+type PowerState int
+
+const (
+	// Active servers run tasks at full readiness.
+	Active PowerState = iota
+	// Decommissioned servers finish running tasks and hold temporary
+	// data of incomplete jobs, but accept no new tasks. It is the
+	// intermediate stop on the way to sleep (paper §4.2).
+	Decommissioned
+	// Sleep is ACPI S3: near-zero power, disks spun down.
+	Sleep
+)
+
+// String implements fmt.Stringer.
+func (s PowerState) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Decommissioned:
+		return "decommissioned"
+	case Sleep:
+		return "sleep"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// SlotsPerServer is the number of concurrent tasks a server runs (one
+// map plus one reduce slot on the paper's 2-core Atom machines).
+const SlotsPerServer = 2
+
+// Server is one machine in the cluster.
+type Server struct {
+	ID  int
+	Pod int
+	// Covering marks membership in the Covering Subset; such servers
+	// never leave the active state.
+	Covering bool
+	State    PowerState
+
+	// IdlePower and BusyPower bound the draw (paper: 22–30 W each).
+	IdlePower, BusyPower units.Watts
+
+	// running tasks: remaining seconds and owning job, per slot in use.
+	tasks []*task
+	// holds is the set of incomplete jobs whose temporary data lives on
+	// this server's disk.
+	holds map[int]struct{}
+
+	// powerCycles counts transitions into Sleep (disk spin-downs).
+	powerCycles int
+}
+
+type task struct {
+	job       *runningJob
+	remaining float64
+	reduce    bool
+}
+
+// runningJob tracks one submitted job through its map and reduce phases.
+type runningJob struct {
+	job          workload.Job
+	mapsLeft     int // not yet dispatched
+	mapsRunning  int
+	redsLeft     int
+	redsRunning  int
+	started      bool
+	startTime    float64
+	finishTime   float64
+	mapPhaseDone bool
+}
+
+func (r *runningJob) done() bool {
+	return r.mapPhaseDone && r.redsLeft == 0 && r.redsRunning == 0
+}
+
+// Cluster is the simulated Hadoop deployment.
+type Cluster struct {
+	Servers []*Server
+	pods    int
+
+	pending   []*runningJob // submitted, not yet fully dispatched
+	inFlight  map[int]*runningJob
+	completed []JobRecord
+
+	placement []int // pod preference order for new tasks
+
+	now     float64
+	itotal  units.Joules
+	elapsed float64
+}
+
+// JobRecord is the completion record of a finished job.
+type JobRecord struct {
+	Job        workload.Job
+	Start, End float64
+}
+
+// NewCluster builds a cluster with the given number of servers per pod.
+// Every sixth server (spread evenly, as HDFS block placement would) is
+// assigned to the Covering Subset — the smallest set storing a full copy
+// of the dataset (paper §4.2). Per-server power draw ramps between
+// idle and busy (22–30 W).
+func NewCluster(podSizes []int) (*Cluster, error) {
+	if len(podSizes) == 0 {
+		return nil, fmt.Errorf("hadoop: no pods")
+	}
+	c := &Cluster{pods: len(podSizes), inFlight: map[int]*runningJob{}}
+	id := 0
+	for pod, n := range podSizes {
+		if n <= 0 {
+			return nil, fmt.Errorf("hadoop: pod %d has %d servers", pod, n)
+		}
+		for i := 0; i < n; i++ {
+			s := &Server{
+				ID: id, Pod: pod,
+				Covering:  id%6 == 0,
+				State:     Active,
+				IdlePower: 22, BusyPower: 30,
+				holds: map[int]struct{}{},
+			}
+			c.Servers = append(c.Servers, s)
+			id++
+		}
+	}
+	c.placement = make([]int, len(podSizes))
+	for i := range c.placement {
+		c.placement[i] = i
+	}
+	return c, nil
+}
+
+// Pods returns the number of pods.
+func (c *Cluster) Pods() int { return c.pods }
+
+// SetPlacementOrder installs the pod preference order used when
+// dispatching tasks and choosing which servers to keep active. CoolAir's
+// Compute Optimizer passes pods ranked by recirculation (paper §3.3).
+func (c *Cluster) SetPlacementOrder(podOrder []int) error {
+	if len(podOrder) != c.pods {
+		return fmt.Errorf("hadoop: placement order has %d pods, want %d", len(podOrder), c.pods)
+	}
+	seen := make(map[int]bool, c.pods)
+	for _, p := range podOrder {
+		if p < 0 || p >= c.pods || seen[p] {
+			return fmt.Errorf("hadoop: invalid placement order %v", podOrder)
+		}
+		seen[p] = true
+	}
+	c.placement = append([]int(nil), podOrder...)
+	return nil
+}
+
+// Submit enqueues a job for execution (dispatch happens in Step).
+func (c *Cluster) Submit(j workload.Job) {
+	r := &runningJob{job: j, mapsLeft: j.Maps, redsLeft: j.Reduces}
+	if j.Reduces == 0 {
+		// jobs with no reduces finish when maps do
+	}
+	c.pending = append(c.pending, r)
+	c.inFlight[j.ID] = r
+}
+
+// serverOrder returns active servers in placement-preference order.
+func (c *Cluster) serverOrder() []*Server {
+	rank := make([]int, c.pods)
+	for i, p := range c.placement {
+		rank[p] = i
+	}
+	out := make([]*Server, len(c.Servers))
+	copy(out, c.Servers)
+	sort.SliceStable(out, func(a, b int) bool {
+		if rank[out[a].Pod] != rank[out[b].Pod] {
+			return rank[out[a].Pod] < rank[out[b].Pod]
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Step advances the cluster to time now+dt: finishes tasks, promotes map
+// phases to reduce phases, and dispatches queued tasks onto active
+// servers in placement order.
+func (c *Cluster) Step(dt float64) {
+	c.now += dt
+	c.elapsed += dt
+
+	// 1. Advance running tasks.
+	for _, s := range c.Servers {
+		kept := s.tasks[:0]
+		for _, t := range s.tasks {
+			t.remaining -= dt
+			if t.remaining > 0 {
+				kept = append(kept, t)
+				continue
+			}
+			if t.reduce {
+				t.job.redsRunning--
+			} else {
+				t.job.mapsRunning--
+				if t.job.mapsLeft == 0 && t.job.mapsRunning == 0 {
+					t.job.mapPhaseDone = true
+				}
+			}
+		}
+		s.tasks = kept
+	}
+
+	// 2. Complete jobs whose phases are all done.
+	for id, r := range c.inFlight {
+		if r.job.Reduces == 0 && r.mapPhaseDone || r.done() {
+			r.finishTime = c.now
+			c.completed = append(c.completed, JobRecord{Job: r.job, Start: r.startTime, End: c.now})
+			delete(c.inFlight, id)
+			for _, s := range c.Servers {
+				delete(s.holds, id)
+			}
+		}
+	}
+
+	// 3. Dispatch queued work onto free slots of active servers.
+	order := c.serverOrder()
+dispatch:
+	for _, s := range order {
+		if s.State != Active {
+			continue
+		}
+		for len(s.tasks) < SlotsPerServer {
+			t := c.nextTask()
+			if t == nil {
+				break dispatch
+			}
+			if !t.job.started {
+				t.job.started = true
+				t.job.startTime = c.now
+			}
+			s.tasks = append(s.tasks, t)
+			s.holds[t.job.job.ID] = struct{}{}
+		}
+	}
+	// Drop fully-dispatched jobs from the pending queue.
+	c.compactPending()
+}
+
+// nextTask pulls the next dispatchable task: maps of the oldest pending
+// job, then reduces once its map phase completed.
+func (c *Cluster) nextTask() *task {
+	for _, r := range c.pending {
+		if r.mapsLeft > 0 {
+			r.mapsLeft--
+			r.mapsRunning++
+			return &task{job: r, remaining: r.job.MapDur}
+		}
+		if r.mapPhaseDone && r.redsLeft > 0 {
+			r.redsLeft--
+			r.redsRunning++
+			return &task{job: r, remaining: r.job.RedDur, reduce: true}
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) compactPending() {
+	kept := c.pending[:0]
+	for _, r := range c.pending {
+		if r.mapsLeft > 0 || r.redsLeft > 0 {
+			kept = append(kept, r)
+		}
+	}
+	c.pending = kept
+}

@@ -1,0 +1,329 @@
+package hadoop
+
+import (
+	"math"
+	"testing"
+
+	"coolair/internal/workload"
+)
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster([]int{16, 16, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterLayout(t *testing.T) {
+	c := newTestCluster(t)
+	if len(c.Servers) != 64 {
+		t.Fatalf("%d servers, want 64", len(c.Servers))
+	}
+	if c.Pods() != 4 {
+		t.Fatalf("%d pods, want 4", c.Pods())
+	}
+	// Covering subset: every sixth server, so ~11, spread over pods.
+	cs := c.CoveringSubsetSize()
+	if cs < 10 || cs > 12 {
+		t.Errorf("covering subset %d, want ~11 (N/6)", cs)
+	}
+	perPod := make(map[int]int)
+	for _, s := range c.Servers {
+		if s.Covering {
+			perPod[s.Pod]++
+		}
+	}
+	for p := 0; p < 4; p++ {
+		if perPod[p] == 0 {
+			t.Errorf("pod %d has no covering servers", p)
+		}
+	}
+	if _, err := NewCluster(nil); err == nil {
+		t.Error("empty cluster should error")
+	}
+	if _, err := NewCluster([]int{0}); err == nil {
+		t.Error("zero-size pod should error")
+	}
+}
+
+func TestJobRunsToCompletion(t *testing.T) {
+	c := newTestCluster(t)
+	j := workload.Job{ID: 1, Maps: 10, MapDur: 60, Reduces: 2, RedDur: 120}
+	c.Submit(j)
+	// 10 maps fit in one wave on 128 slots: map phase 60 s, reduce 120 s.
+	for i := 0; i < 10; i++ {
+		c.Step(30)
+	}
+	recs := c.Completed()
+	if len(recs) != 1 {
+		t.Fatalf("%d completed, want 1 (in-flight %d, pending %d)", len(recs), c.InFlightJobs(), c.PendingJobs())
+	}
+	// Start at dispatch (30 s), maps done by 90 s, reduces by 210 s.
+	if recs[0].End < 180 || recs[0].End > 270 {
+		t.Errorf("job finished at %0.0f, want ~210", recs[0].End)
+	}
+	if c.BusySlots() != 0 {
+		t.Error("slots still busy after completion")
+	}
+}
+
+func TestMapOnlyJobCompletes(t *testing.T) {
+	c := newTestCluster(t)
+	c.Submit(workload.Job{ID: 1, Maps: 4, MapDur: 30, Reduces: 0})
+	for i := 0; i < 4; i++ {
+		c.Step(30)
+	}
+	if len(c.Completed()) != 1 {
+		t.Fatal("map-only job did not complete")
+	}
+}
+
+func TestReducesWaitForMapPhase(t *testing.T) {
+	c := newTestCluster(t)
+	// 200 maps on 128 slots: two waves; reduces must not start early.
+	c.Submit(workload.Job{ID: 1, Maps: 200, MapDur: 100, Reduces: 5, RedDur: 50})
+	c.Step(30)
+	for _, s := range c.Servers {
+		for _, tk := range s.tasks {
+			if tk.reduce {
+				t.Fatal("reduce dispatched before map phase finished")
+			}
+		}
+	}
+}
+
+func TestCapacityLimitsParallelism(t *testing.T) {
+	c := newTestCluster(t)
+	c.Submit(workload.Job{ID: 1, Maps: 1000, MapDur: 600, Reduces: 0})
+	c.Step(30)
+	if got := c.BusySlots(); got != 64*SlotsPerServer {
+		t.Errorf("busy slots %d, want %d (saturated)", got, 64*SlotsPerServer)
+	}
+	if c.QueuedTasks() != 1000-128 {
+		t.Errorf("queued %d, want %d", c.QueuedTasks(), 1000-128)
+	}
+	if c.SlotDemand() != 1000 {
+		t.Errorf("slot demand %d, want 1000", c.SlotDemand())
+	}
+}
+
+func TestPlacementOrderSteersTasks(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.SetPlacementOrder([]int{3, 2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(workload.Job{ID: 1, Maps: 20, MapDur: 600, Reduces: 0})
+	c.Step(30)
+	util := c.PodDiskUtil()
+	if util[3] <= util[0] {
+		t.Errorf("pod 3 (preferred) util %0.2f should exceed pod 0 util %0.2f", util[3], util[0])
+	}
+	// Invalid orders rejected.
+	if err := c.SetPlacementOrder([]int{0, 1}); err == nil {
+		t.Error("short order should error")
+	}
+	if err := c.SetPlacementOrder([]int{0, 0, 1, 2}); err == nil {
+		t.Error("duplicate pods should error")
+	}
+	if err := c.SetPlacementOrder([]int{0, 1, 2, 9}); err == nil {
+		t.Error("out-of-range pod should error")
+	}
+}
+
+func TestSetActiveTargetRespectsCoveringSubset(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.SetActiveTarget(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ActiveServers(); got != c.CoveringSubsetSize() {
+		t.Errorf("active %d, want covering subset %d", got, c.CoveringSubsetSize())
+	}
+	for _, s := range c.Servers {
+		if s.Covering && s.State != Active {
+			t.Fatalf("covering server %d in state %v", s.ID, s.State)
+		}
+	}
+	if err := c.SetActiveTarget(999); err == nil {
+		t.Error("out-of-range target should error")
+	}
+	if err := c.SetActiveTarget(-1); err == nil {
+		t.Error("negative target should error")
+	}
+}
+
+func TestSetActiveTargetWakesServers(t *testing.T) {
+	c := newTestCluster(t)
+	c.SetActiveTarget(0)
+	if err := c.SetActiveTarget(48); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ActiveServers(); got != 48 {
+		t.Errorf("active %d, want 48", got)
+	}
+}
+
+func TestBusyServersDecommissionedNotSlept(t *testing.T) {
+	c := newTestCluster(t)
+	c.Submit(workload.Job{ID: 1, Maps: 128, MapDur: 600, Reduces: 0})
+	c.Step(30) // all servers now running tasks
+	c.SetActiveTarget(11)
+	var dec, slept int
+	for _, s := range c.Servers {
+		switch s.State {
+		case Decommissioned:
+			dec++
+			if len(s.tasks) == 0 && len(s.holds) == 0 {
+				t.Error("idle server decommissioned instead of slept")
+			}
+		case Sleep:
+			slept++
+		}
+	}
+	if dec == 0 {
+		t.Error("busy surplus servers should be decommissioned")
+	}
+	if slept != 0 {
+		t.Errorf("%d busy servers slept", slept)
+	}
+	// Decommissioned servers accept no new tasks.
+	before := c.BusySlots()
+	c.Submit(workload.Job{ID: 2, Maps: 50, MapDur: 600, Reduces: 0})
+	c.Step(30)
+	// Only active servers' free slots can take them; all were busy, so
+	// busy slots cannot exceed before + 0 (no new free capacity).
+	if c.BusySlots() > before {
+		activeBusy := 0
+		for _, s := range c.Servers {
+			if s.State == Active {
+				activeBusy += len(s.tasks)
+			}
+		}
+		for _, s := range c.Servers {
+			if s.State == Decommissioned && len(s.tasks) > SlotsPerServer {
+				t.Error("decommissioned server gained tasks")
+			}
+		}
+		_ = activeBusy
+	}
+}
+
+func TestDrainedDecommissionedServersSleep(t *testing.T) {
+	c := newTestCluster(t)
+	c.Submit(workload.Job{ID: 1, Maps: 128, MapDur: 60, Reduces: 0})
+	c.Step(30)
+	c.SetActiveTarget(11)
+	// Let tasks finish, then re-run the configurer pass.
+	for i := 0; i < 5; i++ {
+		c.Step(30)
+	}
+	c.SetActiveTarget(11)
+	for _, s := range c.Servers {
+		if s.State == Decommissioned {
+			if len(s.tasks) == 0 && len(s.holds) == 0 {
+				t.Error("drained decommissioned server did not sleep")
+			}
+		}
+	}
+}
+
+func TestPowerAccounting(t *testing.T) {
+	c := newTestCluster(t)
+	// All idle active: 64 × 22 W.
+	if got := float64(c.ITPower()); math.Abs(got-64*22) > 1 {
+		t.Errorf("idle power %0.0f, want %d", got, 64*22)
+	}
+	// Saturated: 64 × 30 W.
+	c.Submit(workload.Job{ID: 1, Maps: 128, MapDur: 600, Reduces: 0})
+	c.Step(30)
+	if got := float64(c.ITPower()); math.Abs(got-64*30) > 1 {
+		t.Errorf("busy power %0.0f, want %d", got, 64*30)
+	}
+	// Sleeping servers draw ~nothing.
+	c2 := newTestCluster(t)
+	c2.SetActiveTarget(0)
+	perServer := float64(c2.ITPower()) / 64
+	if perServer > 10 {
+		t.Errorf("mostly-asleep cluster draws %0.1f W/server", perServer)
+	}
+	// Energy accrual: 1 hour idle ≈ 64×22 Wh.
+	c3 := newTestCluster(t)
+	for i := 0; i < 120; i++ {
+		c3.AccrueEnergy(30)
+	}
+	wantKWh := 64 * 22.0 / 1000
+	if got := c3.ITEnergy().KWh(); math.Abs(got-wantKWh) > 0.01 {
+		t.Errorf("IT energy %0.3f kWh, want %0.3f", got, wantKWh)
+	}
+}
+
+func TestPodActiveAndUtilization(t *testing.T) {
+	c := newTestCluster(t)
+	c.SetPlacementOrder([]int{3, 2, 1, 0})
+	c.SetActiveTarget(0) // covering subset only: all pods retain some
+	pa := c.PodActive()
+	for p, a := range pa {
+		if !a {
+			t.Errorf("pod %d inactive despite covering members", p)
+		}
+	}
+	if u := c.Utilization(); math.Abs(u-float64(c.CoveringSubsetSize())/64) > 1e-9 {
+		t.Errorf("utilization %0.3f", u)
+	}
+}
+
+func TestPowerCycleAccounting(t *testing.T) {
+	c := newTestCluster(t)
+	// Cycle non-covering servers to sleep and back 3 times over 3 hours.
+	for i := 0; i < 3; i++ {
+		c.SetActiveTarget(0)
+		c.Step(1800)
+		c.SetActiveTarget(64)
+		c.Step(1800)
+	}
+	rate := c.MaxPowerCycleRate()
+	if rate <= 0 {
+		t.Fatal("expected nonzero power-cycle rate")
+	}
+	if math.Abs(rate-1.0) > 0.2 { // 3 cycles in 3 hours
+		t.Errorf("max cycle rate %0.2f/h, want ~1", rate)
+	}
+}
+
+func TestFullTraceDayCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-day trace in short mode")
+	}
+	c := newTestCluster(t)
+	tr := workload.Nutch(64, 1)
+	next := 0
+	for step := 0; step < 2880+480; step++ { // 24 h + 4 h drain
+		now := float64(step) * 30
+		for next < len(tr.Jobs) && tr.Jobs[next].Arrival <= now {
+			c.Submit(tr.Jobs[next])
+			next++
+		}
+		c.Step(30)
+		c.AccrueEnergy(30)
+	}
+	done := len(c.Completed())
+	if done < len(tr.Jobs)*95/100 {
+		t.Errorf("only %d/%d jobs completed", done, len(tr.Jobs))
+	}
+	// Jobs never start before arrival.
+	for _, r := range c.Completed() {
+		if r.Start < r.Job.Arrival-1e-9 {
+			t.Fatalf("job %d started %0.0f before arrival %0.0f", r.Job.ID, r.Start, r.Job.Arrival)
+		}
+	}
+}
+
+func TestPowerStateString(t *testing.T) {
+	if Active.String() != "active" || Sleep.String() != "sleep" || Decommissioned.String() != "decommissioned" {
+		t.Error("power state strings")
+	}
+	if PowerState(9).String() == "" {
+		t.Error("unknown state should still render")
+	}
+}

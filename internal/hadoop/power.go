@@ -1,0 +1,245 @@
+package hadoop
+
+import (
+	"fmt"
+
+	"coolair/internal/units"
+)
+
+// SetActiveTarget transitions server power states so that (at least)
+// want servers are active, preferring pods in the current placement
+// order. It implements the three transitions of the paper's Compute
+// Configurer:
+//
+//  1. active → decommissioned for surplus servers that still hold
+//     temporary data of running jobs;
+//  2. active/decommissioned → sleep for surplus servers holding nothing
+//     relevant (decommissioned servers also finish their tasks first);
+//  3. sleep → active when more servers are required.
+//
+// Covering Subset servers never leave the active state, so the effective
+// floor is the subset size.
+func (c *Cluster) SetActiveTarget(want int) error {
+	if want < 0 || want > len(c.Servers) {
+		return fmt.Errorf("hadoop: active target %d out of range", want)
+	}
+	covering := c.CoveringSubsetSize()
+	if want < covering {
+		want = covering
+	}
+
+	order := c.serverOrder()
+
+	// Pass 1: wake sleepers (in placement order) until enough active.
+	active := c.ActiveServers()
+	for _, s := range order {
+		if active >= want {
+			break
+		}
+		if s.State == Sleep {
+			s.State = Active
+			active++
+		} else if s.State == Decommissioned {
+			s.State = Active
+			active++
+		}
+	}
+
+	// Pass 2: surplus actives go down, least-preferred first.
+	for i := len(order) - 1; i >= 0 && active > want; i-- {
+		s := order[i]
+		if s.State != Active || s.Covering {
+			continue
+		}
+		if len(s.tasks) > 0 || len(s.holds) > 0 {
+			s.State = Decommissioned
+		} else {
+			s.State = Sleep
+			s.powerCycles++
+		}
+		active--
+	}
+
+	// Pass 3: decommissioned servers that have drained fully can sleep.
+	for _, s := range c.Servers {
+		if s.State == Decommissioned && len(s.tasks) == 0 && len(s.holds) == 0 {
+			s.State = Sleep
+			s.powerCycles++
+		}
+	}
+	return nil
+}
+
+// ActivateAll forces every server active (the baseline system does no
+// energy management of servers).
+func (c *Cluster) ActivateAll() {
+	for _, s := range c.Servers {
+		s.State = Active
+	}
+}
+
+// ActiveServers counts servers in the active state.
+func (c *Cluster) ActiveServers() int {
+	n := 0
+	for _, s := range c.Servers {
+		if s.State == Active {
+			n++
+		}
+	}
+	return n
+}
+
+// CoveringSubsetSize returns the number of Covering Subset servers.
+func (c *Cluster) CoveringSubsetSize() int {
+	n := 0
+	for _, s := range c.Servers {
+		if s.Covering {
+			n++
+		}
+	}
+	return n
+}
+
+// Utilization returns the fraction of servers active — the paper's
+// "datacenter utilization".
+func (c *Cluster) Utilization() float64 {
+	return float64(c.ActiveServers()) / float64(len(c.Servers))
+}
+
+// BusySlots counts occupied task slots across the cluster.
+func (c *Cluster) BusySlots() int {
+	n := 0
+	for _, s := range c.Servers {
+		n += len(s.tasks)
+	}
+	return n
+}
+
+// QueuedTasks returns the number of tasks waiting for a slot (pending
+// maps, plus reduces whose map phase finished).
+func (c *Cluster) QueuedTasks() int {
+	n := 0
+	for _, r := range c.pending {
+		n += r.mapsLeft
+		if r.mapPhaseDone {
+			n += r.redsLeft
+		}
+	}
+	return n
+}
+
+// SlotDemand is the total current demand in slots (busy + queued), the
+// quantity CoolAir's Compute Optimizer sizes the active set from.
+func (c *Cluster) SlotDemand() int { return c.BusySlots() + c.QueuedTasks() }
+
+// serverPower returns one server's current draw.
+func serverPower(s *Server) units.Watts {
+	switch s.State {
+	case Sleep:
+		return 1.5 // S3 standby
+	default:
+		frac := float64(len(s.tasks)) / SlotsPerServer
+		return s.IdlePower + units.Watts(frac*float64(s.BusyPower-s.IdlePower))
+	}
+}
+
+// PodPower returns the per-pod IT power draw.
+func (c *Cluster) PodPower() []units.Watts {
+	out := make([]units.Watts, c.pods)
+	for _, s := range c.Servers {
+		out[s.Pod] += serverPower(s)
+	}
+	return out
+}
+
+// ITPower returns the total IT power draw.
+func (c *Cluster) ITPower() units.Watts {
+	var t units.Watts
+	for _, s := range c.Servers {
+		t += serverPower(s)
+	}
+	return t
+}
+
+// MaxITPower returns the draw with every server busy — the
+// normalization basis for load fractions.
+func (c *Cluster) MaxITPower() units.Watts {
+	var t units.Watts
+	for _, s := range c.Servers {
+		t += s.BusyPower
+	}
+	return t
+}
+
+// ITLoad returns the current IT power as a fraction of MaxITPower.
+func (c *Cluster) ITLoad() float64 {
+	return float64(c.ITPower()) / float64(c.MaxITPower())
+}
+
+// AccrueEnergy integrates IT energy over dt seconds; call once per
+// simulation step.
+func (c *Cluster) AccrueEnergy(dt float64) { c.itotal.Add(c.ITPower(), dt) }
+
+// ITEnergy returns cumulative IT energy.
+func (c *Cluster) ITEnergy() units.Joules { return c.itotal }
+
+// PodActive reports, per pod, whether any server is active.
+func (c *Cluster) PodActive() []bool {
+	out := make([]bool, c.pods)
+	for _, s := range c.Servers {
+		if s.State == Active {
+			out[s.Pod] = true
+		}
+	}
+	return out
+}
+
+// PodDiskUtil estimates each pod's average disk utilization as the
+// busy-slot fraction of its active servers (sleeping disks are spun
+// down and contribute nothing).
+func (c *Cluster) PodDiskUtil() []float64 {
+	busy := make([]int, c.pods)
+	activeSlots := make([]int, c.pods)
+	for _, s := range c.Servers {
+		if s.State == Sleep {
+			continue
+		}
+		busy[s.Pod] += len(s.tasks)
+		activeSlots[s.Pod] += SlotsPerServer
+	}
+	out := make([]float64, c.pods)
+	for p := range out {
+		if activeSlots[p] > 0 {
+			out[p] = float64(busy[p]) / float64(activeSlots[p])
+		}
+	}
+	return out
+}
+
+// Completed returns the completion records so far.
+func (c *Cluster) Completed() []JobRecord { return c.completed }
+
+// PendingJobs returns the number of jobs not yet fully dispatched.
+func (c *Cluster) PendingJobs() int { return len(c.pending) }
+
+// InFlightJobs returns the number of submitted, unfinished jobs.
+func (c *Cluster) InFlightJobs() int { return len(c.inFlight) }
+
+// MaxPowerCycleRate returns the highest per-server rate of disk
+// power-cycles per hour over the simulated span. The paper bounds this
+// at 2.2 cycles/hour against the 8.5/hour load-unload budget.
+func (c *Cluster) MaxPowerCycleRate() float64 {
+	if c.elapsed <= 0 {
+		return 0
+	}
+	max := 0
+	for _, s := range c.Servers {
+		if s.powerCycles > max {
+			max = s.powerCycles
+		}
+	}
+	return float64(max) / (c.elapsed / 3600)
+}
+
+// Now returns the cluster's internal clock (seconds advanced via Step).
+func (c *Cluster) Now() float64 { return c.now }

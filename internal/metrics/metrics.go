@@ -1,0 +1,217 @@
+// Package metrics computes the evaluation measures of the paper:
+// average temperature violations above a desired maximum (Figure 8),
+// daily per-sensor temperature ranges — average, minimum, and maximum of
+// the worst sensor's daily range (Figure 9), yearly PUE with power
+// delivery overhead (Figure 10), humidity-limit violations, temperature
+// rate-of-change, and cooling-energy accounting.
+package metrics
+
+import (
+	"math"
+
+	"coolair/internal/units"
+)
+
+// DeliveryOverhead is Parasol's power-delivery loss expressed in PUE
+// terms (the paper adds 0.08 to all PUEs).
+const DeliveryOverhead = 0.08
+
+// Collector accumulates observations over a (possibly multi-day) run.
+// Observe must be called at every simulation step.
+type Collector struct {
+	pods    int
+	maxTemp units.Celsius
+	rhLimit units.RelHumidity
+
+	// violation accounting (per sensor reading)
+	violationSum float64
+	readingCount int
+	rhViolations int
+	rhReadings   int
+
+	// per-day, per-sensor extremes
+	curDay     int
+	dayMin     []float64
+	dayMax     []float64
+	worstDaily []float64 // worst sensor range, per completed day
+
+	// outside extremes per day
+	outMin, outMax float64
+	outsideDaily   []float64
+
+	// rate of change: previous sample per sensor
+	prevTemp  []float64
+	prevTime  float64
+	havePrev  bool
+	maxRateHr float64
+
+	// energy
+	coolingE units.Joules
+	itE      units.Joules
+
+	timeSeconds float64
+}
+
+// NewCollector creates a collector enforcing the given desired maximum
+// temperature and relative-humidity limit (paper defaults: 30°C, 80%).
+func NewCollector(pods int, maxTemp units.Celsius, rhLimit units.RelHumidity) *Collector {
+	return &Collector{
+		pods:    pods,
+		maxTemp: maxTemp,
+		rhLimit: rhLimit,
+		curDay:  -1,
+	}
+}
+
+// Observe records one simulation step: per-pod inlet temperatures,
+// inside RH, outside temperature, instantaneous cooling and IT power,
+// and the step length.
+func (c *Collector) Observe(day int, podTemp []units.Celsius, rh units.RelHumidity,
+	outside units.Celsius, coolingPower, itPower units.Watts, dtSeconds float64) {
+
+	if day != c.curDay {
+		c.closeDay()
+		c.curDay = day
+		// Rate-of-change must not be measured across the gap between
+		// non-consecutive simulated days.
+		c.havePrev = false
+		c.dayMin = make([]float64, c.pods)
+		c.dayMax = make([]float64, c.pods)
+		for i := range c.dayMin {
+			c.dayMin[i] = math.Inf(1)
+			c.dayMax[i] = math.Inf(-1)
+		}
+		c.outMin, c.outMax = math.Inf(1), math.Inf(-1)
+	}
+
+	now := c.timeSeconds
+	for i, v := range podTemp {
+		f := float64(v)
+		if f > float64(c.maxTemp) {
+			c.violationSum += f - float64(c.maxTemp)
+		}
+		c.readingCount++
+		if i < c.pods {
+			c.dayMin[i] = math.Min(c.dayMin[i], f)
+			c.dayMax[i] = math.Max(c.dayMax[i], f)
+		}
+		if c.havePrev && now > c.prevTime {
+			rate := math.Abs(f-c.prevTemp[i]) / (now - c.prevTime) * 3600
+			if rate > c.maxRateHr {
+				c.maxRateHr = rate
+			}
+		}
+	}
+	if c.prevTemp == nil {
+		c.prevTemp = make([]float64, len(podTemp))
+	}
+	for i, v := range podTemp {
+		c.prevTemp[i] = float64(v)
+	}
+	c.prevTime = now
+	c.havePrev = true
+
+	c.rhReadings++
+	if rh > c.rhLimit {
+		c.rhViolations++
+	}
+
+	c.outMin = math.Min(c.outMin, float64(outside))
+	c.outMax = math.Max(c.outMax, float64(outside))
+
+	c.coolingE.Add(coolingPower, dtSeconds)
+	c.itE.Add(itPower, dtSeconds)
+	c.timeSeconds += dtSeconds
+}
+
+// closeDay folds the current day's extremes into the daily-range lists.
+func (c *Collector) closeDay() {
+	if c.curDay < 0 || c.dayMin == nil {
+		return
+	}
+	worst := 0.0
+	for i := range c.dayMin {
+		if math.IsInf(c.dayMin[i], 1) {
+			continue
+		}
+		r := c.dayMax[i] - c.dayMin[i]
+		if r > worst {
+			worst = r
+		}
+	}
+	c.worstDaily = append(c.worstDaily, worst)
+	if !math.IsInf(c.outMin, 1) {
+		c.outsideDaily = append(c.outsideDaily, c.outMax-c.outMin)
+	}
+}
+
+// Summary is the digest of one run.
+type Summary struct {
+	// AvgViolation is the mean, over all sensor readings, of degrees
+	// above the desired maximum (readings at or below count as zero) —
+	// Figure 8's metric.
+	AvgViolation float64
+	// AvgWorstDailyRange / MinWorstDailyRange / MaxWorstDailyRange
+	// summarize the per-day worst-sensor ranges — Figure 9's bars and
+	// whiskers.
+	AvgWorstDailyRange float64
+	MinWorstDailyRange float64
+	MaxWorstDailyRange float64
+	// Outside equivalents, for Figure 9's "Outside" group.
+	AvgOutsideDailyRange float64
+	MinOutsideDailyRange float64
+	MaxOutsideDailyRange float64
+	// PUE includes the 0.08 delivery overhead (Figure 10).
+	PUE float64
+	// CoolingKWh and ITKWh are the period's energies.
+	CoolingKWh, ITKWh float64
+	// RHViolationFraction is the fraction of samples above the RH limit.
+	RHViolationFraction float64
+	// MaxRatePerHour is the steepest observed |dT/dt| in °C/hour
+	// (ASHRAE recommends ≤ 20).
+	MaxRatePerHour float64
+	// Days is the number of completed days.
+	Days int
+}
+
+// Summarize closes the current day and produces the run digest.
+func (c *Collector) Summarize() Summary {
+	c.closeDay()
+	c.curDay = -1
+	c.dayMin, c.dayMax = nil, nil
+
+	s := Summary{Days: len(c.worstDaily)}
+	if c.readingCount > 0 {
+		s.AvgViolation = c.violationSum / float64(c.readingCount)
+	}
+	s.AvgWorstDailyRange, s.MinWorstDailyRange, s.MaxWorstDailyRange = stats(c.worstDaily)
+	s.AvgOutsideDailyRange, s.MinOutsideDailyRange, s.MaxOutsideDailyRange = stats(c.outsideDaily)
+	s.CoolingKWh = c.coolingE.KWh()
+	s.ITKWh = c.itE.KWh()
+	s.PUE = units.PUE(c.itE, c.coolingE, DeliveryOverhead)
+	if c.rhReadings > 0 {
+		s.RHViolationFraction = float64(c.rhViolations) / float64(c.rhReadings)
+	}
+	s.MaxRatePerHour = c.maxRateHr
+	return s
+}
+
+func stats(v []float64) (avg, min, max float64) {
+	if len(v) == 0 {
+		return 0, 0, 0
+	}
+	min, max = v[0], v[0]
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+		min = math.Min(min, x)
+		max = math.Max(max, x)
+	}
+	return sum / float64(len(v)), min, max
+}
+
+// WorstDailyRanges exposes the per-day worst-sensor ranges (for
+// distribution plots and tests).
+func (c *Collector) WorstDailyRanges() []float64 {
+	return append([]float64(nil), c.worstDaily...)
+}

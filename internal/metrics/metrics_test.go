@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"coolair/internal/units"
+)
+
+func TestViolationAveraging(t *testing.T) {
+	c := NewCollector(2, 30, 80)
+	// Four readings: 29, 31, 30, 32 → violations 0,1,0,2 → avg 0.75.
+	c.Observe(0, []units.Celsius{29, 31}, 50, 20, 0, 100, 30)
+	c.Observe(0, []units.Celsius{30, 32}, 50, 20, 0, 100, 30)
+	s := c.Summarize()
+	if math.Abs(s.AvgViolation-0.75) > 1e-9 {
+		t.Errorf("avg violation %v, want 0.75", s.AvgViolation)
+	}
+}
+
+func TestWorstDailyRange(t *testing.T) {
+	c := NewCollector(2, 30, 80)
+	// Day 0: pod0 spans 18–26 (8), pod1 spans 20–24 (4) → worst 8.
+	c.Observe(0, []units.Celsius{18, 22}, 50, 10, 0, 100, 30)
+	c.Observe(0, []units.Celsius{26, 24}, 50, 14, 0, 100, 30)
+	c.Observe(0, []units.Celsius{20, 20}, 50, 12, 0, 100, 30)
+	// Day 1: pod0 spans 2, pod1 spans 12 → worst 12.
+	c.Observe(1, []units.Celsius{20, 16}, 50, 10, 0, 100, 30)
+	c.Observe(1, []units.Celsius{22, 28}, 50, 20, 0, 100, 30)
+	s := c.Summarize()
+	if s.Days != 2 {
+		t.Fatalf("days = %d, want 2", s.Days)
+	}
+	if math.Abs(s.AvgWorstDailyRange-10) > 1e-9 {
+		t.Errorf("avg worst range %v, want 10", s.AvgWorstDailyRange)
+	}
+	if s.MinWorstDailyRange != 8 || s.MaxWorstDailyRange != 12 {
+		t.Errorf("min/max worst range %v/%v, want 8/12", s.MinWorstDailyRange, s.MaxWorstDailyRange)
+	}
+	// Outside ranges: day0 10–14 (4), day1 10–20 (10).
+	if s.MinOutsideDailyRange != 4 || s.MaxOutsideDailyRange != 10 {
+		t.Errorf("outside ranges %v/%v, want 4/10", s.MinOutsideDailyRange, s.MaxOutsideDailyRange)
+	}
+	ranges := c.WorstDailyRanges()
+	if len(ranges) != 2 || ranges[0] != 8 || ranges[1] != 12 {
+		t.Errorf("WorstDailyRanges = %v", ranges)
+	}
+}
+
+func TestPUEAndEnergy(t *testing.T) {
+	c := NewCollector(1, 30, 80)
+	// 1 hour: IT 1 kW, cooling 200 W → PUE 1 + 0.08 + 0.2 = 1.28.
+	for i := 0; i < 120; i++ {
+		c.Observe(0, []units.Celsius{25}, 50, 20, 200, 1000, 30)
+	}
+	s := c.Summarize()
+	if math.Abs(s.PUE-1.28) > 1e-9 {
+		t.Errorf("PUE %v, want 1.28", s.PUE)
+	}
+	if math.Abs(s.ITKWh-1.0) > 1e-9 || math.Abs(s.CoolingKWh-0.2) > 1e-9 {
+		t.Errorf("energy %v/%v kWh", s.ITKWh, s.CoolingKWh)
+	}
+}
+
+func TestRHViolations(t *testing.T) {
+	c := NewCollector(1, 30, 80)
+	c.Observe(0, []units.Celsius{25}, 85, 20, 0, 100, 30)
+	c.Observe(0, []units.Celsius{25}, 70, 20, 0, 100, 30)
+	c.Observe(0, []units.Celsius{25}, 90, 20, 0, 100, 30)
+	c.Observe(0, []units.Celsius{25}, 75, 20, 0, 100, 30)
+	s := c.Summarize()
+	if math.Abs(s.RHViolationFraction-0.5) > 1e-9 {
+		t.Errorf("RH violation fraction %v, want 0.5", s.RHViolationFraction)
+	}
+}
+
+func TestMaxRatePerHour(t *testing.T) {
+	c := NewCollector(1, 30, 80)
+	c.Observe(0, []units.Celsius{20}, 50, 20, 0, 100, 600)
+	c.Observe(0, []units.Celsius{22}, 50, 20, 0, 100, 600) // +2°C over 10 min = 12°C/h
+	c.Observe(0, []units.Celsius{21}, 50, 20, 0, 100, 600) // −1°C over 10 min = 6°C/h
+	s := c.Summarize()
+	if math.Abs(s.MaxRatePerHour-12) > 1e-6 {
+		t.Errorf("max rate %v °C/h, want 12", s.MaxRatePerHour)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector(2, 30, 80)
+	s := c.Summarize()
+	if s.Days != 0 || s.AvgViolation != 0 || s.PUE != 1+DeliveryOverhead {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestSingleDayBoundary(t *testing.T) {
+	c := NewCollector(1, 30, 80)
+	c.Observe(5, []units.Celsius{20}, 50, 20, 0, 100, 30)
+	c.Observe(5, []units.Celsius{25}, 50, 20, 0, 100, 30)
+	s := c.Summarize()
+	if s.Days != 1 {
+		t.Errorf("days = %d, want 1", s.Days)
+	}
+	if s.MaxWorstDailyRange != 5 {
+		t.Errorf("range %v, want 5", s.MaxWorstDailyRange)
+	}
+}

@@ -1,0 +1,168 @@
+package mlearn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ModelTree is an M5P-style piecewise-linear model tree: internal nodes
+// split on one feature's threshold, leaves hold linear models. The paper
+// uses Weka's M5P for non-linear behaviours such as cooling power as a
+// function of fan speed; this is a compact reimplementation of the same
+// idea (split where it most reduces squared error, fit linear models in
+// the leaves, stop at a minimum leaf size or depth).
+type ModelTree struct {
+	// Leaf model; non-nil exactly when the node is a leaf.
+	Model *Linear
+	// Split definition for internal nodes.
+	Feature   int
+	Threshold float64
+	Left      *ModelTree // rows with x[Feature] <= Threshold
+	Right     *ModelTree
+}
+
+// TreeOptions tunes model-tree induction.
+type TreeOptions struct {
+	MaxDepth    int // default 3
+	MinLeafRows int // default 4·(features+1)
+	Lambda      float64
+}
+
+func (o TreeOptions) withDefaults(p int) TreeOptions {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 3
+	}
+	if o.MinLeafRows <= 0 {
+		o.MinLeafRows = 4 * (p + 1)
+	}
+	return o
+}
+
+// FitModelTree induces a piecewise-linear model tree on the data.
+func FitModelTree(X [][]float64, y []float64, opts TreeOptions) (*ModelTree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, ErrDegenerate
+	}
+	opts = opts.withDefaults(len(X[0]))
+	return growTree(X, y, opts, 0)
+}
+
+func growTree(X [][]float64, y []float64, opts TreeOptions, depth int) (*ModelTree, error) {
+	leaf, leafErr := FitOLS(X, y, opts.Lambda)
+	if depth >= opts.MaxDepth || len(X) < 2*opts.MinLeafRows {
+		if leafErr != nil {
+			return nil, leafErr
+		}
+		return &ModelTree{Model: leaf}, nil
+	}
+
+	bestFeat, bestThr, bestSSE := -1, 0.0, 0.0
+	if leaf != nil {
+		bestSSE = sse(leaf, X, y) * 0.98 // a split must improve by ≥2%
+	}
+	p := len(X[0])
+	for f := 0; f < p; f++ {
+		thrs := candidateThresholds(X, f)
+		for _, thr := range thrs {
+			lX, lY, rX, rY := partition(X, y, f, thr)
+			if len(lX) < opts.MinLeafRows || len(rX) < opts.MinLeafRows {
+				continue
+			}
+			lm, lerr := FitOLS(lX, lY, opts.Lambda)
+			rm, rerr := FitOLS(rX, rY, opts.Lambda)
+			if lerr != nil || rerr != nil {
+				continue
+			}
+			total := sse(lm, lX, lY) + sse(rm, rX, rY)
+			if bestFeat == -1 && leaf == nil || total < bestSSE {
+				bestFeat, bestThr, bestSSE = f, thr, total
+			}
+		}
+	}
+	if bestFeat == -1 {
+		if leafErr != nil {
+			return nil, leafErr
+		}
+		return &ModelTree{Model: leaf}, nil
+	}
+	lX, lY, rX, rY := partition(X, y, bestFeat, bestThr)
+	left, err := growTree(lX, lY, opts, depth+1)
+	if err != nil {
+		return &ModelTree{Model: leaf}, nil
+	}
+	right, err := growTree(rX, rY, opts, depth+1)
+	if err != nil {
+		return &ModelTree{Model: leaf}, nil
+	}
+	return &ModelTree{Feature: bestFeat, Threshold: bestThr, Left: left, Right: right}, nil
+}
+
+// candidateThresholds returns up to 8 quantile cut points of feature f.
+func candidateThresholds(X [][]float64, f int) []float64 {
+	vals := make([]float64, len(X))
+	for i, row := range X {
+		vals[i] = row[f]
+	}
+	sort.Float64s(vals)
+	if vals[0] == vals[len(vals)-1] {
+		return nil
+	}
+	var out []float64
+	for q := 1; q <= 8; q++ {
+		v := vals[len(vals)*q/9]
+		if len(out) == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func partition(X [][]float64, y []float64, f int, thr float64) (lX [][]float64, lY []float64, rX [][]float64, rY []float64) {
+	for i, row := range X {
+		if row[f] <= thr {
+			lX = append(lX, row)
+			lY = append(lY, y[i])
+		} else {
+			rX = append(rX, row)
+			rY = append(rY, y[i])
+		}
+	}
+	return
+}
+
+func sse(m *Linear, X [][]float64, y []float64) float64 {
+	sum := 0.0
+	for i, row := range X {
+		r := m.Predict(row) - y[i]
+		sum += r * r
+	}
+	return sum
+}
+
+// Predict evaluates the tree on one feature vector.
+func (t *ModelTree) Predict(x []float64) float64 {
+	for t.Model == nil {
+		if x[t.Feature] <= t.Threshold {
+			t = t.Left
+		} else {
+			t = t.Right
+		}
+	}
+	return t.Model.Predict(x)
+}
+
+// Leaves returns the number of leaf models in the tree.
+func (t *ModelTree) Leaves() int {
+	if t.Model != nil {
+		return 1
+	}
+	return t.Left.Leaves() + t.Right.Leaves()
+}
+
+// String renders the tree structure for debugging.
+func (t *ModelTree) String() string {
+	if t.Model != nil {
+		return fmt.Sprintf("leaf(n=%d, rmse=%.3g)", t.Model.N, t.Model.TrainRMSE)
+	}
+	return fmt.Sprintf("(x%d<=%.3g ? %s : %s)", t.Feature, t.Threshold, t.Left, t.Right)
+}

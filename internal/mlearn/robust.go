@@ -1,0 +1,99 @@
+package mlearn
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// FitLMS fits a least-median-of-squares regression: among many candidate
+// OLS fits on random subsamples, it keeps the one whose *median* squared
+// residual over the full data is smallest. LMS tolerates up to ~50%
+// outliers, which makes it robust to the sensor glitches and regime
+// mislabeling that contaminate monitored datacenter data. The paper's
+// Cooling Learner tries plain linear and least-median-square fits and
+// keeps whichever validates better (§4.2).
+//
+// trials controls how many random subsamples are evaluated; 50–200 is
+// typical. The result is deterministic for a given seed.
+func FitLMS(X [][]float64, y []float64, trials int, seed int64) (*Linear, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, ErrDegenerate
+	}
+	p := len(X[0])
+	sub := 2*(p+1) + 2 // subsample size: comfortably above the minimum
+	if sub > n {
+		sub = n
+	}
+	if trials < 1 {
+		trials = 50
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var best *Linear
+	bestMed := 0.0
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sx := make([][]float64, sub)
+	sy := make([]float64, sub)
+	for t := 0; t < trials; t++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for i := 0; i < sub; i++ {
+			sx[i] = X[idx[i]]
+			sy[i] = y[idx[i]]
+		}
+		m, err := FitOLS(sx, sy, 1e-8)
+		if err != nil {
+			continue
+		}
+		med := medianSquaredResidual(m, X, y)
+		if best == nil || med < bestMed {
+			best, bestMed = m, med
+		}
+	}
+	if best == nil {
+		return nil, ErrDegenerate
+	}
+	// Final polish: refit OLS on the inlier half selected by the best
+	// candidate, the standard reweighting step after LMS.
+	type rr struct {
+		i  int
+		r2 float64
+	}
+	rs := make([]rr, n)
+	for i, row := range X {
+		r := y[i] - best.Predict(row)
+		rs[i] = rr{i, r * r}
+	}
+	sort.Slice(rs, func(a, b int) bool { return rs[a].r2 < rs[b].r2 })
+	keep := n/2 + p + 2
+	if keep > n {
+		keep = n
+	}
+	kx := make([][]float64, keep)
+	ky := make([]float64, keep)
+	for i := 0; i < keep; i++ {
+		kx[i] = X[rs[i].i]
+		ky[i] = y[rs[i].i]
+	}
+	if m, err := FitOLS(kx, ky, 1e-8); err == nil {
+		return m, nil
+	}
+	return best, nil
+}
+
+func medianSquaredResidual(m *Linear, X [][]float64, y []float64) float64 {
+	r2 := make([]float64, len(X))
+	for i, row := range X {
+		r := y[i] - m.Predict(row)
+		r2[i] = r * r
+	}
+	sort.Float64s(r2)
+	mid := len(r2) / 2
+	if len(r2)%2 == 1 {
+		return r2[mid]
+	}
+	return (r2[mid-1] + r2[mid]) / 2
+}

@@ -1,0 +1,264 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"coolair/internal/cooling"
+	"coolair/internal/mlearn"
+	"coolair/internal/units"
+)
+
+// Model is the learned Cooling Model: per-(transition, pod) temperature
+// regressions, per-transition humidity regressions, a per-mode cooling
+// power model, and the recirculation ranking of pods.
+type Model struct {
+	pods int
+	temp map[cooling.Transition][]mlearn.Regressor
+	hum  map[cooling.Transition]mlearn.Regressor
+	// hTemp/hHum are the direct 10-minute horizon models (see
+	// horizon.go).
+	hTemp map[cooling.Transition][]mlearn.Regressor
+	hHum  map[cooling.Transition]mlearn.Regressor
+	power map[cooling.Mode]mlearn.Regressor
+	// recircRank lists pod indices from lowest to highest observed
+	// recirculation potential.
+	recircRank []int
+}
+
+// LearnerOptions tunes model fitting.
+type LearnerOptions struct {
+	// MinRows is the minimum training rows to fit a group-specific
+	// model; sparser groups fall back at prediction time. Default 40.
+	MinRows int
+	// Seed makes LMS subsampling and cross-validation deterministic.
+	Seed int64
+}
+
+func (o LearnerOptions) withDefaults() LearnerOptions {
+	if o.MinRows <= 0 {
+		o.MinRows = 40
+	}
+	return o
+}
+
+// Fit learns the Cooling Model from the logged campaign. It requires at
+// least a few hours of data (the paper collected 1.5 months, seeding it
+// with deliberately extreme setpoint changes to cover the regime space).
+func Fit(l *Logger, opts LearnerOptions) (*Model, error) {
+	opts = opts.withDefaults()
+	snaps := l.snaps
+	if len(snaps) < opts.MinRows+2 {
+		return nil, fmt.Errorf("model: only %d snapshots, need at least %d", len(snaps), opts.MinRows+2)
+	}
+	m := &Model{
+		pods:  l.pods,
+		temp:  map[cooling.Transition][]mlearn.Regressor{},
+		hum:   map[cooling.Transition]mlearn.Regressor{},
+		hTemp: map[cooling.Transition][]mlearn.Regressor{},
+		hHum:  map[cooling.Transition]mlearn.Regressor{},
+		power: map[cooling.Mode]mlearn.Regressor{},
+	}
+
+	// Group training rows by transition.
+	type group struct {
+		tempX [][][]float64 // per pod
+		tempY [][]float64
+		humX  [][]float64
+		humY  []float64
+	}
+	groups := map[cooling.Transition]*group{}
+	grp := func(tr cooling.Transition) *group {
+		g := groups[tr]
+		if g == nil {
+			g = &group{tempX: make([][][]float64, l.pods), tempY: make([][]float64, l.pods)}
+			groups[tr] = g
+		}
+		return g
+	}
+	powX := map[cooling.Mode][][]float64{}
+	powY := map[cooling.Mode][]float64{}
+
+	for i := 1; i+1 < len(snaps); i++ {
+		prev, cur, next := snaps[i-1], snaps[i], snaps[i+1]
+		tr := labelOf(prev, cur, next)
+		g := grp(tr)
+		for p := 0; p < l.pods; p++ {
+			g.tempX[p] = append(g.tempX[p], tempFeatures(prev, cur, next.FanSpeed, next.CompSpeed, p))
+			g.tempY[p] = append(g.tempY[p], float64(next.PodTemp[p]))
+		}
+		g.humX = append(g.humX, humFeatures(cur, next.FanSpeed, next.CompSpeed))
+		g.humY = append(g.humY, next.InsideAbs.GramsPerKg())
+
+		powX[next.Mode] = append(powX[next.Mode], powerFeatures(next.FanSpeed, next.CompSpeed))
+		powY[next.Mode] = append(powY[next.Mode], float64(next.CoolingPower))
+	}
+
+	// Fit per-transition models where enough data exists. The paper
+	// tries linear and least-median-square fits and keeps the better;
+	// we cross-validate the same pair.
+	cands := []mlearn.Fitter{
+		mlearn.OLSFitter(1e-6),
+		mlearn.LMSFitter(40, opts.Seed),
+	}
+	for tr, g := range groups {
+		if len(g.humX) < opts.MinRows {
+			continue
+		}
+		perPod := make([]mlearn.Regressor, l.pods)
+		ok := true
+		for p := 0; p < l.pods; p++ {
+			reg, _, err := mlearn.SelectBest(cands, g.tempX[p], g.tempY[p], 4, opts.Seed+int64(p))
+			if err != nil {
+				ok = false
+				break
+			}
+			perPod[p] = reg
+		}
+		if ok {
+			m.temp[tr] = perPod
+		}
+		if hreg, _, err := mlearn.SelectBest(cands, g.humX, g.humY, 4, opts.Seed+101); err == nil {
+			m.hum[tr] = hreg
+		}
+	}
+	if len(m.temp) == 0 {
+		return nil, fmt.Errorf("model: no transition had %d+ rows", opts.MinRows)
+	}
+
+	// Power model: piecewise-linear in speed (the paper uses M5P for
+	// the cubic fan law).
+	for mode, X := range powX {
+		if len(X) < opts.MinRows/2 {
+			continue
+		}
+		tree, err := mlearn.FitModelTree(X, powY[mode], mlearn.TreeOptions{MaxDepth: 3})
+		if err == nil {
+			m.power[mode] = tree
+		}
+	}
+
+	m.fitHorizon(snaps, l.pods, opts)
+	m.recircRank = rankByRecirc(snaps, l.pods)
+	return m, nil
+}
+
+// rankByRecirc orders pods from lowest to highest recirculation
+// potential, implementing the Modeler's "observing changes in inlet
+// temperature when load is scheduled on each pod" (§3.3): for each pod,
+// regress its inlet elevation (above the coolest pod) on its own load
+// and rank by the slope. Pods whose inlets react most to their own load
+// are the ones bathed in recirculated air. Only quasi-steady samples
+// are used — transients make lagging pods look spuriously cool.
+func rankByRecirc(snaps []Snapshot, pods int) []int {
+	sumX := make([]float64, pods)
+	sumY := make([]float64, pods)
+	sumXY := make([]float64, pods)
+	sumXX := make([]float64, pods)
+	n := 0.0
+	for i := 2; i < len(snaps); i++ {
+		s := snaps[i]
+		if s.Mode != snaps[i-1].Mode || s.Mode != snaps[i-2].Mode {
+			continue
+		}
+		if len(s.PodPower) != pods {
+			continue
+		}
+		min := s.PodTemp[0]
+		for _, v := range s.PodTemp[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		for p := 0; p < pods; p++ {
+			x := float64(s.PodPower[p])
+			y := float64(s.PodTemp[p] - min)
+			sumX[p] += x
+			sumY[p] += y
+			sumXY[p] += x * y
+			sumXX[p] += x * x
+		}
+		n++
+	}
+	slope := make([]float64, pods)
+	for p := 0; p < pods; p++ {
+		den := n*sumXX[p] - sumX[p]*sumX[p]
+		if den > 1e-9 {
+			slope[p] = (n*sumXY[p] - sumX[p]*sumY[p]) / den
+		}
+	}
+	rank := make([]int, pods)
+	for i := range rank {
+		rank[i] = i
+	}
+	sort.SliceStable(rank, func(a, b int) bool { return slope[rank[a]] < slope[rank[b]] })
+	return rank
+}
+
+// Pods returns the pod count the model was trained for.
+func (m *Model) Pods() int { return m.pods }
+
+// PodsByRecirc returns pod indices ordered from lowest to highest
+// recirculation potential.
+func (m *Model) PodsByRecirc() []int {
+	return append([]int(nil), m.recircRank...)
+}
+
+// Transitions returns the transitions for which temperature models were
+// learned (diagnostics).
+func (m *Model) Transitions() []cooling.Transition {
+	out := make([]cooling.Transition, 0, len(m.temp))
+	for tr := range m.temp {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
+		}
+		return out[a].To < out[b].To
+	})
+	return out
+}
+
+// tempModel resolves the temperature regressor for a transition and pod
+// with graceful fallback: exact transition → steady model of the target
+// mode → any available model.
+func (m *Model) tempModel(tr cooling.Transition, p int) mlearn.Regressor {
+	if ms, ok := m.temp[tr]; ok {
+		return ms[p]
+	}
+	if ms, ok := m.temp[cooling.Transition{From: tr.To, To: tr.To}]; ok {
+		return ms[p]
+	}
+	for _, ms := range m.temp {
+		return ms[p]
+	}
+	return nil
+}
+
+func (m *Model) humModel(tr cooling.Transition) mlearn.Regressor {
+	if h, ok := m.hum[tr]; ok {
+		return h
+	}
+	if h, ok := m.hum[cooling.Transition{From: tr.To, To: tr.To}]; ok {
+		return h
+	}
+	for _, h := range m.hum {
+		return h
+	}
+	return nil
+}
+
+// PredictPower estimates the plant's electrical draw under the given
+// effective command.
+func (m *Model) PredictPower(cmd cooling.Command) units.Watts {
+	reg, ok := m.power[cmd.Mode]
+	if !ok {
+		return 0
+	}
+	w := reg.Predict(powerFeatures(cmd.FanSpeed, cmd.CompressorSpeed))
+	if w < 0 {
+		w = 0
+	}
+	return units.Watts(w)
+}

@@ -1,0 +1,176 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"coolair/internal/cooling"
+	"coolair/internal/mlearn"
+)
+
+// Model persistence: a datacenter trains its Cooling Model from months
+// of monitoring (paper §6: "these sensors facilitate the creation of the
+// corresponding CoolAir models over time, e.g. 6 months or 1 year"), so
+// the fitted model must outlive the training process. Save/Load encode
+// the learned regressors with encoding/gob.
+
+// persistedModel is the serialization schema. Regressors are stored as
+// tagged unions because the fitted type (Linear vs ModelTree) is chosen
+// per group by cross-validation.
+type persistedModel struct {
+	Pods       int
+	Temp       map[cooling.Transition][]persistedRegressor
+	Hum        map[cooling.Transition]persistedRegressor
+	HTemp      map[cooling.Transition][]persistedRegressor
+	HHum       map[cooling.Transition]persistedRegressor
+	Power      map[cooling.Mode]persistedRegressor
+	RecircRank []int
+}
+
+type persistedRegressor struct {
+	// Kind is "linear" or "tree".
+	Kind   string
+	Linear *mlearn.Linear
+	Tree   *mlearn.ModelTree
+}
+
+func toPersisted(r mlearn.Regressor) (persistedRegressor, error) {
+	switch v := r.(type) {
+	case *mlearn.Linear:
+		return persistedRegressor{Kind: "linear", Linear: v}, nil
+	case *mlearn.ModelTree:
+		return persistedRegressor{Kind: "tree", Tree: v}, nil
+	default:
+		return persistedRegressor{}, fmt.Errorf("model: cannot persist regressor type %T", r)
+	}
+}
+
+func (p persistedRegressor) restore() (mlearn.Regressor, error) {
+	switch p.Kind {
+	case "linear":
+		if p.Linear == nil {
+			return nil, fmt.Errorf("model: corrupt linear regressor")
+		}
+		return p.Linear, nil
+	case "tree":
+		if p.Tree == nil {
+			return nil, fmt.Errorf("model: corrupt tree regressor")
+		}
+		return p.Tree, nil
+	default:
+		return nil, fmt.Errorf("model: unknown regressor kind %q", p.Kind)
+	}
+}
+
+// Save writes the fitted model to w.
+func (m *Model) Save(w io.Writer) error {
+	pm := persistedModel{
+		Pods:       m.pods,
+		Temp:       map[cooling.Transition][]persistedRegressor{},
+		Hum:        map[cooling.Transition]persistedRegressor{},
+		HTemp:      map[cooling.Transition][]persistedRegressor{},
+		HHum:       map[cooling.Transition]persistedRegressor{},
+		Power:      map[cooling.Mode]persistedRegressor{},
+		RecircRank: m.recircRank,
+	}
+	convertSlice := func(rs []mlearn.Regressor) ([]persistedRegressor, error) {
+		out := make([]persistedRegressor, len(rs))
+		for i, r := range rs {
+			p, err := toPersisted(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	}
+	var err error
+	for tr, rs := range m.temp {
+		if pm.Temp[tr], err = convertSlice(rs); err != nil {
+			return err
+		}
+	}
+	for tr, rs := range m.hTemp {
+		if pm.HTemp[tr], err = convertSlice(rs); err != nil {
+			return err
+		}
+	}
+	for tr, r := range m.hum {
+		if pm.Hum[tr], err = toPersisted(r); err != nil {
+			return err
+		}
+	}
+	for tr, r := range m.hHum {
+		if pm.HHum[tr], err = toPersisted(r); err != nil {
+			return err
+		}
+	}
+	for mode, r := range m.power {
+		if pm.Power[mode], err = toPersisted(r); err != nil {
+			return err
+		}
+	}
+	return gob.NewEncoder(w).Encode(pm)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var pm persistedModel
+	if err := gob.NewDecoder(r).Decode(&pm); err != nil {
+		return nil, fmt.Errorf("model: decode: %w", err)
+	}
+	if pm.Pods <= 0 {
+		return nil, fmt.Errorf("model: corrupt model (pods=%d)", pm.Pods)
+	}
+	m := &Model{
+		pods:       pm.Pods,
+		temp:       map[cooling.Transition][]mlearn.Regressor{},
+		hum:        map[cooling.Transition]mlearn.Regressor{},
+		hTemp:      map[cooling.Transition][]mlearn.Regressor{},
+		hHum:       map[cooling.Transition]mlearn.Regressor{},
+		power:      map[cooling.Mode]mlearn.Regressor{},
+		recircRank: pm.RecircRank,
+	}
+	restoreSlice := func(ps []persistedRegressor) ([]mlearn.Regressor, error) {
+		out := make([]mlearn.Regressor, len(ps))
+		for i, p := range ps {
+			r, err := p.restore()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	var err error
+	for tr, ps := range pm.Temp {
+		if m.temp[tr], err = restoreSlice(ps); err != nil {
+			return nil, err
+		}
+	}
+	for tr, ps := range pm.HTemp {
+		if m.hTemp[tr], err = restoreSlice(ps); err != nil {
+			return nil, err
+		}
+	}
+	for tr, p := range pm.Hum {
+		if m.hum[tr], err = p.restore(); err != nil {
+			return nil, err
+		}
+	}
+	for tr, p := range pm.HHum {
+		if m.hHum[tr], err = p.restore(); err != nil {
+			return nil, err
+		}
+	}
+	for mode, p := range pm.Power {
+		if m.power[mode], err = p.restore(); err != nil {
+			return nil, err
+		}
+	}
+	if len(m.temp) == 0 {
+		return nil, fmt.Errorf("model: loaded model has no temperature regressors")
+	}
+	return m, nil
+}

@@ -1,0 +1,158 @@
+package model
+
+import (
+	"fmt"
+
+	"coolair/internal/cooling"
+	"coolair/internal/units"
+)
+
+// PredictorState is the rolling state the Cooling Predictor chains
+// through successive 2-minute model applications (paper §3.2: "as the
+// Cooling Model predicts temperatures for a short term, the Cooling
+// Predictor has to use it repeatedly, each time passing the results of
+// the previous use as input").
+type PredictorState struct {
+	PodTemp         []units.Celsius
+	PodTempPrev     []units.Celsius
+	InsideAbs       units.AbsHumidity
+	OutsideTemp     units.Celsius
+	OutsideTempPrev units.Celsius
+	OutsideAbs      units.AbsHumidity
+	Utilization     float64
+	ITLoad          float64
+	// Mode/FanSpeed/CompSpeed describe the plant state during the
+	// interval that *ended* at this state; PrevMode is the mode of the
+	// interval before that (transition bookkeeping).
+	Mode      cooling.Mode
+	PrevMode  cooling.Mode
+	FanSpeed  float64
+	CompSpeed float64
+}
+
+// StateFromSnapshots builds the predictor's starting state from the two
+// most recent monitoring snapshots.
+func StateFromSnapshots(prev, cur Snapshot) PredictorState {
+	return PredictorState{
+		PodTemp:         append([]units.Celsius(nil), cur.PodTemp...),
+		PodTempPrev:     append([]units.Celsius(nil), prev.PodTemp...),
+		InsideAbs:       cur.InsideAbs,
+		OutsideTemp:     cur.OutsideTemp,
+		OutsideTempPrev: prev.OutsideTemp,
+		OutsideAbs:      cur.OutsideAbs,
+		Utilization:     cur.Utilization,
+		ITLoad:          cur.ITLoad,
+		Mode:            cur.Mode,
+		PrevMode:        prev.Mode,
+		FanSpeed:        cur.FanSpeed,
+		CompSpeed:       cur.CompSpeed,
+	}
+}
+
+// RelHumidity returns the predicted cold-aisle relative humidity of the
+// state, converting the predicted absolute humidity at the coolest pod's
+// temperature (the humidity sensor hangs in the cold aisle).
+func (st PredictorState) RelHumidity() units.RelHumidity {
+	if len(st.PodTemp) == 0 {
+		return 0
+	}
+	min := st.PodTemp[0]
+	for _, v := range st.PodTemp[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return units.RelFromAbs(min, st.InsideAbs)
+}
+
+// Predict rolls the learned models forward through the given effective
+// command schedule (one entry per ModelStep), returning the state after
+// each step. outside, if non-nil, supplies the outside conditions at the
+// end of each step; otherwise the current outside conditions are held
+// constant (fine for 10-minute horizons).
+func (m *Model) Predict(start PredictorState, schedule []cooling.Command, outside []Snapshot) ([]PredictorState, error) {
+	if len(start.PodTemp) != m.pods {
+		return nil, fmt.Errorf("model: state has %d pods, model has %d", len(start.PodTemp), m.pods)
+	}
+	if outside != nil && len(outside) < len(schedule) {
+		return nil, fmt.Errorf("model: %d outside samples for %d steps", len(outside), len(schedule))
+	}
+	states := make([]PredictorState, 0, len(schedule))
+	cur := start
+	for i, cmd := range schedule {
+		// Model selection mirrors the training labels: the first two
+		// intervals after a mode change use the transition model.
+		tr := cooling.Transition{From: cmd.Mode, To: cmd.Mode}
+		if cmd.Mode != cur.Mode {
+			tr = cooling.Transition{From: cur.Mode, To: cmd.Mode}
+		} else if cur.Mode != cur.PrevMode {
+			tr = cooling.Transition{From: cur.PrevMode, To: cmd.Mode}
+		}
+
+		// Synthesize the two pseudo-snapshots the feature builders
+		// expect from the rolling state.
+		prevSnap := Snapshot{
+			PodTemp:     cur.PodTempPrev,
+			OutsideTemp: cur.OutsideTempPrev,
+			FanSpeed:    0, // unused by features
+		}
+		curSnap := Snapshot{
+			PodTemp:     cur.PodTemp,
+			OutsideTemp: cur.OutsideTemp,
+			FanSpeed:    cur.FanSpeed,
+			CompSpeed:   cur.CompSpeed,
+			Utilization: cur.Utilization,
+			ITLoad:      cur.ITLoad,
+			InsideAbs:   cur.InsideAbs,
+			OutsideAbs:  cur.OutsideAbs,
+		}
+
+		next := PredictorState{
+			PodTemp:         make([]units.Celsius, m.pods),
+			PodTempPrev:     cur.PodTemp,
+			InsideAbs:       cur.InsideAbs,
+			OutsideTemp:     cur.OutsideTemp,
+			OutsideTempPrev: cur.OutsideTemp,
+			OutsideAbs:      cur.OutsideAbs,
+			Utilization:     cur.Utilization,
+			ITLoad:          cur.ITLoad,
+			Mode:            cmd.Mode,
+			PrevMode:        cur.Mode,
+			FanSpeed:        cmd.FanSpeed,
+			CompSpeed:       cmd.CompressorSpeed,
+		}
+		if outside != nil {
+			next.OutsideTemp = outside[i].OutsideTemp
+			next.OutsideAbs = outside[i].OutsideAbs
+		}
+
+		for p := 0; p < m.pods; p++ {
+			reg := m.tempModel(tr, p)
+			if reg == nil {
+				return nil, fmt.Errorf("model: no temperature model available")
+			}
+			next.PodTemp[p] = units.Celsius(reg.Predict(tempFeatures(prevSnap, curSnap, cmd.FanSpeed, cmd.CompressorSpeed, p)))
+		}
+		if h := m.humModel(tr); h != nil {
+			g := h.Predict(humFeatures(curSnap, cmd.FanSpeed, cmd.CompressorSpeed))
+			if g < 0 {
+				g = 0
+			}
+			next.InsideAbs = units.AbsHumidity(g / 1000)
+		}
+		states = append(states, next)
+		cur = next
+	}
+	return states, nil
+}
+
+// PredictHorizon is a convenience wrapper: roll the model nSteps ahead
+// under a constant effective-command schedule derived from the plant's
+// ramp dynamics.
+func (m *Model) PredictHorizon(start PredictorState, plant *cooling.Plant, cmd cooling.Command, nSteps int) ([]PredictorState, error) {
+	sched, err := plant.PreviewSchedule(cmd, ModelStepSeconds, nSteps)
+	if err != nil {
+		return nil, err
+	}
+	return m.Predict(start, sched, nil)
+}

@@ -1,0 +1,96 @@
+package model
+
+import (
+	"math"
+
+	"coolair/internal/cooling"
+)
+
+// ValidationResult holds the absolute prediction errors of a model
+// against held-out monitoring data — the populations behind the paper's
+// Figure 5 CDFs and the humidity validation (97% of predictions within
+// 5% RH).
+type ValidationResult struct {
+	// Temperature errors in °C.
+	Errs2Min        []float64
+	Errs2MinSteady  []float64 // intervals without a regime transition
+	Errs10Min       []float64
+	Errs10MinSteady []float64
+	// Humidity errors in relative-humidity percentage points.
+	ErrsRH []float64
+}
+
+// FractionWithin returns the fraction of errs at or below the threshold.
+func FractionWithin(errs []float64, threshold float64) float64 {
+	if len(errs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, e := range errs {
+		if e <= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(errs))
+}
+
+// Validate replays held-out snapshots through the model exactly as the
+// Cooling Predictor would use it: 2-minute single-step predictions and
+// chained 10-minute (5-step) predictions, each split by whether the
+// window contained a cooling-regime transition.
+func Validate(m *Model, snaps []Snapshot) ValidationResult {
+	var res ValidationResult
+	cmdOf := func(s Snapshot) cooling.Command {
+		return cooling.Command{Mode: s.Mode, FanSpeed: s.FanSpeed, CompressorSpeed: s.CompSpeed}
+	}
+
+	// 2-minute predictions.
+	for i := 1; i+1 < len(snaps); i++ {
+		start := StateFromSnapshots(snaps[i-1], snaps[i])
+		states, err := m.Predict(start, []cooling.Command{cmdOf(snaps[i+1])}, snaps[i+1:i+2])
+		if err != nil {
+			continue
+		}
+		steady := snaps[i].Mode == snaps[i+1].Mode
+		for p := range states[0].PodTemp {
+			e := math.Abs(float64(states[0].PodTemp[p] - snaps[i+1].PodTemp[p]))
+			res.Errs2Min = append(res.Errs2Min, e)
+			if steady {
+				res.Errs2MinSteady = append(res.Errs2MinSteady, e)
+			}
+		}
+		// Humidity: compare predicted RH to the RH implied by the
+		// actual next snapshot.
+		predRH := float64(states[0].RelHumidity())
+		truth := StateFromSnapshots(snaps[i], snaps[i+1])
+		actRH := float64(truth.RelHumidity())
+		res.ErrsRH = append(res.ErrsRH, math.Abs(predRH-actRH))
+	}
+
+	// 10-minute (5-step) chained predictions.
+	const steps = 5
+	for i := 1; i+steps < len(snaps); i++ {
+		start := StateFromSnapshots(snaps[i-1], snaps[i])
+		sched := make([]cooling.Command, steps)
+		steady := true
+		for k := 0; k < steps; k++ {
+			sched[k] = cmdOf(snaps[i+1+k])
+			if snaps[i+k].Mode != snaps[i+1+k].Mode {
+				steady = false
+			}
+		}
+		states, err := m.Predict(start, sched, snaps[i+1:i+1+steps])
+		if err != nil {
+			continue
+		}
+		last := states[len(states)-1]
+		for p := range last.PodTemp {
+			e := math.Abs(float64(last.PodTemp[p] - snaps[i+steps].PodTemp[p]))
+			res.Errs10Min = append(res.Errs10Min, e)
+			if steady {
+				res.Errs10MinSteady = append(res.Errs10MinSteady, e)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,301 @@
+package physics
+
+import (
+	"math"
+	"testing"
+
+	"coolair/internal/units"
+	"coolair/internal/weather"
+)
+
+func mildOutside() weather.Conditions { return weather.Conditions{Temp: 15, RH: 50} }
+
+func uniformPower(c *Container, perServer units.Watts) []units.Watts {
+	out := make([]units.Watts, len(c.Pods))
+	for i, p := range c.Pods {
+		out[i] = units.Watts(float64(p.Servers)) * perServer
+	}
+	return out
+}
+
+func TestParasolValidates(t *testing.T) {
+	c := Parasol()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalServers() != 64 {
+		t.Errorf("Parasol has %d servers, want 64", c.TotalServers())
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []*Container{
+		{},
+		{Pods: []Pod{{Name: "x", Servers: 0}}, AirCap: 1, MassCap: 1, MassUA: 1, AirKg: 1},
+		{Pods: []Pod{{Name: "x", Servers: 4, Recirc: 2}}, AirCap: 1, MassCap: 1, MassUA: 1, AirKg: 1},
+		{Pods: []Pod{{Name: "x", Servers: 4}}, AirCap: 0, MassCap: 1, MassUA: 1, AirKg: 1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestClosedContainerHeatsUp(t *testing.T) {
+	c := Parasol()
+	s := c.NewState(mildOutside())
+	in := Inputs{Outside: mildOutside(), HourOfDay: 0, PodPower: uniformPower(c, 26)}
+	start := s.Air
+	for i := 0; i < 120; i++ { // 1 hour sealed
+		if err := c.Step(s, in, 30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rise := float64(s.Air - start)
+	if rise < 3 || rise > 25 {
+		t.Errorf("sealed container rose %0.1f°C in 1h with ~1.7kW IT, want 3-25", rise)
+	}
+}
+
+func TestFreeCoolingPullsTowardOutside(t *testing.T) {
+	c := Parasol()
+	s := c.NewState(mildOutside())
+	s.Air, s.Mass = 32, 32
+	for i := range s.PodInlet {
+		s.PodInlet[i] = 32
+	}
+	in := Inputs{Outside: mildOutside(), PodPower: uniformPower(c, 26), Airflow: 1.0}
+	for i := 0; i < 240; i++ { // 2 hours of full-blast free cooling
+		c.Step(s, in, 30)
+	}
+	// Equilibrium should sit near outside + small offset.
+	offset := float64(s.Air) - 15
+	if offset < 0 || offset > 4 {
+		t.Errorf("full free cooling settled %0.1f°C above outside, want 0-4", offset)
+	}
+}
+
+func TestFreeCoolingAbruptDropRate(t *testing.T) {
+	// Paper: opening Parasol at 15% fan speed dropped inlet air 9°C in
+	// 12 minutes with ~15°C colder air outside. Verify the same order.
+	c := Parasol()
+	cold := weather.Conditions{Temp: 10, RH: 50}
+	s := c.NewState(cold)
+	s.Air, s.Mass = 26, 26
+	for i := range s.PodInlet {
+		s.PodInlet[i] = 26
+	}
+	in := Inputs{Outside: cold, PodPower: uniformPower(c, 26), Airflow: 0.15 * 1.05}
+	for i := 0; i < 24; i++ { // 12 minutes
+		c.Step(s, in, 30)
+	}
+	drop := 26 - float64(s.Air)
+	if drop < 3 || drop > 14 {
+		t.Errorf("15%% free cooling dropped air %0.1f°C in 12min, want 3-14 (paper saw 9)", drop)
+	}
+}
+
+func TestACCoolsFastAndCondenses(t *testing.T) {
+	c := Parasol()
+	humid := weather.Conditions{Temp: 30, RH: 85}
+	s := c.NewState(humid)
+	in := Inputs{
+		Outside: humid, PodPower: uniformPower(c, 26),
+		HeatRemoval: 5500, RecircFlow: 0.5, CoilTemp: 10,
+	}
+	absBefore := s.Abs
+	for i := 0; i < 20; i++ { // 10 minutes of compressor
+		c.Step(s, in, 30)
+	}
+	drop := 30 - float64(s.Air)
+	if drop < 3 || drop > 15 {
+		t.Errorf("AC dropped air %0.1f°C in 10min, want 3-15 (paper saw 7)", drop)
+	}
+	if s.Abs >= absBefore {
+		t.Error("AC compressor should condense moisture out of humid air")
+	}
+}
+
+func TestRecirculationDriesAir(t *testing.T) {
+	// Footnote 1: heat recirculation is used to decrease relative
+	// humidity. Sealed container + server heat => same absolute
+	// humidity at higher temperature => lower RH.
+	c := Parasol()
+	humid := weather.Conditions{Temp: 18, RH: 90}
+	s := c.NewState(humid)
+	rhBefore := s.RelHumidity()
+	in := Inputs{Outside: humid, PodPower: uniformPower(c, 26)}
+	for i := 0; i < 120; i++ {
+		c.Step(s, in, 30)
+	}
+	if got := s.RelHumidity(); got >= rhBefore {
+		t.Errorf("sealed heating should lower RH: %v -> %v", rhBefore, got)
+	}
+}
+
+func TestVentilationTracksOutsideHumidity(t *testing.T) {
+	c := Parasol()
+	dryIn := weather.Conditions{Temp: 20, RH: 30}
+	s := c.NewState(weather.Conditions{Temp: 20, RH: 80})
+	in := Inputs{Outside: dryIn, PodPower: uniformPower(c, 26), Airflow: 1.0}
+	for i := 0; i < 240; i++ {
+		c.Step(s, in, 30)
+	}
+	wWant := dryIn.Abs()
+	if math.Abs(float64(s.Abs-wWant)) > 0.001 {
+		t.Errorf("ventilated humidity %v, want near outside %v", s.Abs, wWant)
+	}
+}
+
+func TestPodOrderingByRecirculation(t *testing.T) {
+	c := Parasol()
+	s := c.NewState(mildOutside())
+	in := Inputs{Outside: mildOutside(), PodPower: uniformPower(c, 26), Airflow: 0.3}
+	for i := 0; i < 240; i++ {
+		c.Step(s, in, 30)
+	}
+	// Higher-recirc pods should be warmer under free cooling.
+	for i := 1; i < len(s.PodInlet); i++ {
+		if s.PodInlet[i] < s.PodInlet[i-1] {
+			t.Errorf("pod %d (%v) cooler than pod %d (%v) despite higher recirc",
+				i, s.PodInlet[i], i-1, s.PodInlet[i-1])
+		}
+	}
+	idx, temp := s.HottestPod()
+	if idx != len(c.Pods)-1 {
+		t.Errorf("hottest pod = %d, want the last (highest recirc)", idx)
+	}
+	if temp != s.PodInlet[idx] {
+		t.Error("HottestPod temperature mismatch")
+	}
+}
+
+func TestHighRecircPodsAreSteadier(t *testing.T) {
+	// Drive the supply with an oscillating regime and measure per-pod
+	// swing: the high-recirc pod must swing less (the paper's spatial
+	// placement rationale).
+	c := Parasol()
+	s := c.NewState(mildOutside())
+	minT := make([]float64, len(c.Pods))
+	maxT := make([]float64, len(c.Pods))
+	for i := range minT {
+		minT[i] = math.Inf(1)
+		maxT[i] = math.Inf(-1)
+	}
+	power := uniformPower(c, 26)
+	for i := 0; i < 480; i++ { // 4 hours alternating strong / weak ventilation
+		var in Inputs
+		if (i/40)%2 == 0 {
+			in = Inputs{Outside: weather.Conditions{Temp: 8, RH: 50}, PodPower: power, Airflow: 1.0}
+		} else {
+			in = Inputs{Outside: weather.Conditions{Temp: 8, RH: 50}, PodPower: power, Airflow: 0.16}
+		}
+		c.Step(s, in, 30)
+		if i < 120 {
+			continue // warm-up
+		}
+		for p, v := range s.PodInlet {
+			minT[p] = math.Min(minT[p], float64(v))
+			maxT[p] = math.Max(maxT[p], float64(v))
+		}
+	}
+	lowSwing := maxT[0] - minT[0]
+	highSwing := maxT[len(c.Pods)-1] - minT[len(c.Pods)-1]
+	if highSwing >= lowSwing {
+		t.Errorf("high-recirc pod swing %0.1f°C should be below low-recirc %0.1f°C", highSwing, lowSwing)
+	}
+}
+
+func TestDiskTempsTrackInletPlusLoad(t *testing.T) {
+	c := Parasol()
+	s := c.NewState(mildOutside())
+	in := Inputs{
+		Outside: mildOutside(), PodPower: uniformPower(c, 26),
+		PodDiskUtil: []float64{0.5, 0.5, 0.5, 0.5}, Airflow: 0.3,
+	}
+	for i := 0; i < 480; i++ {
+		c.Step(s, in, 30)
+	}
+	for p := range c.Pods {
+		offset := float64(s.Disk[p] - s.PodInlet[p])
+		if offset < 9 || offset > 16 {
+			t.Errorf("pod %d disk offset %0.1f°C at 50%% util, want 9-16 (Fig 1 shows ~12)", p, offset)
+		}
+	}
+}
+
+func TestSolarGainPeaksMidday(t *testing.T) {
+	c := Parasol()
+	if g := c.solarGain(13); g < c.SolarPeak*0.9 {
+		t.Errorf("midday solar %0.0f, want near %0.0f", g, c.SolarPeak)
+	}
+	if g := c.solarGain(2); g != 0 {
+		t.Errorf("night solar %0.0f, want 0", g)
+	}
+	if g := c.solarGain(22); g != 0 {
+		t.Errorf("late-evening solar %0.0f, want 0", g)
+	}
+}
+
+func TestStepRejectsMismatchedPodPower(t *testing.T) {
+	c := Parasol()
+	s := c.NewState(mildOutside())
+	if err := c.Step(s, Inputs{Outside: mildOutside(), PodPower: []units.Watts{1}}, 30); err == nil {
+		t.Error("mismatched pod power should error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := Parasol()
+	s := c.NewState(mildOutside())
+	cl := s.Clone()
+	cl.PodInlet[0] = 99
+	cl.Disk[1] = 99
+	if s.PodInlet[0] == 99 || s.Disk[1] == 99 {
+		t.Error("Clone shares slices with original")
+	}
+}
+
+func TestEnergyConservationSanity(t *testing.T) {
+	// With zero IT power, zero solar (night), and no cooling, inside
+	// temperature must relax toward outside, never overshoot past it.
+	c := Parasol()
+	out := weather.Conditions{Temp: 10, RH: 50}
+	s := c.NewState(out)
+	s.Air, s.Mass = 30, 30
+	for i := range s.PodInlet {
+		s.PodInlet[i] = 30
+	}
+	in := Inputs{Outside: out, HourOfDay: 2, PodPower: make([]units.Watts, len(c.Pods))}
+	prev := float64(s.Air)
+	for i := 0; i < 2000; i++ {
+		c.Step(s, in, 30)
+		cur := float64(s.Air)
+		if cur > prev+1e-6 {
+			t.Fatalf("step %d: temperature rose (%0.3f -> %0.3f) with no heat source", i, prev, cur)
+		}
+		if cur < float64(out.Temp)-1e-6 {
+			t.Fatalf("step %d: temperature %0.3f overshot below outside %v", i, cur, out.Temp)
+		}
+		prev = cur
+	}
+}
+
+func TestStabilityAtLargeTimestep(t *testing.T) {
+	// The integrator should not blow up at the 30 s physics step even
+	// under maximal forcing.
+	c := Parasol()
+	s := c.NewState(weather.Conditions{Temp: 45, RH: 20})
+	in := Inputs{
+		Outside: weather.Conditions{Temp: 45, RH: 20}, HourOfDay: 13,
+		PodPower: uniformPower(c, 30), Airflow: 1.05,
+		HeatRemoval: 5500, RecircFlow: 0.5, CoilTemp: 10,
+	}
+	for i := 0; i < 5000; i++ {
+		c.Step(s, in, 30)
+		if math.IsNaN(float64(s.Air)) || math.Abs(float64(s.Air)) > 100 {
+			t.Fatalf("step %d: air temperature diverged to %v", i, s.Air)
+		}
+	}
+}

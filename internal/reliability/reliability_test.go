@@ -1,0 +1,120 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseline() Profile {
+	return Profile{MeanDiskTemp: 35, P95DiskTemp: 38, AvgDailyRange: 3, MaxDailyRange: 5}
+}
+
+func TestBaselineScoresNearOne(t *testing.T) {
+	a, err := Assess(baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"absolute": a.AbsoluteLens, "variation": a.VariationLens, "pinheiro": a.PinheiroLens,
+	} {
+		if math.Abs(v-1) > 0.05 {
+			t.Errorf("%s lens = %0.2f at baseline, want ~1", name, v)
+		}
+	}
+	if a.Worst() > 1.05 {
+		t.Errorf("worst = %0.2f", a.Worst())
+	}
+}
+
+func TestAbsoluteLensDoublesPer13C(t *testing.T) {
+	p := baseline()
+	p.MeanDiskTemp = 48
+	p.P95DiskTemp = 50
+	a, _ := Assess(p)
+	if math.Abs(a.AbsoluteLens-2) > 0.1 {
+		t.Errorf("absolute lens at +13°C = %0.2f, want ~2", a.AbsoluteLens)
+	}
+	// Pinheiro lens also reacts once the hot tail passes 45°C.
+	if a.PinheiroLens <= 1 {
+		t.Error("pinheiro lens should rise above 45°C p95")
+	}
+}
+
+func TestVariationLensTracksRanges(t *testing.T) {
+	calm := baseline()
+	wild := baseline()
+	wild.AvgDailyRange, wild.MaxDailyRange = 9, 20
+	ac, _ := Assess(calm)
+	aw, _ := Assess(wild)
+	if aw.VariationLens <= ac.VariationLens {
+		t.Errorf("variation lens should grow with ranges: %0.2f vs %0.2f",
+			aw.VariationLens, ac.VariationLens)
+	}
+	// Halving the range (the CoolAir result) meaningfully reduces risk.
+	half := wild
+	half.AvgDailyRange, half.MaxDailyRange = 4.5, 10
+	ah, _ := Assess(half)
+	if ah.VariationLens >= aw.VariationLens-0.1 {
+		t.Errorf("halving ranges should cut variation risk: %0.2f vs %0.2f",
+			ah.VariationLens, aw.VariationLens)
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	p := baseline()
+	p.PowerCyclesPerHour = 2.2 // the paper's worst observed rate
+	a, _ := Assess(p)
+	if f := a.CycleBudgetFraction; math.Abs(f-2.2/8.5) > 1e-9 {
+		t.Errorf("budget fraction %0.3f", f)
+	}
+	if a.CycleBudgetFraction > 1 {
+		t.Error("2.2 cycles/hour must fit the 8.5 budget")
+	}
+}
+
+func TestValidateRejectsInconsistentProfiles(t *testing.T) {
+	bad := []Profile{
+		{MeanDiskTemp: 40, P95DiskTemp: 35, MaxDailyRange: 5, AvgDailyRange: 3},
+		{MeanDiskTemp: 35, P95DiskTemp: 38, AvgDailyRange: 8, MaxDailyRange: 5},
+		{MeanDiskTemp: 35, P95DiskTemp: 38, AvgDailyRange: 3, MaxDailyRange: 5, PowerCyclesPerHour: -1},
+	}
+	for i, p := range bad {
+		if _, err := Assess(p); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestMonotonicityProperties(t *testing.T) {
+	f := func(tRaw, rRaw float64) bool {
+		temp := 25 + math.Mod(math.Abs(tRaw), 25)
+		rng := math.Mod(math.Abs(rRaw), 20)
+		p := Profile{MeanDiskTemp: temp, P95DiskTemp: temp + 3, AvgDailyRange: rng, MaxDailyRange: rng + 2}
+		a, err := Assess(p)
+		if err != nil {
+			return false
+		}
+		hotter := p
+		hotter.MeanDiskTemp += 2
+		hotter.P95DiskTemp += 2
+		ah, _ := Assess(hotter)
+		wider := p
+		wider.AvgDailyRange += 2
+		wider.MaxDailyRange += 2
+		aw, _ := Assess(wider)
+		return ah.AbsoluteLens > a.AbsoluteLens &&
+			aw.VariationLens >= a.VariationLens &&
+			a.Worst() >= a.VariationLens-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	a, _ := Assess(baseline())
+	if a.String() == "" {
+		t.Error("empty assessment string")
+	}
+}

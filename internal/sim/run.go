@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"coolair/internal/control"
+	"coolair/internal/cooling"
+	"coolair/internal/hadoop"
+	"coolair/internal/metrics"
+	"coolair/internal/mlearn"
+	"coolair/internal/model"
+	"coolair/internal/reliability"
+	"coolair/internal/units"
+	"coolair/internal/workload"
+)
+
+// hadoopJobRecord aliases the cluster's completion record.
+type hadoopJobRecord = hadoop.JobRecord
+
+// RunConfig parameterizes one evaluation run.
+type RunConfig struct {
+	// Days lists the days of year to simulate (WeekdaySample() for the
+	// paper's year runs; a single entry for day experiments).
+	Days []int
+	// Trace is the day-long workload, replayed each simulated day. Nil
+	// runs the datacenter idle.
+	Trace *workload.Trace
+	// MaxTemp and RHLimit feed the metrics collector (defaults 30°C,
+	// 80%).
+	MaxTemp units.Celsius
+	RHLimit units.RelHumidity
+	// KeepAllActive disables server power management (the baseline
+	// system controls only the cooling regime).
+	KeepAllActive bool
+	// RecordSeries captures a 2-minute time series for figure plots.
+	RecordSeries bool
+	// CollectSnapshots records Modeler snapshots (for held-out model
+	// validation, Figure 5).
+	CollectSnapshots bool
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.MaxTemp == 0 {
+		c.MaxTemp = 30
+	}
+	if c.RHLimit == 0 {
+		c.RHLimit = 80
+	}
+	if len(c.Days) == 0 {
+		c.Days = []int{0}
+	}
+	return c
+}
+
+// SeriesPoint is one sample of the recorded run time series.
+type SeriesPoint struct {
+	Time      float64 // absolute seconds
+	Outside   units.Celsius
+	InletMin  units.Celsius
+	InletMax  units.Celsius
+	DiskMin   units.Celsius
+	DiskMax   units.Celsius
+	InsideRH  units.RelHumidity
+	Mode      cooling.Mode
+	FanSpeed  float64
+	CompSpeed float64
+	CoolingW  units.Watts
+	ITW       units.Watts
+	Util      float64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Controller string
+	Fidelity   Fidelity
+	Location   string
+	Summary    metrics.Summary
+	Series     []SeriesPoint
+	Snapshots  []model.Snapshot
+	// Jobs accounting.
+	JobsSubmitted, JobsCompleted int
+	// MaxPowerCycleRate is the worst per-server disk power-cycle rate
+	// (cycles/hour) over the run.
+	MaxPowerCycleRate float64
+	// DailyWorstRanges lists, per simulated day, the worst sensor's
+	// daily temperature range (Figure 9's underlying distribution).
+	DailyWorstRanges []float64
+	// DiskProfile and DiskReliability score the run's disk thermal
+	// exposure under the three reliability lenses the paper's
+	// motivation surveys.
+	DiskProfile     reliability.Profile
+	DiskReliability reliability.Assessment
+}
+
+// Run drives the environment under the controller for the configured
+// days, collecting metrics. The environment's physical state carries
+// across days (the paper simulates the first day of each week
+// back-to-back).
+func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	collector := metrics.NewCollector(len(env.Container.Pods), cfg.MaxTemp, cfg.RHLimit)
+	diskCollector := metrics.NewCollector(len(env.Container.Pods), 45, 100)
+	var diskSamples []float64
+	res := &Result{Controller: ctrl.Name(), Location: env.Climate.Name}
+
+	stepsPerDay := int(86400 / PhysicsStepSeconds)
+	ctlSteps := int(ctrl.Period() / PhysicsStepSeconds)
+	if ctlSteps < 1 {
+		return nil, fmt.Errorf("sim: controller period %0.0fs below physics step", ctrl.Period())
+	}
+	snapSteps := int(model.ModelStepSeconds / PhysicsStepSeconds)
+
+	monitor, _ := ctrl.(control.Monitor)
+	planner, _ := ctrl.(control.DayPlanner)
+	scheduler, _ := ctrl.(control.TemporalScheduler)
+
+	completedBefore := countMetered(env.Cluster.Completed())
+
+	cmd := cooling.Command{Mode: cooling.ModeClosed}
+	for dayIdx, day := range cfg.Days {
+		gap := float64(day)*86400 - env.Now()
+		if cfg.KeepAllActive {
+			env.Cluster.ActivateAll()
+		}
+		if planner != nil {
+			planner.StartDay(day)
+		}
+
+		// When the clock jumps (the year runs sample one day per week,
+		// and the very first day starts from a January-equilibrium
+		// state), run an unmetered warm-up evening so the container,
+		// plant, and controller state are consistent with the new
+		// day's weather before metrics start at midnight.
+		if gap != 0 || env.Now() == 0 {
+			warmupSeconds := 4.0 * 3600
+			reseat := gap > 10*86400 || env.Now() == 0
+			if reseat {
+				// A cold start needs a long shakeout: the thermal-mass
+				// node takes many hours to reach operating temperature.
+				warmupSeconds = 24 * 3600
+			}
+			env.now = float64(day)*86400 - warmupSeconds
+			if reseat {
+				// Long jumps re-seat the physical state: a datacenter
+				// that has been operating sits well above a cold
+				// outside, so seed the inside nodes at a typical
+				// operating temperature rather than outside ambient.
+				out := env.Series.At(env.now)
+				env.state = env.Container.NewState(out)
+				op := (out.Temp + 10).Clamp(12, 30)
+				env.state.Air, env.state.Mass, env.state.HotAisle = op, op, op+3
+				for i := range env.state.PodInlet {
+					env.state.PodInlet[i] = op + units.Celsius(i)
+					env.state.Disk[i] = op + 10
+				}
+			}
+			// The warm-up must carry the workload too, or the cluster
+			// idles down and the metered day starts from an
+			// artificially cold, empty datacenter.
+			var warmSubs []workload.Job
+			if cfg.Trace != nil {
+				for _, j := range cfg.Trace.Jobs {
+					if j.Arrival >= 86400-warmupSeconds {
+						warmSubs = append(warmSubs, withUniqueID(j, 10_000+dayIdx))
+					}
+				}
+				sort.Slice(warmSubs, func(a, b int) bool { return warmSubs[a].Arrival < warmSubs[b].Arrival })
+			}
+			warmNext := 0
+			warmSteps := int(warmupSeconds / PhysicsStepSeconds)
+			for step := 0; step < warmSteps; step++ {
+				wallInDay := 86400 - warmupSeconds + float64(step)*PhysicsStepSeconds
+				for warmNext < len(warmSubs) && warmSubs[warmNext].Arrival <= wallInDay {
+					env.Cluster.Submit(warmSubs[warmNext])
+					warmNext++
+				}
+				obs := env.observation()
+				if monitor != nil && step%snapSteps == 0 {
+					monitor.Observe(obs)
+				}
+				if step%ctlSteps == 0 {
+					decided, err := ctrl.Decide(obs)
+					if err != nil {
+						return nil, err
+					}
+					cmd = decided
+				}
+				if _, err := env.stepPhysics(cmd, PhysicsStepSeconds); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Build the day's submission schedule.
+		type submission struct {
+			release float64
+			job     workload.Job
+		}
+		var subs []submission
+		if cfg.Trace != nil {
+			releases := make([]float64, len(cfg.Trace.Jobs))
+			for i, j := range cfg.Trace.Jobs {
+				releases[i] = j.Arrival
+			}
+			if scheduler != nil {
+				releases = scheduler.ScheduleDay(day, cfg.Trace.Jobs)
+			}
+			for i, j := range cfg.Trace.Jobs {
+				subs = append(subs, submission{release: releases[i], job: withUniqueID(j, dayIdx)})
+			}
+			sort.Slice(subs, func(a, b int) bool { return subs[a].release < subs[b].release })
+			res.JobsSubmitted += len(subs)
+		}
+
+		next := 0
+		for step := 0; step < stepsPerDay; step++ {
+			dayTime := float64(step) * PhysicsStepSeconds
+			for next < len(subs) && subs[next].release <= dayTime {
+				env.Cluster.Submit(subs[next].job)
+				next++
+			}
+			obs := env.observation()
+			if monitor != nil && step%snapSteps == 0 {
+				monitor.Observe(obs)
+			}
+			if step%ctlSteps == 0 {
+				decided, err := ctrl.Decide(obs)
+				if err != nil {
+					return nil, err
+				}
+				cmd = decided
+			}
+			eff, err := env.stepPhysics(cmd, PhysicsStepSeconds)
+			if err != nil {
+				return nil, err
+			}
+
+			out := env.Series.At(env.Now())
+			collector.Observe(day, env.state.PodInlet, env.state.RelHumidity(),
+				out.Temp, env.Plant.Power(), env.Cluster.ITPower(), PhysicsStepSeconds)
+			diskCollector.Observe(day, env.state.Disk, 50, out.Temp, 0, 0, PhysicsStepSeconds)
+			if step%snapSteps == 0 {
+				_, hottest := hottestOf(env.state.Disk)
+				diskSamples = append(diskSamples, float64(hottest))
+			}
+
+			if cfg.RecordSeries && step%snapSteps == 0 {
+				res.Series = append(res.Series, seriesPoint(env, eff))
+			}
+			if cfg.CollectSnapshots && step%snapSteps == snapSteps-1 {
+				res.Snapshots = append(res.Snapshots, env.snapshot(eff))
+			}
+		}
+	}
+	res.Summary = collector.Summarize()
+	res.DailyWorstRanges = collector.WorstDailyRanges()
+	res.JobsCompleted = countMetered(env.Cluster.Completed()) - completedBefore
+	res.MaxPowerCycleRate = env.Cluster.MaxPowerCycleRate()
+	diskSum := diskCollector.Summarize()
+	if len(diskSamples) > 0 {
+		var mean float64
+		for _, v := range diskSamples {
+			mean += v
+		}
+		mean /= float64(len(diskSamples))
+		res.DiskProfile = reliability.Profile{
+			MeanDiskTemp:       mean,
+			P95DiskTemp:        mlearn.Quantile(diskSamples, 0.95),
+			AvgDailyRange:      diskSum.AvgWorstDailyRange,
+			MaxDailyRange:      diskSum.MaxWorstDailyRange,
+			PowerCyclesPerHour: res.MaxPowerCycleRate,
+		}
+		if a, err := reliability.Assess(res.DiskProfile); err == nil {
+			res.DiskReliability = a
+		}
+	}
+	if env.Plant.FC.MinSpeed <= 0.05 {
+		res.Fidelity = SmoothSim
+	}
+	return res, nil
+}
+
+// observation builds the controller-facing sensor snapshot.
+func (e *Env) observation() control.Observation {
+	out := e.Series.At(e.now)
+	return control.Observation{
+		Time:            e.now,
+		Day:             dayOf(e.now),
+		HourOfDay:       hourOfDay(e.now),
+		Outside:         out,
+		PodInlet:        append([]units.Celsius(nil), e.state.PodInlet...),
+		PodActive:       e.Cluster.PodActive(),
+		InsideRH:        e.state.RelHumidity(),
+		Utilization:     e.Cluster.Utilization(),
+		ITLoad:          e.Cluster.ITLoad(),
+		Mode:            e.Plant.Mode(),
+		FanSpeed:        e.Plant.FanSpeed(),
+		CompressorSpeed: e.Plant.CompressorSpeed(),
+	}
+}
+
+// countMetered counts completed jobs excluding warm-up submissions
+// (whose IDs carry the 10_000+ day marker from withUniqueID).
+func countMetered(recs []hadoopJobRecord) int {
+	n := 0
+	for _, r := range recs {
+		if r.Job.ID < 1_000_000_000 {
+			n++
+		}
+	}
+	return n
+}
+
+func seriesPoint(e *Env, eff cooling.Command) SeriesPoint {
+	out := e.Series.At(e.now)
+	p := SeriesPoint{
+		Time:      e.now,
+		Outside:   out.Temp,
+		InsideRH:  e.state.RelHumidity(),
+		Mode:      eff.Mode,
+		FanSpeed:  eff.FanSpeed,
+		CompSpeed: eff.CompressorSpeed,
+		CoolingW:  e.Plant.Power(),
+		ITW:       e.Cluster.ITPower(),
+		Util:      e.Cluster.Utilization(),
+	}
+	p.InletMin, p.InletMax = minMax(e.state.PodInlet)
+	p.DiskMin, p.DiskMax = minMax(e.state.Disk)
+	return p
+}
+
+// hottestOf returns the index and value of the warmest entry.
+func hottestOf(v []units.Celsius) (int, units.Celsius) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	bi, bv := 0, v[0]
+	for i, x := range v {
+		if x > bv {
+			bi, bv = i, x
+		}
+	}
+	return bi, bv
+}
+
+func minMax(v []units.Celsius) (lo, hi units.Celsius) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,173 @@
+package tks
+
+import (
+	"testing"
+
+	"coolair/internal/control"
+	"coolair/internal/cooling"
+	"coolair/internal/units"
+	"coolair/internal/weather"
+)
+
+func obs(outside, inside units.Celsius, rh units.RelHumidity, outRH units.RelHumidity) control.Observation {
+	return control.Observation{
+		Outside:  weather.Conditions{Temp: outside, RH: outRH},
+		PodInlet: []units.Celsius{inside - 2, inside},
+		InsideRH: rh,
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := New(Config{})
+	if c.cfg.Setpoint != 25 || c.cfg.PBand != 5 || c.cfg.Hysteresis != 1 {
+		t.Errorf("defaults not applied: %+v", c.cfg)
+	}
+	if c.Name() != "tks" {
+		t.Errorf("name %q", c.Name())
+	}
+	if c.Period() != 600 {
+		t.Errorf("period %v", c.Period())
+	}
+	if c.cfg.CloseTemp != 15 {
+		t.Errorf("close temp %v", c.cfg.CloseTemp)
+	}
+	b := Baseline()
+	if b.cfg.Setpoint != 30 || b.cfg.HumidityLimit != 80 || b.Name() != "baseline" {
+		t.Errorf("baseline config: %+v", b.cfg)
+	}
+}
+
+func TestLOTClosesWhenCold(t *testing.T) {
+	c := New(Config{})
+	// Below CloseTemp (15°C) the unit seals the container.
+	cmd, err := c.Decide(obs(5, 13, 50, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Mode != cooling.ModeClosed {
+		t.Errorf("very cold inside should close the container, got %v", cmd)
+	}
+	// Between CloseTemp and SP−P it keeps ventilating at minimum speed
+	// (free cooling is the default state).
+	cmd, _ = c.Decide(obs(10, 18, 50, 50))
+	if cmd.Mode != cooling.ModeFreeCooling || cmd.FanSpeed != 0.15 {
+		t.Errorf("cool inside should ventilate at minimum, got %v", cmd)
+	}
+}
+
+func TestLOTFanSpeedLaw(t *testing.T) {
+	c := New(Config{})
+	// Inside within band; outside much colder → slow fan.
+	slow, _ := c.Decide(obs(8, 23, 50, 50))
+	if slow.Mode != cooling.ModeFreeCooling {
+		t.Fatalf("expected free cooling, got %v", slow)
+	}
+	// Outside close to inside → fast fan.
+	fast, _ := c.Decide(obs(22, 23, 50, 50))
+	if fast.Mode != cooling.ModeFreeCooling {
+		t.Fatalf("expected free cooling, got %v", fast)
+	}
+	if fast.FanSpeed <= slow.FanSpeed {
+		t.Errorf("fan law inverted: near=%0.2f far=%0.2f", fast.FanSpeed, slow.FanSpeed)
+	}
+	if slow.FanSpeed < 0.15 {
+		t.Errorf("fan below 15%% minimum: %0.2f", slow.FanSpeed)
+	}
+	// Inside above SP → full blast.
+	max, _ := c.Decide(obs(20, 26, 50, 50))
+	if max.Mode != cooling.ModeFreeCooling || max.FanSpeed != 1 {
+		t.Errorf("above SP should run flat out, got %v", max)
+	}
+}
+
+func TestHOTModeACCycling(t *testing.T) {
+	c := New(Config{})
+	// Outside 30 > SP 25 + hysteresis → HOT mode; inside hot → compressor.
+	cmd, _ := c.Decide(obs(30, 27, 50, 50))
+	if cmd.Mode != cooling.ModeACCool {
+		t.Fatalf("hot inside in HOT mode should run compressor, got %v", cmd)
+	}
+	// Inside falls below SP−2 → compressor stops, fan keeps running.
+	cmd, _ = c.Decide(obs(30, 22.5, 50, 50))
+	if cmd.Mode != cooling.ModeACFan {
+		t.Errorf("cool inside should stop compressor, got %v", cmd)
+	}
+	// Between SP−2 and SP the latch holds (still fan-only).
+	cmd, _ = c.Decide(obs(30, 24, 50, 50))
+	if cmd.Mode != cooling.ModeACFan {
+		t.Errorf("latch should hold fan-only, got %v", cmd)
+	}
+	// Above SP again → compressor restarts.
+	cmd, _ = c.Decide(obs(30, 25.5, 50, 50))
+	if cmd.Mode != cooling.ModeACCool {
+		t.Errorf("compressor should restart above SP, got %v", cmd)
+	}
+}
+
+func TestLOTHOTHysteresis(t *testing.T) {
+	c := New(Config{})
+	// Start LOT. Outside rises to 25.5: within hysteresis, stays LOT.
+	cmd, _ := c.Decide(obs(25.5, 23, 50, 50))
+	if cmd.Mode == cooling.ModeACCool || cmd.Mode == cooling.ModeACFan {
+		t.Errorf("25.5°C outside should remain LOT, got %v", cmd)
+	}
+	// Outside 26.5 > SP+1 → HOT.
+	cmd, _ = c.Decide(obs(26.5, 27, 50, 50))
+	if cmd.Mode != cooling.ModeACCool {
+		t.Errorf("should switch to HOT/compressor, got %v", cmd)
+	}
+	// Outside falls to 24.5: still within hysteresis → stays HOT.
+	cmd, _ = c.Decide(obs(24.5, 27, 50, 50))
+	if cmd.Mode != cooling.ModeACCool {
+		t.Errorf("24.5°C should remain HOT (hysteresis), got %v", cmd)
+	}
+	// Outside 23.5 < SP−1 → back to LOT (a free-cooling regime).
+	cmd, _ = c.Decide(obs(23.5, 23, 50, 50))
+	if cmd.Mode == cooling.ModeACCool || cmd.Mode == cooling.ModeACFan {
+		t.Errorf("23.5°C should return to LOT, got %v", cmd)
+	}
+}
+
+func TestHumidityControlPrefersDryOutside(t *testing.T) {
+	b := Baseline()
+	// Humid inside (90% at ~24°C), dry outside (30% at 20°C): ventilate.
+	cmd, _ := b.Decide(obs(20, 24, 90, 30))
+	if cmd.Mode != cooling.ModeFreeCooling || cmd.FanSpeed != 1 {
+		t.Errorf("should flush with dry outside air, got %v", cmd)
+	}
+	// Humid inside AND absolutely-wetter outside (same temperature,
+	// higher RH), LOT: close and recirculate to dry.
+	cmd, _ = b.Decide(obs(24, 24, 90, 98))
+	if cmd.Mode != cooling.ModeClosed {
+		t.Errorf("should close against humid outside, got %v", cmd)
+	}
+}
+
+func TestHumidityControlUsesACWhenHot(t *testing.T) {
+	b := Baseline()
+	// Drive into HOT mode (outside 33 > 30+1), humid everywhere:
+	// compressor condenses.
+	cmd, _ := b.Decide(obs(33, 29, 92, 95))
+	if cmd.Mode != cooling.ModeACCool {
+		t.Errorf("HOT+humid should run compressor, got %v", cmd)
+	}
+}
+
+func TestNoHumidityControlWithoutLimit(t *testing.T) {
+	c := New(Config{}) // plain TKS, no humidity extension
+	cmd, _ := c.Decide(obs(10, 23, 95, 95))
+	if cmd.Mode != cooling.ModeFreeCooling {
+		t.Errorf("plain TKS should ignore humidity, got %v", cmd)
+	}
+}
+
+func TestEmptySensors(t *testing.T) {
+	c := New(Config{})
+	cmd, err := c.Decide(control.Observation{Outside: weather.Conditions{Temp: 20, RH: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Mode != cooling.ModeClosed {
+		t.Errorf("no sensors should fail safe to closed, got %v", cmd)
+	}
+}

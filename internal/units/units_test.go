@@ -1,0 +1,234 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCelsiusConversions(t *testing.T) {
+	cases := []struct {
+		c Celsius
+		k float64
+		f float64
+	}{
+		{0, 273.15, 32},
+		{100, 373.15, 212},
+		{-40, 233.15, -40},
+		{25, 298.15, 77},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Kelvin(); math.Abs(got-tc.k) > 1e-9 {
+			t.Errorf("%v.Kelvin() = %v, want %v", tc.c, got, tc.k)
+		}
+		if got := tc.c.Fahrenheit(); math.Abs(got-tc.f) > 1e-9 {
+			t.Errorf("%v.Fahrenheit() = %v, want %v", tc.c, got, tc.f)
+		}
+	}
+}
+
+func TestCelsiusClamp(t *testing.T) {
+	if got := Celsius(35).Clamp(10, 30); got != 30 {
+		t.Errorf("Clamp high: got %v", got)
+	}
+	if got := Celsius(5).Clamp(10, 30); got != 10 {
+		t.Errorf("Clamp low: got %v", got)
+	}
+	if got := Celsius(20).Clamp(10, 30); got != 20 {
+		t.Errorf("Clamp mid: got %v", got)
+	}
+}
+
+func TestWattsString(t *testing.T) {
+	if s := Watts(425).String(); s != "425W" {
+		t.Errorf("Watts(425).String() = %q", s)
+	}
+	if s := Watts(2200).String(); s != "2.20kW" {
+		t.Errorf("Watts(2200).String() = %q", s)
+	}
+}
+
+func TestJoulesAccumulation(t *testing.T) {
+	var e Joules
+	e.Add(1000, 3600) // 1 kW for 1 hour
+	if got := e.KWh(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("1kW for 1h = %v kWh, want 1", got)
+	}
+	if back := JoulesFromKWh(e.KWh()); math.Abs(float64(back-e)) > 1e-6 {
+		t.Errorf("round trip kWh: %v != %v", back, e)
+	}
+}
+
+func TestSaturationVaporPressureKnownPoints(t *testing.T) {
+	// Reference values from psychrometric tables (Pa).
+	cases := []struct {
+		t    Celsius
+		want float64
+		tol  float64
+	}{
+		{0, 611, 5},
+		{10, 1228, 10},
+		{20, 2339, 15},
+		{25, 3169, 20},
+		{30, 4246, 25},
+		{40, 7384, 60},
+	}
+	for _, tc := range cases {
+		got := SaturationVaporPressure(tc.t)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Psat(%v) = %.0f Pa, want %.0f±%.0f", tc.t, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestAbsRelRoundTrip(t *testing.T) {
+	f := func(tRaw, rhRaw float64) bool {
+		temp := Celsius(math.Mod(math.Abs(tRaw), 45)) // 0..45°C
+		rh := RelHumidity(5 + math.Mod(math.Abs(rhRaw), 90))
+		w := AbsFromRel(temp, rh)
+		back := RelFromAbs(temp, w)
+		return math.Abs(float64(back-rh)) < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbsHumidityMonotonicInRH(t *testing.T) {
+	f := func(tRaw float64) bool {
+		temp := Celsius(math.Mod(math.Abs(tRaw), 45))
+		prev := AbsHumidity(-1)
+		for rh := RelHumidity(0); rh <= 100; rh += 5 {
+			w := AbsFromRel(temp, rh)
+			if w < prev {
+				return false
+			}
+			prev = w
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWarmAirHoldsMoreMoisture(t *testing.T) {
+	f := func(raw float64) bool {
+		t1 := Celsius(math.Mod(math.Abs(raw), 40))
+		return SaturationAbsHumidity(t1+5) > SaturationAbsHumidity(t1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeatingAirLowersRelativeHumidity(t *testing.T) {
+	// The free-cooling "recirculate to dry" trick (paper footnote 1)
+	// depends on this property: same moisture content, warmer air, lower RH.
+	w := AbsFromRel(20, 80)
+	rhWarm := RelFromAbs(30, w)
+	if rhWarm >= 80 {
+		t.Errorf("heating 20°C/80%%RH air to 30°C gave %v, want lower RH", rhWarm)
+	}
+	if rhWarm < 40 || rhWarm > 60 {
+		t.Errorf("expected ~45-50%%RH after heating, got %v", rhWarm)
+	}
+}
+
+func TestDewPoint(t *testing.T) {
+	// At 100% RH the dew point equals the temperature.
+	for _, temp := range []Celsius{0, 10, 25, 35} {
+		dp := DewPoint(temp, 100)
+		if math.Abs(float64(dp-temp)) > 0.05 {
+			t.Errorf("DewPoint(%v, 100%%) = %v, want %v", temp, dp, temp)
+		}
+	}
+	// 25°C at 50% RH has a dew point near 13.9°C.
+	dp := DewPoint(25, 50)
+	if math.Abs(float64(dp)-13.86) > 0.3 {
+		t.Errorf("DewPoint(25, 50) = %v, want ~13.9", dp)
+	}
+	// Dew point never exceeds dry-bulb temperature.
+	f := func(tRaw, rhRaw float64) bool {
+		temp := Celsius(math.Mod(math.Abs(tRaw), 45))
+		rh := RelHumidity(1 + math.Mod(math.Abs(rhRaw), 99))
+		return DewPoint(temp, rh) <= temp+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelFromAbsClamps(t *testing.T) {
+	if rh := RelFromAbs(10, 0.5); rh != 100 {
+		t.Errorf("supersaturated air should clamp to 100%%, got %v", rh)
+	}
+	if rh := RelFromAbs(10, -0.1); rh != 0 {
+		t.Errorf("negative humidity ratio should clamp to 0%%, got %v", rh)
+	}
+}
+
+func TestPUE(t *testing.T) {
+	if got := PUE(JoulesFromKWh(100), JoulesFromKWh(10), 0.08); math.Abs(got-1.18) > 1e-9 {
+		t.Errorf("PUE = %v, want 1.18", got)
+	}
+	if got := PUE(0, JoulesFromKWh(10), 0.08); got != 1.08 {
+		t.Errorf("PUE with zero IT = %v, want 1.08", got)
+	}
+}
+
+func TestLerpClamp01(t *testing.T) {
+	if Lerp(0, 10, 0.5) != 5 {
+		t.Error("Lerp midpoint")
+	}
+	if Clamp01(-1) != 0 || Clamp01(2) != 1 || Clamp01(0.3) != 0.3 {
+		t.Error("Clamp01")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if s := Celsius(23.46).String(); s != "23.5°C" {
+		t.Errorf("Celsius string: %q", s)
+	}
+	if s := RelHumidity(65).String(); s != "65.0%RH" {
+		t.Errorf("RelHumidity string: %q", s)
+	}
+	if s := AbsHumidity(0.0102).String(); s != "10.2g/kg" {
+		t.Errorf("AbsHumidity string: %q", s)
+	}
+	if s := Joules(3.6e6).String(); s != "1.00kWh" {
+		t.Errorf("Joules string: %q", s)
+	}
+}
+
+func TestWetBulb(t *testing.T) {
+	// Reference points (psychrometric chart): 30°C/50%RH → ~22°C wet
+	// bulb; 40°C/20%RH → ~22.1°C.
+	cases := []struct {
+		t    Celsius
+		rh   RelHumidity
+		want float64
+		tol  float64
+	}{
+		{30, 50, 22.0, 0.7},
+		{40, 20, 22.1, 1.0},
+		{20, 100, 20.0, 0.5},
+	}
+	for _, tc := range cases {
+		got := float64(WetBulb(tc.t, tc.rh))
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("WetBulb(%v, %v) = %0.1f, want %0.1f±%0.1f", tc.t, tc.rh, got, tc.want, tc.tol)
+		}
+	}
+	// Property: wet bulb never exceeds dry bulb, and rises with RH.
+	f := func(tRaw, rhRaw float64) bool {
+		temp := Celsius(math.Mod(math.Abs(tRaw), 45))
+		rh := RelHumidity(5 + math.Mod(math.Abs(rhRaw), 90))
+		wb := WetBulb(temp, rh)
+		wbHigher := WetBulb(temp, rh.Clamp()+5)
+		return wb <= temp+1e-9 && wbHigher >= wb-0.2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

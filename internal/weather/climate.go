@@ -1,0 +1,135 @@
+// Package weather provides the outside-air substrate for CoolAir: a
+// deterministic synthetic Typical Meteorological Year (TMY) generator,
+// climate parameterizations for the paper's five named study locations,
+// a world-wide grid of 1520 sites for the geographic sweep (Figures 12
+// and 13), and a forecast service with configurable error for the
+// forecast-accuracy sensitivity study (§5.2).
+//
+// The paper drives its simulators with US DOE TMY files, which are
+// statistical composites of historical weather. We replace them with a
+// generator that reproduces the statistics CoolAir actually responds to:
+// the annual mean, the seasonal swing, the diurnal swing, multi-day
+// synoptic ("weather front") variability, and a humidity climatology
+// that is anti-correlated with the diurnal temperature cycle.
+package weather
+
+import (
+	"fmt"
+	"math"
+
+	"coolair/internal/units"
+)
+
+// Climate parameterizes the synthetic weather of one site.
+type Climate struct {
+	Name string
+	// Lat and Lon locate the site in degrees; southern latitudes are
+	// negative. Latitude determines the seasonal phase (July peak in
+	// the north, January peak in the south).
+	Lat, Lon float64
+	// AnnualMean is the all-year average temperature.
+	AnnualMean units.Celsius
+	// SeasonalAmp is the half-amplitude of the summer/winter swing of
+	// the daily mean (°C). Continental sites are large; equatorial and
+	// marine sites are small.
+	SeasonalAmp float64
+	// DiurnalAmp is the half-amplitude of the day/night swing (°C).
+	// Arid sites are large; humid or marine sites are small.
+	DiurnalAmp float64
+	// FrontAmp is the half-amplitude of multi-day synoptic variability
+	// (°C) — cold fronts, heat waves.
+	FrontAmp float64
+	// MeanRH is the climatological daily-mean relative humidity (%).
+	MeanRH units.RelHumidity
+	// RHDiurnalAmp is the half-amplitude of the diurnal RH swing (%),
+	// which is anti-correlated with temperature (RH peaks at dawn).
+	RHDiurnalAmp float64
+}
+
+// Validate reports whether the climate parameters are physically
+// plausible, returning a descriptive error otherwise.
+func (c Climate) Validate() error {
+	switch {
+	case c.Lat < -90 || c.Lat > 90:
+		return fmt.Errorf("weather: latitude %.1f out of range", c.Lat)
+	case c.Lon < -180 || c.Lon > 180:
+		return fmt.Errorf("weather: longitude %.1f out of range", c.Lon)
+	case c.AnnualMean < -40 || c.AnnualMean > 45:
+		return fmt.Errorf("weather: annual mean %v implausible", c.AnnualMean)
+	case c.SeasonalAmp < 0 || c.SeasonalAmp > 35:
+		return fmt.Errorf("weather: seasonal amplitude %.1f implausible", c.SeasonalAmp)
+	case c.DiurnalAmp < 0 || c.DiurnalAmp > 15:
+		return fmt.Errorf("weather: diurnal amplitude %.1f implausible", c.DiurnalAmp)
+	case c.MeanRH < 5 || c.MeanRH > 100:
+		return fmt.Errorf("weather: mean RH %v implausible", c.MeanRH)
+	}
+	return nil
+}
+
+// Named study locations (paper §5.1). Parameters follow published
+// climate normals: Newark is continental with hot summers and cold
+// winters; N'Djamena (Chad) is hot year-round and arid; Santiago is mild
+// with dry summers; Reykjavik (Iceland) is cold and marine; Singapore is
+// hot and humid year-round with almost no seasons.
+var (
+	Newark = Climate{
+		Name: "Newark", Lat: 40.7, Lon: -74.2,
+		AnnualMean: 12.5, SeasonalAmp: 12.0, DiurnalAmp: 4.5, FrontAmp: 5.0,
+		MeanRH: 64, RHDiurnalAmp: 14,
+	}
+	Chad = Climate{
+		Name: "Chad", Lat: 12.1, Lon: 15.0,
+		AnnualMean: 28.0, SeasonalAmp: 4.5, DiurnalAmp: 7.5, FrontAmp: 2.0,
+		MeanRH: 36, RHDiurnalAmp: 16,
+	}
+	Santiago = Climate{
+		Name: "Santiago", Lat: -33.4, Lon: -70.7,
+		AnnualMean: 14.5, SeasonalAmp: 6.5, DiurnalAmp: 7.0, FrontAmp: 3.0,
+		MeanRH: 58, RHDiurnalAmp: 18,
+	}
+	Iceland = Climate{
+		Name: "Iceland", Lat: 64.1, Lon: -21.9,
+		AnnualMean: 4.5, SeasonalAmp: 5.5, DiurnalAmp: 2.0, FrontAmp: 4.0,
+		MeanRH: 77, RHDiurnalAmp: 6,
+	}
+	Singapore = Climate{
+		Name: "Singapore", Lat: 1.35, Lon: 103.8,
+		AnnualMean: 27.5, SeasonalAmp: 1.0, DiurnalAmp: 3.5, FrontAmp: 1.0,
+		MeanRH: 84, RHDiurnalAmp: 10,
+	}
+)
+
+// StudyLocations returns the five named locations of the paper's
+// detailed evaluation, in the order the figures present them.
+func StudyLocations() []Climate {
+	return []Climate{Newark, Chad, Santiago, Iceland, Singapore}
+}
+
+// HoursPerDay and related constants define the simulated calendar. The
+// simulated year has 365 days.
+const (
+	HoursPerDay   = 24
+	DaysPerYear   = 365
+	HoursPerYear  = HoursPerDay * DaysPerYear
+	SecondsPerDay = 86400
+)
+
+// seasonPhase returns the fraction of the seasonal cosine at the given
+// day of year for the climate's hemisphere: +1 at the warmest time of
+// year, −1 at the coldest.
+func (c Climate) seasonPhase(dayOfYear float64) float64 {
+	// Northern-hemisphere peak near day 200 (mid/late July), southern
+	// near day 17 (mid January); thermal lag after the solstices.
+	peak := 200.0
+	if c.Lat < 0 {
+		peak = 17.0
+	}
+	return math.Cos(2 * math.Pi * (dayOfYear - peak) / DaysPerYear)
+}
+
+// diurnalPhase returns the fraction of the diurnal cosine at the given
+// hour of day: +1 at the mid-afternoon peak (15:00), −1 just before
+// dawn (03:00).
+func diurnalPhase(hourOfDay float64) float64 {
+	return math.Cos(2 * math.Pi * (hourOfDay - 15.0) / HoursPerDay)
+}

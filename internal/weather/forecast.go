@@ -1,0 +1,91 @@
+package weather
+
+import (
+	"math"
+	"math/rand"
+
+	"coolair/internal/units"
+)
+
+// Forecaster supplies the hourly outside-temperature predictions CoolAir
+// uses for daily band selection and temporal scheduling (paper §3.2).
+// Implementations stand in for the Web-based weather service the paper
+// queries.
+type Forecaster interface {
+	// HourlyForecast returns predicted outside temperatures for each of
+	// the 24 hours of day d (0-based day of year).
+	HourlyForecast(d int) []units.Celsius
+	// DayMeanForecast returns the predicted average outside temperature
+	// of day d.
+	DayMeanForecast(d int) units.Celsius
+}
+
+// PerfectForecast reads predictions straight from the TMY series. With
+// TMY data the paper's simulated predictions are also perfectly accurate
+// (§5.2, "Impact of weather forecast accuracy").
+type PerfectForecast struct {
+	Series *Series
+}
+
+// HourlyForecast implements Forecaster.
+func (p PerfectForecast) HourlyForecast(d int) []units.Celsius { return p.Series.Hourly(d) }
+
+// DayMeanForecast implements Forecaster.
+func (p PerfectForecast) DayMeanForecast(d int) units.Celsius { return p.Series.DayMean(d) }
+
+// BiasedForecast perturbs an underlying forecaster with a constant bias
+// and optional zero-mean noise. The paper studies constant biases of
+// +5°C and −5°C; NoiseSigma adds per-hour Gaussian error on top for
+// robustness testing.
+type BiasedForecast struct {
+	Base       Forecaster
+	Bias       units.Celsius
+	NoiseSigma float64
+	Seed       int64
+}
+
+// HourlyForecast implements Forecaster.
+func (b BiasedForecast) HourlyForecast(d int) []units.Celsius {
+	h := b.Base.HourlyForecast(d)
+	out := make([]units.Celsius, len(h))
+	rng := b.rng(d)
+	for i, v := range h {
+		out[i] = v + b.Bias + b.noise(rng)
+	}
+	return out
+}
+
+// DayMeanForecast implements Forecaster.
+func (b BiasedForecast) DayMeanForecast(d int) units.Celsius {
+	return b.Base.DayMeanForecast(d) + b.Bias + b.noise(b.rng(d))
+}
+
+func (b BiasedForecast) rng(d int) *rand.Rand {
+	return rand.New(rand.NewSource(b.Seed*1_000_003 + int64(d)))
+}
+
+func (b BiasedForecast) noise(rng *rand.Rand) units.Celsius {
+	if b.NoiseSigma == 0 {
+		return 0
+	}
+	return units.Celsius(rng.NormFloat64() * b.NoiseSigma)
+}
+
+// ForecastError summarizes how far a forecaster deviates from the actual
+// series over a year — useful for checking that a configured error model
+// matches an intended accuracy (e.g. the paper cites daily-average
+// forecasts within 2.5°C 83% of the time at its location).
+func ForecastError(f Forecaster, s *Series) (meanAbs float64, within2_5 float64) {
+	n := 0
+	sum := 0.0
+	hits := 0
+	for d := 0; d < DaysPerYear; d++ {
+		err := math.Abs(float64(f.DayMeanForecast(d) - s.DayMean(d)))
+		sum += err
+		if err <= 2.5 {
+			hits++
+		}
+		n++
+	}
+	return sum / float64(n), float64(hits) / float64(n)
+}

@@ -1,0 +1,201 @@
+package weather
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"coolair/internal/units"
+)
+
+// Conditions is one outside-air sample.
+type Conditions struct {
+	Temp units.Celsius
+	RH   units.RelHumidity
+}
+
+// Abs returns the humidity ratio of the sample.
+func (c Conditions) Abs() units.AbsHumidity { return units.AbsFromRel(c.Temp, c.RH) }
+
+// Series is a synthetic typical meteorological year at hourly
+// resolution. Index 0 is hour 0 of day 0 (January 1st, midnight local).
+type Series struct {
+	Climate Climate
+	Temp    []units.Celsius     // HoursPerYear entries
+	RH      []units.RelHumidity // HoursPerYear entries
+}
+
+// front is one synoptic sinusoid contributing multi-day variability.
+type front struct {
+	periodHours float64
+	phase       float64
+	amp         float64
+}
+
+// seed derives a deterministic RNG seed from the site's identity so the
+// same climate always produces the same "typical year".
+func (c Climate) seed() int64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.Name))
+	var buf [16]byte
+	putFloat := func(off int, f float64) {
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(bits >> (8 * i))
+		}
+	}
+	putFloat(0, c.Lat)
+	putFloat(8, c.Lon)
+	h.Write(buf[:])
+	return int64(h.Sum64())
+}
+
+// GenerateTMY synthesizes the hourly typical meteorological year for the
+// climate. The result is deterministic for a given climate.
+func GenerateTMY(c Climate) *Series {
+	rng := rand.New(rand.NewSource(c.seed()))
+
+	// Synoptic variability: a handful of incommensurate sinusoids with
+	// periods between ~2.5 and ~9 days. Their sum has the irregular,
+	// slowly-wandering character of real weather fronts while remaining
+	// smooth and deterministic.
+	fronts := make([]front, 5)
+	sumAmp := 0.0
+	for i := range fronts {
+		fronts[i] = front{
+			periodHours: (60 + 156*rng.Float64()),
+			phase:       2 * math.Pi * rng.Float64(),
+			amp:         0.5 + rng.Float64(),
+		}
+		sumAmp += fronts[i].amp
+	}
+	for i := range fronts {
+		fronts[i].amp *= c.FrontAmp / sumAmp * 1.8 // keep extremes near ±FrontAmp
+	}
+	// Humidity fronts wander independently of temperature fronts.
+	rhFronts := make([]front, 3)
+	for i := range rhFronts {
+		rhFronts[i] = front{
+			periodHours: (48 + 200*rng.Float64()),
+			phase:       2 * math.Pi * rng.Float64(),
+			amp:         3 + 4*rng.Float64(),
+		}
+	}
+
+	s := &Series{
+		Climate: c,
+		Temp:    make([]units.Celsius, HoursPerYear),
+		RH:      make([]units.RelHumidity, HoursPerYear),
+	}
+	for h := 0; h < HoursPerYear; h++ {
+		day := float64(h) / HoursPerDay
+		hod := float64(h % HoursPerDay)
+
+		t := float64(c.AnnualMean)
+		t += c.SeasonalAmp * c.seasonPhase(day)
+		t += c.DiurnalAmp * diurnalPhase(hod)
+		for _, f := range fronts {
+			t += f.amp * math.Sin(2*math.Pi*float64(h)/f.periodHours+f.phase)
+		}
+		s.Temp[h] = units.Celsius(t)
+
+		rh := float64(c.MeanRH)
+		rh -= c.RHDiurnalAmp * diurnalPhase(hod) // driest mid-afternoon
+		for _, f := range rhFronts {
+			rh += f.amp * math.Sin(2*math.Pi*float64(h)/f.periodHours+f.phase)
+		}
+		s.RH[h] = units.RelHumidity(rh).Clamp()
+		if s.RH[h] < 5 {
+			s.RH[h] = 5
+		}
+	}
+	return s
+}
+
+// At returns the outside conditions at the given simulation time
+// (seconds since January 1st, midnight), linearly interpolated between
+// hourly samples. Times beyond the year wrap around.
+func (s *Series) At(second float64) Conditions {
+	hf := second / 3600
+	h0 := int(math.Floor(hf))
+	frac := hf - float64(h0)
+	h0 = ((h0 % HoursPerYear) + HoursPerYear) % HoursPerYear
+	h1 := (h0 + 1) % HoursPerYear
+	return Conditions{
+		Temp: units.Celsius(units.Lerp(float64(s.Temp[h0]), float64(s.Temp[h1]), frac)),
+		RH:   units.RelHumidity(units.Lerp(float64(s.RH[h0]), float64(s.RH[h1]), frac)),
+	}
+}
+
+// DayMean returns the mean outside temperature of day d (0-based).
+func (s *Series) DayMean(d int) units.Celsius {
+	d = ((d % DaysPerYear) + DaysPerYear) % DaysPerYear
+	sum := 0.0
+	for h := 0; h < HoursPerDay; h++ {
+		sum += float64(s.Temp[d*HoursPerDay+h])
+	}
+	return units.Celsius(sum / HoursPerDay)
+}
+
+// DayRange returns the min and max hourly outside temperature of day d.
+func (s *Series) DayRange(d int) (lo, hi units.Celsius) {
+	d = ((d % DaysPerYear) + DaysPerYear) % DaysPerYear
+	lo, hi = s.Temp[d*HoursPerDay], s.Temp[d*HoursPerDay]
+	for h := 1; h < HoursPerDay; h++ {
+		v := s.Temp[d*HoursPerDay+h]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Hourly returns the 24 hourly temperatures of day d.
+func (s *Series) Hourly(d int) []units.Celsius {
+	d = ((d % DaysPerYear) + DaysPerYear) % DaysPerYear
+	out := make([]units.Celsius, HoursPerDay)
+	copy(out, s.Temp[d*HoursPerDay:(d+1)*HoursPerDay])
+	return out
+}
+
+// AnnualStats summarizes a series for validation and reporting.
+type AnnualStats struct {
+	Mean           units.Celsius
+	Min, Max       units.Celsius
+	MeanDailyRange float64 // average of daily (max-min), °C
+	MaxDailyRange  float64 // widest daily range, °C
+	MeanRH         units.RelHumidity
+}
+
+// Stats computes annual summary statistics of the series.
+func (s *Series) Stats() AnnualStats {
+	st := AnnualStats{Min: s.Temp[0], Max: s.Temp[0]}
+	sum, sumRH := 0.0, 0.0
+	for h := 0; h < HoursPerYear; h++ {
+		v := s.Temp[h]
+		sum += float64(v)
+		sumRH += float64(s.RH[h])
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = units.Celsius(sum / HoursPerYear)
+	st.MeanRH = units.RelHumidity(sumRH / HoursPerYear)
+	sumRange := 0.0
+	for d := 0; d < DaysPerYear; d++ {
+		lo, hi := s.DayRange(d)
+		r := float64(hi - lo)
+		sumRange += r
+		if r > st.MaxDailyRange {
+			st.MaxDailyRange = r
+		}
+	}
+	st.MeanDailyRange = sumRange / DaysPerYear
+	return st
+}

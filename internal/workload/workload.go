@@ -1,0 +1,253 @@
+// Package workload models the MapReduce workloads of the evaluation: a
+// statistical generator that reproduces the published characteristics of
+// the paper's day-long "Facebook" trace (a SWIM-scaled sample of a 600-
+// machine Facebook trace: ~5500 jobs, ~68000 tasks, 2–1190 maps and
+// 1–63 reduces per job, 27% average datacenter utilization) and the
+// "Nutch" CloudSuite indexing trace (2000 jobs/day, 42 maps + 1 reduce,
+// Poisson arrivals with 40 s mean inter-arrival, 32% utilization).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Job is one MapReduce job: a map phase of Maps tasks followed by a
+// reduce phase of Reduces tasks. Durations are per task, in seconds.
+type Job struct {
+	ID      int
+	Arrival float64 // seconds from the start of the day
+	Maps    int
+	MapDur  float64
+	Reduces int
+	RedDur  float64
+	// Deadline is the latest allowed *start* time (seconds from the
+	// start of the day). Non-deferrable jobs have Deadline == Arrival:
+	// they must start as soon as resources permit. The paper's
+	// deferrable variants use Arrival + 6 hours.
+	Deadline float64
+	// InputMB is the input size, for reporting only.
+	InputMB float64
+}
+
+// SlotSeconds returns the total slot-time the job consumes.
+func (j Job) SlotSeconds() float64 {
+	return float64(j.Maps)*j.MapDur + float64(j.Reduces)*j.RedDur
+}
+
+// Deferrable reports whether the job tolerates delayed start.
+func (j Job) Deferrable() bool { return j.Deadline > j.Arrival }
+
+// Trace is a day-long sequence of jobs ordered by arrival time.
+type Trace struct {
+	Name string
+	Jobs []Job
+}
+
+// Validate checks ordering and field sanity.
+func (t *Trace) Validate() error {
+	for i, j := range t.Jobs {
+		if j.Maps < 1 || j.MapDur <= 0 || j.Reduces < 0 {
+			return fmt.Errorf("workload: job %d malformed: %+v", i, j)
+		}
+		if j.Reduces > 0 && j.RedDur <= 0 {
+			return fmt.Errorf("workload: job %d has reduces but no duration", i)
+		}
+		if j.Deadline < j.Arrival {
+			return fmt.Errorf("workload: job %d deadline before arrival", i)
+		}
+		if i > 0 && j.Arrival < t.Jobs[i-1].Arrival {
+			return fmt.Errorf("workload: jobs out of arrival order at %d", i)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Jobs, Tasks      int
+	SlotSeconds      float64
+	MeanInterArrival float64
+	// AvgUtilization is the day-average fraction of the given slot
+	// capacity the trace demands.
+	AvgUtilization float64
+}
+
+// Stats computes summary statistics against a slot capacity (servers ×
+// slots per server).
+func (t *Trace) Stats(slotCapacity int) Stats {
+	s := Stats{Jobs: len(t.Jobs)}
+	for _, j := range t.Jobs {
+		s.Tasks += j.Maps + j.Reduces
+		s.SlotSeconds += j.SlotSeconds()
+	}
+	if len(t.Jobs) > 1 {
+		span := t.Jobs[len(t.Jobs)-1].Arrival - t.Jobs[0].Arrival
+		s.MeanInterArrival = span / float64(len(t.Jobs)-1)
+	}
+	s.AvgUtilization = s.SlotSeconds / (float64(slotCapacity) * 86400)
+	return s
+}
+
+// WithDeadlines returns a copy of the trace whose jobs may be deferred
+// by up to slack seconds past their arrival (the paper uses 6-hour start
+// deadlines for the deferrable variants).
+func (t *Trace) WithDeadlines(slack float64) *Trace {
+	out := &Trace{Name: t.Name + "-deferrable", Jobs: make([]Job, len(t.Jobs))}
+	copy(out.Jobs, t.Jobs)
+	for i := range out.Jobs {
+		out.Jobs[i].Deadline = out.Jobs[i].Arrival + slack
+	}
+	return out
+}
+
+// lognorm draws a log-normal sample with the given median and sigma (of
+// the underlying normal), clipped to [lo, hi].
+func lognorm(rng *rand.Rand, median, sigma, lo, hi float64) float64 {
+	v := median * math.Exp(rng.NormFloat64()*sigma)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// diurnalRate returns a relative arrival intensity with the
+// business-hours hump typical of the Facebook trace.
+func diurnalRate(hour float64) float64 {
+	return 1 + 0.6*math.Sin(2*math.Pi*(hour-9)/24)
+}
+
+// Facebook generates the day-long SWIM-like Facebook trace for the given
+// number of servers (the paper scales to 64 machines). The generator is
+// deterministic per seed; durations are calibrated so the trace demands
+// targetUtil of the cluster's slot capacity (2 slots per server).
+func Facebook(servers int, seed int64) *Trace {
+	// targetUtil is the slot-demand fraction calibrated so that the
+	// *datacenter* utilization (fraction of active servers under
+	// CoolAir's management, the paper's definition) averages ~27%.
+	const (
+		jobs       = 5500
+		targetUtil = 0.12
+	)
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{Name: "facebook"}
+
+	// Arrival times: thinned non-homogeneous Poisson over the day.
+	arrivals := make([]float64, 0, jobs)
+	for len(arrivals) < jobs {
+		at := rng.Float64() * 86400
+		if rng.Float64()*1.6 < diurnalRate(at/3600) {
+			arrivals = append(arrivals, at)
+		}
+	}
+	sort.Float64s(arrivals)
+
+	for i, at := range arrivals {
+		// Heavy-tailed job sizes: most jobs are tiny, a few are huge.
+		maps := int(lognorm(rng, 6, 1.6, 2, 1190))
+		reduces := 0
+		if rng.Float64() < 0.7 {
+			reduces = int(lognorm(rng, 2, 1.3, 1, 63))
+		}
+		mapPhase := lognorm(rng, 90, 1.5, 25, 13000) // whole-phase seconds
+		redPhase := 0.0
+		if reduces > 0 {
+			redPhase = lognorm(rng, 60, 1.2, 15, 2600)
+		}
+		// Convert phase durations to per-task durations assuming the
+		// job's tasks run in a handful of waves.
+		waves := 1 + maps/64
+		mapDur := mapPhase / float64(waves)
+		redDur := 0.0
+		if reduces > 0 {
+			redDur = redPhase / float64(1+reduces/64)
+		}
+		j := Job{
+			ID: i, Arrival: at,
+			Maps: maps, MapDur: mapDur,
+			Reduces: reduces, RedDur: redDur,
+			Deadline: at,
+			InputMB:  64 * float64(maps) * (0.5 + rng.Float64()),
+		}
+		t.Jobs = append(t.Jobs, j)
+	}
+	calibrate(t, servers*2, targetUtil)
+	return t
+}
+
+// Nutch generates the CloudSuite Web-indexing trace: fixed-shape jobs
+// with Poisson arrivals.
+func Nutch(servers int, seed int64) *Trace {
+	// targetUtil calibrated as in Facebook, for ~32% datacenter
+	// utilization.
+	const (
+		jobs       = 2000
+		meanGap    = 40.0
+		targetUtil = 0.14
+	)
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{Name: "nutch"}
+	at := 0.0
+	for i := 0; i < jobs; i++ {
+		at += rng.ExpFloat64() * meanGap
+		if at > 86400 {
+			at = math.Mod(at, 86400) // wrap stragglers into the day
+		}
+		j := Job{
+			ID: i, Arrival: at,
+			Maps: 42, MapDur: 15 + rng.Float64()*25, // 15–40 s
+			Reduces: 1, RedDur: 150,
+			Deadline: at,
+			InputMB:  85,
+		}
+		t.Jobs = append(t.Jobs, j)
+	}
+	sort.Slice(t.Jobs, func(a, b int) bool { return t.Jobs[a].Arrival < t.Jobs[b].Arrival })
+	for i := range t.Jobs {
+		t.Jobs[i].ID = i
+	}
+	calibrate(t, servers*2, targetUtil)
+	return t
+}
+
+// calibrate rescales task durations so the trace's slot demand matches
+// the target day-average utilization of the slot capacity.
+func calibrate(t *Trace, slotCapacity int, targetUtil float64) {
+	var total float64
+	for _, j := range t.Jobs {
+		total += j.SlotSeconds()
+	}
+	want := targetUtil * float64(slotCapacity) * 86400
+	if total <= 0 {
+		return
+	}
+	f := want / total
+	for i := range t.Jobs {
+		t.Jobs[i].MapDur *= f
+		t.Jobs[i].RedDur *= f
+		// Keep durations physical after scaling.
+		if t.Jobs[i].MapDur < 5 {
+			t.Jobs[i].MapDur = 5
+		}
+		if t.Jobs[i].Reduces > 0 && t.Jobs[i].RedDur < 5 {
+			t.Jobs[i].RedDur = 5
+		}
+	}
+}
+
+// HourlyDemand returns, for each hour of the day, the offered slot
+// demand (slot-seconds arriving that hour divided by 3600) — the shape
+// CoolAir's temporal scheduler reasons about.
+func (t *Trace) HourlyDemand() [24]float64 {
+	var out [24]float64
+	for _, j := range t.Jobs {
+		h := int(j.Arrival/3600) % 24
+		out[h] += j.SlotSeconds() / 3600
+	}
+	return out
+}

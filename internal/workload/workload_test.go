@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacebookTraceShape(t *testing.T) {
+	tr := Facebook(64, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats(64 * 2)
+	if st.Jobs != 5500 {
+		t.Errorf("jobs = %d, want 5500", st.Jobs)
+	}
+	// Paper: roughly 68000 tasks. The statistical generator should land
+	// in the same regime (tens of thousands).
+	if st.Tasks < 30000 || st.Tasks > 150000 {
+		t.Errorf("tasks = %d, want tens of thousands (paper ~68000)", st.Tasks)
+	}
+	// Calibrated slot demand (yields ~27%% datacenter utilization under
+	// CoolAir's server management).
+	if math.Abs(st.AvgUtilization-0.13) > 0.04 {
+		t.Errorf("avg slot utilization = %0.3f, want ~0.12", st.AvgUtilization)
+	}
+	// Map counts within the published range.
+	for _, j := range tr.Jobs {
+		if j.Maps < 2 || j.Maps > 1190 {
+			t.Fatalf("job %d has %d maps, outside 2–1190", j.ID, j.Maps)
+		}
+		if j.Reduces > 63 {
+			t.Fatalf("job %d has %d reduces, outside 0–63", j.ID, j.Reduces)
+		}
+	}
+}
+
+func TestFacebookDeterministicPerSeed(t *testing.T) {
+	a := Facebook(64, 7)
+	b := Facebook(64, 7)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("different lengths")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+	c := Facebook(64, 8)
+	if a.Jobs[0] == c.Jobs[0] && a.Jobs[100] == c.Jobs[100] {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestFacebookHeavyTail(t *testing.T) {
+	tr := Facebook(64, 2)
+	small, big := 0, 0
+	for _, j := range tr.Jobs {
+		if j.Maps <= 10 {
+			small++
+		}
+		if j.Maps >= 300 {
+			big++
+		}
+	}
+	if small < len(tr.Jobs)/2 {
+		t.Errorf("only %d/%d small jobs; Facebook trace is mostly tiny jobs", small, len(tr.Jobs))
+	}
+	if big == 0 {
+		t.Error("no large jobs; the heavy tail is missing")
+	}
+}
+
+func TestNutchTraceShape(t *testing.T) {
+	tr := Nutch(64, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats(64 * 2)
+	if st.Jobs != 2000 {
+		t.Errorf("jobs = %d, want 2000", st.Jobs)
+	}
+	// Every job: 42 maps + 1 reduce.
+	for _, j := range tr.Jobs {
+		if j.Maps != 42 || j.Reduces != 1 {
+			t.Fatalf("job %d shape %d/%d, want 42/1", j.ID, j.Maps, j.Reduces)
+		}
+	}
+	if math.Abs(st.MeanInterArrival-40) > 8 {
+		t.Errorf("mean inter-arrival %0.1f s, want ~40", st.MeanInterArrival)
+	}
+	if math.Abs(st.AvgUtilization-0.14) > 0.02 {
+		t.Errorf("avg slot utilization = %0.3f, want ~0.14", st.AvgUtilization)
+	}
+}
+
+func TestWithDeadlines(t *testing.T) {
+	tr := Facebook(64, 3)
+	def := tr.WithDeadlines(6 * 3600)
+	for i, j := range def.Jobs {
+		if !j.Deferrable() {
+			t.Fatalf("job %d not deferrable", i)
+		}
+		if j.Deadline != j.Arrival+6*3600 {
+			t.Fatalf("job %d deadline %0.0f, want arrival+6h", i, j.Deadline)
+		}
+		// The original must be untouched.
+		if tr.Jobs[i].Deferrable() {
+			t.Fatal("WithDeadlines mutated the original trace")
+		}
+	}
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	bad := []*Trace{
+		{Jobs: []Job{{Maps: 0, MapDur: 10}}},
+		{Jobs: []Job{{Maps: 2, MapDur: 0}}},
+		{Jobs: []Job{{Maps: 2, MapDur: 10, Reduces: 1, RedDur: 0}}},
+		{Jobs: []Job{{Arrival: 100, Deadline: 50, Maps: 2, MapDur: 10}}},
+		{Jobs: []Job{{Arrival: 100, Deadline: 100, Maps: 2, MapDur: 1}, {Arrival: 50, Deadline: 50, Maps: 2, MapDur: 1}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSlotSeconds(t *testing.T) {
+	j := Job{Maps: 10, MapDur: 30, Reduces: 2, RedDur: 60}
+	if got := j.SlotSeconds(); got != 420 {
+		t.Errorf("SlotSeconds = %v, want 420", got)
+	}
+}
+
+func TestHourlyDemandCoversDay(t *testing.T) {
+	tr := Facebook(64, 4)
+	hd := tr.HourlyDemand()
+	var total float64
+	for _, v := range hd {
+		if v < 0 {
+			t.Fatal("negative hourly demand")
+		}
+		total += v * 3600
+	}
+	st := tr.Stats(128)
+	if math.Abs(total-st.SlotSeconds) > 1 {
+		t.Errorf("hourly demand sums to %0.0f, stats say %0.0f", total, st.SlotSeconds)
+	}
+	// Diurnal pattern: business hours busier than pre-dawn.
+	if hd[14] <= hd[4] {
+		t.Errorf("hour 14 demand %0.1f should exceed hour 4 demand %0.1f", hd[14], hd[4])
+	}
+}
+
+func TestArrivalsSpanTheDay(t *testing.T) {
+	for _, tr := range []*Trace{Facebook(64, 5), Nutch(64, 5)} {
+		first := tr.Jobs[0].Arrival
+		last := tr.Jobs[len(tr.Jobs)-1].Arrival
+		if first < 0 || last > 86400 {
+			t.Errorf("%s arrivals outside the day: %0.0f..%0.0f", tr.Name, first, last)
+		}
+		if last-first < 20*3600 {
+			t.Errorf("%s arrivals span only %0.1f h", tr.Name, (last-first)/3600)
+		}
+	}
+}
