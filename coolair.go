@@ -31,6 +31,7 @@ import (
 	"coolair/internal/cooling"
 	"coolair/internal/core"
 	"coolair/internal/experiments"
+	"coolair/internal/faults"
 	"coolair/internal/hadoop"
 	"coolair/internal/metrics"
 	"coolair/internal/model"
@@ -224,6 +225,56 @@ func Run(env *Env, ctrl Controller, cfg RunConfig) (*Result, error) { return sim
 
 // WeekdaySample returns the paper's 52-day year sampling.
 func WeekdaySample() []int { return sim.WeekdaySample() }
+
+// Fault injection and guarded control.
+type (
+	// Fault is one scheduled perturbation of a sensor, the forecast
+	// service, or a cooling actuator.
+	Fault = faults.Fault
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = faults.Kind
+	// FaultTarget selects which signal a sensor fault corrupts.
+	FaultTarget = faults.Target
+	// FaultPlan is a run's full fault schedule plus its seed.
+	FaultPlan = faults.Plan
+	// Injector applies a FaultPlan to a run (see RunConfig.Faults).
+	Injector = faults.Injector
+	// Guard wraps any Controller with sensor sanitation, command
+	// validation, and fail-safe degradation.
+	Guard = control.Guard
+	// GuardConfig tunes the guard's thresholds.
+	GuardConfig = control.GuardConfig
+	// GuardReport counts the guard's interventions over a run.
+	GuardReport = control.GuardReport
+)
+
+// Fault kinds and targets.
+const (
+	SensorStuck       = faults.SensorStuck
+	SensorDropout     = faults.SensorDropout
+	SensorSpike       = faults.SensorSpike
+	SensorDrift       = faults.SensorDrift
+	ForecastOutage    = faults.ForecastOutage
+	ForecastTruncated = faults.ForecastTruncated
+	ForecastBias      = faults.ForecastBias
+	FanStuck          = faults.FanStuck
+	CompressorRefusal = faults.CompressorRefusal
+	ModeSwitchDropped = faults.ModeSwitchDropped
+
+	TargetPodInlet    = faults.TargetPodInlet
+	TargetInsideRH    = faults.TargetInsideRH
+	TargetOutsideTemp = faults.TargetOutsideTemp
+	TargetOutsideRH   = faults.TargetOutsideRH
+
+	// AllPods targets every pod inlet sensor at once.
+	AllPods = faults.AllPods
+)
+
+// NewInjector builds a validated injector for a fault plan.
+func NewInjector(p FaultPlan) (*Injector, error) { return faults.NewInjector(p) }
+
+// NewGuard wraps a controller in the sanitizing, fail-safe guard.
+func NewGuard(inner Controller, cfg GuardConfig) *Guard { return control.NewGuard(inner, cfg) }
 
 // Reliability annotations.
 type (

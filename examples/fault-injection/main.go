@@ -1,0 +1,63 @@
+// Fault injection: stick every inlet sensor at a deceptively mild 14°C
+// on a hot summer day and compare the raw TKS baseline (which seals the
+// loaded container to "warm it up" and never recovers) against the same
+// controller behind the guard (which flatline-detects the freeze,
+// declares the sensors dead, and fails safe onto the AC).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coolair"
+)
+
+func main() {
+	days := []int{150, 151, 152}
+	trace := coolair.FacebookTrace(64, 1)
+
+	// Day two, 06:00: all four inlet sensors stick at 14°C forever.
+	plan := coolair.FaultPlan{Faults: []coolair.Fault{{
+		Kind:      coolair.SensorStuck,
+		Target:    coolair.TargetPodInlet,
+		Pod:       coolair.AllPods,
+		Start:     151*86400 + 6*3600,
+		Magnitude: 14,
+	}}}
+
+	run := func(guarded bool) *coolair.Result {
+		env, err := coolair.NewEnv(coolair.Newark, coolair.RealSim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj, err := coolair.NewInjector(plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ctrl coolair.Controller = coolair.Baseline()
+		var g *coolair.Guard
+		if guarded {
+			g = coolair.NewGuard(ctrl, coolair.GuardConfig{})
+			ctrl = g
+		}
+		res, err := coolair.Run(env, ctrl, coolair.RunConfig{
+			Days: days, Trace: trace, KeepAllActive: true, Faults: inj,
+		})
+		if err != nil {
+			log.Fatalf("%s run failed: %v", ctrl.Name(), err)
+		}
+		if g != nil {
+			rep := g.Report()
+			fmt.Printf("guard: %d flatline rejects, fail-safe at t=%.0fs, %d fail-safe decisions\n",
+				rep.FlatlineRejects, rep.FirstFailSafeTime, rep.FailSafeDecisions)
+		}
+		return res
+	}
+
+	raw := run(false)
+	guarded := run(true)
+	fmt.Printf("unguarded %-22s avg violation %5.2f°C, PUE %.3f\n",
+		raw.Controller+":", raw.Summary.AvgViolation, raw.Summary.PUE)
+	fmt.Printf("guarded   %-22s avg violation %5.2f°C, PUE %.3f\n",
+		guarded.Controller+":", guarded.Summary.AvgViolation, guarded.Summary.PUE)
+}

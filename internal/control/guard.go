@@ -1,0 +1,476 @@
+package control
+
+import (
+	"math"
+
+	"coolair/internal/cooling"
+	"coolair/internal/units"
+	"coolair/internal/workload"
+)
+
+// GuardConfig tunes the sanitation and degradation thresholds of a
+// Guard. The zero value picks the defaults below.
+type GuardConfig struct {
+	// MinValid / MaxValid bound plausible inlet and outside readings
+	// (defaults −40°C and 60°C); anything outside is rejected.
+	MinValid, MaxValid units.Celsius
+	// MaxRatePerMinute is the fastest physically plausible change of one
+	// sensor (default 3°C/min); faster jumps are rejected as glitches.
+	MaxRatePerMinute float64
+	// QuorumBand is the widest deviation from the median of the pod
+	// sensors a reading may show (default 15°C) once at least three
+	// sensors report finite values.
+	QuorumBand units.Celsius
+	// FlatlineSeconds is how long a bit-identical reading is tolerated
+	// before the sensor is declared stuck (default 1800 s). Real inlet
+	// temperatures never hold a float64 exactly constant.
+	FlatlineSeconds float64
+	// StalenessSeconds is the budget during which a rejected sensor is
+	// served from its last-known-good value (default 1800 s); past it
+	// the sensor counts as dead and the guard degrades.
+	StalenessSeconds float64
+	// MaxConsecFailures is K: after this many consecutive Decide
+	// failures (errors or invalid commands, each already retried once)
+	// the guard switches to the fail-safe policy (default 3).
+	MaxConsecFailures int
+	// FailSafeSetpoint / FailSafeCycleLow parameterize the fail-safe
+	// regime: TKS-style hottest-sensor thresholding with the compressor
+	// starting above the setpoint and stopping below setpoint−cycle-low
+	// (defaults 28°C and 2°C).
+	FailSafeSetpoint units.Celsius
+	FailSafeCycleLow units.Celsius
+}
+
+// WithDefaults returns the config with zero fields replaced by the
+// documented defaults (exported so tests and callers can compute timing
+// expectations from the effective values).
+func (c GuardConfig) WithDefaults() GuardConfig {
+	if c.MinValid == 0 && c.MaxValid == 0 {
+		c.MinValid, c.MaxValid = -40, 60
+	}
+	if c.MaxRatePerMinute == 0 {
+		c.MaxRatePerMinute = 3
+	}
+	if c.QuorumBand == 0 {
+		c.QuorumBand = 15
+	}
+	if c.FlatlineSeconds == 0 {
+		c.FlatlineSeconds = 1800
+	}
+	if c.StalenessSeconds == 0 {
+		c.StalenessSeconds = 1800
+	}
+	if c.MaxConsecFailures == 0 {
+		c.MaxConsecFailures = 3
+	}
+	if c.FailSafeSetpoint == 0 {
+		c.FailSafeSetpoint = 28
+	}
+	if c.FailSafeCycleLow == 0 {
+		c.FailSafeCycleLow = 2
+	}
+	return c
+}
+
+// GuardReport counts every intervention the guard made over a run. It
+// is a comparable value (all fields are scalars), so two reports from
+// identical runs compare equal with ==.
+type GuardReport struct {
+	// Observations sanitized (Observe and Decide share the cache, so
+	// an observation seen by both counts once).
+	Observations int
+	// Sensor rejections by cause.
+	NaNRejects      int
+	RangeRejects    int
+	RateRejects     int
+	QuorumRejects   int
+	FlatlineRejects int
+	// Substitutions of last-known-good values within the staleness
+	// budget, and sensor-observations served while dead (budget blown).
+	Substitutions int
+	DeadSensorObs int
+	// Decide-path interventions.
+	DecideErrors    int
+	DecideRetries   int
+	InvalidCommands int
+	HoldFallbacks   int
+	// Fail-safe accounting: engagement transitions, decisions served by
+	// the fail-safe policy, and the first time it engaged (−1 if never).
+	FailSafeEngagements int
+	FailSafeDecisions   int
+	FirstFailSafeTime   float64
+}
+
+// Guard wraps any Controller with a sanitation and graceful-degradation
+// layer: observations are range/rate/quorum-checked with last-known-good
+// substitution before the inner controller sees them, returned commands
+// are validated (with one retry, then a hold of the previous command),
+// and when sensors go irrecoverably stale or the inner controller keeps
+// failing, the guard degrades to a dependable fail-safe regime — the
+// role the commercial TKS controller plays for Parasol (paper §4).
+//
+// Guard implements Controller, Monitor, DayPlanner, and
+// TemporalScheduler, forwarding each to the inner controller when it
+// implements the corresponding interface.
+type Guard struct {
+	inner Controller
+	cfg   GuardConfig
+
+	sensors  []sensorGuard
+	outside  scalarGuard
+	outRH    scalarGuard
+	insideRH scalarGuard
+
+	// cache of the last sanitized observation, keyed by its timestamp
+	// (Observe and Decide both see each control-period snapshot).
+	cachedTime float64
+	cached     sanitized
+	haveCache  bool
+
+	consecFails int
+	failSafeOn  bool
+	lastCmd     cooling.Command
+	haveLast    bool
+	fsCompOn    bool
+
+	report GuardReport
+}
+
+// sensorGuard is the per-sensor sanitation state.
+type sensorGuard struct {
+	lastGood     float64
+	lastGoodTime float64
+	hasGood      bool
+	lastRaw      float64
+	hasRaw       bool
+	flatSince    float64
+}
+
+// scalarGuard sanitizes a single scalar channel with range and NaN
+// checks plus last-known-good substitution (no quorum available).
+type scalarGuard struct {
+	lastGood float64
+	hasGood  bool
+}
+
+// sanitized is the outcome of sanitizing one observation.
+type sanitized struct {
+	obs Observation
+	// alive flags pods whose reading this period is trustworthy (fresh
+	// or within the staleness budget).
+	alive []bool
+	// anyDead reports that at least one pod sensor has blown its
+	// staleness budget — the degradation trigger.
+	anyDead bool
+}
+
+// NewGuard wraps inner with the guard layer.
+func NewGuard(inner Controller, cfg GuardConfig) *Guard {
+	return &Guard{inner: inner, cfg: cfg.WithDefaults()}
+}
+
+// Name implements Controller.
+func (g *Guard) Name() string { return "guarded(" + g.inner.Name() + ")" }
+
+// Period implements Controller.
+func (g *Guard) Period() float64 { return g.inner.Period() }
+
+// Inner returns the wrapped controller.
+func (g *Guard) Inner() Controller { return g.inner }
+
+// Report returns the interventions counted so far.
+func (g *Guard) Report() GuardReport {
+	r := g.report
+	if r.FailSafeEngagements == 0 {
+		r.FirstFailSafeTime = -1
+	}
+	return r
+}
+
+// FailSafeActive reports whether the guard is currently serving
+// decisions from the fail-safe policy.
+func (g *Guard) FailSafeActive() bool { return g.failSafeOn }
+
+// Observe implements Monitor: sanitize the snapshot (keeping the
+// guard's sensor state fresh between decisions) and forward it when the
+// inner controller monitors.
+func (g *Guard) Observe(obs Observation) {
+	s := g.sanitize(obs)
+	if m, ok := g.inner.(Monitor); ok {
+		m.Observe(s.obs)
+	}
+}
+
+// StartDay implements DayPlanner, forwarding when the inner controller
+// plans days.
+func (g *Guard) StartDay(day int) {
+	if p, ok := g.inner.(DayPlanner); ok {
+		p.StartDay(day)
+	}
+}
+
+// ScheduleDay implements TemporalScheduler. A non-scheduling inner
+// controller gets the default schedule: every job at its arrival.
+func (g *Guard) ScheduleDay(day int, jobs []workload.Job) []float64 {
+	if s, ok := g.inner.(TemporalScheduler); ok {
+		return s.ScheduleDay(day, jobs)
+	}
+	release := make([]float64, len(jobs))
+	for i, j := range jobs {
+		release[i] = j.Arrival
+	}
+	return release
+}
+
+// Decide implements Controller. The inner controller only sees
+// sanitized observations; its commands only reach the caller after
+// validation; and when the sensing layer or the controller itself is
+// beyond salvage, the fail-safe regime takes over.
+func (g *Guard) Decide(obs Observation) (cooling.Command, error) {
+	s := g.sanitize(obs)
+
+	if s.anyDead {
+		return g.decideFailSafe(s), nil
+	}
+
+	cmd, ok := g.tryInner(s.obs)
+	if !ok {
+		// One retry: transient state inside the controller (a model
+		// hiccup, a scheduling edge) may clear on a second attempt.
+		g.report.DecideRetries++
+		cmd, ok = g.tryInner(s.obs)
+	}
+	if !ok {
+		g.consecFails++
+		if g.consecFails >= g.cfg.MaxConsecFailures {
+			return g.decideFailSafe(s), nil
+		}
+		// Below K failures: hold the last good command (or stay closed
+		// if there has never been one).
+		g.report.HoldFallbacks++
+		if g.haveLast {
+			return g.lastCmd, nil
+		}
+		return cooling.Command{Mode: cooling.ModeClosed}, nil
+	}
+
+	g.consecFails = 0
+	g.exitFailSafe()
+	g.lastCmd = cmd
+	g.haveLast = true
+	return cmd, nil
+}
+
+// tryInner runs one inner Decide and validates the result.
+func (g *Guard) tryInner(obs Observation) (cooling.Command, bool) {
+	cmd, err := g.inner.Decide(obs)
+	if err != nil {
+		g.report.DecideErrors++
+		return cooling.Command{}, false
+	}
+	if cmd.Validate() != nil {
+		g.report.InvalidCommands++
+		return cooling.Command{}, false
+	}
+	return cmd, true
+}
+
+// decideFailSafe serves one decision from the fail-safe policy:
+// TKS-style hottest-sensor compressor cycling on the surviving sensors,
+// AC on flat-out when no sensor survives.
+func (g *Guard) decideFailSafe(s sanitized) cooling.Command {
+	if !g.failSafeOn {
+		g.failSafeOn = true
+		g.fsCompOn = false
+		g.report.FailSafeEngagements++
+		if g.report.FailSafeEngagements == 1 {
+			g.report.FirstFailSafeTime = s.obs.Time
+		}
+	}
+	g.report.FailSafeDecisions++
+
+	hottest := math.Inf(-1)
+	survivors := 0
+	for i, ok := range s.alive {
+		if !ok {
+			continue
+		}
+		survivors++
+		if v := float64(s.obs.PodInlet[i]); v > hottest {
+			hottest = v
+		}
+	}
+	if survivors == 0 {
+		// Flying blind: the only dependable action is full AC.
+		return cooling.Command{Mode: cooling.ModeACCool, CompressorSpeed: 1}
+	}
+	sp := float64(g.cfg.FailSafeSetpoint)
+	if hottest > sp {
+		g.fsCompOn = true
+	} else if hottest < sp-float64(g.cfg.FailSafeCycleLow) {
+		g.fsCompOn = false
+	}
+	if g.fsCompOn {
+		return cooling.Command{Mode: cooling.ModeACCool, CompressorSpeed: 1}
+	}
+	return cooling.Command{Mode: cooling.ModeACFan}
+}
+
+// exitFailSafe returns control to the inner controller once the
+// degradation cause has cleared (sensors alive again, Decide healthy).
+func (g *Guard) exitFailSafe() {
+	if g.failSafeOn {
+		g.failSafeOn = false
+		g.fsCompOn = false
+	}
+}
+
+// sanitize checks every sensor channel of the observation and returns
+// the cleaned copy plus per-pod liveness. Results are cached by
+// timestamp so Observe and a coincident Decide agree (and rate checks
+// never see a zero dt).
+func (g *Guard) sanitize(obs Observation) sanitized {
+	if g.haveCache && obs.Time == g.cachedTime {
+		return g.cached
+	}
+	g.report.Observations++
+
+	if len(g.sensors) != len(obs.PodInlet) {
+		g.sensors = make([]sensorGuard, len(obs.PodInlet))
+	}
+	out := obs
+	out.PodInlet = append([]units.Celsius(nil), obs.PodInlet...)
+	s := sanitized{obs: out, alive: make([]bool, len(obs.PodInlet))}
+
+	med, nFinite := medianFinite(obs.PodInlet)
+	for i := range obs.PodInlet {
+		v := float64(obs.PodInlet[i])
+		sg := &g.sensors[i]
+		good := g.acceptReading(sg, v, obs.Time, med, nFinite)
+		if good {
+			sg.lastGood = v
+			sg.lastGoodTime = obs.Time
+			sg.hasGood = true
+			s.alive[i] = true
+			continue
+		}
+		if sg.hasGood && obs.Time-sg.lastGoodTime <= g.cfg.StalenessSeconds {
+			out.PodInlet[i] = units.Celsius(sg.lastGood)
+			g.report.Substitutions++
+			s.alive[i] = true
+			continue
+		}
+		// Budget blown: the sensor is dead. Feed the inner controller
+		// the pod median (or the last good value as a final resort) so
+		// it keeps receiving finite numbers, but flag the degradation.
+		g.report.DeadSensorObs++
+		s.anyDead = true
+		switch {
+		case nFinite > 0:
+			out.PodInlet[i] = units.Celsius(med)
+		case sg.hasGood:
+			out.PodInlet[i] = units.Celsius(sg.lastGood)
+		default:
+			out.PodInlet[i] = g.cfg.FailSafeSetpoint
+		}
+	}
+
+	out.Outside.Temp = units.Celsius(g.sanitizeScalar(&g.outside,
+		float64(obs.Outside.Temp), float64(g.cfg.MinValid)-20, float64(g.cfg.MaxValid), 15))
+	out.Outside.RH = units.RelHumidity(g.sanitizeScalar(&g.outRH,
+		float64(obs.Outside.RH), 0, 100, 50))
+	out.InsideRH = units.RelHumidity(g.sanitizeScalar(&g.insideRH,
+		float64(obs.InsideRH), 0, 100, 50))
+
+	s.obs = out
+	g.cached = s
+	g.cachedTime = obs.Time
+	g.haveCache = true
+	return s
+}
+
+// acceptReading applies the NaN, range, rate, quorum, and flatline
+// checks to one pod reading.
+func (g *Guard) acceptReading(sg *sensorGuard, v, t, med float64, nFinite int) bool {
+	defer func() {
+		// Flatline bookkeeping runs on every reading, accepted or not:
+		// a changed value re-arms the detector.
+		if !sg.hasRaw || v != sg.lastRaw {
+			sg.flatSince = t
+		}
+		sg.lastRaw = v
+		sg.hasRaw = true
+	}()
+
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		g.report.NaNRejects++
+		return false
+	}
+	if v < float64(g.cfg.MinValid) || v > float64(g.cfg.MaxValid) {
+		g.report.RangeRejects++
+		return false
+	}
+	if sg.hasGood && t > sg.lastGoodTime {
+		rate := math.Abs(v-sg.lastGood) / (t - sg.lastGoodTime) * 60
+		if rate > g.cfg.MaxRatePerMinute {
+			g.report.RateRejects++
+			return false
+		}
+	}
+	if nFinite >= 3 && math.Abs(v-med) > float64(g.cfg.QuorumBand) {
+		g.report.QuorumRejects++
+		return false
+	}
+	if sg.hasRaw && v == sg.lastRaw && t-sg.flatSince >= g.cfg.FlatlineSeconds {
+		g.report.FlatlineRejects++
+		return false
+	}
+	return true
+}
+
+// sanitizeScalar cleans one scalar channel: NaN/Inf and out-of-range
+// readings fall back to the last good value, or to fallback before any
+// good reading exists.
+func (g *Guard) sanitizeScalar(sg *scalarGuard, v, lo, hi, fallback float64) float64 {
+	if !math.IsNaN(v) && !math.IsInf(v, 0) && v >= lo && v <= hi {
+		sg.lastGood = v
+		sg.hasGood = true
+		return v
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		g.report.NaNRejects++
+	} else {
+		g.report.RangeRejects++
+	}
+	if sg.hasGood {
+		g.report.Substitutions++
+		return sg.lastGood
+	}
+	return fallback
+}
+
+// medianFinite returns the median of the finite readings and how many
+// there were.
+func medianFinite(v []units.Celsius) (float64, int) {
+	fin := make([]float64, 0, len(v))
+	for _, x := range v {
+		f := float64(x)
+		if !math.IsNaN(f) && !math.IsInf(f, 0) {
+			fin = append(fin, f)
+		}
+	}
+	if len(fin) == 0 {
+		return 0, 0
+	}
+	// Insertion sort: pod counts are tiny.
+	for i := 1; i < len(fin); i++ {
+		for j := i; j > 0 && fin[j] < fin[j-1]; j-- {
+			fin[j], fin[j-1] = fin[j-1], fin[j]
+		}
+	}
+	n := len(fin)
+	if n%2 == 1 {
+		return fin[n/2], n
+	}
+	return (fin[n/2-1] + fin[n/2]) / 2, n
+}

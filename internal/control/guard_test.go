@@ -1,0 +1,322 @@
+package control
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"coolair/internal/cooling"
+	"coolair/internal/units"
+	"coolair/internal/weather"
+	"coolair/internal/workload"
+)
+
+// scriptedController lets tests control what the inner controller does.
+type scriptedController struct {
+	decide  func(Observation) (cooling.Command, error)
+	observe func(Observation)
+	days    []int
+}
+
+func (s *scriptedController) Name() string    { return "scripted" }
+func (s *scriptedController) Period() float64 { return 600 }
+func (s *scriptedController) Decide(o Observation) (cooling.Command, error) {
+	if s.decide == nil {
+		return cooling.Command{Mode: cooling.ModeACFan}, nil
+	}
+	return s.decide(o)
+}
+func (s *scriptedController) Observe(o Observation) {
+	if s.observe != nil {
+		s.observe(o)
+	}
+}
+func (s *scriptedController) StartDay(day int) { s.days = append(s.days, day) }
+
+// obsAt builds a healthy 4-pod observation at time t. The tiny
+// per-call wobble keeps the flatline detector quiet, as real sensors
+// would.
+func obsAt(t float64, temps ...units.Celsius) Observation {
+	if len(temps) == 0 {
+		temps = []units.Celsius{24, 25, 26, 27}
+	}
+	for i := range temps {
+		temps[i] += units.Celsius(1e-6 * math.Sin(t))
+	}
+	return Observation{
+		Time:      t,
+		Outside:   weather.Conditions{Temp: 20, RH: 50},
+		PodInlet:  temps,
+		PodActive: []bool{true, true, true, true},
+		InsideRH:  45,
+	}
+}
+
+func TestGuardPassesCleanObservations(t *testing.T) {
+	var seen Observation
+	inner := &scriptedController{decide: func(o Observation) (cooling.Command, error) {
+		seen = o
+		return cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: 0.5}, nil
+	}}
+	g := NewGuard(inner, GuardConfig{})
+
+	cmd, err := g.Decide(obsAt(600, 24, 25, 26, 27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Mode != cooling.ModeFreeCooling || cmd.FanSpeed != 0.5 {
+		t.Errorf("clean command altered: %v", cmd)
+	}
+	if math.Abs(float64(seen.PodInlet[2])-26) > 1e-3 {
+		t.Errorf("clean reading altered: %v", seen.PodInlet)
+	}
+	r := g.Report()
+	if r.NaNRejects+r.RangeRejects+r.RateRejects+r.QuorumRejects != 0 {
+		t.Errorf("spurious rejections: %+v", r)
+	}
+	if r.FirstFailSafeTime != -1 {
+		t.Errorf("fail-safe time should be -1, got %v", r.FirstFailSafeTime)
+	}
+}
+
+func TestGuardSubstitutesNaNReading(t *testing.T) {
+	var seen Observation
+	inner := &scriptedController{decide: func(o Observation) (cooling.Command, error) {
+		seen = o
+		return cooling.Command{Mode: cooling.ModeACFan}, nil
+	}}
+	g := NewGuard(inner, GuardConfig{})
+
+	if _, err := g.Decide(obsAt(0, 24, 25, 26, 27)); err != nil {
+		t.Fatal(err)
+	}
+	obs := obsAt(600, 24, 25, 26, 27)
+	obs.PodInlet[1] = units.Celsius(math.NaN())
+	if _, err := g.Decide(obs); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(float64(seen.PodInlet[1])) {
+		t.Fatal("NaN leaked through the guard")
+	}
+	if math.Abs(float64(seen.PodInlet[1])-25) > 1e-3 {
+		t.Errorf("substitution should serve last-known-good 25, got %v", seen.PodInlet[1])
+	}
+	r := g.Report()
+	if r.NaNRejects != 1 || r.Substitutions != 1 {
+		t.Errorf("report %+v, want 1 NaN reject and 1 substitution", r)
+	}
+}
+
+func TestGuardRejectsRangeAndRate(t *testing.T) {
+	inner := &scriptedController{}
+	g := NewGuard(inner, GuardConfig{})
+
+	if _, err := g.Decide(obsAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	// 500°C is out of range; a 20°C jump within 10 minutes exceeds the
+	// 3°C/min default rate only if dt is small — use a 1-minute gap.
+	obs := obsAt(60, 24, 25, 26, 27)
+	obs.PodInlet[0] = 500
+	obs.PodInlet[3] = 47 // +20°C in one minute
+	if _, err := g.Decide(obs); err != nil {
+		t.Fatal(err)
+	}
+	r := g.Report()
+	if r.RangeRejects == 0 {
+		t.Error("500°C reading not range-rejected")
+	}
+	if r.RateRejects == 0 {
+		t.Error("20°C/min jump not rate-rejected")
+	}
+}
+
+func TestGuardQuorumRejectsOutlier(t *testing.T) {
+	inner := &scriptedController{}
+	g := NewGuard(inner, GuardConfig{})
+	// One sensor 30°C above its peers from the start (no rate history).
+	if _, err := g.Decide(obsAt(0, 24, 25, 26, 56)); err != nil {
+		t.Fatal(err)
+	}
+	if r := g.Report(); r.QuorumRejects == 0 {
+		t.Errorf("outlier not quorum-rejected: %+v", r)
+	}
+}
+
+func TestGuardFlatlineThenFailSafe(t *testing.T) {
+	inner := &scriptedController{}
+	cfg := GuardConfig{FlatlineSeconds: 1200, StalenessSeconds: 1200}
+	g := NewGuard(inner, cfg)
+
+	// All four sensors frozen at exactly the same bits every period.
+	frozen := Observation{
+		Time:      0,
+		Outside:   weather.Conditions{Temp: 20, RH: 50},
+		PodInlet:  []units.Celsius{24, 25, 26, 27},
+		PodActive: []bool{true, true, true, true},
+		InsideRH:  45,
+	}
+	var cmd cooling.Command
+	var err error
+	engagedAt := -1.0
+	for step := 0; step <= 10; step++ {
+		frozen.Time = float64(step) * 600
+		obs := frozen
+		obs.PodInlet = append([]units.Celsius(nil), frozen.PodInlet...)
+		cmd, err = g.Decide(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.FailSafeActive() && engagedAt < 0 {
+			engagedAt = frozen.Time
+		}
+	}
+	if engagedAt < 0 {
+		t.Fatal("fail-safe never engaged on flatlined sensors")
+	}
+	// Flatline detection at 1200 s, staleness expiry 1200 s later: the
+	// fail-safe must engage within one control period of 2400 s.
+	if engagedAt > 1200+1200+600 {
+		t.Errorf("fail-safe engaged at %.0f s, want ≤ %d", engagedAt, 1200+1200+600)
+	}
+	// With no surviving sensors, the dependable action is full AC.
+	if cmd.Mode != cooling.ModeACCool || cmd.CompressorSpeed != 1 {
+		t.Errorf("blind fail-safe command %v, want full AC", cmd)
+	}
+	if r := g.Report(); r.FirstFailSafeTime != engagedAt {
+		t.Errorf("FirstFailSafeTime %v, want %v", r.FirstFailSafeTime, engagedAt)
+	}
+}
+
+func TestGuardFailSafeCyclesOnSurvivors(t *testing.T) {
+	inner := &scriptedController{}
+	g := NewGuard(inner, GuardConfig{StalenessSeconds: 600})
+
+	// Establish history, then kill sensor 0 with NaNs until it is dead;
+	// the others stay hot enough to demand the compressor.
+	if _, err := g.Decide(obsAt(0, 24, 29, 29, 29)); err != nil {
+		t.Fatal(err)
+	}
+	var cmd cooling.Command
+	for step := 1; step <= 4; step++ {
+		obs := obsAt(float64(step)*600, 24, 29, 29, 29)
+		obs.PodInlet[0] = units.Celsius(math.NaN())
+		var err error
+		cmd, err = g.Decide(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.FailSafeActive() {
+		t.Fatal("fail-safe should be active with a dead sensor")
+	}
+	// Hottest survivor reads 29°C > the 28°C fail-safe setpoint.
+	if cmd.Mode != cooling.ModeACCool {
+		t.Errorf("fail-safe with hot survivors gave %v, want ac-cool", cmd)
+	}
+}
+
+func TestGuardRetriesThenHoldsThenFailSafe(t *testing.T) {
+	calls := 0
+	fail := true
+	inner := &scriptedController{decide: func(Observation) (cooling.Command, error) {
+		calls++
+		if fail {
+			return cooling.Command{}, fmt.Errorf("model exploded")
+		}
+		return cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: 0.4}, nil
+	}}
+	g := NewGuard(inner, GuardConfig{MaxConsecFailures: 3})
+
+	// First decision succeeds so the guard has a command to hold.
+	fail = false
+	cmd, err := g.Decide(obsAt(0))
+	if err != nil || cmd.Mode != cooling.ModeFreeCooling {
+		t.Fatalf("healthy decision failed: %v %v", cmd, err)
+	}
+
+	fail = true
+	// Failures 1 and 2: each retried once, then the last command held.
+	for step := 1; step <= 2; step++ {
+		cmd, err = g.Decide(obsAt(float64(step) * 600))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmd.Mode != cooling.ModeFreeCooling || cmd.FanSpeed != 0.4 {
+			t.Errorf("failure %d should hold last good command, got %v", step, cmd)
+		}
+	}
+	// Failure 3 reaches K: fail-safe.
+	cmd, err = g.Decide(obsAt(1800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.FailSafeActive() {
+		t.Fatal("fail-safe should engage after K consecutive failures")
+	}
+	if cmd.Mode != cooling.ModeACFan && cmd.Mode != cooling.ModeACCool {
+		t.Errorf("fail-safe command %v, want an AC regime", cmd)
+	}
+
+	// Recovery: the inner controller heals, the guard hands control back.
+	fail = false
+	cmd, err = g.Decide(obsAt(2400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FailSafeActive() {
+		t.Error("fail-safe should disengage after recovery")
+	}
+	if cmd.Mode != cooling.ModeFreeCooling {
+		t.Errorf("recovered command %v, want inner's free-cooling", cmd)
+	}
+	r := g.Report()
+	if r.DecideErrors < 6 { // 3 failing periods × (attempt + retry)
+		t.Errorf("DecideErrors = %d, want ≥ 6", r.DecideErrors)
+	}
+	if r.DecideRetries != 3 || r.HoldFallbacks != 2 || r.FailSafeEngagements != 1 {
+		t.Errorf("report %+v", r)
+	}
+}
+
+func TestGuardRejectsInvalidCommand(t *testing.T) {
+	inner := &scriptedController{decide: func(Observation) (cooling.Command, error) {
+		return cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: math.NaN()}, nil
+	}}
+	g := NewGuard(inner, GuardConfig{})
+	cmd, err := g.Decide(obsAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Validate(); err != nil {
+		t.Errorf("guard let an invalid command through: %v", err)
+	}
+	if r := g.Report(); r.InvalidCommands == 0 {
+		t.Error("invalid command not counted")
+	}
+}
+
+func TestGuardForwardsInterfaces(t *testing.T) {
+	observed := 0
+	inner := &scriptedController{observe: func(Observation) { observed++ }}
+	g := NewGuard(inner, GuardConfig{})
+	if g.Name() != "guarded(scripted)" || g.Period() != 600 {
+		t.Errorf("identity: %q %v", g.Name(), g.Period())
+	}
+	if g.Inner() != Controller(inner) {
+		t.Error("Inner() mismatch")
+	}
+	g.Observe(obsAt(0))
+	if observed != 1 {
+		t.Errorf("Observe not forwarded (%d)", observed)
+	}
+	g.StartDay(7)
+	if len(inner.days) != 1 || inner.days[0] != 7 {
+		t.Errorf("StartDay not forwarded: %v", inner.days)
+	}
+	// Non-scheduling inner: default releases at arrival.
+	rel := g.ScheduleDay(0, []workload.Job{{Arrival: 3600}, {Arrival: 7200}})
+	if len(rel) != 2 || rel[0] != 3600 || rel[1] != 7200 {
+		t.Errorf("default schedule %v, want arrivals", rel)
+	}
+}

@@ -324,3 +324,35 @@ func TestPlantStringer(t *testing.T) {
 	}
 	var _ units.Watts = p.Power()
 }
+
+func TestStepRejectsInvalidCommandWithoutMutation(t *testing.T) {
+	p := ParasolPlant()
+	// Reach a known non-trivial state first.
+	if _, err := p.Step(Command{Mode: ModeFreeCooling, FanSpeed: 0.8}, 30); err != nil {
+		t.Fatal(err)
+	}
+	mode, fan, comp, energy := p.Mode(), p.FanSpeed(), p.CompressorSpeed(), p.Energy()
+
+	bad := []Command{
+		{Mode: Mode(42), FanSpeed: 0.5},
+		{Mode: ModeFreeCooling, FanSpeed: 1.5},
+		{Mode: ModeFreeCooling, FanSpeed: -0.1},
+		{Mode: ModeACCool, CompressorSpeed: 1.2},
+		{Mode: ModeACCool, CompressorSpeed: -1},
+		{Mode: ModeFreeCooling, FanSpeed: math.NaN()},
+		{Mode: ModeACCool, CompressorSpeed: math.NaN()},
+	}
+	for _, cmd := range bad {
+		if _, err := p.Step(cmd, 30); err == nil {
+			t.Errorf("command %+v should be rejected", cmd)
+		}
+		if p.Mode() != mode || p.FanSpeed() != fan || p.CompressorSpeed() != comp || p.Energy() != energy {
+			t.Fatalf("rejected command %+v mutated plant state: %v", cmd, p)
+		}
+	}
+
+	// The plant still works after the rejections.
+	if _, err := p.Step(Command{Mode: ModeACCool, CompressorSpeed: 1}, 30); err != nil {
+		t.Fatalf("plant unusable after rejected commands: %v", err)
+	}
+}

@@ -8,7 +8,10 @@
 // provided.
 package cooling
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Mode is the commanded operating mode of the cooling plant — the
 // paper's "cooling regime".
@@ -85,15 +88,18 @@ type Command struct {
 	CompressorSpeed float64
 }
 
-// Validate reports whether the command is well-formed.
+// Validate reports whether the command is well-formed. NaN speeds are
+// rejected explicitly: a NaN satisfies neither `< 0` nor `> 1`, so
+// without the check a corrupted command would slip through and poison
+// the plant's ramp state.
 func (c Command) Validate() error {
 	if !c.Mode.Valid() {
 		return fmt.Errorf("cooling: invalid mode %d", int(c.Mode))
 	}
-	if c.FanSpeed < 0 || c.FanSpeed > 1 {
+	if math.IsNaN(c.FanSpeed) || c.FanSpeed < 0 || c.FanSpeed > 1 {
 		return fmt.Errorf("cooling: fan speed %.2f out of [0,1]", c.FanSpeed)
 	}
-	if c.CompressorSpeed < 0 || c.CompressorSpeed > 1 {
+	if math.IsNaN(c.CompressorSpeed) || c.CompressorSpeed < 0 || c.CompressorSpeed > 1 {
 		return fmt.Errorf("cooling: compressor speed %.2f out of [0,1]", c.CompressorSpeed)
 	}
 	return nil

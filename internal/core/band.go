@@ -44,6 +44,17 @@ func DefaultBandConfig() BandConfig {
 	return BandConfig{Width: 5, Offset: 8, Min: 10, Max: 30}
 }
 
+// DefaultBand returns the band CoolAir uses when no forecast (and no
+// previous day's band) is available — the paper's default band for day
+// one (§3.2): centred in the allowed [Min, Max] range.
+func DefaultBand(cfg BandConfig) Band {
+	center := (float64(cfg.Min) + float64(cfg.Max)) / 2
+	return Band{
+		Lo: units.Celsius(center - cfg.Width/2),
+		Hi: units.Celsius(center + cfg.Width/2),
+	}
+}
+
 // SelectBand chooses the day's temperature band (paper §3.2, Figure 3):
 // a Width-degree band centred on the forecast average outside
 // temperature plus Offset, slid back just below Max or just above Min

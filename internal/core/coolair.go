@@ -71,14 +71,26 @@ type CoolAir struct {
 	plant    *cooling.Plant
 	cluster  *hadoop.Cluster
 
-	band Band
-	day  int
+	band     Band
+	haveBand bool
+	day      int
 
 	prevSnap, curSnap model.Snapshot
 	haveSnaps         int
 
 	activeTarget int
 	decisions    int
+	degrade      DegradeReport
+}
+
+// DegradeReport counts the graceful-degradation paths CoolAir took
+// instead of aborting: days planned without a usable forecast, candidate
+// regimes skipped because their model prediction failed, and decisions
+// where every candidate failed and the current plant state was held.
+type DegradeReport struct {
+	ForecastFallbackDays int
+	SkippedCandidates    int
+	HoldDecisions        int
 }
 
 // New assembles a CoolAir instance. The plant must be the same object
@@ -120,15 +132,43 @@ func (c *CoolAir) Period() float64 { return c.opts.PeriodSeconds }
 // Band returns the currently selected temperature band.
 func (c *CoolAir) Band() Band { return c.band }
 
-// StartDay implements control.DayPlanner: select the day's band.
+// StartDay implements control.DayPlanner: select the day's band. When
+// the forecast is unavailable (NaN day mean — e.g. the weather service
+// is down), the band degrades by layer instead of corrupting the
+// optimizer: yesterday's band carries over, or the paper's default band
+// when no day has been planned yet (§3.2).
 func (c *CoolAir) StartDay(day int) {
 	c.day = day
 	if c.opts.FixedBand != nil {
 		c.band = *c.opts.FixedBand
+		c.haveBand = true
 		return
 	}
-	c.band = SelectBand(c.opts.Band, c.forecast, day)
+	b, ok := c.bandForDay(day)
+	if !ok {
+		c.degrade.ForecastFallbackDays++
+		if !c.haveBand {
+			c.band = DefaultBand(c.opts.Band)
+			c.haveBand = true
+		}
+		return
+	}
+	c.band = b
+	c.haveBand = true
 }
+
+// bandForDay selects the band from the forecast, reporting failure when
+// the forecast is unusable.
+func (c *CoolAir) bandForDay(day int) (Band, bool) {
+	mean := float64(c.forecast.DayMeanForecast(day))
+	if math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return Band{}, false
+	}
+	return SelectBand(c.opts.Band, c.forecast, day), true
+}
+
+// Degradations returns the degradation paths taken so far.
+func (c *CoolAir) Degradations() DegradeReport { return c.degrade }
 
 // Observe implements control.Monitor: maintain the 2-minute snapshot
 // pair the learned models' lag features require.
@@ -197,27 +237,46 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 	state := model.StateFromSnapshots(c.prevSnap, c.curSnap)
 	const horizon = 5 // 5 × 2 min = the 10-minute optimizer period
 
-	best := cand[0]
+	var best cooling.Command
+	scored := 0
 	bestPen := math.Inf(1)
 	bestPow := math.Inf(1)
 	for _, cmd := range cand {
+		// A candidate whose preview or prediction fails is skipped, not
+		// fatal: losing one regime from the menu degrades the decision,
+		// aborting it would stall the control loop.
 		sched, err := c.plant.PreviewSchedule(cmd, model.ModelStepSeconds, horizon)
 		if err != nil {
-			return cooling.Command{}, err
+			c.degrade.SkippedCandidates++
+			continue
 		}
 		rollout, err := c.model.PredictWindow(state, sched)
 		if err != nil {
-			return cooling.Command{}, err
+			c.degrade.SkippedCandidates++
+			continue
 		}
 		pen := c.opts.Utility.Penalty(c.band, state, rollout, sched, obs.PodActive, c.model)
+		if math.IsNaN(pen) {
+			c.degrade.SkippedCandidates++
+			continue
+		}
 		pow := 0.0
 		for _, s := range sched {
 			pow += float64(c.model.PredictPower(s))
 		}
+		scored++
 		// Pick the lowest penalty; break ties toward lower energy.
 		if pen < bestPen-1e-9 || (math.Abs(pen-bestPen) <= 1e-9 && pow < bestPow) {
 			best, bestPen, bestPow = cmd, pen, pow
 		}
+	}
+	if scored == 0 {
+		// Every candidate failed: hold the current plant state rather
+		// than abort — the same stance as the pre-warm-up path.
+		c.degrade.HoldDecisions++
+		return cooling.Command{
+			Mode: obs.Mode, FanSpeed: obs.FanSpeed, CompressorSpeed: obs.CompressorSpeed,
+		}, nil
 	}
 	return best, nil
 }

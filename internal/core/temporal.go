@@ -22,12 +22,21 @@ func (c *CoolAir) ScheduleDay(day int, jobs []workload.Job) []float64 {
 	}
 
 	hourly := c.forecast.HourlyForecast(day)
+	if len(hourly) == 0 {
+		// Forecast unavailable: deferring jobs blindly can only hurt, so
+		// degrade to run-at-arrival for the day.
+		return release
+	}
 
 	switch c.opts.Temporal {
 	case TemporalBandAware:
 		band := c.band
 		if c.opts.FixedBand == nil {
-			band = SelectBand(c.opts.Band, c.forecast, day)
+			b, ok := c.bandForDay(day)
+			if !ok {
+				return release // no usable forecast, no band to aim for
+			}
+			band = b
 		}
 		if band.Slid || !OverlapsForecast(c.opts.Band, band, hourly) {
 			return release // scheduling provides no benefit on such days

@@ -1,0 +1,380 @@
+// Chaos suite: whole-system fault-injection runs. External test package
+// because it drives internal/sim, which itself imports internal/faults.
+package faults_test
+
+import (
+	"testing"
+
+	"coolair/internal/control"
+	"coolair/internal/core"
+	"coolair/internal/faults"
+	"coolair/internal/model"
+	"coolair/internal/sim"
+	"coolair/internal/tks"
+	"coolair/internal/weather"
+	"coolair/internal/workload"
+)
+
+var (
+	summerWeek = []int{150, 151, 152, 153, 154, 155, 156}
+	winterWeek = []int{0, 1, 2, 3, 4, 5, 6}
+)
+
+// day2 is 06:00 on the second metered day of summerWeek — faults start
+// there so the guard has a full day of healthy history first.
+const day2 = 151*86400 + 6*3600
+
+// runTKS drives a 7-day TKS run, guarded or raw, under the given plan
+// (nil = fault-free). It returns the guard report (zero for unguarded)
+// and any run error so callers can assert on unguarded failures.
+func runTKS(t *testing.T, plan *faults.Plan, days []int, guarded bool) (*sim.Result, control.GuardReport, error) {
+	t.Helper()
+	env, err := sim.NewEnv(weather.Newark, sim.RealSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.RunConfig{Days: days, Trace: workload.Facebook(64, 1), KeepAllActive: true}
+	if plan != nil {
+		inj, err := faults.NewInjector(*plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = inj
+	}
+	var ctrl control.Controller = tks.Baseline()
+	var g *control.Guard
+	if guarded {
+		g = control.NewGuard(ctrl, control.GuardConfig{})
+		ctrl = g
+	}
+	res, err := sim.Run(env, ctrl, cfg)
+	var rep control.GuardReport
+	if g != nil {
+		rep = g.Report()
+	}
+	return res, rep, err
+}
+
+// Fault-free reference runs, computed once.
+var ffSummer, ffWinter *sim.Result
+
+func faultFree(t *testing.T, days []int) *sim.Result {
+	t.Helper()
+	cache := &ffSummer
+	if days[0] == winterWeek[0] {
+		cache = &ffWinter
+	}
+	if *cache == nil {
+		res, _, err := runTKS(t, nil, days, true)
+		if err != nil {
+			t.Fatalf("fault-free run failed: %v", err)
+		}
+		*cache = res
+	}
+	return *cache
+}
+
+func TestChaosSensorFaultClasses(t *testing.T) {
+	ff := faultFree(t, summerWeek)
+	stale := control.GuardConfig{}.WithDefaults()
+
+	cases := []struct {
+		name  string
+		fault faults.Fault
+		bound float64 // allowed AvgViolation excess over fault-free, °C
+		// failSafeBy, when > 0, is the latest absolute time by which the
+		// fail-safe must have engaged.
+		failSafeBy float64
+	}{
+		{
+			name:       "stuck-all-pods",
+			fault:      faults.Fault{Kind: faults.SensorStuck, Target: faults.TargetPodInlet, Pod: faults.AllPods, Start: day2},
+			bound:      1.0,
+			failSafeBy: day2 + stale.FlatlineSeconds + stale.StalenessSeconds + 600,
+		},
+		{
+			name:       "dropout-one-pod",
+			fault:      faults.Fault{Kind: faults.SensorDropout, Target: faults.TargetPodInlet, Pod: 2, Start: day2},
+			bound:      1.0,
+			failSafeBy: day2 + stale.StalenessSeconds + 600,
+		},
+		{
+			name:  "spike-all-pods",
+			fault: faults.Fault{Kind: faults.SensorSpike, Target: faults.TargetPodInlet, Pod: faults.AllPods, Start: day2, Magnitude: 3},
+			bound: 2.0,
+		},
+		{
+			name:  "drift-one-pod",
+			fault: faults.Fault{Kind: faults.SensorDrift, Target: faults.TargetPodInlet, Pod: 1, Start: day2, Duration: 12 * 3600, Magnitude: 1},
+			bound: 1.0,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			plan := faults.Plan{Seed: 9, Faults: []faults.Fault{tc.fault}}
+			res, rep, err := runTKS(t, &plan, summerWeek, true)
+			if err != nil {
+				t.Fatalf("guarded run did not complete: %v", err)
+			}
+			if res.Summary.Days != len(summerWeek) {
+				t.Fatalf("metered %d days, want %d", res.Summary.Days, len(summerWeek))
+			}
+			if res.Summary.AvgViolation > ff.Summary.AvgViolation+tc.bound {
+				t.Errorf("guarded avg violation %.2f°C exceeds fault-free %.2f + %.1f",
+					res.Summary.AvgViolation, ff.Summary.AvgViolation, tc.bound)
+			}
+			if tc.failSafeBy > 0 {
+				if rep.FailSafeEngagements == 0 {
+					t.Fatalf("fail-safe never engaged: %+v", rep)
+				}
+				if rep.FirstFailSafeTime < float64(day2) || rep.FirstFailSafeTime > tc.failSafeBy {
+					t.Errorf("fail-safe engaged at %.0f s, want within (%d, %.0f]",
+						rep.FirstFailSafeTime, day2, tc.failSafeBy)
+				}
+			}
+			t.Logf("%s: guarded avg violation %.3f°C (fault-free %.3f), report %+v",
+				tc.name, res.Summary.AvgViolation, ff.Summary.AvgViolation, rep)
+		})
+	}
+}
+
+func TestChaosFailSafeWithinOnePeriodOfStaleness(t *testing.T) {
+	// The precise timing guarantee: readings go NaN at day2, the last
+	// good reading is at most one observation step (120 s) earlier, and
+	// the guard must declare the sensor dead and fail safe within one
+	// control period (600 s) of staleness expiry.
+	cfg := control.GuardConfig{}.WithDefaults()
+	plan := faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.SensorDropout, Target: faults.TargetPodInlet, Pod: 0, Start: day2},
+	}}
+	_, rep, err := runTKS(t, &plan, summerWeek, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailSafeEngagements == 0 {
+		t.Fatalf("fail-safe never engaged: %+v", rep)
+	}
+	lo := day2 + cfg.StalenessSeconds - 120
+	hi := day2 + cfg.StalenessSeconds + 600
+	if rep.FirstFailSafeTime < lo || rep.FirstFailSafeTime > hi {
+		t.Errorf("fail-safe at %.0f s, want within [%.0f, %.0f]", rep.FirstFailSafeTime, lo, hi)
+	}
+}
+
+func TestChaosActuatorFaultClasses(t *testing.T) {
+	cases := []struct {
+		name  string
+		days  []int
+		fault faults.Fault
+		bound float64
+	}{
+		{
+			// A fan jammed at 15% through a hot day: the baseline escalates
+			// to AC when the container heats, so violations stay bounded.
+			name:  "fan-stuck",
+			days:  summerWeek,
+			fault: faults.Fault{Kind: faults.FanStuck, Start: day2, Duration: 86400, Magnitude: 0.15},
+			bound: 1.5,
+		},
+		{
+			// Mode switches silently dropped for six hours across midday.
+			name:  "mode-switch-dropped",
+			days:  summerWeek,
+			fault: faults.Fault{Kind: faults.ModeSwitchDropped, Start: day2, Duration: 6 * 3600},
+			bound: 1.5,
+		},
+		{
+			// A compressor that refuses to start is survivable in winter,
+			// when free cooling alone meets the setpoint.
+			name:  "compressor-refusal",
+			days:  winterWeek,
+			fault: faults.Fault{Kind: faults.CompressorRefusal, Start: 1 * 86400},
+			bound: 1.0,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ff := faultFree(t, tc.days)
+			plan := faults.Plan{Faults: []faults.Fault{tc.fault}}
+			res, rep, err := runTKS(t, &plan, tc.days, true)
+			if err != nil {
+				t.Fatalf("guarded run did not complete: %v", err)
+			}
+			if res.Summary.Days != len(tc.days) {
+				t.Fatalf("metered %d days, want %d", res.Summary.Days, len(tc.days))
+			}
+			if res.Summary.AvgViolation > ff.Summary.AvgViolation+tc.bound {
+				t.Errorf("guarded avg violation %.2f°C exceeds fault-free %.2f + %.1f",
+					res.Summary.AvgViolation, ff.Summary.AvgViolation, tc.bound)
+			}
+			t.Logf("%s: guarded avg violation %.3f°C (fault-free %.3f), report %+v",
+				tc.name, res.Summary.AvgViolation, ff.Summary.AvgViolation, rep)
+		})
+	}
+}
+
+// --- CoolAir under forecast degradation ---------------------------------
+
+var chaosModel *model.Model
+
+// trainedEnv trains the Cooling Model once and reuses it, mirroring the
+// sim package's own test caching.
+func trainedEnv(t *testing.T) *sim.Env {
+	t.Helper()
+	if chaosModel == nil {
+		env, err := sim.NewEnv(weather.Newark, sim.SmoothSim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Train(4, workload.Facebook(64, 1), 42); err != nil {
+			t.Fatal(err)
+		}
+		chaosModel = env.Model
+	}
+	env, err := sim.NewEnv(weather.Newark, sim.SmoothSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Model = chaosModel
+	return env
+}
+
+func runGuardedCoolAir(t *testing.T, plan *faults.Plan) (*sim.Result, control.GuardReport, *core.CoolAir) {
+	t.Helper()
+	env := trainedEnv(t)
+	cfg := sim.RunConfig{Days: summerWeek, Trace: workload.Facebook(64, 1)}
+	fc := weather.Forecaster(env.Forecast)
+	if plan != nil {
+		inj, err := faults.NewInjector(*plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = inj
+		fc = inj.WrapForecaster(fc)
+	}
+	ca, err := core.New(core.VersionOptions(core.VersionAllND, core.DefaultBandConfig()),
+		env.Model, fc, env.Plant, env.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := control.NewGuard(ca, control.GuardConfig{})
+	res, err := sim.Run(env, g, cfg)
+	if err != nil {
+		t.Fatalf("guarded CoolAir run did not complete: %v", err)
+	}
+	return res, g.Report(), ca
+}
+
+var ffCoolAir *sim.Result
+
+func TestChaosForecastFaultClasses(t *testing.T) {
+	if ffCoolAir == nil {
+		ffCoolAir, _, _ = runGuardedCoolAir(t, nil)
+	}
+	ff := ffCoolAir
+
+	t.Run("outage", func(t *testing.T) {
+		plan := faults.Plan{Faults: []faults.Fault{{Kind: faults.ForecastOutage, Start: 0}}}
+		res, _, ca := runGuardedCoolAir(t, &plan)
+		if res.Summary.Days != len(summerWeek) {
+			t.Fatalf("metered %d days", res.Summary.Days)
+		}
+		// Every StartDay must have fallen back (default band on day one,
+		// yesterday's band after).
+		if d := ca.Degradations(); d.ForecastFallbackDays != len(summerWeek) {
+			t.Errorf("forecast fallback days = %d, want %d (%+v)",
+				d.ForecastFallbackDays, len(summerWeek), d)
+		}
+		if res.Summary.AvgViolation > ff.Summary.AvgViolation+2.0 {
+			t.Errorf("outage avg violation %.2f°C vs fault-free %.2f",
+				res.Summary.AvgViolation, ff.Summary.AvgViolation)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		plan := faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.ForecastTruncated, Start: 0, Magnitude: 6},
+		}}
+		res, _, _ := runGuardedCoolAir(t, &plan)
+		if res.Summary.Days != len(summerWeek) {
+			t.Fatalf("metered %d days", res.Summary.Days)
+		}
+		if res.Summary.AvgViolation > ff.Summary.AvgViolation+2.0 {
+			t.Errorf("truncated avg violation %.2f°C vs fault-free %.2f",
+				res.Summary.AvgViolation, ff.Summary.AvgViolation)
+		}
+	})
+
+	t.Run("bias", func(t *testing.T) {
+		plan := faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.ForecastBias, Start: 0, Magnitude: 8},
+		}}
+		res, _, _ := runGuardedCoolAir(t, &plan)
+		if res.Summary.Days != len(summerWeek) {
+			t.Fatalf("metered %d days", res.Summary.Days)
+		}
+		if res.Summary.AvgViolation > ff.Summary.AvgViolation+2.0 {
+			t.Errorf("bias avg violation %.2f°C vs fault-free %.2f",
+				res.Summary.AvgViolation, ff.Summary.AvgViolation)
+		}
+	})
+}
+
+func TestChaosUnguardedDemonstrablyWorse(t *testing.T) {
+	// All inlet sensors stick at a plausible-but-cold 14°C on a hot day:
+	// below the TKS CloseTemp, so the raw baseline seals the fully loaded
+	// container to "warm it up" and never re-opens it. The guard
+	// flatline-detects the freeze (14°C is well inside the valid range),
+	// declares the sensors dead, and fails safe onto the AC.
+	plan := faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.SensorStuck, Target: faults.TargetPodInlet, Pod: faults.AllPods, Start: day2, Magnitude: 14},
+	}}
+	guarded, rep, err := runTKS(t, &plan, summerWeek, true)
+	if err != nil {
+		t.Fatalf("guarded run did not complete: %v", err)
+	}
+	if rep.FailSafeEngagements == 0 {
+		t.Fatalf("guard never failed safe on stuck sensors: %+v", rep)
+	}
+
+	raw, _, err := runTKS(t, &plan, summerWeek, false)
+	if err != nil {
+		// The unguarded controller crashing the run is "worse" too.
+		t.Logf("unguarded run failed outright: %v", err)
+		return
+	}
+	if raw.Summary.AvgViolation <= guarded.Summary.AvgViolation+1.0 {
+		t.Errorf("unguarded avg violation %.2f°C should exceed guarded %.2f by > 1°C",
+			raw.Summary.AvgViolation, guarded.Summary.AvgViolation)
+	}
+	t.Logf("stuck sensors: unguarded %.2f°C avg violation, guarded %.2f°C",
+		raw.Summary.AvgViolation, guarded.Summary.AvgViolation)
+}
+
+func TestChaosDeterminism(t *testing.T) {
+	// Same Plan + seed ⇒ byte-identical GuardReport and metrics.
+	plan := faults.Plan{Seed: 1234, Faults: []faults.Fault{
+		{Kind: faults.SensorSpike, Target: faults.TargetPodInlet, Pod: faults.AllPods, Start: day2, Magnitude: 3},
+		{Kind: faults.SensorDropout, Target: faults.TargetPodInlet, Pod: 3, Start: day2 + 12*3600, Duration: 6 * 3600},
+		{Kind: faults.FanStuck, Start: day2 + 86400, Duration: 43200, Magnitude: 0.2},
+	}}
+	resA, repA, err := runTKS(t, &plan, summerWeek, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, repB, err := runTKS(t, &plan, summerWeek, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA != repB {
+		t.Errorf("guard reports differ:\n%+v\n%+v", repA, repB)
+	}
+	if resA.Summary != resB.Summary {
+		t.Errorf("summaries differ:\n%+v\n%+v", resA.Summary, resB.Summary)
+	}
+	if resA.JobsCompleted != resB.JobsCompleted {
+		t.Errorf("jobs completed differ: %d vs %d", resA.JobsCompleted, resB.JobsCompleted)
+	}
+}

@@ -1,0 +1,216 @@
+// Package faults is a deterministic, seedable fault-injection harness
+// for the simulated datacenter. It perturbs the three trust boundaries a
+// real deployment cannot take for granted: the monitoring sensors (pod
+// inlets, cold-aisle humidity, outside air), the weather forecast
+// service, and the cooling-plant actuators. Each fault is a typed,
+// time-windowed perturbation scheduled from a Plan; the Injector applies
+// the active faults to controller-facing observations, to the wrapped
+// Forecaster, and to commands on their way to the plant.
+//
+// Everything the injector does is a pure function of the Plan (including
+// its Seed) and the simulation clock, so two runs under the same plan
+// produce byte-identical perturbations — the property the chaos suite
+// relies on.
+package faults
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind enumerates the fault classes the harness can inject.
+type Kind int
+
+const (
+	// SensorStuck freezes the targeted sensor: at the value it read when
+	// the fault window opened (Magnitude 0), or pinned at Magnitude when
+	// nonzero (a classic stuck-at-value fault).
+	SensorStuck Kind = iota
+	// SensorDropout replaces the reading with NaN (sensor offline).
+	// Magnitude is unused.
+	SensorDropout
+	// SensorSpike adds zero-mean Gaussian shot noise with standard
+	// deviation Magnitude (°C or %RH) to each reading in the window.
+	SensorSpike
+	// SensorDrift adds a miscalibration that grows by Magnitude per hour
+	// from the start of the window (positive or negative).
+	SensorDrift
+	// ForecastOutage makes the forecaster unavailable: HourlyForecast
+	// returns nil and DayMeanForecast returns NaN for affected days.
+	ForecastOutage
+	// ForecastTruncated cuts the hourly forecast array to Magnitude
+	// hours (the service returned a partial response); the day mean is
+	// recomputed from the surviving hours.
+	ForecastTruncated
+	// ForecastBias adds a gross constant bias of Magnitude °C to every
+	// prediction for affected days.
+	ForecastBias
+	// FanStuck jams the free-cooling fan at speed Magnitude (0–1): any
+	// free-cooling command in the window has its fan speed overridden.
+	FanStuck
+	// CompressorRefusal makes the AC compressor refuse to start: ac-cool
+	// commands degrade to ac-fan. Magnitude is unused.
+	CompressorRefusal
+	// ModeSwitchDropped drops mode-switch commands: whenever the
+	// commanded mode differs from the mode last delivered to the plant,
+	// the previous command is delivered instead.
+	ModeSwitchDropped
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SensorStuck:
+		return "sensor-stuck"
+	case SensorDropout:
+		return "sensor-dropout"
+	case SensorSpike:
+		return "sensor-spike"
+	case SensorDrift:
+		return "sensor-drift"
+	case ForecastOutage:
+		return "forecast-outage"
+	case ForecastTruncated:
+		return "forecast-truncated"
+	case ForecastBias:
+		return "forecast-bias"
+	case FanStuck:
+		return "fan-stuck"
+	case CompressorRefusal:
+		return "compressor-refusal"
+	case ModeSwitchDropped:
+		return "mode-switch-dropped"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k is a defined fault kind.
+func (k Kind) Valid() bool { return k >= 0 && k < numKinds }
+
+// Target selects which signal a sensor fault corrupts. Forecast and
+// actuator faults ignore the target.
+type Target int
+
+const (
+	// TargetPodInlet corrupts pod inlet temperature sensors; Fault.Pod
+	// selects which (AllPods for every pod).
+	TargetPodInlet Target = iota
+	// TargetInsideRH corrupts the cold-aisle relative-humidity sensor.
+	TargetInsideRH
+	// TargetOutsideTemp corrupts the outside air temperature sensor.
+	TargetOutsideTemp
+	// TargetOutsideRH corrupts the outside relative-humidity sensor.
+	TargetOutsideRH
+	numTargets
+)
+
+// String implements fmt.Stringer.
+func (t Target) String() string {
+	switch t {
+	case TargetPodInlet:
+		return "pod-inlet"
+	case TargetInsideRH:
+		return "inside-rh"
+	case TargetOutsideTemp:
+		return "outside-temp"
+	case TargetOutsideRH:
+		return "outside-rh"
+	default:
+		return fmt.Sprintf("target(%d)", int(t))
+	}
+}
+
+// AllPods targets every pod inlet sensor at once.
+const AllPods = -1
+
+// Fault is one scheduled perturbation.
+type Fault struct {
+	Kind   Kind
+	Target Target
+	// Pod selects the pod inlet sensor for TargetPodInlet faults
+	// (AllPods for all of them); ignored otherwise.
+	Pod int
+	// Start is the absolute simulation time (seconds since January 1st
+	// midnight) at which the fault appears.
+	Start float64
+	// Duration is how long the fault lasts, in seconds. Zero or negative
+	// means the fault never clears.
+	Duration float64
+	// Magnitude parameterizes the fault; its meaning depends on Kind
+	// (see the Kind constants).
+	Magnitude float64
+}
+
+// ActiveAt reports whether the fault window covers time t.
+func (f Fault) ActiveAt(t float64) bool {
+	if t < f.Start {
+		return false
+	}
+	return f.Duration <= 0 || t < f.Start+f.Duration
+}
+
+// End returns the time at which the fault clears (+Inf if it never does).
+func (f Fault) End() float64 {
+	if f.Duration <= 0 {
+		return math.Inf(1)
+	}
+	return f.Start + f.Duration
+}
+
+// overlapsDay reports whether the fault window intersects day d
+// (0-based day of year).
+func (f Fault) overlapsDay(d int) bool {
+	dayStart := float64(d) * 86400
+	return f.Start < dayStart+86400 && f.End() > dayStart
+}
+
+// Validate reports whether the fault is well-formed.
+func (f Fault) Validate() error {
+	if !f.Kind.Valid() {
+		return fmt.Errorf("faults: invalid kind %d", int(f.Kind))
+	}
+	switch f.Kind {
+	case SensorStuck, SensorDropout, SensorSpike, SensorDrift:
+		if t := f.Target; t < 0 || t >= numTargets {
+			return fmt.Errorf("faults: invalid target %d for %v", int(t), f.Kind)
+		}
+		if f.Target == TargetPodInlet && f.Pod < AllPods {
+			return fmt.Errorf("faults: invalid pod %d", f.Pod)
+		}
+	case FanStuck:
+		if f.Magnitude < 0 || f.Magnitude > 1 {
+			return fmt.Errorf("faults: fan-stuck magnitude %.2f out of [0,1]", f.Magnitude)
+		}
+	case ForecastTruncated:
+		if f.Magnitude < 0 || f.Magnitude > 24 {
+			return fmt.Errorf("faults: forecast truncation to %.0f hours out of [0,24]", f.Magnitude)
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	return fmt.Sprintf("%v/%v pod=%d [%.0fs +%.0fs] mag=%.2f",
+		f.Kind, f.Target, f.Pod, f.Start, f.Duration, f.Magnitude)
+}
+
+// Plan is a fault schedule: the full set of perturbations one run
+// suffers, plus the seed that makes stochastic faults (spikes)
+// reproducible.
+type Plan struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// Validate checks every fault in the plan.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"coolair/internal/control"
+	"coolair/internal/cooling"
+	"coolair/internal/units"
+	"coolair/internal/weather"
+)
+
+func testObs(t float64) control.Observation {
+	return control.Observation{
+		Time:     t,
+		Outside:  weather.Conditions{Temp: 18, RH: 55},
+		PodInlet: []units.Celsius{24, 25, 26, 27},
+		InsideRH: 45,
+	}
+}
+
+func TestFaultWindow(t *testing.T) {
+	f := Fault{Kind: SensorDropout, Target: TargetPodInlet, Pod: AllPods, Start: 100, Duration: 50}
+	for _, tc := range []struct {
+		t    float64
+		want bool
+	}{{99, false}, {100, true}, {149, true}, {150, false}} {
+		if got := f.ActiveAt(tc.t); got != tc.want {
+			t.Errorf("ActiveAt(%v) = %v", tc.t, got)
+		}
+	}
+	forever := Fault{Kind: SensorDropout, Start: 100}
+	if !forever.ActiveAt(1e9) || !math.IsInf(forever.End(), 1) {
+		t.Error("zero duration should never clear")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{Faults: []Fault{{Kind: Kind(99)}}},
+		{Faults: []Fault{{Kind: FanStuck, Magnitude: 1.5}}},
+		{Faults: []Fault{{Kind: ForecastTruncated, Magnitude: 30}}},
+		{Faults: []Fault{{Kind: SensorStuck, Target: TargetPodInlet, Pod: -2}}},
+	}
+	for i, p := range bad {
+		if _, err := NewInjector(p); err == nil {
+			t.Errorf("plan %d should be rejected", i)
+		}
+	}
+	if _, err := NewInjector(Plan{Faults: []Fault{
+		{Kind: SensorSpike, Target: TargetInsideRH, Start: 0, Duration: 10, Magnitude: 2},
+	}}); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestSensorFaultKinds(t *testing.T) {
+	mk := func(k Kind, mag float64) *Injector {
+		in, err := NewInjector(Plan{Seed: 7, Faults: []Fault{
+			{Kind: k, Target: TargetPodInlet, Pod: 1, Start: 1000, Duration: 5000, Magnitude: mag},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+
+	// Dropout: NaN inside the window, clean outside it.
+	in := mk(SensorDropout, 0)
+	obs := testObs(500)
+	in.PerturbObservation(&obs)
+	if math.IsNaN(float64(obs.PodInlet[1])) {
+		t.Error("fault fired before its window")
+	}
+	obs = testObs(2000)
+	in.PerturbObservation(&obs)
+	if !math.IsNaN(float64(obs.PodInlet[1])) {
+		t.Error("dropout should read NaN")
+	}
+	if obs.PodInlet[0] != 24 || obs.PodInlet[2] != 26 {
+		t.Error("dropout leaked onto other pods")
+	}
+
+	// Stuck: the first in-window reading freezes.
+	in = mk(SensorStuck, 0)
+	obs = testObs(1000)
+	obs.PodInlet[1] = 25.5
+	in.PerturbObservation(&obs)
+	if obs.PodInlet[1] != 25.5 {
+		t.Error("first stuck reading should pass through")
+	}
+	obs = testObs(3000)
+	obs.PodInlet[1] = 31
+	in.PerturbObservation(&obs)
+	if obs.PodInlet[1] != 25.5 {
+		t.Errorf("stuck sensor read %v, want frozen 25.5", obs.PodInlet[1])
+	}
+
+	// Stuck-at-value: a nonzero magnitude pins the reading outright.
+	in = mk(SensorStuck, 14)
+	obs = testObs(1000)
+	in.PerturbObservation(&obs)
+	if obs.PodInlet[1] != 14 {
+		t.Errorf("stuck-at-value read %v, want 14", obs.PodInlet[1])
+	}
+
+	// Drift: Magnitude °C per hour from the window start.
+	in = mk(SensorDrift, 2)
+	obs = testObs(1000 + 1800) // half an hour in
+	in.PerturbObservation(&obs)
+	if got := float64(obs.PodInlet[1]); math.Abs(got-26) > 1e-9 {
+		t.Errorf("drift after 30 min = %v, want 25+1", got)
+	}
+
+	// Spike: deterministic noise, nonzero.
+	in = mk(SensorSpike, 5)
+	obs = testObs(2000)
+	in.PerturbObservation(&obs)
+	if obs.PodInlet[1] == 25 {
+		t.Error("spike left the reading untouched")
+	}
+}
+
+func TestSpikeDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, Faults: []Fault{
+		{Kind: SensorSpike, Target: TargetPodInlet, Pod: AllPods, Start: 0, Duration: 86400, Magnitude: 4},
+	}}
+	run := func() []units.Celsius {
+		in, err := NewInjector(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []units.Celsius
+		for i := 0; i < 50; i++ {
+			obs := testObs(float64(i) * 30)
+			in.PerturbObservation(&obs)
+			out = append(out, obs.PodInlet...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spike values diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Different seed ⇒ different noise.
+	plan.Seed = 43
+	c := run()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed has no effect on spike noise")
+	}
+}
+
+func TestScalarTargets(t *testing.T) {
+	in, err := NewInjector(Plan{Faults: []Fault{
+		{Kind: SensorDropout, Target: TargetInsideRH, Start: 0, Duration: 100},
+		{Kind: SensorDrift, Target: TargetOutsideTemp, Start: 0, Duration: 7200, Magnitude: -3},
+		{Kind: SensorDropout, Target: TargetOutsideRH, Start: 0, Duration: 100},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := testObs(50)
+	in.PerturbObservation(&obs)
+	if !math.IsNaN(float64(obs.InsideRH)) || !math.IsNaN(float64(obs.Outside.RH)) {
+		t.Error("scalar dropouts did not fire")
+	}
+	if got := float64(obs.Outside.Temp); math.Abs(got-(18-3*50.0/3600)) > 1e-9 {
+		t.Errorf("outside drift = %v", got)
+	}
+}
+
+func TestActuatorFaults(t *testing.T) {
+	in, err := NewInjector(Plan{Faults: []Fault{
+		{Kind: FanStuck, Start: 0, Duration: 1000, Magnitude: 0.2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := in.Actuate(10, cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: 0.9})
+	if got.FanSpeed != 0.2 {
+		t.Errorf("fan-stuck delivered speed %v, want 0.2", got.FanSpeed)
+	}
+	// Non-free-cooling commands are untouched.
+	got = in.Actuate(20, cooling.Command{Mode: cooling.ModeACFan})
+	if got.Mode != cooling.ModeACFan {
+		t.Errorf("fan-stuck altered mode: %v", got)
+	}
+	// After the window, the fan obeys again.
+	got = in.Actuate(2000, cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: 0.9})
+	if got.FanSpeed != 0.9 {
+		t.Errorf("cleared fault still active: %v", got)
+	}
+
+	in, _ = NewInjector(Plan{Faults: []Fault{{Kind: CompressorRefusal, Start: 0}}})
+	got = in.Actuate(10, cooling.Command{Mode: cooling.ModeACCool, CompressorSpeed: 1})
+	if got.Mode != cooling.ModeACFan || got.CompressorSpeed != 0 {
+		t.Errorf("compressor refusal delivered %v, want ac-fan", got)
+	}
+
+	in, _ = NewInjector(Plan{Faults: []Fault{{Kind: ModeSwitchDropped, Start: 100, Duration: 200}}})
+	first := in.Actuate(10, cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: 0.5})
+	if first.Mode != cooling.ModeFreeCooling {
+		t.Fatalf("pre-window command altered: %v", first)
+	}
+	// Inside the window a mode switch is dropped: previous command rides.
+	got = in.Actuate(150, cooling.Command{Mode: cooling.ModeACCool, CompressorSpeed: 1})
+	if got.Mode != cooling.ModeFreeCooling || got.FanSpeed != 0.5 {
+		t.Errorf("dropped switch delivered %v, want held free-cooling", got)
+	}
+	// Same-mode commands still pass (only the switch is dropped).
+	got = in.Actuate(180, cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: 0.8})
+	if got.FanSpeed != 0.8 {
+		t.Errorf("same-mode command blocked: %v", got)
+	}
+	// Window over: switches work again.
+	got = in.Actuate(400, cooling.Command{Mode: cooling.ModeACCool, CompressorSpeed: 1})
+	if got.Mode != cooling.ModeACCool {
+		t.Errorf("post-window switch dropped: %v", got)
+	}
+}
+
+func TestForecastFaults(t *testing.T) {
+	series := weather.GenerateTMY(weather.Newark)
+	base := weather.PerfectForecast{Series: series}
+
+	mk := func(f Fault) weather.Forecaster {
+		in, err := NewInjector(Plan{Faults: []Fault{f}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in.WrapForecaster(base)
+	}
+
+	day := 100
+	dayStart := float64(day) * 86400
+
+	// Outage: nil hourly, NaN mean; other days untouched.
+	fc := mk(Fault{Kind: ForecastOutage, Start: dayStart, Duration: 86400})
+	if h := fc.HourlyForecast(day); h != nil {
+		t.Errorf("outage day returned %d hours", len(h))
+	}
+	if !math.IsNaN(float64(fc.DayMeanForecast(day))) {
+		t.Error("outage day mean should be NaN")
+	}
+	if h := fc.HourlyForecast(day + 1); len(h) != 24 {
+		t.Errorf("neighbor day corrupted: %d hours", len(h))
+	}
+	if got, want := fc.DayMeanForecast(day+1), base.DayMeanForecast(day+1); got != want {
+		t.Errorf("neighbor mean %v, want %v", got, want)
+	}
+
+	// Truncation: short array, mean over surviving hours.
+	fc = mk(Fault{Kind: ForecastTruncated, Start: dayStart, Duration: 86400, Magnitude: 6})
+	h := fc.HourlyForecast(day)
+	if len(h) != 6 {
+		t.Fatalf("truncated to %d hours, want 6", len(h))
+	}
+	sum := 0.0
+	for _, v := range h {
+		sum += float64(v)
+	}
+	if got := float64(fc.DayMeanForecast(day)); math.Abs(got-sum/6) > 1e-9 {
+		t.Errorf("truncated mean %v, want %v", got, sum/6)
+	}
+
+	// Bias: every hour and the mean shift together.
+	fc = mk(Fault{Kind: ForecastBias, Start: dayStart, Duration: 86400, Magnitude: 10})
+	h = fc.HourlyForecast(day)
+	hb := base.HourlyForecast(day)
+	for i := range h {
+		if math.Abs(float64(h[i]-hb[i])-10) > 1e-9 {
+			t.Fatalf("hour %d bias %v", i, h[i]-hb[i])
+		}
+	}
+	if got := float64(fc.DayMeanForecast(day) - base.DayMeanForecast(day)); math.Abs(got-10) > 1e-9 {
+		t.Errorf("mean bias %v, want 10", got)
+	}
+}
+
+func TestKindAndTargetStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || s[0] == 'k' {
+			t.Errorf("kind %d has no name: %q", int(k), s)
+		}
+	}
+	for tg := Target(0); tg < numTargets; tg++ {
+		if s := tg.String(); s == "" || s[0] == 't' {
+			t.Errorf("target %d has no name: %q", int(tg), s)
+		}
+	}
+}

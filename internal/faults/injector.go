@@ -1,0 +1,207 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+
+	"coolair/internal/control"
+	"coolair/internal/cooling"
+	"coolair/internal/units"
+	"coolair/internal/weather"
+)
+
+// Injector applies a Plan to a running simulation. One injector serves
+// one run: it carries the small amount of state some faults need (the
+// frozen value of a stuck sensor, the last command delivered to the
+// plant), all of which is reconstructed identically on a re-run because
+// the simulation itself is deterministic.
+type Injector struct {
+	plan Plan
+	// stuck[i] memorizes the reading frozen by fault i (keyed by fault
+	// index so overlapping stuck faults on different targets coexist).
+	stuck map[int]stuckValue
+	// delivered is the last command actually handed to the plant, the
+	// state a dropped mode switch falls back to.
+	delivered    cooling.Command
+	hasDelivered bool
+}
+
+// stuckValue holds the frozen readings of one stuck-at fault. Pod
+// targets freeze every covered sensor; scalar targets use pods[0].
+type stuckValue struct {
+	pods map[int]float64
+}
+
+// NewInjector builds an injector for the plan. The plan is validated;
+// an invalid plan returns an error rather than silently misbehaving
+// mid-run.
+func NewInjector(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{plan: plan, stuck: map[int]stuckValue{}}, nil
+}
+
+// Plan returns the injector's schedule.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// noiseAt derives the deterministic "random" draw for fault fi at time
+// t: the generator is re-seeded from (plan seed, fault index, physics
+// step), so the value depends only on the plan and the clock, never on
+// how many times or in what order the injector was consulted.
+func (in *Injector) noiseAt(fi int, t float64) float64 {
+	step := int64(math.Floor(t))
+	rng := rand.New(rand.NewSource(in.plan.Seed*1_000_003 + int64(fi)*7_919 + step))
+	return rng.NormFloat64()
+}
+
+// PerturbObservation applies every active sensor fault to the
+// observation in place (the observation's slices are the caller's
+// copies, so the physical state is untouched). Faults compose in plan
+// order.
+func (in *Injector) PerturbObservation(obs *control.Observation) {
+	t := obs.Time
+	for fi, f := range in.plan.Faults {
+		switch f.Kind {
+		case SensorStuck, SensorDropout, SensorSpike, SensorDrift:
+		default:
+			continue
+		}
+		if !f.ActiveAt(t) {
+			delete(in.stuck, fi) // window closed: forget the frozen value
+			continue
+		}
+		switch f.Target {
+		case TargetPodInlet:
+			for p := range obs.PodInlet {
+				if f.Pod != AllPods && f.Pod != p {
+					continue
+				}
+				v := in.corrupt(fi, f, p, t, float64(obs.PodInlet[p]))
+				obs.PodInlet[p] = units.Celsius(v)
+			}
+		case TargetInsideRH:
+			obs.InsideRH = units.RelHumidity(in.corrupt(fi, f, 0, t, float64(obs.InsideRH)))
+		case TargetOutsideTemp:
+			obs.Outside.Temp = units.Celsius(in.corrupt(fi, f, 0, t, float64(obs.Outside.Temp)))
+		case TargetOutsideRH:
+			obs.Outside.RH = units.RelHumidity(in.corrupt(fi, f, 0, t, float64(obs.Outside.RH)))
+		}
+	}
+}
+
+// corrupt maps one true sensor reading to its faulty value.
+func (in *Injector) corrupt(fi int, f Fault, pod int, t, v float64) float64 {
+	switch f.Kind {
+	case SensorStuck:
+		if f.Magnitude != 0 {
+			return f.Magnitude // stuck-at-value: pinned to the magnitude
+		}
+		s, ok := in.stuck[fi]
+		if !ok {
+			s = stuckValue{pods: map[int]float64{}}
+			in.stuck[fi] = s
+		}
+		frozen, ok := s.pods[pod]
+		if !ok {
+			frozen = v // first reading inside the window sticks
+			s.pods[pod] = frozen
+		}
+		return frozen
+	case SensorDropout:
+		return math.NaN()
+	case SensorSpike:
+		return v + f.Magnitude*in.noiseAt(fi, t)
+	case SensorDrift:
+		return v + f.Magnitude*(t-f.Start)/3600
+	default:
+		return v
+	}
+}
+
+// Actuate maps the controller's command to the command the plant
+// actually receives, applying active actuator faults. It must be called
+// exactly once per physics step (it records what was delivered, which a
+// dropped mode switch falls back to).
+func (in *Injector) Actuate(t float64, cmd cooling.Command) cooling.Command {
+	out := cmd
+	for _, f := range in.plan.Faults {
+		if !f.ActiveAt(t) {
+			continue
+		}
+		switch f.Kind {
+		case FanStuck:
+			if out.Mode == cooling.ModeFreeCooling {
+				out.FanSpeed = f.Magnitude
+			}
+		case CompressorRefusal:
+			if out.Mode == cooling.ModeACCool {
+				out.Mode = cooling.ModeACFan
+				out.CompressorSpeed = 0
+			}
+		case ModeSwitchDropped:
+			if in.hasDelivered && out.Mode != in.delivered.Mode {
+				out = in.delivered
+			}
+		}
+	}
+	in.delivered = out
+	in.hasDelivered = true
+	return out
+}
+
+// WrapForecaster returns a forecaster that serves base's predictions
+// with the plan's forecast faults applied. A fault affects day d when
+// its window overlaps any part of that day.
+func (in *Injector) WrapForecaster(base weather.Forecaster) weather.Forecaster {
+	return &faultyForecast{base: base, plan: in.plan}
+}
+
+// faultyForecast is the Forecaster the injector substitutes for the
+// weather service. It is stateless: outages return nil/NaN, truncations
+// shorten the hourly array, biases shift every value.
+type faultyForecast struct {
+	base weather.Forecaster
+	plan Plan
+}
+
+// HourlyForecast implements weather.Forecaster.
+func (ff *faultyForecast) HourlyForecast(d int) []units.Celsius {
+	h := ff.base.HourlyForecast(d)
+	for _, f := range ff.plan.Faults {
+		if !f.overlapsDay(d) {
+			continue
+		}
+		switch f.Kind {
+		case ForecastOutage:
+			return nil
+		case ForecastTruncated:
+			keep := int(f.Magnitude)
+			if keep < len(h) {
+				h = h[:keep]
+			}
+		case ForecastBias:
+			out := make([]units.Celsius, len(h))
+			for i, v := range h {
+				out[i] = v + units.Celsius(f.Magnitude)
+			}
+			h = out
+		}
+	}
+	return h
+}
+
+// DayMeanForecast implements weather.Forecaster. It stays consistent
+// with the hourly view: outages are NaN, truncated days average the
+// surviving hours, biases shift the mean.
+func (ff *faultyForecast) DayMeanForecast(d int) units.Celsius {
+	h := ff.HourlyForecast(d)
+	if len(h) == 0 {
+		return units.Celsius(math.NaN())
+	}
+	sum := 0.0
+	for _, v := range h {
+		sum += float64(v)
+	}
+	return units.Celsius(sum / float64(len(h)))
+}

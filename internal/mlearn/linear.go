@@ -41,6 +41,17 @@ func (l *Linear) Predict(x []float64) float64 {
 	return y
 }
 
+// PredictChecked evaluates the model on one feature vector, returning
+// an error instead of panicking on a dimension mismatch — the form
+// control loops use, where a malformed feature vector must degrade the
+// decision rather than crash it.
+func (l *Linear) PredictChecked(x []float64) (float64, error) {
+	if len(x) != len(l.Coef) {
+		return 0, fmt.Errorf("mlearn: predict with %d features, model has %d", len(x), len(l.Coef))
+	}
+	return l.Predict(x), nil
+}
+
 // FitOLS fits ordinary least squares with a small ridge penalty for
 // numerical stability. X is row-major (one row per observation). The
 // ridge term lambda may be zero; if the normal equations remain singular

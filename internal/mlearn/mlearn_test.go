@@ -276,3 +276,54 @@ func TestResiduals(t *testing.T) {
 		t.Errorf("residuals = %v, want [0 1]", res)
 	}
 }
+
+func TestPredictCheckedLinear(t *testing.T) {
+	m := &Linear{Intercept: 1, Coef: []float64{2, 3}}
+	got, err := m.PredictChecked([]float64{10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.Predict([]float64{10, 100}); got != want {
+		t.Errorf("PredictChecked %v != Predict %v", got, want)
+	}
+	if _, err := m.PredictChecked([]float64{10}); err == nil {
+		t.Error("dimension mismatch should error, not panic")
+	}
+}
+
+func TestPredictCheckedModelTree(t *testing.T) {
+	X, y := synth(200, 1.0, []float64{2}, 0.05, 11)
+	tree, err := FitModelTree(X, y, TreeOptions{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.PredictChecked([]float64{1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tree.Predict([]float64{1.5}); got != want {
+		t.Errorf("PredictChecked %v != Predict %v", got, want)
+	}
+	if _, err := tree.PredictChecked(nil); err == nil {
+		t.Error("empty feature vector should error")
+	}
+}
+
+func TestPredictCheckedHelperRecoversPanic(t *testing.T) {
+	// The package helper must convert a plain Regressor's panic into an
+	// error for callers that cannot know the concrete type.
+	var r Regressor = &Linear{Coef: []float64{1, 2}}
+	if _, err := PredictChecked(r, []float64{4, 5}); err != nil {
+		t.Errorf("valid input errored: %v", err)
+	}
+	if _, err := PredictChecked(r, []float64{1, 2, 3}); err == nil {
+		t.Error("mismatched input should return an error")
+	}
+	if _, err := PredictChecked(panicky{}, []float64{1}); err == nil {
+		t.Error("panicking regressor should be recovered into an error")
+	}
+}
+
+type panicky struct{}
+
+func (panicky) Predict([]float64) float64 { panic("boom") }

@@ -151,6 +151,23 @@ func (t *ModelTree) Predict(x []float64) float64 {
 	return t.Model.Predict(x)
 }
 
+// PredictChecked evaluates the tree on one feature vector, returning an
+// error instead of panicking when the vector is too short for a split
+// feature or for the leaf model.
+func (t *ModelTree) PredictChecked(x []float64) (float64, error) {
+	for t.Model == nil {
+		if t.Feature >= len(x) {
+			return 0, fmt.Errorf("mlearn: predict with %d features, tree splits on feature %d", len(x), t.Feature)
+		}
+		if x[t.Feature] <= t.Threshold {
+			t = t.Left
+		} else {
+			t = t.Right
+		}
+	}
+	return t.Model.PredictChecked(x)
+}
+
 // Leaves returns the number of leaf models in the tree.
 func (t *ModelTree) Leaves() int {
 	if t.Model != nil {

@@ -1,6 +1,7 @@
 package mlearn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -10,6 +11,29 @@ import (
 // Linear and ModelTree satisfy it.
 type Regressor interface {
 	Predict(x []float64) float64
+}
+
+// CheckedRegressor is a Regressor that can also report a malformed
+// feature vector as an error instead of panicking; both Linear and
+// ModelTree satisfy it.
+type CheckedRegressor interface {
+	Regressor
+	PredictChecked(x []float64) (float64, error)
+}
+
+// PredictChecked evaluates any regressor non-panicking: regressors that
+// implement CheckedRegressor validate the vector themselves; for others
+// the panic of a bare Predict is converted to an error.
+func PredictChecked(r Regressor, x []float64) (y float64, err error) {
+	if cr, ok := r.(CheckedRegressor); ok {
+		return cr.PredictChecked(x)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("mlearn: predict failed: %v", p)
+		}
+	}()
+	return r.Predict(x), nil
 }
 
 // Fitter builds a Regressor from training data. It lets model selection

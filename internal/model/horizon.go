@@ -181,10 +181,17 @@ func (m *Model) PredictWindow(start PredictorState, schedule []cooling.Command) 
 	}
 	for p := 0; p < m.pods; p++ {
 		reg := m.horizonModel(tr, p)
-		end.PodTemp[p] = units.Celsius(reg.Predict(tempFeatures(prevSnap, curSnap, fanAvg, compAvg, p)))
+		y, err := mlearn.PredictChecked(reg, tempFeatures(prevSnap, curSnap, fanAvg, compAvg, p))
+		if err != nil {
+			return nil, fmt.Errorf("model: pod %d horizon temperature: %w", p, err)
+		}
+		end.PodTemp[p] = units.Celsius(y)
 	}
 	if h := m.horizonHumModel(tr); h != nil {
-		g := h.Predict(humFeatures(curSnap, fanAvg, compAvg))
+		g, err := mlearn.PredictChecked(h, humFeatures(curSnap, fanAvg, compAvg))
+		if err != nil {
+			return nil, fmt.Errorf("model: horizon humidity: %w", err)
+		}
 		if g < 0 {
 			g = 0
 		}

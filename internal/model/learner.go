@@ -250,14 +250,16 @@ func (m *Model) humModel(tr cooling.Transition) mlearn.Regressor {
 }
 
 // PredictPower estimates the plant's electrical draw under the given
-// effective command.
+// effective command. A malformed feature vector yields 0, the same as
+// an unmodeled mode — the power term then simply drops out of the
+// candidate comparison instead of crashing the optimizer.
 func (m *Model) PredictPower(cmd cooling.Command) units.Watts {
 	reg, ok := m.power[cmd.Mode]
 	if !ok {
 		return 0
 	}
-	w := reg.Predict(powerFeatures(cmd.FanSpeed, cmd.CompressorSpeed))
-	if w < 0 {
+	w, err := mlearn.PredictChecked(reg, powerFeatures(cmd.FanSpeed, cmd.CompressorSpeed))
+	if err != nil || w < 0 {
 		w = 0
 	}
 	return units.Watts(w)

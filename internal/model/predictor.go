@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coolair/internal/cooling"
+	"coolair/internal/mlearn"
 	"coolair/internal/units"
 )
 
@@ -131,10 +132,17 @@ func (m *Model) Predict(start PredictorState, schedule []cooling.Command, outsid
 			if reg == nil {
 				return nil, fmt.Errorf("model: no temperature model available")
 			}
-			next.PodTemp[p] = units.Celsius(reg.Predict(tempFeatures(prevSnap, curSnap, cmd.FanSpeed, cmd.CompressorSpeed, p)))
+			y, err := mlearn.PredictChecked(reg, tempFeatures(prevSnap, curSnap, cmd.FanSpeed, cmd.CompressorSpeed, p))
+			if err != nil {
+				return nil, fmt.Errorf("model: pod %d temperature: %w", p, err)
+			}
+			next.PodTemp[p] = units.Celsius(y)
 		}
 		if h := m.humModel(tr); h != nil {
-			g := h.Predict(humFeatures(curSnap, cmd.FanSpeed, cmd.CompressorSpeed))
+			g, err := mlearn.PredictChecked(h, humFeatures(curSnap, cmd.FanSpeed, cmd.CompressorSpeed))
+			if err != nil {
+				return nil, fmt.Errorf("model: humidity: %w", err)
+			}
 			if g < 0 {
 				g = 0
 			}

@@ -6,6 +6,7 @@ import (
 
 	"coolair/internal/control"
 	"coolair/internal/cooling"
+	"coolair/internal/faults"
 	"coolair/internal/hadoop"
 	"coolair/internal/metrics"
 	"coolair/internal/mlearn"
@@ -27,9 +28,16 @@ type RunConfig struct {
 	// runs the datacenter idle.
 	Trace *workload.Trace
 	// MaxTemp and RHLimit feed the metrics collector (defaults 30°C,
-	// 80%).
+	// 80%). A zero value means "use the default"; to express a literal
+	// zero limit set the corresponding MaxTempSet/RHLimitSet flag (or
+	// use WithMaxTemp/WithRHLimit, which set it for you).
 	MaxTemp units.Celsius
 	RHLimit units.RelHumidity
+	// MaxTempSet / RHLimitSet mark the corresponding limit as
+	// explicitly configured, letting an explicit 0 round-trip through
+	// defaulting.
+	MaxTempSet bool
+	RHLimitSet bool
 	// KeepAllActive disables server power management (the baseline
 	// system controls only the cooling regime).
 	KeepAllActive bool
@@ -38,13 +46,33 @@ type RunConfig struct {
 	// CollectSnapshots records Modeler snapshots (for held-out model
 	// validation, Figure 5).
 	CollectSnapshots bool
+	// Faults, when non-nil, injects the plan's sensor and actuator
+	// faults into the run: observations are perturbed before the
+	// controller sees them and commands are perturbed on their way to
+	// the plant. Forecast faults are not applied here — wrap the
+	// environment's forecaster with Injector.WrapForecaster before
+	// constructing the controller.
+	Faults *faults.Injector
+}
+
+// WithMaxTemp returns the config with the temperature limit explicitly
+// set (an explicit 0 survives defaulting).
+func (c RunConfig) WithMaxTemp(t units.Celsius) RunConfig {
+	c.MaxTemp, c.MaxTempSet = t, true
+	return c
+}
+
+// WithRHLimit returns the config with the humidity limit explicitly set.
+func (c RunConfig) WithRHLimit(rh units.RelHumidity) RunConfig {
+	c.RHLimit, c.RHLimitSet = rh, true
+	return c
 }
 
 func (c RunConfig) withDefaults() RunConfig {
-	if c.MaxTemp == 0 {
+	if c.MaxTemp == 0 && !c.MaxTempSet {
 		c.MaxTemp = 30
 	}
-	if c.RHLimit == 0 {
+	if c.RHLimit == 0 && !c.RHLimitSet {
 		c.RHLimit = 80
 	}
 	if len(c.Days) == 0 {
@@ -114,6 +142,7 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 	monitor, _ := ctrl.(control.Monitor)
 	planner, _ := ctrl.(control.DayPlanner)
 	scheduler, _ := ctrl.(control.TemporalScheduler)
+	inj := cfg.Faults
 
 	completedBefore := countMetered(env.Cluster.Completed())
 
@@ -176,6 +205,9 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 					warmNext++
 				}
 				obs := env.observation()
+				if inj != nil {
+					inj.PerturbObservation(&obs)
+				}
 				if monitor != nil && step%snapSteps == 0 {
 					monitor.Observe(obs)
 				}
@@ -186,7 +218,11 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 					}
 					cmd = decided
 				}
-				if _, err := env.stepPhysics(cmd, PhysicsStepSeconds); err != nil {
+				actual := cmd
+				if inj != nil {
+					actual = inj.Actuate(env.Now(), cmd)
+				}
+				if _, err := env.stepPhysics(actual, PhysicsStepSeconds); err != nil {
 					return nil, err
 				}
 			}
@@ -221,6 +257,9 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 				next++
 			}
 			obs := env.observation()
+			if inj != nil {
+				inj.PerturbObservation(&obs)
+			}
 			if monitor != nil && step%snapSteps == 0 {
 				monitor.Observe(obs)
 			}
@@ -231,7 +270,11 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 				}
 				cmd = decided
 			}
-			eff, err := env.stepPhysics(cmd, PhysicsStepSeconds)
+			actual := cmd
+			if inj != nil {
+				actual = inj.Actuate(env.Now(), cmd)
+			}
+			eff, err := env.stepPhysics(actual, PhysicsStepSeconds)
 			if err != nil {
 				return nil, err
 			}

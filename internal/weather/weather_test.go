@@ -281,3 +281,60 @@ func TestConditionsAbs(t *testing.T) {
 		t.Errorf("Conditions.Abs round trip: %v", got)
 	}
 }
+
+func TestBiasedForecastHourlyDeterminism(t *testing.T) {
+	s := GenerateTMY(Newark)
+	mk := func(seed int64) BiasedForecast {
+		return BiasedForecast{Base: PerfectForecast{Series: s}, NoiseSigma: 2, Seed: seed}
+	}
+	a, b := mk(7).HourlyForecast(42), mk(7).HourlyForecast(42)
+	for h := range a {
+		if a[h] != b[h] {
+			t.Fatalf("hour %d differs across identical forecasters: %v vs %v", h, a[h], b[h])
+		}
+	}
+	c := mk(8).HourlyForecast(42)
+	same := true
+	for h := range a {
+		if a[h] != c[h] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed has no effect on hourly noise")
+	}
+}
+
+func TestBiasedForecastZeroNoiseConsistency(t *testing.T) {
+	s := GenerateTMY(Newark)
+	base := PerfectForecast{Series: s}
+
+	// Bias without noise: hourly mean and day mean shift together, so the
+	// two views stay consistent.
+	f := BiasedForecast{Base: base, Bias: 5}
+	for _, d := range []int{3, 150, 300} {
+		h := f.HourlyForecast(d)
+		sum := 0.0
+		for _, v := range h {
+			sum += float64(v)
+		}
+		if got := float64(f.DayMeanForecast(d)); math.Abs(got-sum/float64(len(h))) > 1e-9 {
+			t.Errorf("day %d: mean %v inconsistent with hourly mean %v", d, got, sum/float64(len(h)))
+		}
+	}
+
+	// NoiseSigma=0 and Bias=0 must be bit-exact with the base forecaster.
+	id := BiasedForecast{Base: base, Seed: 99}
+	for _, d := range []int{0, 77, 200} {
+		if id.DayMeanForecast(d) != base.DayMeanForecast(d) {
+			t.Errorf("day %d: identity forecast day mean differs", d)
+		}
+		h, hb := id.HourlyForecast(d), base.HourlyForecast(d)
+		for i := range h {
+			if h[i] != hb[i] {
+				t.Fatalf("day %d hour %d: identity forecast differs: %v vs %v", d, i, h[i], hb[i])
+			}
+		}
+	}
+}
