@@ -1,0 +1,35 @@
+# Development targets. CI runs the same commands (see
+# .github/workflows/ci.yml), so a green `make check bench-check` locally
+# predicts a green CI run.
+
+BENCH_PATTERN := BenchmarkCoolAirDecision$$|BenchmarkPredictWindow$$|BenchmarkTMYGeneration$$
+BENCH_COUNT   := 5
+
+.PHONY: build test check bench bench-check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check: build
+	go vet ./...
+	go test -race ./...
+
+# bench reruns the decision-path benchmarks and refreshes the committed
+# baseline (BENCH_decision.json). Run it after intentional performance
+# changes and commit the result.
+bench:
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . | tee bench_new.txt
+	go run ./cmd/coolair-bench -out BENCH_decision.json < bench_new.txt
+	rm -f bench_new.txt
+
+# bench-check compares a fresh run against the committed baseline and
+# fails on regression (median ns/op beyond tolerance, or any meaningful
+# allocs/op increase).
+bench-check:
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . | tee bench_new.txt
+	go run ./cmd/coolair-bench -out bench_current.json < bench_new.txt
+	go run ./cmd/coolair-bench -gate -baseline BENCH_decision.json -current bench_current.json
+	rm -f bench_new.txt bench_current.json

@@ -10,8 +10,11 @@ import (
 	"testing"
 
 	"coolair"
+	"coolair/internal/cooling"
 	"coolair/internal/core"
 	"coolair/internal/experiments"
+	"coolair/internal/model"
+	"coolair/internal/units"
 	"coolair/internal/weather"
 )
 
@@ -232,10 +235,69 @@ func BenchmarkCoolAirDecision(b *testing.B) {
 		PodActive: []bool{true, true, true, true},
 		InsideRH:  55, Utilization: 0.5, ITLoad: 0.5,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ca.Decide(obs); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictWindow isolates one horizon prediction — the unit of
+// work the optimizer repeats once per candidate regime per period.
+func BenchmarkPredictWindow(b *testing.B) {
+	l := lab(b)
+	m, err := l.Model(coolair.SmoothSim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plant := cooling.SmoothPlant()
+	if _, err := plant.Step(cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: 0.5}, 120); err != nil {
+		b.Fatal(err)
+	}
+	sched, err := plant.PreviewSchedule(cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: 0.7},
+		model.ModelStepSeconds, model.HorizonSteps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pods := m.Pods()
+	state := model.PredictorState{
+		PodTemp:         make([]units.Celsius, pods),
+		PodTempPrev:     make([]units.Celsius, pods),
+		OutsideTemp:     18,
+		OutsideTempPrev: 17.8,
+		InsideAbs:       units.AbsFromRel(26, 50),
+		OutsideAbs:      units.AbsFromRel(18, 60),
+		Utilization:     0.5,
+		ITLoad:          0.5,
+		Mode:            cooling.ModeFreeCooling,
+		PrevMode:        cooling.ModeFreeCooling,
+		FanSpeed:        0.5,
+		CompSpeed:       0,
+	}
+	for p := 0; p < pods; p++ {
+		state.PodTemp[p] = units.Celsius(26 + float64(p))
+		state.PodTempPrev[p] = units.Celsius(25.8 + float64(p))
+	}
+	var sc model.PredictScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictWindowInto(&sc, state, sched); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTMYGeneration measures one weather-year synthesis — the cost
+// the TMY cache amortizes across environment constructions.
+func BenchmarkTMYGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := weather.GenerateTMY(weather.Newark)
+		if len(s.Temp) != weather.HoursPerYear {
+			b.Fatal("short series")
 		}
 	}
 }

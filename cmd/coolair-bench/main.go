@@ -1,0 +1,254 @@
+// Command coolair-bench maintains the decision-path benchmark baseline.
+// It has three modes:
+//
+//	coolair-bench -out BENCH_decision.json < bench.txt
+//	    Parse `go test -bench -benchmem` output on stdin into a JSON
+//	    baseline (all samples kept, medians precomputed).
+//
+//	coolair-bench -emit BENCH_decision.json
+//	    Re-emit a JSON baseline in `go test -bench` text format, so
+//	    benchstat can compare it against a fresh run.
+//
+//	coolair-bench -gate -baseline BENCH_decision.json -current new.json
+//	    Compare a fresh run against the committed baseline and exit
+//	    nonzero on regression: median ns/op above the tolerance band,
+//	    or median allocs/op above baseline plus the allowed slack.
+//	    Time gets a wide band (CI machines are noisy); allocation
+//	    counts are deterministic, so they get almost none.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Benchmark is one benchmark's samples across -count repetitions.
+type Benchmark struct {
+	Name         string    `json:"name"`
+	NsPerOp      []float64 `json:"ns_per_op"`
+	BytesPerOp   []float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  []float64 `json:"allocs_per_op,omitempty"`
+	MedianNs     float64   `json:"median_ns"`
+	MedianBytes  float64   `json:"median_bytes"`
+	MedianAllocs float64   `json:"median_allocs"`
+}
+
+// File is the committed baseline format.
+type File struct {
+	Note       string      `json:"note,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+	goosLine   = regexp.MustCompile(`^goos: (\S+)`)
+	goarchLine = regexp.MustCompile(`^goarch: (\S+)`)
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "", "parse bench text on stdin, write JSON baseline to this path")
+		emit       = flag.String("emit", "", "re-emit this JSON baseline as bench text on stdout")
+		gate       = flag.Bool("gate", false, "compare -current against -baseline, exit 1 on regression")
+		baseline   = flag.String("baseline", "BENCH_decision.json", "committed baseline for -gate")
+		current    = flag.String("current", "", "fresh-run JSON for -gate")
+		tolerance  = flag.Float64("tolerance", 0.35, "allowed fractional median ns/op increase for -gate")
+		allocSlack = flag.Float64("alloc-slack", 1, "allowed absolute median allocs/op increase for -gate")
+		note       = flag.String("note", "", "free-form note stored in the baseline")
+	)
+	flag.Parse()
+
+	switch {
+	case *gate:
+		if *current == "" {
+			fatal("gate mode needs -current")
+		}
+		base, err := readFile(*baseline)
+		if err != nil {
+			fatal("baseline: %v", err)
+		}
+		cur, err := readFile(*current)
+		if err != nil {
+			fatal("current: %v", err)
+		}
+		if !runGate(base, cur, *tolerance, *allocSlack) {
+			os.Exit(1)
+		}
+	case *emit != "":
+		f, err := readFile(*emit)
+		if err != nil {
+			fatal("%v", err)
+		}
+		emitText(f)
+	case *out != "":
+		f, err := parse(os.Stdin)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if len(f.Benchmarks) == 0 {
+			fatal("no benchmark lines found on stdin")
+		}
+		f.Note = *note
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		for _, b := range f.Benchmarks {
+			fmt.Printf("%-28s %d samples  median %.0f ns/op  %.0f allocs/op\n",
+				b.Name, len(b.NsPerOp), b.MedianNs, b.MedianAllocs)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "coolair-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// parse collects bench lines from `go test -bench` output, grouping the
+// -count repetitions of each benchmark.
+func parse(r io.Reader) (*File, error) {
+	f := &File{}
+	byName := map[string]*Benchmark{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := goosLine.FindStringSubmatch(line); m != nil {
+			f.Goos = m[1]
+			continue
+		}
+		if m := goarchLine.FindStringSubmatch(line); m != nil {
+			f.Goarch = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name}
+			byName[name] = b
+			order = append(order, name)
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q", line)
+		}
+		b.NsPerOp = append(b.NsPerOp, ns)
+		if m[3] != "" {
+			by, _ := strconv.ParseFloat(m[3], 64)
+			al, _ := strconv.ParseFloat(m[4], 64)
+			b.BytesPerOp = append(b.BytesPerOp, by)
+			b.AllocsPerOp = append(b.AllocsPerOp, al)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		b := byName[name]
+		b.MedianNs = median(b.NsPerOp)
+		b.MedianBytes = median(b.BytesPerOp)
+		b.MedianAllocs = median(b.AllocsPerOp)
+		f.Benchmarks = append(f.Benchmarks, *b)
+	}
+	return f, nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// emitText prints the baseline in `go test -bench` format (one line per
+// stored sample) so benchstat accepts it as the "old" side.
+func emitText(f *File) {
+	if f.Goos != "" {
+		fmt.Printf("goos: %s\n", f.Goos)
+	}
+	if f.Goarch != "" {
+		fmt.Printf("goarch: %s\n", f.Goarch)
+	}
+	for _, b := range f.Benchmarks {
+		for i, ns := range b.NsPerOp {
+			line := fmt.Sprintf("%s 1 %g ns/op", b.Name, ns)
+			if i < len(b.BytesPerOp) && i < len(b.AllocsPerOp) {
+				line += fmt.Sprintf(" %g B/op %g allocs/op", b.BytesPerOp[i], b.AllocsPerOp[i])
+			}
+			fmt.Println(line)
+		}
+	}
+}
+
+// runGate reports whether every baseline benchmark present in the fresh
+// run stays inside the regression bands; it prints one verdict line per
+// benchmark.
+func runGate(base, cur *File, tolerance, allocSlack float64) bool {
+	curBy := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	ok := true
+	for _, old := range base.Benchmarks {
+		now, found := curBy[old.Name]
+		if !found {
+			fmt.Printf("FAIL %s: missing from current run\n", old.Name)
+			ok = false
+			continue
+		}
+		nsLimit := old.MedianNs * (1 + tolerance)
+		allocLimit := old.MedianAllocs + allocSlack
+		switch {
+		case now.MedianNs > nsLimit:
+			fmt.Printf("FAIL %s: median %.0f ns/op exceeds %.0f (baseline %.0f +%d%%)\n",
+				old.Name, now.MedianNs, nsLimit, old.MedianNs, int(tolerance*100))
+			ok = false
+		case now.MedianAllocs > allocLimit:
+			fmt.Printf("FAIL %s: median %.1f allocs/op exceeds %.1f (baseline %.1f + %.0f slack)\n",
+				old.Name, now.MedianAllocs, allocLimit, old.MedianAllocs, allocSlack)
+			ok = false
+		default:
+			fmt.Printf("ok   %s: %.0f ns/op (baseline %.0f), %.1f allocs/op (baseline %.1f)\n",
+				old.Name, now.MedianNs, old.MedianNs, now.MedianAllocs, old.MedianAllocs)
+		}
+	}
+	return ok
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: coolair
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCoolAirDecision 	  108468	     11225 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCoolAirDecision 	  107106	     11192 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCoolAirDecision 	  109162	     11158 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPredictWindow-8 	 4927044	       247.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTMYGeneration 	     613	   1988826 ns/op	  226720 B/op	       5 allocs/op
+PASS
+ok  	coolair	8.932s
+`
+
+func TestParse(t *testing.T) {
+	f, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" {
+		t.Errorf("platform = %s/%s, want linux/amd64", f.Goos, f.Goarch)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	dec := f.Benchmarks[0]
+	if dec.Name != "BenchmarkCoolAirDecision" || len(dec.NsPerOp) != 3 {
+		t.Fatalf("first benchmark = %s with %d samples", dec.Name, len(dec.NsPerOp))
+	}
+	if dec.MedianNs != 11192 {
+		t.Errorf("median ns = %v, want 11192", dec.MedianNs)
+	}
+	if dec.MedianAllocs != 0 {
+		t.Errorf("median allocs = %v, want 0", dec.MedianAllocs)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	if f.Benchmarks[1].Name != "BenchmarkPredictWindow" {
+		t.Errorf("suffixed name parsed as %q", f.Benchmarks[1].Name)
+	}
+	if f.Benchmarks[2].MedianAllocs != 5 {
+		t.Errorf("TMY median allocs = %v, want 5", f.Benchmarks[2].MedianAllocs)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkCoolAirDecision", MedianNs: 10000, MedianAllocs: 0},
+	}}
+	pass := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkCoolAirDecision", MedianNs: 11000, MedianAllocs: 0},
+	}}
+	slow := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkCoolAirDecision", MedianNs: 16000, MedianAllocs: 0},
+	}}
+	leaky := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkCoolAirDecision", MedianNs: 10000, MedianAllocs: 5},
+	}}
+	missing := &File{}
+
+	if !runGate(base, pass, 0.35, 1) {
+		t.Error("10% slowdown inside 35% tolerance should pass")
+	}
+	if runGate(base, slow, 0.35, 1) {
+		t.Error("60% slowdown should fail")
+	}
+	if runGate(base, leaky, 0.35, 1) {
+		t.Error("+5 allocs/op should fail")
+	}
+	if runGate(base, missing, 0.35, 1) {
+		t.Error("missing benchmark should fail")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("empty median = %v", m)
+	}
+}

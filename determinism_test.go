@@ -1,0 +1,109 @@
+// Determinism guard for the optimizer hot path: the allocation-free
+// decision loop must be behavior-preserving, so a full simulated day —
+// model training, band selection, candidate scoring, physics — has to
+// produce byte-identical results before and after any performance work.
+// The golden digest in testdata/ was recorded with the original
+// (allocating) implementation; see README "Performance".
+package coolair_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"coolair"
+	"coolair/internal/core"
+	"coolair/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden digests")
+
+const goldenDigestPath = "testdata/golden_decision_digest.txt"
+
+// runDecisionDay runs the canonical determinism scenario: one simulated
+// day (day 150, Newark, Smooth-Sim, All-ND) with the recorded series on.
+func runDecisionDay(t testing.TB, l *experiments.Lab) *coolair.Result {
+	t.Helper()
+	m, err := l.Model(coolair.SmoothSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := coolair.NewEnv(coolair.Newark, coolair.SmoothSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Model = m
+	ca, err := core.New(core.VersionOptions(core.VersionAllND, core.DefaultBandConfig()),
+		m, env.Forecast, env.Plant, env.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coolair.Run(env, ca, coolair.RunConfig{
+		Days: []int{150}, Trace: l.Facebook(), RecordSeries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// resultDigest reduces a Result to a byte-exact fingerprint. Gob encodes
+// float64 bits exactly, so two digests match only when every recorded
+// sample — temperatures, humidity, regimes, energies — is bit-identical.
+func resultDigest(t testing.TB, res *coolair.Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, v := range []any{res.Summary, res.Series, res.JobsSubmitted, res.JobsCompleted, res.DailyWorstRanges} {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+}
+
+// TestDecisionDeterminism runs the same day twice from fresh
+// environments and requires bit-identical results, then compares the
+// digest against the golden trace recorded before the allocation-free
+// optimization. The golden comparison is restricted to amd64: Go's math
+// routines (exp, log in the humidity conversions) carry per-architecture
+// assembly whose last-ULP behavior may differ across ports, while runs
+// on the same architecture are exactly reproducible.
+func TestDecisionDeterminism(t *testing.T) {
+	l := experiments.NewLab()
+	first := resultDigest(t, runDecisionDay(t, l))
+	second := resultDigest(t, runDecisionDay(t, l))
+	if first != second {
+		t.Fatalf("rerun produced a different trace:\n  first  %s\n  second %s", first, second)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenDigestPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDigestPath, []byte(first+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden digest updated: %s", first)
+		return
+	}
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden digest is recorded on amd64; got %s (rerun identity still verified)", runtime.GOARCH)
+	}
+	want, err := os.ReadFile(goldenDigestPath)
+	if err != nil {
+		t.Fatalf("missing golden digest (run with -update to record): %v", err)
+	}
+	if got := first; got != strings.TrimSpace(string(want)) {
+		t.Fatalf("trace diverged from the pre-optimization golden digest:\n  want %s\n  got  %s\n"+
+			"the decision hot path must stay byte-identical; if a deliberate behavior change "+
+			"is intended, rerun with -update and justify it in the commit", strings.TrimSpace(string(want)), got)
+	}
+}

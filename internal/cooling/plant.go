@@ -121,8 +121,17 @@ func ramp(cur, target, ratePerMinute, floor, dtSeconds float64) float64 {
 // learned models the fan/compressor speeds the hardware would actually
 // reach (ramp limits included) rather than the commanded ones.
 func (p *Plant) PreviewSchedule(cmd Command, dtSeconds float64, steps int) ([]Command, error) {
+	return p.PreviewScheduleInto(nil, cmd, dtSeconds, steps)
+}
+
+// PreviewScheduleInto is the allocation-free form of PreviewSchedule:
+// the schedule is appended to dst[:0] and the returned slice is valid
+// until the caller reuses the buffer. The Cooling Optimizer previews
+// every candidate regime every period, so buffer reuse here removes one
+// slice allocation per candidate per decision.
+func (p *Plant) PreviewScheduleInto(dst []Command, cmd Command, dtSeconds float64, steps int) ([]Command, error) {
 	shadow := *p // value copy: device structs and counters only
-	out := make([]Command, 0, steps)
+	out := dst[:0]
 	for i := 0; i < steps; i++ {
 		eff, err := shadow.Step(cmd, dtSeconds)
 		if err != nil {

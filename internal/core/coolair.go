@@ -81,6 +81,19 @@ type CoolAir struct {
 	activeTarget int
 	decisions    int
 	degrade      DegradeReport
+
+	// Steady-state scratch for the allocation-free decision loop. Decide
+	// and Observe run on a single goroutine per instance (the control
+	// loop), so plain struct-held buffers suffice — no sync.Pool. See
+	// DESIGN.md, "Scratch buffers and Into APIs".
+	menu     []cooling.Command // cached candidate regimes (plant-dependent, immutable)
+	sched    []cooling.Command // PreviewScheduleInto buffer, reused across candidates
+	powers   []units.Watts     // per-step predicted cooling power of the current candidate
+	powBuf   []float64         // power-model feature scratch
+	predict  model.PredictScratch
+	curState model.PredictorState
+	snapBuf  [2][]units.Celsius // ping-pong pod-temperature buffers for Observe
+	snapFlip int
 }
 
 // DegradeReport counts the graceful-degradation paths CoolAir took
@@ -102,6 +115,12 @@ func New(opts Options, m *model.Model, f weather.Forecaster, plant *cooling.Plan
 	}
 	opts = opts.withDefaults()
 	c := &CoolAir{opts: opts, model: m, forecast: f, plant: plant, cluster: cluster, day: -1}
+	// The candidate menu depends only on the installed plant's
+	// granularity, so build it once instead of per decision.
+	c.menu = c.candidates()
+	c.sched = make([]cooling.Command, 0, model.HorizonSteps)
+	c.powers = make([]units.Watts, 0, model.HorizonSteps)
+	c.powBuf = make([]float64, 0, 4)
 	if cluster != nil {
 		order := c.placementOrder()
 		if err := cluster.SetPlacementOrder(order); err != nil {
@@ -171,9 +190,14 @@ func (c *CoolAir) bandForDay(day int) (Band, bool) {
 func (c *CoolAir) Degradations() DegradeReport { return c.degrade }
 
 // Observe implements control.Monitor: maintain the 2-minute snapshot
-// pair the learned models' lag features require.
+// pair the learned models' lag features require. The two snapshots
+// ping-pong between struct-held pod-temperature buffers: the buffer
+// being overwritten is always the one the outgoing prev snapshot used,
+// which nothing references once the pair rotates.
 func (c *CoolAir) Observe(obs control.Observation) {
-	snap := snapshotFromObservation(obs)
+	snap := snapshotFromObservationInto(c.snapBuf[c.snapFlip], obs)
+	c.snapBuf[c.snapFlip] = snap.PodTemp
+	c.snapFlip = 1 - c.snapFlip
 	if c.haveSnaps == 0 {
 		c.curSnap = snap
 		c.haveSnaps = 1
@@ -190,6 +214,12 @@ func (c *CoolAir) Observe(obs control.Observation) {
 // Modeler's snapshot form (absolute humidity recovered at the coolest
 // pod, where the cold-aisle humidity sensor hangs).
 func snapshotFromObservation(obs control.Observation) model.Snapshot {
+	return snapshotFromObservationInto(nil, obs)
+}
+
+// snapshotFromObservationInto builds the snapshot with the pod
+// temperatures copied into buf (reused via buf[:0]; nil allocates).
+func snapshotFromObservationInto(buf []units.Celsius, obs control.Observation) model.Snapshot {
 	coolest := units.Celsius(25)
 	if len(obs.PodInlet) > 0 {
 		coolest = obs.PodInlet[0]
@@ -206,7 +236,7 @@ func snapshotFromObservation(obs control.Observation) model.Snapshot {
 		CompSpeed:   obs.CompressorSpeed,
 		OutsideTemp: obs.Outside.Temp,
 		OutsideAbs:  obs.Outside.Abs(),
-		PodTemp:     append([]units.Celsius(nil), obs.PodInlet...),
+		PodTemp:     append(buf[:0], obs.PodInlet...),
 		InsideAbs:   units.AbsFromRel(coolest, obs.InsideRH),
 		Utilization: obs.Utilization,
 		ITLoad:      obs.ITLoad,
@@ -233,36 +263,42 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 		}, nil
 	}
 
-	cand := c.candidates()
-	state := model.StateFromSnapshots(c.prevSnap, c.curSnap)
+	model.StateFromSnapshotsInto(&c.curState, c.prevSnap, c.curSnap)
+	state := c.curState
 	const horizon = 5 // 5 × 2 min = the 10-minute optimizer period
 
 	var best cooling.Command
 	scored := 0
 	bestPen := math.Inf(1)
 	bestPow := math.Inf(1)
-	for _, cmd := range cand {
+	for _, cmd := range c.menu {
 		// A candidate whose preview or prediction fails is skipped, not
 		// fatal: losing one regime from the menu degrades the decision,
 		// aborting it would stall the control loop.
-		sched, err := c.plant.PreviewSchedule(cmd, model.ModelStepSeconds, horizon)
+		sched, err := c.plant.PreviewScheduleInto(c.sched, cmd, model.ModelStepSeconds, horizon)
 		if err != nil {
 			c.degrade.SkippedCandidates++
 			continue
 		}
-		rollout, err := c.model.PredictWindow(state, sched)
+		c.sched = sched
+		rollout, err := c.model.PredictWindowInto(&c.predict, state, sched)
 		if err != nil {
 			c.degrade.SkippedCandidates++
 			continue
 		}
-		pen := c.opts.Utility.Penalty(c.band, state, rollout, sched, obs.PodActive, c.model)
+		// Predict each step's cooling power once: the utility's energy
+		// term and the tie-break below share the same values.
+		c.powers = c.powers[:0]
+		pow := 0.0
+		for _, s := range sched {
+			w := c.model.PredictPowerBuf(c.powBuf, s)
+			c.powers = append(c.powers, w)
+			pow += float64(w)
+		}
+		pen := c.opts.Utility.PenaltyWithPowers(c.band, state, rollout, sched, obs.PodActive, c.powers)
 		if math.IsNaN(pen) {
 			c.degrade.SkippedCandidates++
 			continue
-		}
-		pow := 0.0
-		for _, s := range sched {
-			pow += float64(c.model.PredictPower(s))
 		}
 		scored++
 		// Pick the lowest penalty; break ties toward lower energy.
@@ -282,7 +318,9 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 }
 
 // candidates enumerates the regimes the optimizer scores, matching the
-// installed plant's granularity.
+// installed plant's granularity. New computes it once and caches it on
+// c.menu — the menu depends only on the plant's device capabilities,
+// which never change after construction.
 func (c *CoolAir) candidates() []cooling.Command {
 	out := []cooling.Command{
 		{Mode: cooling.ModeClosed},

@@ -60,6 +60,23 @@ func DefaultUtility() UtilityConfig {
 // better.
 func (u UtilityConfig) Penalty(band Band, cur model.PredictorState, rollout []model.PredictorState,
 	schedule []cooling.Command, podActive []bool, m *model.Model) float64 {
+	return u.penalty(band, cur, rollout, schedule, podActive, m, nil)
+}
+
+// PenaltyWithPowers scores like Penalty but consumes per-step cooling
+// powers the caller already predicted (powers[i] for schedule[i]). The
+// optimizer needs the same powers for its energy tie-break, so sharing
+// them halves the power-model evaluations per candidate without changing
+// any scored value.
+func (u UtilityConfig) PenaltyWithPowers(band Band, cur model.PredictorState, rollout []model.PredictorState,
+	schedule []cooling.Command, podActive []bool, powers []units.Watts) float64 {
+	return u.penalty(band, cur, rollout, schedule, podActive, nil, powers)
+}
+
+// penalty is the shared scoring core; powers, when non-nil, replaces
+// per-step m.PredictPower lookups.
+func (u UtilityConfig) penalty(band Band, cur model.PredictorState, rollout []model.PredictorState,
+	schedule []cooling.Command, podActive []bool, m *model.Model, powers []units.Watts) float64 {
 
 	pen := 0.0
 	for si, st := range rollout {
@@ -95,7 +112,13 @@ func (u UtilityConfig) Penalty(band Band, cur model.PredictorState, rollout []mo
 			pen += (float64(u.RHLo) - rh) / 5.0
 		}
 		if u.EnergyWeight > 0 && si < len(schedule) {
-			pen += u.EnergyWeight * m.PredictPower(schedule[si]).Kilowatts()
+			pw := units.Watts(0)
+			if powers != nil {
+				pw = powers[si]
+			} else {
+				pw = m.PredictPower(schedule[si])
+			}
+			pen += u.EnergyWeight * pw.Kilowatts()
 		}
 	}
 	// Rate-of-change is assessed over the whole horizon, matching the

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,15 +33,28 @@ type Lab struct {
 	// TrainDays is the length of the data-collection campaign.
 	TrainDays int
 
+	// mu guards only the maps and trace caches below — never the
+	// training itself, which runs under the per-fidelity slot's once so
+	// that training one fidelity does not serialize callers wanting the
+	// other (or a cached) model.
 	mu     sync.Mutex
-	models map[sim.Fidelity]*model.Model
+	models map[sim.Fidelity]*modelSlot
 	faceb  *workload.Trace
 	nutch  *workload.Trace
 }
 
+// modelSlot holds one fidelity's trained model; once ensures a single
+// training campaign per fidelity while letting independent fidelities
+// train concurrently.
+type modelSlot struct {
+	once sync.Once
+	m    *model.Model
+	err  error
+}
+
 // NewLab creates a lab with the evaluation defaults.
 func NewLab() *Lab {
-	return &Lab{Seed: 42, TrainDays: 4, models: map[sim.Fidelity]*model.Model{}}
+	return &Lab{Seed: 42, TrainDays: 4, models: map[sim.Fidelity]*modelSlot{}}
 }
 
 // Facebook returns the (cached) Facebook workload trace.
@@ -69,10 +83,20 @@ func (l *Lab) Nutch() *workload.Trace {
 func (l *Lab) Model(fid sim.Fidelity) (*model.Model, error) {
 	trace := l.Facebook() // acquire outside l.mu: Facebook locks too
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if m := l.models[fid]; m != nil {
-		return m, nil
+	slot := l.models[fid]
+	if slot == nil {
+		slot = &modelSlot{}
+		l.models[fid] = slot
 	}
+	l.mu.Unlock()
+	slot.once.Do(func() { slot.m, slot.err = l.train(fid, trace) })
+	return slot.m, slot.err
+}
+
+// train runs the data-collection campaign and fits the model. It holds
+// no lab lock: concurrent callers are serialized per fidelity by the
+// slot's once, and everything it touches is local to the call.
+func (l *Lab) train(fid sim.Fidelity, trace *workload.Trace) (*model.Model, error) {
 	// The campaign covers both the prototype's home climate and a hot
 	// one, so the learned models interpolate rather than extrapolate
 	// when CoolAir is deployed at hot sites (the paper's 1.5 months of
@@ -96,12 +120,7 @@ func (l *Lab) Model(fid sim.Fidelity) (*model.Model, error) {
 	if err := logN.Append(logC); err != nil {
 		return nil, err
 	}
-	m, err := model.Fit(logN, model.LearnerOptions{Seed: l.Seed})
-	if err != nil {
-		return nil, err
-	}
-	l.models[fid] = m
-	return m, nil
+	return model.Fit(logN, model.LearnerOptions{Seed: l.Seed})
 }
 
 // System specifies one managed datacenter configuration to evaluate.
@@ -217,7 +236,9 @@ func coreVersionAllND() core.Version   { return core.VersionAllND }
 func coreDefaultBand() core.BandConfig { return core.DefaultBandConfig() }
 
 // runGrid evaluates every (climate, system) pair in parallel, returning
-// results indexed [climate][system].
+// results indexed [climate][system]. Every failing cell is reported: the
+// returned error joins all cell errors in grid order, not just the
+// first one a worker happened to hit.
 func (l *Lab) runGrid(cls []weather.Climate, systems []System, days []int, trace *workload.Trace) ([][]*sim.Result, error) {
 	// Force model training up front (single-threaded) so workers share.
 	for _, s := range systems {
@@ -233,7 +254,9 @@ func (l *Lab) runGrid(cls []weather.Climate, systems []System, days []int, trace
 	}
 	type cell struct{ ci, si int }
 	jobs := make(chan cell)
-	errs := make(chan error, 1)
+	// One slot per cell: workers write disjoint indices, so no lock is
+	// needed and the joined error lists cells deterministically.
+	cellErrs := make([]error, len(cls)*len(systems))
 	var wg sync.WaitGroup
 	workers := runtime.NumCPU()
 	if workers > len(cls)*len(systems) {
@@ -249,10 +272,7 @@ func (l *Lab) runGrid(cls []weather.Climate, systems []System, days []int, trace
 			for c := range jobs {
 				res, err := l.Run(cls[c.ci], systems[c.si], days, trace, false)
 				if err != nil {
-					select {
-					case errs <- fmt.Errorf("%s @ %s: %w", systems[c.si].Name, cls[c.ci].Name, err):
-					default:
-					}
+					cellErrs[c.ci*len(systems)+c.si] = fmt.Errorf("%s @ %s: %w", systems[c.si].Name, cls[c.ci].Name, err)
 					continue
 				}
 				out[c.ci][c.si] = res
@@ -266,10 +286,8 @@ func (l *Lab) runGrid(cls []weather.Climate, systems []System, days []int, trace
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
+	if err := errors.Join(cellErrs...); err != nil {
 		return nil, err
-	default:
 	}
 	return out, nil
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"coolair/internal/sim"
+	"coolair/internal/weather"
+)
+
+// TestRunGridReportsEveryCellError pins the error contract of runGrid:
+// when several grid cells fail, the joined error names each one, not
+// just whichever a worker reported first.
+func TestRunGridReportsEveryCellError(t *testing.T) {
+	l := sharedLab(t)
+	bad1 := weather.Newark
+	bad1.Name = "bad-lat"
+	bad1.Lat = 200 // fails Climate.Validate inside NewEnv
+	bad2 := weather.Newark
+	bad2.Name = "bad-rh"
+	bad2.MeanRH = 0
+
+	_, err := l.runGrid([]weather.Climate{bad1, bad2}, []System{BaselineSystem()}, []int{0}, l.Facebook())
+	if err == nil {
+		t.Fatal("runGrid with two invalid climates returned nil error")
+	}
+	for _, name := range []string{"bad-lat", "bad-rh"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("joined error omits cell %q: %v", name, err)
+		}
+	}
+}
+
+// TestModelConcurrent checks that concurrent Model calls for the same
+// fidelity share one trained model (training runs exactly once) and
+// that calls do not deadlock when racing with trace access.
+func TestModelConcurrent(t *testing.T) {
+	l := sharedLab(t)
+	const callers = 4
+	got := make([]interface{}, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := l.Model(sim.SmoothSim)
+			got[i], errs[i] = m, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if got[i] != got[0] {
+			t.Fatalf("caller %d received a different model instance", i)
+		}
+	}
+}

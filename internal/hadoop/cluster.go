@@ -105,6 +105,10 @@ type Cluster struct {
 	completed []JobRecord
 
 	placement []int // pod preference order for new tasks
+	// order caches serverOrder's result; it depends only on placement
+	// and the immutable (Pod, ID) identity of each server, so it is
+	// recomputed only when SetPlacementOrder installs a new preference.
+	order []*Server
 
 	now     float64
 	itotal  units.Joules
@@ -169,6 +173,7 @@ func (c *Cluster) SetPlacementOrder(podOrder []int) error {
 		seen[p] = true
 	}
 	c.placement = append([]int(nil), podOrder...)
+	c.order = nil
 	return nil
 }
 
@@ -182,8 +187,14 @@ func (c *Cluster) Submit(j workload.Job) {
 	c.inFlight[j.ID] = r
 }
 
-// serverOrder returns active servers in placement-preference order.
+// serverOrder returns the servers in placement-preference order. The
+// returned slice is cached (callers must not reorder it); Step and
+// SetActiveTarget both walk it every scheduling round, so re-sorting on
+// each call dominated their cost.
 func (c *Cluster) serverOrder() []*Server {
+	if c.order != nil {
+		return c.order
+	}
 	rank := make([]int, c.pods)
 	for i, p := range c.placement {
 		rank[p] = i
@@ -196,6 +207,7 @@ func (c *Cluster) serverOrder() []*Server {
 		}
 		return out[a].ID < out[b].ID
 	})
+	c.order = out
 	return out
 }
 

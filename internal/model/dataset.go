@@ -100,7 +100,17 @@ func (l *Logger) Append(other *Logger) error {
 // bilinear mixing term. Compressor speed is appended for the
 // variable-speed AC.
 func tempFeatures(prev, cur Snapshot, fanApplied, compApplied float64, p int) []float64 {
-	return []float64{
+	return tempFeaturesInto(make([]float64, 0, tempFeatureCount), prev, cur, fanApplied, compApplied, p)
+}
+
+// tempFeatureCount sizes scratch buffers for tempFeaturesInto.
+const tempFeatureCount = 11
+
+// tempFeaturesInto appends the temperature-feature vector to dst and
+// returns it, letting hot paths reuse one buffer (pass dst[:0]) instead
+// of allocating a fresh slice per pod per step per candidate.
+func tempFeaturesInto(dst []float64, prev, cur Snapshot, fanApplied, compApplied float64, p int) []float64 {
+	return append(dst,
 		float64(cur.PodTemp[p]),
 		float64(prev.PodTemp[p]),
 		float64(cur.OutsideTemp),
@@ -108,32 +118,46 @@ func tempFeatures(prev, cur Snapshot, fanApplied, compApplied float64, p int) []
 		fanApplied,
 		cur.FanSpeed,
 		cur.Utilization,
-		fanApplied * float64(cur.PodTemp[p]),
-		fanApplied * float64(cur.OutsideTemp),
+		fanApplied*float64(cur.PodTemp[p]),
+		fanApplied*float64(cur.OutsideTemp),
 		compApplied,
 		cur.ITLoad,
-	}
+	)
 }
 
 // humFeatures builds the humidity-model input vector — the paper's
 // inputs: current inside humidity, current outside humidity, fan speed,
 // and the fan×humidity composites, plus compressor speed (condensation).
 func humFeatures(cur Snapshot, fanApplied, compApplied float64) []float64 {
+	return humFeaturesInto(make([]float64, 0, humFeatureCount), cur, fanApplied, compApplied)
+}
+
+// humFeatureCount sizes scratch buffers for humFeaturesInto.
+const humFeatureCount = 6
+
+// humFeaturesInto appends the humidity-feature vector to dst and returns
+// it (see tempFeaturesInto for the buffer-reuse convention).
+func humFeaturesInto(dst []float64, cur Snapshot, fanApplied, compApplied float64) []float64 {
 	in := cur.InsideAbs.GramsPerKg()
 	out := cur.OutsideAbs.GramsPerKg()
-	return []float64{
+	return append(dst,
 		in,
 		out,
 		fanApplied,
-		fanApplied * in,
-		fanApplied * out,
+		fanApplied*in,
+		fanApplied*out,
 		compApplied,
-	}
+	)
 }
 
 // powerFeatures builds the cooling-power-model input vector.
 func powerFeatures(fan, comp float64) []float64 {
-	return []float64{fan, comp}
+	return powerFeaturesInto(make([]float64, 0, 2), fan, comp)
+}
+
+// powerFeaturesInto appends the power-feature vector to dst.
+func powerFeaturesInto(dst []float64, fan, comp float64) []float64 {
+	return append(dst, fan, comp)
 }
 
 // labelOf classifies the interval (cur → next) for model grouping. A

@@ -126,6 +126,17 @@ func (m *Model) horizonHumModel(tr cooling.Transition) mlearn.Regressor {
 // the start and the predicted end, giving the utility function a path
 // to score without chaining error.
 func (m *Model) PredictWindow(start PredictorState, schedule []cooling.Command) ([]PredictorState, error) {
+	return m.PredictWindowInto(nil, start, schedule)
+}
+
+// PredictWindowInto is the allocation-free form of PredictWindow: the
+// returned states and their pod-temperature slices are backed by the
+// scratch and remain valid only until the next Into call with the same
+// scratch. A nil scratch falls back to fresh allocations. The Cooling
+// Optimizer calls this once per candidate regime per period, so the
+// scratch removes the dominant steady-state allocation source of the
+// decision loop.
+func (m *Model) PredictWindowInto(sc *PredictScratch, start PredictorState, schedule []cooling.Command) ([]PredictorState, error) {
 	if len(schedule) == 0 {
 		return nil, fmt.Errorf("model: empty schedule")
 	}
@@ -150,8 +161,13 @@ func (m *Model) PredictWindow(start PredictorState, schedule []cooling.Command) 
 
 	// Fall back to chained prediction when no direct model exists.
 	if m.horizonModel(tr, 0) == nil {
-		return m.Predict(start, schedule, nil)
+		return m.PredictInto(sc, start, schedule, nil)
 	}
+	var local PredictScratch
+	if sc == nil {
+		sc = &local
+	}
+	states, temps := sc.buffers(len(schedule), m.pods)
 
 	prevSnap := Snapshot{PodTemp: start.PodTempPrev, OutsideTemp: start.OutsideTempPrev}
 	curSnap := Snapshot{
@@ -166,7 +182,7 @@ func (m *Model) PredictWindow(start PredictorState, schedule []cooling.Command) 
 	}
 
 	end := PredictorState{
-		PodTemp:         make([]units.Celsius, m.pods),
+		PodTemp:         podChunk(temps, len(schedule)-1, m.pods),
 		PodTempPrev:     start.PodTemp,
 		InsideAbs:       start.InsideAbs,
 		OutsideTemp:     start.OutsideTemp,
@@ -181,14 +197,16 @@ func (m *Model) PredictWindow(start PredictorState, schedule []cooling.Command) 
 	}
 	for p := 0; p < m.pods; p++ {
 		reg := m.horizonModel(tr, p)
-		y, err := mlearn.PredictChecked(reg, tempFeatures(prevSnap, curSnap, fanAvg, compAvg, p))
+		sc.feat = tempFeaturesInto(sc.feat[:0], prevSnap, curSnap, fanAvg, compAvg, p)
+		y, err := mlearn.PredictChecked(reg, sc.feat)
 		if err != nil {
 			return nil, fmt.Errorf("model: pod %d horizon temperature: %w", p, err)
 		}
 		end.PodTemp[p] = units.Celsius(y)
 	}
 	if h := m.horizonHumModel(tr); h != nil {
-		g, err := mlearn.PredictChecked(h, humFeatures(curSnap, fanAvg, compAvg))
+		sc.feat = humFeaturesInto(sc.feat[:0], curSnap, fanAvg, compAvg)
+		g, err := mlearn.PredictChecked(h, sc.feat)
 		if err != nil {
 			return nil, fmt.Errorf("model: horizon humidity: %w", err)
 		}
@@ -198,12 +216,11 @@ func (m *Model) PredictWindow(start PredictorState, schedule []cooling.Command) 
 		end.InsideAbs = units.AbsHumidity(g / 1000)
 	}
 
-	// Interpolate the path.
-	states := make([]PredictorState, len(schedule))
-	for k := range schedule {
+	// Interpolate the path (the final state is the prediction itself).
+	for k := 0; k < len(schedule)-1; k++ {
 		f := float64(k+1) / float64(len(schedule))
 		st := PredictorState{
-			PodTemp:     make([]units.Celsius, m.pods),
+			PodTemp:     podChunk(temps, k, m.pods),
 			InsideAbs:   units.AbsHumidity(units.Lerp(float64(start.InsideAbs), float64(end.InsideAbs), f)),
 			OutsideTemp: start.OutsideTemp,
 			Utilization: start.Utilization,

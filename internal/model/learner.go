@@ -254,11 +254,20 @@ func (m *Model) humModel(tr cooling.Transition) mlearn.Regressor {
 // an unmodeled mode — the power term then simply drops out of the
 // candidate comparison instead of crashing the optimizer.
 func (m *Model) PredictPower(cmd cooling.Command) units.Watts {
+	return m.PredictPowerBuf(nil, cmd)
+}
+
+// PredictPowerBuf is the allocation-free form of PredictPower: buf is a
+// caller-owned feature scratch (its contents are overwritten; nil
+// allocates). The optimizer evaluates power once per schedule step per
+// candidate, so this keeps the per-period decision free of feature-
+// vector garbage.
+func (m *Model) PredictPowerBuf(buf []float64, cmd cooling.Command) units.Watts {
 	reg, ok := m.power[cmd.Mode]
 	if !ok {
 		return 0
 	}
-	w, err := mlearn.PredictChecked(reg, powerFeatures(cmd.FanSpeed, cmd.CompressorSpeed))
+	w, err := mlearn.PredictChecked(reg, powerFeaturesInto(buf[:0], cmd.FanSpeed, cmd.CompressorSpeed))
 	if err != nil || w < 0 {
 		w = 0
 	}

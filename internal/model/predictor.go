@@ -34,20 +34,61 @@ type PredictorState struct {
 // StateFromSnapshots builds the predictor's starting state from the two
 // most recent monitoring snapshots.
 func StateFromSnapshots(prev, cur Snapshot) PredictorState {
-	return PredictorState{
-		PodTemp:         append([]units.Celsius(nil), cur.PodTemp...),
-		PodTempPrev:     append([]units.Celsius(nil), prev.PodTemp...),
-		InsideAbs:       cur.InsideAbs,
-		OutsideTemp:     cur.OutsideTemp,
-		OutsideTempPrev: prev.OutsideTemp,
-		OutsideAbs:      cur.OutsideAbs,
-		Utilization:     cur.Utilization,
-		ITLoad:          cur.ITLoad,
-		Mode:            cur.Mode,
-		PrevMode:        prev.Mode,
-		FanSpeed:        cur.FanSpeed,
-		CompSpeed:       cur.CompSpeed,
+	var st PredictorState
+	StateFromSnapshotsInto(&st, prev, cur)
+	return st
+}
+
+// StateFromSnapshotsInto rebuilds dst from the snapshot pair, reusing
+// dst's pod-temperature buffers — the allocation-free form of
+// StateFromSnapshots for the optimizer's per-period hot path.
+func StateFromSnapshotsInto(dst *PredictorState, prev, cur Snapshot) {
+	dst.PodTemp = append(dst.PodTemp[:0], cur.PodTemp...)
+	dst.PodTempPrev = append(dst.PodTempPrev[:0], prev.PodTemp...)
+	dst.InsideAbs = cur.InsideAbs
+	dst.OutsideTemp = cur.OutsideTemp
+	dst.OutsideTempPrev = prev.OutsideTemp
+	dst.OutsideAbs = cur.OutsideAbs
+	dst.Utilization = cur.Utilization
+	dst.ITLoad = cur.ITLoad
+	dst.Mode = cur.Mode
+	dst.PrevMode = prev.Mode
+	dst.FanSpeed = cur.FanSpeed
+	dst.CompSpeed = cur.CompSpeed
+}
+
+// PredictScratch holds the caller-owned buffers the allocation-free
+// prediction paths (PredictInto, PredictWindowInto) write into: one
+// feature vector, one pod-temperature arena, and one state slice, all
+// grown on demand and reused across calls. A scratch must not be shared
+// between goroutines, and the states returned by an Into call are valid
+// only until the next call with the same scratch. The Model itself stays
+// read-only and may be shared freely; all mutable prediction state lives
+// here (see DESIGN.md, "Scratch buffers and Into APIs").
+type PredictScratch struct {
+	feat   []float64
+	temps  []units.Celsius
+	states []PredictorState
+}
+
+// buffers returns a state slice of length n and a pod-temperature arena
+// of n chunks of pods entries each, reusing the scratch's backing arrays.
+func (sc *PredictScratch) buffers(n, pods int) ([]PredictorState, []units.Celsius) {
+	if cap(sc.states) < n {
+		sc.states = make([]PredictorState, n)
 	}
+	if cap(sc.temps) < n*pods {
+		sc.temps = make([]units.Celsius, n*pods)
+	}
+	sc.states = sc.states[:n]
+	sc.temps = sc.temps[:n*pods]
+	return sc.states, sc.temps
+}
+
+// podChunk returns the i-th pod-temperature chunk of the arena, capped
+// so appends cannot bleed into the next chunk.
+func podChunk(temps []units.Celsius, i, pods int) []units.Celsius {
+	return temps[i*pods : (i+1)*pods : (i+1)*pods]
 }
 
 // RelHumidity returns the predicted cold-aisle relative humidity of the
@@ -72,13 +113,25 @@ func (st PredictorState) RelHumidity() units.RelHumidity {
 // end of each step; otherwise the current outside conditions are held
 // constant (fine for 10-minute horizons).
 func (m *Model) Predict(start PredictorState, schedule []cooling.Command, outside []Snapshot) ([]PredictorState, error) {
+	return m.PredictInto(nil, start, schedule, outside)
+}
+
+// PredictInto is the allocation-free form of Predict: the returned
+// states and their pod-temperature slices are backed by the scratch and
+// remain valid only until the next Into call with the same scratch. A
+// nil scratch falls back to fresh allocations (Predict's semantics).
+func (m *Model) PredictInto(sc *PredictScratch, start PredictorState, schedule []cooling.Command, outside []Snapshot) ([]PredictorState, error) {
 	if len(start.PodTemp) != m.pods {
 		return nil, fmt.Errorf("model: state has %d pods, model has %d", len(start.PodTemp), m.pods)
 	}
 	if outside != nil && len(outside) < len(schedule) {
 		return nil, fmt.Errorf("model: %d outside samples for %d steps", len(outside), len(schedule))
 	}
-	states := make([]PredictorState, 0, len(schedule))
+	var local PredictScratch
+	if sc == nil {
+		sc = &local
+	}
+	states, temps := sc.buffers(len(schedule), m.pods)
 	cur := start
 	for i, cmd := range schedule {
 		// Model selection mirrors the training labels: the first two
@@ -109,7 +162,7 @@ func (m *Model) Predict(start PredictorState, schedule []cooling.Command, outsid
 		}
 
 		next := PredictorState{
-			PodTemp:         make([]units.Celsius, m.pods),
+			PodTemp:         podChunk(temps, i, m.pods),
 			PodTempPrev:     cur.PodTemp,
 			InsideAbs:       cur.InsideAbs,
 			OutsideTemp:     cur.OutsideTemp,
@@ -132,14 +185,16 @@ func (m *Model) Predict(start PredictorState, schedule []cooling.Command, outsid
 			if reg == nil {
 				return nil, fmt.Errorf("model: no temperature model available")
 			}
-			y, err := mlearn.PredictChecked(reg, tempFeatures(prevSnap, curSnap, cmd.FanSpeed, cmd.CompressorSpeed, p))
+			sc.feat = tempFeaturesInto(sc.feat[:0], prevSnap, curSnap, cmd.FanSpeed, cmd.CompressorSpeed, p)
+			y, err := mlearn.PredictChecked(reg, sc.feat)
 			if err != nil {
 				return nil, fmt.Errorf("model: pod %d temperature: %w", p, err)
 			}
 			next.PodTemp[p] = units.Celsius(y)
 		}
 		if h := m.humModel(tr); h != nil {
-			g, err := mlearn.PredictChecked(h, humFeatures(curSnap, cmd.FanSpeed, cmd.CompressorSpeed))
+			sc.feat = humFeaturesInto(sc.feat[:0], curSnap, cmd.FanSpeed, cmd.CompressorSpeed)
+			g, err := mlearn.PredictChecked(h, sc.feat)
 			if err != nil {
 				return nil, fmt.Errorf("model: humidity: %w", err)
 			}
@@ -148,7 +203,7 @@ func (m *Model) Predict(start PredictorState, schedule []cooling.Command, outsid
 			}
 			next.InsideAbs = units.AbsHumidity(g / 1000)
 		}
-		states = append(states, next)
+		states[i] = next
 		cur = next
 	}
 	return states, nil

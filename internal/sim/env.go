@@ -55,6 +55,25 @@ type Env struct {
 
 	state *physics.State
 	now   float64 // absolute seconds since Jan 1 00:00
+
+	// outCond memoizes Series.Sample(now): the physics step, the
+	// controller observation, and the metric collectors all read the
+	// outside conditions at the same instant, and the sample carries
+	// the RH→absolute conversion with it (see weather.Conditions.Abs).
+	outAt   float64
+	outCond weather.Conditions
+	outOK   bool
+}
+
+// outside returns the outside conditions at the current simulation
+// instant, sampling the series once per distinct tick time.
+func (e *Env) outside() weather.Conditions {
+	if !e.outOK || e.outAt != e.now {
+		e.outCond = e.Series.Sample(e.now)
+		e.outAt = e.now
+		e.outOK = true
+	}
+	return e.outCond
 }
 
 // NewEnv builds a Parasol-like datacenter at the given climate.
@@ -71,7 +90,7 @@ func NewEnv(cl weather.Climate, fid Fidelity) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	series := weather.GenerateTMY(cl)
+	series := weather.TMY(cl)
 	var plant *cooling.Plant
 	if fid == SmoothSim {
 		plant = cooling.SmoothPlant()
@@ -86,7 +105,7 @@ func NewEnv(cl weather.Climate, fid Fidelity) (*Env, error) {
 		Plant:     plant,
 		Cluster:   cluster,
 	}
-	env.state = cont.NewState(series.At(0))
+	env.state = cont.NewState(series.Sample(0))
 	return env, nil
 }
 
@@ -114,7 +133,7 @@ func (e *Env) stepPhysics(cmd cooling.Command, dt float64) (cooling.Command, err
 	if err != nil {
 		return eff, err
 	}
-	out := e.Series.At(e.now)
+	out := e.outside()
 	in := physics.Inputs{
 		Outside:     out,
 		HourOfDay:   hourOfDay(e.now),
@@ -147,7 +166,7 @@ func dayOf(now float64) int { return int(now / 86400) }
 // snapshot captures the Modeler-facing monitoring sample at the current
 // instant.
 func (e *Env) snapshot(eff cooling.Command) model.Snapshot {
-	out := e.Series.At(e.now)
+	out := e.outside()
 	return model.Snapshot{
 		Time:         e.now,
 		Mode:         eff.Mode,

@@ -175,7 +175,7 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 				// that has been operating sits well above a cold
 				// outside, so seed the inside nodes at a typical
 				// operating temperature rather than outside ambient.
-				out := env.Series.At(env.now)
+				out := env.outside()
 				env.state = env.Container.NewState(out)
 				op := (out.Temp + 10).Clamp(12, 30)
 				env.state.Air, env.state.Mass, env.state.HotAisle = op, op, op+3
@@ -279,7 +279,7 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 				return nil, err
 			}
 
-			out := env.Series.At(env.Now())
+			out := env.outside()
 			collector.Observe(day, env.state.PodInlet, env.state.RelHumidity(),
 				out.Temp, env.Plant.Power(), env.Cluster.ITPower(), PhysicsStepSeconds)
 			diskCollector.Observe(day, env.state.Disk, 50, out.Temp, 0, 0, PhysicsStepSeconds)
@@ -326,7 +326,7 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 
 // observation builds the controller-facing sensor snapshot.
 func (e *Env) observation() control.Observation {
-	out := e.Series.At(e.now)
+	out := e.outside()
 	return control.Observation{
 		Time:            e.now,
 		Day:             dayOf(e.now),
@@ -356,7 +356,7 @@ func countMetered(recs []hadoopJobRecord) int {
 }
 
 func seriesPoint(e *Env, eff cooling.Command) SeriesPoint {
-	out := e.Series.At(e.now)
+	out := e.outside()
 	p := SeriesPoint{
 		Time:      e.now,
 		Outside:   out.Temp,

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"coolair/internal/control"
@@ -379,5 +380,48 @@ func TestExplicitZeroLimitsRoundTrip(t *testing.T) {
 	// An explicit nonzero value passes through either way.
 	if got := (RunConfig{MaxTemp: 27}).withDefaults(); got.MaxTemp != 27 {
 		t.Errorf("explicit MaxTemp 27 became %v", got.MaxTemp)
+	}
+}
+
+// TestNewEnvConcurrent builds environments for a mix of climates from
+// many goroutines at once. Run with -race it proves the shared TMY
+// cache behind NewEnv is safe for parallel campaign grids, and it pins
+// the sharing itself: every Env of one climate must see the same
+// synthesized series.
+func TestNewEnvConcurrent(t *testing.T) {
+	climates := []weather.Climate{weather.Newark, weather.Santiago, weather.Singapore}
+	const perClimate = 6
+	series := make([][]*weather.Series, len(climates))
+	errs := make([][]error, len(climates))
+	var wg sync.WaitGroup
+	for i := range climates {
+		series[i] = make([]*weather.Series, perClimate)
+		errs[i] = make([]error, perClimate)
+		for j := 0; j < perClimate; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				env, err := NewEnv(climates[i], SmoothSim)
+				if err != nil {
+					errs[i][j] = err
+					return
+				}
+				series[i][j] = env.Series
+				// Exercise reads that race with any synthesis bug.
+				env.Series.DayMean(100)
+				env.outside()
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	for i := range climates {
+		for j := 0; j < perClimate; j++ {
+			if errs[i][j] != nil {
+				t.Fatalf("NewEnv(%s): %v", climates[i].Name, errs[i][j])
+			}
+			if series[i][j] != series[i][0] {
+				t.Errorf("%s env %d got a different series instance", climates[i].Name, j)
+			}
+		}
 	}
 }

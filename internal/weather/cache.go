@@ -1,0 +1,25 @@
+package weather
+
+import "sync"
+
+// tmyCache memoizes synthesized years per climate. Climate is a small
+// comparable value type, so it keys the map directly.
+var tmyCache sync.Map // Climate → *Series
+
+// TMY returns the typical meteorological year for the climate,
+// synthesizing it on first use and memoizing the result. GenerateTMY is
+// deterministic, so every caller sees the same series whether or not it
+// hits the cache; two goroutines racing on the first request may both
+// synthesize, but only one result is kept. The returned Series is
+// shared across callers and must be treated as read-only.
+//
+// Environment construction is the hot consumer: a climate×system
+// experiment grid builds one Env per cell, and before this cache each
+// build re-synthesized the identical 8760-hour series.
+func TMY(c Climate) *Series {
+	if v, ok := tmyCache.Load(c); ok {
+		return v.(*Series)
+	}
+	v, _ := tmyCache.LoadOrStore(c, GenerateTMY(c))
+	return v.(*Series)
+}

@@ -1,0 +1,160 @@
+package weather
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"coolair/internal/units"
+)
+
+// TestSeriesOutOfRangeWraps pins the periodic contract of the accessors:
+// negative and beyond-a-year inputs read the same samples as their
+// wrapped equivalents, without panicking.
+func TestSeriesOutOfRangeWraps(t *testing.T) {
+	s := GenerateTMY(Newark)
+
+	secondsPerYear := float64(HoursPerYear) * 3600
+	for _, sec := range []float64{0, 3600 * 13.5, 86400 * 200} {
+		want := s.At(sec)
+		if got := s.At(sec + secondsPerYear); got != want {
+			t.Errorf("At(%v + year) = %+v, want %+v", sec, got, want)
+		}
+		if got := s.At(sec - secondsPerYear); got != want {
+			t.Errorf("At(%v - year) = %+v, want %+v", sec, got, want)
+		}
+	}
+
+	for _, d := range []int{0, 150, 364} {
+		if got, want := s.DayMean(d+DaysPerYear), s.DayMean(d); got != want {
+			t.Errorf("DayMean(%d+year) = %v, want %v", d, got, want)
+		}
+		if got, want := s.DayMean(d-DaysPerYear), s.DayMean(d); got != want {
+			t.Errorf("DayMean(%d-year) = %v, want %v", d, got, want)
+		}
+		glo, ghi := s.DayRange(d - DaysPerYear)
+		wlo, whi := s.DayRange(d)
+		if glo != wlo || ghi != whi {
+			t.Errorf("DayRange(%d-year) = (%v,%v), want (%v,%v)", d, glo, ghi, wlo, whi)
+		}
+		got, want := s.Hourly(d+2*DaysPerYear), s.Hourly(d)
+		for h := range want {
+			if got[h] != want[h] {
+				t.Errorf("Hourly(%d+2y)[%d] = %v, want %v", d, h, got[h], want[h])
+			}
+		}
+	}
+}
+
+// TestSeriesShortAndEmpty exercises hand-built series that are shorter
+// than a year: every accessor must degrade gracefully instead of
+// indexing out of range.
+func TestSeriesShortAndEmpty(t *testing.T) {
+	short := &Series{
+		Temp: []units.Celsius{10, 12, 14, 16},
+		RH:   []units.RelHumidity{40, 45, 50, 55},
+	}
+	if got := short.At(0); got.Temp != 10 {
+		t.Errorf("short At(0).Temp = %v, want 10", got.Temp)
+	}
+	// Hour 5 wraps to sample 1 of the 4-hour period.
+	if got := short.At(5 * 3600); got.Temp != 12 {
+		t.Errorf("short At(5h).Temp = %v, want 12", got.Temp)
+	}
+	if got := short.At(-3600); got.Temp != 16 {
+		t.Errorf("short At(-1h).Temp = %v, want 16", got.Temp)
+	}
+	short.DayMean(0)
+	short.DayRange(3)
+	short.Hourly(-7)
+	short.Sample(123456)
+	short.Stats()
+
+	empty := &Series{}
+	if got := empty.At(1234); got != (Conditions{}) {
+		t.Errorf("empty At = %+v, want zero", got)
+	}
+	if got := empty.DayMean(5); got != 0 {
+		t.Errorf("empty DayMean = %v, want 0", got)
+	}
+	empty.DayRange(0)
+	if got := empty.Hourly(2); len(got) != HoursPerDay {
+		t.Errorf("empty Hourly len = %d, want %d", len(got), HoursPerDay)
+	}
+	if got := empty.Sample(0); got.Abs() != 0 {
+		t.Errorf("empty Sample Abs = %v, want 0", got.Abs())
+	}
+	empty.Stats()
+}
+
+// TestSampleMatchesAt pins the byte-identity contract of Sample: the
+// conditions equal At's, and the memoized humidity ratio equals the
+// conversion every At caller previously performed — including at exact
+// hours, where the precomputed track is used.
+func TestSampleMatchesAt(t *testing.T) {
+	s := GenerateTMY(Newark)
+	for _, sec := range []float64{0, 7200, 7200 + 930, 86400*41 + 12345, -3600 * 7} {
+		at := s.At(sec)
+		sm := s.Sample(sec)
+		if sm.Temp != at.Temp || sm.RH != at.RH {
+			t.Errorf("Sample(%v) = (%v,%v), At = (%v,%v)", sec, sm.Temp, sm.RH, at.Temp, at.RH)
+		}
+		want := units.AbsFromRel(at.Temp, at.RH)
+		if got := sm.Abs(); got != want {
+			t.Errorf("Sample(%v).Abs() = %v, want %v (bitwise)", sec, got, want)
+		}
+	}
+}
+
+// TestTMYCache verifies the memo returns one shared series per climate
+// and that the cached series is what GenerateTMY produces.
+func TestTMYCache(t *testing.T) {
+	a := TMY(Newark)
+	if b := TMY(Newark); a != b {
+		t.Fatal("TMY(Newark) returned two distinct series")
+	}
+	if c := TMY(Santiago); c == a {
+		t.Fatal("distinct climates share a cached series")
+	}
+	gen := GenerateTMY(Newark)
+	for _, h := range []int{0, 1234, HoursPerYear - 1} {
+		if a.Temp[h] != gen.Temp[h] || a.RH[h] != gen.RH[h] || a.Abs[h] != gen.Abs[h] {
+			t.Fatalf("cached series differs from GenerateTMY at hour %d", h)
+		}
+	}
+}
+
+// TestTMYCacheConcurrent hammers the cache from many goroutines across
+// a mix of climates; run with -race it proves the memoization is safe
+// for concurrent environment construction (campaign grids build one Env
+// per cell in parallel).
+func TestTMYCacheConcurrent(t *testing.T) {
+	climates := []Climate{Newark, Santiago, Singapore, Chad}
+	var wg sync.WaitGroup
+	got := make([][]*Series, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]*Series, len(climates))
+			for rep := 0; rep < 4; rep++ {
+				for i, c := range climates {
+					s := TMY(c)
+					// Touch the data to surface races with synthesis.
+					if math.IsNaN(float64(s.At(3600 * float64(g)).Temp)) {
+						t.Errorf("NaN sample from cached series %s", c.Name)
+					}
+					got[g][i] = s
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(got); g++ {
+		for i := range climates {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d saw a different %s series", g, climates[i].Name)
+			}
+		}
+	}
+}

@@ -12,17 +12,39 @@ import (
 type Conditions struct {
 	Temp units.Celsius
 	RH   units.RelHumidity
+
+	// abs memoizes the humidity ratio when the producer already knows
+	// it (Series.Sample). The RH→absolute conversion costs an exp per
+	// call and the physics, the evaporative cooler, and the controller
+	// each re-derive it from the same sample every tick; the memo lets
+	// one conversion serve them all without changing any value.
+	abs    units.AbsHumidity
+	absSet bool
 }
 
 // Abs returns the humidity ratio of the sample.
-func (c Conditions) Abs() units.AbsHumidity { return units.AbsFromRel(c.Temp, c.RH) }
+func (c Conditions) Abs() units.AbsHumidity {
+	if c.absSet {
+		return c.abs
+	}
+	return units.AbsFromRel(c.Temp, c.RH)
+}
 
 // Series is a synthetic typical meteorological year at hourly
 // resolution. Index 0 is hour 0 of day 0 (January 1st, midnight local).
+//
+// Accessors treat the series as periodic with its own length: any time
+// or day index, including negative ones and ones beyond the stored
+// year, wraps around rather than panicking, and an empty series yields
+// zero values.
 type Series struct {
 	Climate Climate
 	Temp    []units.Celsius     // HoursPerYear entries
 	RH      []units.RelHumidity // HoursPerYear entries
+	// Abs is the humidity ratio of each hourly sample, precomputed by
+	// GenerateTMY so exact-hour reads skip the conversion. Hand-built
+	// series may leave it empty; accessors fall back to converting.
+	Abs []units.AbsHumidity
 }
 
 // front is one synoptic sinusoid contributing multi-day variability.
@@ -86,6 +108,7 @@ func GenerateTMY(c Climate) *Series {
 		Climate: c,
 		Temp:    make([]units.Celsius, HoursPerYear),
 		RH:      make([]units.RelHumidity, HoursPerYear),
+		Abs:     make([]units.AbsHumidity, HoursPerYear),
 	}
 	for h := 0; h < HoursPerYear; h++ {
 		day := float64(h) / HoursPerDay
@@ -108,41 +131,109 @@ func GenerateTMY(c Climate) *Series {
 		if s.RH[h] < 5 {
 			s.RH[h] = 5
 		}
+		s.Abs[h] = units.AbsFromRel(s.Temp[h], s.RH[h])
 	}
 	return s
 }
 
+// sampleIndex resolves a simulation time (seconds since January 1st,
+// midnight) to the bracketing hourly sample indices and interpolation
+// fraction. Times before hour 0 or beyond the stored span wrap around
+// the series length; ok is false for an empty series.
+func (s *Series) sampleIndex(second float64) (h0, h1 int, frac float64, ok bool) {
+	n := len(s.Temp)
+	if n == 0 {
+		return 0, 0, 0, false
+	}
+	hf := second / 3600
+	i := int(math.Floor(hf))
+	frac = hf - float64(i)
+	h0 = ((i % n) + n) % n
+	h1 = (h0 + 1) % n
+	return h0, h1, frac, true
+}
+
+// rhAt reads the RH sample defensively: hand-built series may carry
+// fewer RH entries than temperatures.
+func (s *Series) rhAt(h int) units.RelHumidity {
+	if h < len(s.RH) {
+		return s.RH[h]
+	}
+	return 0
+}
+
 // At returns the outside conditions at the given simulation time
 // (seconds since January 1st, midnight), linearly interpolated between
-// hourly samples. Times beyond the year wrap around.
+// hourly samples. Out-of-range times (negative or beyond the stored
+// span) wrap around; an empty series yields zero conditions.
 func (s *Series) At(second float64) Conditions {
-	hf := second / 3600
-	h0 := int(math.Floor(hf))
-	frac := hf - float64(h0)
-	h0 = ((h0 % HoursPerYear) + HoursPerYear) % HoursPerYear
-	h1 := (h0 + 1) % HoursPerYear
+	h0, h1, frac, ok := s.sampleIndex(second)
+	if !ok {
+		return Conditions{}
+	}
 	return Conditions{
 		Temp: units.Celsius(units.Lerp(float64(s.Temp[h0]), float64(s.Temp[h1]), frac)),
-		RH:   units.RelHumidity(units.Lerp(float64(s.RH[h0]), float64(s.RH[h1]), frac)),
+		RH:   units.RelHumidity(units.Lerp(float64(s.rhAt(h0)), float64(s.rhAt(h1)), frac)),
 	}
 }
 
-// DayMean returns the mean outside temperature of day d (0-based).
-func (s *Series) DayMean(d int) units.Celsius {
+// Sample returns At plus the humidity ratio of the sample, memoized
+// inside the returned Conditions so downstream Abs() calls skip the
+// conversion. Exact-hour reads reuse the precomputed hourly track;
+// interpolated reads convert the interpolated sample once (converting
+// after interpolation is what At callers have always observed — the
+// conversion is nonlinear, so interpolating the track instead would
+// change values).
+func (s *Series) Sample(second float64) Conditions {
+	h0, _, frac, ok := s.sampleIndex(second)
+	if !ok {
+		return Conditions{}
+	}
+	c := s.At(second)
+	if frac == 0 && h0 < len(s.Abs) {
+		c.abs = s.Abs[h0]
+	} else {
+		c.abs = units.AbsFromRel(c.Temp, c.RH)
+	}
+	c.absSet = true
+	return c
+}
+
+// dayStart returns the first hour index of day d after wrapping, and
+// the series length; ok is false for an empty series.
+func (s *Series) dayStart(d int) (start, n int, ok bool) {
+	n = len(s.Temp)
+	if n == 0 {
+		return 0, 0, false
+	}
 	d = ((d % DaysPerYear) + DaysPerYear) % DaysPerYear
+	return d * HoursPerDay, n, true
+}
+
+// DayMean returns the mean outside temperature of day d (0-based).
+// Out-of-range days wrap; an empty series yields 0.
+func (s *Series) DayMean(d int) units.Celsius {
+	start, n, ok := s.dayStart(d)
+	if !ok {
+		return 0
+	}
 	sum := 0.0
 	for h := 0; h < HoursPerDay; h++ {
-		sum += float64(s.Temp[d*HoursPerDay+h])
+		sum += float64(s.Temp[(start+h)%n])
 	}
 	return units.Celsius(sum / HoursPerDay)
 }
 
 // DayRange returns the min and max hourly outside temperature of day d.
+// Out-of-range days wrap; an empty series yields (0, 0).
 func (s *Series) DayRange(d int) (lo, hi units.Celsius) {
-	d = ((d % DaysPerYear) + DaysPerYear) % DaysPerYear
-	lo, hi = s.Temp[d*HoursPerDay], s.Temp[d*HoursPerDay]
+	start, n, ok := s.dayStart(d)
+	if !ok {
+		return 0, 0
+	}
+	lo, hi = s.Temp[start%n], s.Temp[start%n]
 	for h := 1; h < HoursPerDay; h++ {
-		v := s.Temp[d*HoursPerDay+h]
+		v := s.Temp[(start+h)%n]
 		if v < lo {
 			lo = v
 		}
@@ -153,11 +244,17 @@ func (s *Series) DayRange(d int) (lo, hi units.Celsius) {
 	return lo, hi
 }
 
-// Hourly returns the 24 hourly temperatures of day d.
+// Hourly returns the 24 hourly temperatures of day d. Out-of-range days
+// wrap; an empty series yields zeros.
 func (s *Series) Hourly(d int) []units.Celsius {
-	d = ((d % DaysPerYear) + DaysPerYear) % DaysPerYear
 	out := make([]units.Celsius, HoursPerDay)
-	copy(out, s.Temp[d*HoursPerDay:(d+1)*HoursPerDay])
+	start, n, ok := s.dayStart(d)
+	if !ok {
+		return out
+	}
+	for h := 0; h < HoursPerDay; h++ {
+		out[h] = s.Temp[(start+h)%n]
+	}
 	return out
 }
 
@@ -170,14 +267,19 @@ type AnnualStats struct {
 	MeanRH         units.RelHumidity
 }
 
-// Stats computes annual summary statistics of the series.
+// Stats computes annual summary statistics of the series. An empty
+// series yields zero stats.
 func (s *Series) Stats() AnnualStats {
+	n := len(s.Temp)
+	if n == 0 {
+		return AnnualStats{}
+	}
 	st := AnnualStats{Min: s.Temp[0], Max: s.Temp[0]}
 	sum, sumRH := 0.0, 0.0
-	for h := 0; h < HoursPerYear; h++ {
+	for h := 0; h < n; h++ {
 		v := s.Temp[h]
 		sum += float64(v)
-		sumRH += float64(s.RH[h])
+		sumRH += float64(s.rhAt(h))
 		if v < st.Min {
 			st.Min = v
 		}
@@ -185,8 +287,8 @@ func (s *Series) Stats() AnnualStats {
 			st.Max = v
 		}
 	}
-	st.Mean = units.Celsius(sum / HoursPerYear)
-	st.MeanRH = units.RelHumidity(sumRH / HoursPerYear)
+	st.Mean = units.Celsius(sum / float64(n))
+	st.MeanRH = units.RelHumidity(sumRH / float64(n))
 	sumRange := 0.0
 	for d := 0; d < DaysPerYear; d++ {
 		lo, hi := s.DayRange(d)
