@@ -15,6 +15,12 @@
 //	    or median allocs/op above baseline plus the allowed slack.
 //	    Time gets a wide band (CI machines are noisy); allocation
 //	    counts are deterministic, so they get almost none.
+//
+//	    With -gate-allocs-only the ns/op check is skipped entirely.
+//	    CI uses this: the committed baseline's absolute times were
+//	    recorded on a different machine, so only allocs/op is
+//	    cross-machine stable. The full gate is for local runs on the
+//	    baseline machine (`make bench-check`).
 package main
 
 import (
@@ -59,6 +65,7 @@ func main() {
 		out        = flag.String("out", "", "parse bench text on stdin, write JSON baseline to this path")
 		emit       = flag.String("emit", "", "re-emit this JSON baseline as bench text on stdout")
 		gate       = flag.Bool("gate", false, "compare -current against -baseline, exit 1 on regression")
+		allocsOnly = flag.Bool("gate-allocs-only", false, "gate only allocs/op (skip ns/op: absolute times are not comparable across machines)")
 		baseline   = flag.String("baseline", "BENCH_decision.json", "committed baseline for -gate")
 		current    = flag.String("current", "", "fresh-run JSON for -gate")
 		tolerance  = flag.Float64("tolerance", 0.35, "allowed fractional median ns/op increase for -gate")
@@ -80,7 +87,7 @@ func main() {
 		if err != nil {
 			fatal("current: %v", err)
 		}
-		if !runGate(base, cur, *tolerance, *allocSlack) {
+		if !runGate(base, cur, *tolerance, *allocSlack, *allocsOnly) {
 			os.Exit(1)
 		}
 	case *emit != "":
@@ -220,8 +227,9 @@ func emitText(f *File) {
 
 // runGate reports whether every baseline benchmark present in the fresh
 // run stays inside the regression bands; it prints one verdict line per
-// benchmark.
-func runGate(base, cur *File, tolerance, allocSlack float64) bool {
+// benchmark. With allocsOnly the ns/op band is not checked — allocation
+// counts are the only metric stable across machines.
+func runGate(base, cur *File, tolerance, allocSlack float64, allocsOnly bool) bool {
 	curBy := map[string]Benchmark{}
 	for _, b := range cur.Benchmarks {
 		curBy[b.Name] = b
@@ -237,7 +245,7 @@ func runGate(base, cur *File, tolerance, allocSlack float64) bool {
 		nsLimit := old.MedianNs * (1 + tolerance)
 		allocLimit := old.MedianAllocs + allocSlack
 		switch {
-		case now.MedianNs > nsLimit:
+		case !allocsOnly && now.MedianNs > nsLimit:
 			fmt.Printf("FAIL %s: median %.0f ns/op exceeds %.0f (baseline %.0f +%d%%)\n",
 				old.Name, now.MedianNs, nsLimit, old.MedianNs, int(tolerance*100))
 			ok = false

@@ -63,17 +63,30 @@ func TestGate(t *testing.T) {
 	}}
 	missing := &File{}
 
-	if !runGate(base, pass, 0.35, 1) {
+	if !runGate(base, pass, 0.35, 1, false) {
 		t.Error("10% slowdown inside 35% tolerance should pass")
 	}
-	if runGate(base, slow, 0.35, 1) {
+	if runGate(base, slow, 0.35, 1, false) {
 		t.Error("60% slowdown should fail")
 	}
-	if runGate(base, leaky, 0.35, 1) {
+	if runGate(base, leaky, 0.35, 1, false) {
 		t.Error("+5 allocs/op should fail")
 	}
-	if runGate(base, missing, 0.35, 1) {
+	if runGate(base, missing, 0.35, 1, false) {
 		t.Error("missing benchmark should fail")
+	}
+
+	// Allocs-only mode (CI): ns/op regressions are ignored — the
+	// baseline machine differs from the runner — but alloc regressions
+	// and missing benchmarks still fail.
+	if !runGate(base, slow, 0.35, 1, true) {
+		t.Error("allocs-only gate should ignore a 60% slowdown")
+	}
+	if runGate(base, leaky, 0.35, 1, true) {
+		t.Error("allocs-only gate should still fail on +5 allocs/op")
+	}
+	if runGate(base, missing, 0.35, 1, true) {
+		t.Error("allocs-only gate should still fail on a missing benchmark")
 	}
 }
 

@@ -375,10 +375,13 @@ func (g *Guard) sanitize(obs Observation) sanitized {
 		}
 	}
 
-	out.Outside.Temp = units.Celsius(g.sanitizeScalar(&g.outside,
-		float64(obs.Outside.Temp), float64(g.cfg.MinValid)-20, float64(g.cfg.MaxValid), 15))
-	out.Outside.RH = units.RelHumidity(g.sanitizeScalar(&g.outRH,
-		float64(obs.Outside.RH), 0, 100, 50))
+	// SetTemp/SetRH (not direct field writes) drop the humidity-ratio
+	// memo carried by the sample, so Abs() downstream of the guard
+	// reflects the sanitized values rather than the raw reading.
+	out.Outside.SetTemp(units.Celsius(g.sanitizeScalar(&g.outside,
+		float64(obs.Outside.Temp), float64(g.cfg.MinValid)-20, float64(g.cfg.MaxValid), 15)))
+	out.Outside.SetRH(units.RelHumidity(g.sanitizeScalar(&g.outRH,
+		float64(obs.Outside.RH), 0, 100, 50)))
 	out.InsideRH = units.RelHumidity(g.sanitizeScalar(&g.insideRH,
 		float64(obs.InsideRH), 0, 100, 50))
 

@@ -296,6 +296,37 @@ func TestGuardRejectsInvalidCommand(t *testing.T) {
 	}
 }
 
+func TestGuardSanitizationInvalidatesAbsMemo(t *testing.T) {
+	// Outside conditions arrive from weather.Series.Sample with a
+	// memoized humidity ratio. When the guard substitutes an insane
+	// outside reading, the sanitized sample's Abs() must describe the
+	// substituted values, not the raw ones (regression: sanitize used
+	// to assign Outside.Temp/RH directly, leaving the memo stale).
+	s := &weather.Series{
+		Temp: []units.Celsius{200, 200},
+		RH:   []units.RelHumidity{55, 55},
+		Abs:  []units.AbsHumidity{weather.Conditions{Temp: 200, RH: 55}.Abs()},
+	}
+	var seen Observation
+	inner := &scriptedController{decide: func(o Observation) (cooling.Command, error) {
+		seen = o
+		return cooling.Command{Mode: cooling.ModeACFan}, nil
+	}}
+	g := NewGuard(inner, GuardConfig{})
+
+	obs := obsAt(600)
+	obs.Outside = s.Sample(0)
+	if _, err := g.Decide(obs); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Outside.Temp != 15 {
+		t.Fatalf("200°C outside reading not substituted: %v", seen.Outside.Temp)
+	}
+	if got, want := seen.Outside.Abs(), units.AbsFromRel(seen.Outside.Temp, seen.Outside.RH); got != want {
+		t.Errorf("sanitized Abs() = %v, want %v (stale memo from raw sample?)", got, want)
+	}
+}
+
 func TestGuardForwardsInterfaces(t *testing.T) {
 	observed := 0
 	inner := &scriptedController{observe: func(Observation) { observed++ }}

@@ -90,7 +90,19 @@ func (l *Lab) Model(fid sim.Fidelity) (*model.Model, error) {
 	}
 	l.mu.Unlock()
 	slot.once.Do(func() { slot.m, slot.err = l.train(fid, trace) })
-	return slot.m, slot.err
+	if slot.err != nil {
+		// Don't cache a failed campaign for the process lifetime: drop
+		// the slot (if it is still the installed one) so the next call
+		// retries with a fresh once. Concurrent waiters on this once
+		// still all observe this attempt's error.
+		l.mu.Lock()
+		if l.models[fid] == slot {
+			delete(l.models, fid)
+		}
+		l.mu.Unlock()
+		return nil, slot.err
+	}
+	return slot.m, nil
 }
 
 // train runs the data-collection campaign and fits the model. It holds

@@ -178,6 +178,35 @@ func TestScalarTargets(t *testing.T) {
 	}
 }
 
+func TestOutsideFaultInvalidatesAbsMemo(t *testing.T) {
+	// In the real loop the observation's Outside comes from
+	// weather.Series.Sample, which memoizes the humidity ratio inside
+	// the Conditions. Corrupting Temp/RH must drop that memo, or the
+	// fault would be invisible to every downstream Abs() consumer
+	// (regression: the injector used to assign the fields directly).
+	s := &weather.Series{
+		Temp: []units.Celsius{18, 18},
+		RH:   []units.RelHumidity{55, 55},
+		Abs:  []units.AbsHumidity{units.AbsFromRel(18, 55), units.AbsFromRel(18, 55)},
+	}
+	in, err := NewInjector(Plan{Faults: []Fault{
+		{Kind: SensorStuck, Target: TargetOutsideTemp, Start: 0, Duration: 100, Magnitude: 35},
+		{Kind: SensorStuck, Target: TargetOutsideRH, Start: 0, Duration: 100, Magnitude: 20},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := testObs(50)
+	obs.Outside = s.Sample(0)
+	in.PerturbObservation(&obs)
+	if obs.Outside.Temp != 35 || obs.Outside.RH != 20 {
+		t.Fatalf("stuck-at faults did not fire: %+v", obs.Outside)
+	}
+	if got, want := obs.Outside.Abs(), units.AbsFromRel(35, 20); got != want {
+		t.Errorf("Abs() after corruption = %v, want %v (stale memo from the clean sample?)", got, want)
+	}
+}
+
 func TestActuatorFaults(t *testing.T) {
 	in, err := NewInjector(Plan{Faults: []Fault{
 		{Kind: FanStuck, Start: 0, Duration: 1000, Magnitude: 0.2},

@@ -83,9 +83,12 @@ func (in *Injector) PerturbObservation(obs *control.Observation) {
 		case TargetInsideRH:
 			obs.InsideRH = units.RelHumidity(in.corrupt(fi, f, 0, t, float64(obs.InsideRH)))
 		case TargetOutsideTemp:
-			obs.Outside.Temp = units.Celsius(in.corrupt(fi, f, 0, t, float64(obs.Outside.Temp)))
+			// The setters (not direct field writes) drop the humidity-
+			// ratio memo Series.Sample left behind, so the corruption
+			// reaches downstream Abs() consumers too.
+			obs.Outside.SetTemp(units.Celsius(in.corrupt(fi, f, 0, t, float64(obs.Outside.Temp))))
 		case TargetOutsideRH:
-			obs.Outside.RH = units.RelHumidity(in.corrupt(fi, f, 0, t, float64(obs.Outside.RH)))
+			obs.Outside.SetRH(units.RelHumidity(in.corrupt(fi, f, 0, t, float64(obs.Outside.RH))))
 		}
 	}
 }

@@ -18,6 +18,11 @@ type Conditions struct {
 	// call and the physics, the evaporative cooler, and the controller
 	// each re-derive it from the same sample every tick; the memo lets
 	// one conversion serve them all without changing any value.
+	//
+	// Anything rewriting Temp or RH after the sample was produced
+	// (fault injection, sensor sanitization) must go through SetTemp /
+	// SetRH: assigning the fields directly would leave a stale memo and
+	// downstream Abs() calls would describe the pre-mutation sample.
 	abs    units.AbsHumidity
 	absSet bool
 }
@@ -28,6 +33,20 @@ func (c Conditions) Abs() units.AbsHumidity {
 		return c.abs
 	}
 	return units.AbsFromRel(c.Temp, c.RH)
+}
+
+// SetTemp replaces the sample's temperature and discards any memoized
+// humidity ratio so the next Abs() reflects the new value.
+func (c *Conditions) SetTemp(t units.Celsius) {
+	c.Temp = t
+	c.absSet = false
+}
+
+// SetRH replaces the sample's relative humidity and discards any
+// memoized humidity ratio so the next Abs() reflects the new value.
+func (c *Conditions) SetRH(rh units.RelHumidity) {
+	c.RH = rh
+	c.absSet = false
 }
 
 // Series is a synthetic typical meteorological year at hourly

@@ -282,6 +282,29 @@ func TestConditionsAbs(t *testing.T) {
 	}
 }
 
+func TestConditionsSettersInvalidateMemo(t *testing.T) {
+	// Series.Sample memoizes the humidity ratio inside the returned
+	// Conditions. Mutating the sample through the setters must discard
+	// that memo so Abs() tracks the new values (regression: the fault
+	// injector and sensor guard rewrite Temp/RH after sampling).
+	s := GenerateTMY(Newark)
+	c := s.Sample(0)
+	if c.Abs() != s.Abs[0] {
+		t.Fatalf("Sample(0).Abs() = %v, want memoized %v", c.Abs(), s.Abs[0])
+	}
+
+	c.SetTemp(c.Temp + 15)
+	if got, want := c.Abs(), units.AbsFromRel(c.Temp, c.RH); got != want {
+		t.Errorf("Abs() after SetTemp = %v, want fresh conversion %v", got, want)
+	}
+
+	c = s.Sample(0)
+	c.SetRH(c.RH / 2)
+	if got, want := c.Abs(), units.AbsFromRel(c.Temp, c.RH); got != want {
+		t.Errorf("Abs() after SetRH = %v, want fresh conversion %v", got, want)
+	}
+}
+
 func TestBiasedForecastHourlyDeterminism(t *testing.T) {
 	s := GenerateTMY(Newark)
 	mk := func(seed int64) BiasedForecast {
