@@ -5,7 +5,7 @@
 BENCH_PATTERN := BenchmarkCoolAirDecision$$|BenchmarkPredictWindow$$|BenchmarkTMYGeneration$$
 BENCH_COUNT   := 5
 
-.PHONY: build test check bench bench-check
+.PHONY: build test vet lint check bench bench-check
 
 build:
 	go build ./...
@@ -13,8 +13,16 @@ build:
 test:
 	go test ./...
 
-check: build
+# vet runs the standard toolchain checks plus coolair-vet, the project's
+# own analyzer suite (internal/analysis): memoguard, unitcast,
+# scratchretain, floateq. See README "Static analysis".
+vet:
 	go vet ./...
+	go run ./cmd/coolair-vet ./...
+
+lint: vet
+
+check: build lint
 	go test -race ./...
 
 # bench reruns the decision-path benchmarks and refreshes the committed

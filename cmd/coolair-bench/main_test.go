@@ -78,15 +78,36 @@ func TestGate(t *testing.T) {
 
 	// Allocs-only mode (CI): ns/op regressions are ignored — the
 	// baseline machine differs from the runner — but alloc regressions
-	// and missing benchmarks still fail.
+	// still fail.
 	if !runGate(base, slow, 0.35, 1, true) {
 		t.Error("allocs-only gate should ignore a 60% slowdown")
 	}
 	if runGate(base, leaky, 0.35, 1, true) {
 		t.Error("allocs-only gate should still fail on +5 allocs/op")
 	}
-	if runGate(base, missing, 0.35, 1, true) {
-		t.Error("allocs-only gate should still fail on a missing benchmark")
+}
+
+// TestGateAllocsOnlySkipsMissing pins the -gate-allocs-only contract for
+// baseline entries absent from the current run: they are skipped, not
+// failed. A benchmark kept in the baseline only for the local ns/op gate
+// (or renamed there) must not break CI's allocs-only gate — but the full
+// gate must still fail on it.
+func TestGateAllocsOnlySkipsMissing(t *testing.T) {
+	base := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkCoolAirDecision", MedianNs: 10000, MedianAllocs: 0},
+		{Name: "BenchmarkLocalOnlyNsGate", MedianNs: 500},
+	}}
+	cur := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkCoolAirDecision", MedianNs: 11000, MedianAllocs: 0},
+	}}
+	if !runGate(base, cur, 0.35, 1, true) {
+		t.Error("allocs-only gate should skip a baseline benchmark missing from the current run")
+	}
+	if runGate(base, cur, 0.35, 1, false) {
+		t.Error("full gate should still fail on a missing benchmark")
+	}
+	if !runGate(base, &File{}, 0.35, 1, true) {
+		t.Error("allocs-only gate should skip even when every baseline benchmark is missing")
 	}
 }
 

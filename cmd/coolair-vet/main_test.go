@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExitCodes runs the multichecker driver in-process over the fixture
+// modules under testdata/ and asserts the documented exit-code contract:
+// 0 clean, 1 findings, 2 usage or load failure.
+func TestExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+
+	if code := run([]string{"-C", "testdata/cleanmod", "./..."}, &out, &errOut); code != 0 {
+		t.Errorf("clean fixture: exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean fixture printed diagnostics:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", "testdata/brokenmod", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("broken fixture: exit %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"broken.go:8:", "(floateq)",
+		"broken.go:12:", "(scratchretain)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("broken fixture output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", "testdata/no-such-dir", "./..."}, &out, &errOut); code != 2 {
+		t.Errorf("missing dir: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestList checks the -list roster output.
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list: exit %d, want 0", code)
+	}
+	for _, name := range []string{"memoguard", "unitcast", "scratchretain", "floateq"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}

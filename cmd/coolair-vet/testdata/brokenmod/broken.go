@@ -1,0 +1,14 @@
+// Package brokenmod is an integration fixture seeded with violations:
+// coolair-vet must exit 1 here and name each finding.
+package brokenmod
+
+var retained []float64
+
+// Equal is a floateq violation.
+func Equal(a, b float64) bool { return a == b }
+
+// GrabInto is a scratchretain violation.
+func GrabInto(buf []float64) []float64 {
+	retained = buf
+	return buf
+}

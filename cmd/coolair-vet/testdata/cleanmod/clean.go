@@ -1,0 +1,15 @@
+// Package cleanmod is an integration fixture with nothing to report:
+// coolair-vet must exit 0 here.
+package cleanmod
+
+// NearlyEqual compares floats the sanctioned way.
+func NearlyEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// Unset uses the allowlisted zero sentinel.
+func Unset(v float64) bool { return v == 0 }

@@ -1,0 +1,75 @@
+// Package analysis is CoolAir's static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// programming model plus the four project-specific analyzers that enforce
+// invariants this codebase has already been burned by (or is one edit away
+// from being burned by):
+//
+//   - memoguard:     no direct field writes to //coolair:memoized structs
+//     from outside their defining package (the PR-2
+//     weather.Conditions stale-memo bug class),
+//   - unitcast:      no direct conversions between distinct internal/units
+//     newtypes (dimensional confusion),
+//   - scratchretain: *Into/*Buf functions must not retain their
+//     caller-owned scratch arguments,
+//   - floateq:       no ==/!= on float-kinded operands outside the
+//     zero-sentinel allowlist (NaN hardening).
+//
+// The build container has no module cache and no network, so
+// golang.org/x/tools cannot be added to go.mod; this package keeps the
+// Analyzer/Pass/Diagnostic shape of x/tools (and an analysistest-style
+// harness in analysistest.go) so the analyzers could be ported onto the
+// real framework by swapping imports if the dependency ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer: a name, a doc string, and a Run
+// function applied once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned inside the Pass's FileSet.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// plus the fact store shared across the dependency graph. Packages are
+// analyzed in dependency order, so facts exported by a dependency are
+// visible to every package that imports it (this is how memoguard learns
+// which out-of-package types carry the //coolair:memoized marker).
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+	facts  map[string]bool
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportFact publishes a string fact (e.g. a marked type's qualified name)
+// for passes over packages that import this one. Facts are namespaced per
+// analyzer by the driver.
+func (p *Pass) ExportFact(key string) { p.facts[key] = true }
+
+// HasFact reports whether any already-analyzed package (including this
+// one) exported the fact under the same analyzer.
+func (p *Pass) HasFact(key string) bool { return p.facts[key] }

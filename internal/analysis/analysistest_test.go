@@ -1,0 +1,231 @@
+package analysis
+
+// This file is the suite's analysistest: a test-only harness mirroring
+// golang.org/x/tools/go/analysis/analysistest. Golden packages live under
+// testdata/<analyzer>/src/<importpath>/; expected findings are declared in
+// the source with
+//
+//	expr // want "regexp"
+//	expr // want `regexp`
+//
+// (several quoted patterns may follow one want). The harness typechecks
+// every golden package, runs the analyzer over them in dependency order —
+// so exported facts flow exactly as in the real driver — and fails the
+// test on any unmatched diagnostic or unsatisfied expectation.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runAnalysisTest loads testdata/<name>/src/... and checks the analyzer's
+// diagnostics against the want expectations.
+func runAnalysisTest(t *testing.T, analyzer *Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", analyzer.Name, "src")
+	pkgs := loadGolden(t, root)
+
+	var diags []Diagnostic
+	facts := map[string]bool{}
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			Analyzer:  analyzer,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			facts:     facts,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := analyzer.Run(pass); err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no golden packages under %s", root)
+	}
+
+	checkExpectations(t, pkgs[0].Fset, pkgs, diags)
+}
+
+// goldenPackage is one typechecked testdata package.
+type goldenPackage struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// loadGolden parses and typechecks every package directory under root, in
+// dependency order (testdata packages may only import each other).
+func loadGolden(t *testing.T, root string) []*goldenPackage {
+	t.Helper()
+	fset := token.NewFileSet()
+
+	dirs := map[string][]string{} // import path → file names
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".go") {
+			rel, _ := filepath.Rel(root, filepath.Dir(path))
+			ip := filepath.ToSlash(rel)
+			dirs[ip] = append(dirs[ip], d.Name())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parsed := map[string][]*ast.File{}
+	imports := map[string][]string{}
+	for ip, names := range dirs {
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(root, filepath.FromSlash(ip), name), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed[ip] = append(parsed[ip], f)
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				if _, local := dirs[p]; local {
+					imports[ip] = append(imports[ip], p)
+				}
+			}
+		}
+	}
+
+	// Topological order via DFS so importers come after their imports.
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string)
+	visit = func(ip string) {
+		if state[ip] != 0 {
+			if state[ip] == 1 {
+				t.Fatalf("import cycle through %s", ip)
+			}
+			return
+		}
+		state[ip] = 1
+		for _, dep := range imports[ip] {
+			visit(dep)
+		}
+		state[ip] = 2
+		order = append(order, ip)
+	}
+	var all []string
+	for ip := range dirs {
+		all = append(all, ip)
+	}
+	sort.Strings(all)
+	for _, ip := range all {
+		visit(ip)
+	}
+
+	byPath := map[string]*types.Package{}
+	var pkgs []*goldenPackage
+	for _, ip := range order {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		cfg := types.Config{
+			Sizes: types.SizesFor("gc", runtime.GOARCH),
+			Importer: importerFunc(func(path string) (*types.Package, error) {
+				if p, ok := byPath[path]; ok {
+					return p, nil
+				}
+				return nil, &os.PathError{Op: "import", Path: path}
+			}),
+		}
+		pkg, err := cfg.Check(ip, fset, parsed[ip], info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", ip, err)
+		}
+		byPath[ip] = pkg
+		pkgs = append(pkgs, &goldenPackage{ImportPath: ip, Fset: fset, Files: parsed[ip], Pkg: pkg, Info: info})
+	}
+	return pkgs
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// wantRe matches the quoted patterns of a want comment.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one // want pattern, keyed to a file line.
+type expectation struct {
+	pos token.Position
+	re  *regexp.Regexp
+	hit bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pkgs []*goldenPackage, diags []Diagnostic) {
+	t.Helper()
+	byLine := map[string][]*expectation{}
+	key := func(p token.Position) string { return p.Filename + ":" + strconv.Itoa(p.Line) }
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, q := range wantRe.FindAllString(c.Text[idx+len("// want "):], -1) {
+						pattern, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+						}
+						byLine[key(pos)] = append(byLine[key(pos)], &expectation{pos: pos, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, exp := range byLine[key(pos)] {
+			if !exp.hit && exp.re.MatchString(d.Message) {
+				exp.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, exps := range byLine {
+		for _, exp := range exps {
+			if !exp.hit {
+				t.Errorf("%s: no diagnostic matched want %q", exp.pos, exp.re)
+			}
+		}
+	}
+}

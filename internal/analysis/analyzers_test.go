@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+func TestMemoguard(t *testing.T)     { runAnalysisTest(t, Memoguard) }
+func TestUnitcast(t *testing.T)      { runAnalysisTest(t, Unitcast) }
+func TestScratchretain(t *testing.T) { runAnalysisTest(t, Scratchretain) }
+func TestFloateq(t *testing.T)       { runAnalysisTest(t, Floateq) }
+
+// TestSuiteRegistration pins the multichecker roster: adding an analyzer
+// means adding it to All (and to this list once it has golden packages).
+func TestSuiteRegistration(t *testing.T) {
+	want := map[string]bool{"memoguard": true, "unitcast": true, "scratchretain": true, "floateq": true}
+	if len(All) != len(want) {
+		t.Fatalf("analysis.All has %d analyzers, want %d", len(All), len(want))
+	}
+	for _, a := range All {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q in All", a.Name)
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// All is the coolair-vet suite: every analyzer the multichecker runs.
+var All = []*Analyzer{Memoguard, Unitcast, Scratchretain, Floateq}
+
+// Run loads the packages matched by patterns (resolved relative to dir)
+// and applies every analyzer to each in-module package, in dependency
+// order so exported facts flow from defining packages to their importers.
+// Diagnostics come back sorted by position.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, *token.FileSet, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var fset *token.FileSet
+	for _, p := range pkgs {
+		if p.Fset != nil {
+			fset = p.Fset
+			break
+		}
+	}
+
+	var diags []Diagnostic
+	facts := map[*Analyzer]map[string]bool{}
+	for _, a := range analyzers {
+		facts[a] = map[string]bool{}
+	}
+	for _, pkg := range pkgs {
+		if !pkg.InModule {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				facts:     facts[a],
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, fset, nil
+}

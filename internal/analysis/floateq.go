@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloateqAllowMarker suppresses a floateq finding when it appears in a
+// comment on the same line as the comparison or on the line above it.
+// Every use should say why exact equality is intended (e.g. flatline
+// detection asks "did the sensor return the bit-identical value?").
+const FloateqAllowMarker = "coolair:allow-floateq"
+
+// Floateq flags == and != between float-kinded operands in non-test
+// files. Floating-point equality is almost always a latent bug in this
+// codebase: NaN compares unequal to everything (PR 1's hardening exists
+// because sensor channels produce NaNs), and values that are
+// mathematically equal differ after independent rounding. Compare against
+// an epsilon, use math.IsNaN, or — where exact equality is genuinely the
+// point — annotate the line with //coolair:allow-floateq and a reason.
+//
+// Allowlisted without annotation: comparisons where one operand is a
+// compile-time constant zero. Zero is the conventional "unset" sentinel
+// for durations and timestamps here, is exactly representable, and
+// survives every arithmetic identity (x+0, x*1) unchanged.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on float-kinded operands outside the zero-sentinel allowlist",
+	Run:  runFloateq,
+}
+
+func runFloateq(pass *Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		allowed := directiveLines(pass.Fset, f, FloateqAllowMarker)
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatKinded(pass, be.X) && !isFloatKinded(pass, be.Y) {
+				return true
+			}
+			if isConstZero(pass, be.X) || isConstZero(pass, be.Y) {
+				return true
+			}
+			line := pass.Fset.Position(be.Pos()).Line
+			if allowed[line] || allowed[line-1] {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"floating-point %s comparison: use an epsilon or math.IsNaN, or annotate with //%s <reason>",
+				be.Op, FloateqAllowMarker)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloatKinded reports whether the expression's type (through named
+// types — units.Celsius counts) is floating point.
+func isFloatKinded(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isConstZero reports whether e is a compile-time numeric constant equal
+// to zero.
+func isConstZero(pass *Pass, e ast.Expr) bool {
+	v := pass.TypesInfo.Types[e].Value
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		f, _ := constant.Float64Val(constant.ToFloat(v))
+		return f == 0
+	}
+	return false
+}
+
+// directiveLines returns the set of line numbers carrying the given
+// //coolair:... directive anywhere in a comment.
+func directiveLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, marker) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadedPackage is one typechecked package ready for analysis. Dependency
+// packages outside the module are typechecked with function bodies
+// ignored (only their exported type information matters) and are not
+// analyzed.
+type LoadedPackage struct {
+	ImportPath string
+	InModule   bool
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Load resolves the package patterns with `go list -deps -json` run in
+// dir, then parses and typechecks every listed package in dependency
+// order (the -deps flag emits depth-first post-order, so each package's
+// imports are always checked before the package itself). It is the
+// module-aware replacement for golang.org/x/tools/go/packages that keeps
+// this repo dependency-free: the go tool resolves build constraints and
+// import paths, and go/types does the rest from source.
+//
+// CGO_ENABLED=0 is forced so every package resolves to its pure-Go file
+// set; nothing in this module needs cgo.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	byPath := map[string]*LoadedPackage{}
+	var out []*LoadedPackage
+	imp := &mapImporter{pkgs: byPath}
+
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = &LoadedPackage{ImportPath: "unsafe", Pkg: types.Unsafe}
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		inModule := !lp.Standard && lp.Module != nil
+		files, err := parseDir(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		cfg := types.Config{
+			Importer:         imp,
+			Sizes:            types.SizesFor("gc", runtime.GOARCH),
+			IgnoreFuncBodies: !inModule,
+		}
+		var softErrs []error
+		if !inModule {
+			// Dependencies only contribute type information; tolerate
+			// errors (e.g. compiler intrinsics the pure typechecker
+			// dislikes) as long as a usable package comes back.
+			cfg.Error = func(err error) { softErrs = append(softErrs, err) }
+		}
+		pkg, err := cfg.Check(lp.ImportPath, fset, files, info)
+		if err != nil && inModule {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("%s: typecheck produced no package (first error: %v)", lp.ImportPath, firstErr(softErrs, err))
+		}
+		loaded := &LoadedPackage{
+			ImportPath: lp.ImportPath,
+			InModule:   inModule,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+		}
+		byPath[lp.ImportPath] = loaded
+		out = append(out, loaded)
+	}
+	return out, nil
+}
+
+func firstErr(errs []error, fallback error) error {
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return fallback
+}
+
+// goList shells out to the go tool for pattern resolution and build-tag
+// filtering; the returned slice is in dependency order.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,Standard,Module,Error", "-e"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(outPipe)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	return listed, nil
+}
+
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// mapImporter resolves imports from the set of already-typechecked
+// packages. Because Load walks packages in dependency order, every import
+// is present by the time it is needed.
+type mapImporter struct {
+	pkgs map[string]*LoadedPackage
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p.Pkg, nil
+	}
+	return nil, fmt.Errorf("import %q not yet loaded", path)
+}

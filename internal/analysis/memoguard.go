@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MemoizedMarker is the doc-comment directive that opts a struct type into
+// memoguard checking. See the convention write-up on weather.Conditions
+// (internal/weather/tmy.go).
+const MemoizedMarker = "coolair:memoized"
+
+// Memoguard flags direct writes to fields of a memoizing struct from
+// outside its defining package. A struct opts in by carrying the
+// //coolair:memoized directive in its doc comment; the defining package
+// is expected to expose setters that invalidate the memo.
+//
+// This is the PR-2 bug class mechanized: assigning weather.Conditions.Temp
+// or .RH directly leaves the memoized humidity ratio stale, so every
+// downstream Abs() call describes the pre-mutation sample — fault
+// injection and sensor sanitization silently stop reaching the
+// controller's humidity limit. Construction (composite literals) is fine:
+// a fresh value has no memo to invalidate. Writes inside the defining
+// package are fine too; that package owns the invariant.
+var Memoguard = &Analyzer{
+	Name: "memoguard",
+	Doc:  "flag direct field writes to //coolair:memoized structs from outside their defining package",
+	Run:  runMemoguard,
+}
+
+func runMemoguard(pass *Pass) error {
+	// Phase 1: export a fact for every marked struct declared here, so
+	// passes over importing packages (which run later — the driver walks
+	// in dependency order) can recognize the type.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				if hasMarker(gd.Doc, MemoizedMarker) || hasMarker(ts.Doc, MemoizedMarker) {
+					pass.ExportFact(pass.Pkg.Path() + "." + ts.Name.Name)
+				}
+			}
+		}
+	}
+
+	// Phase 2: flag assignments whose left-hand side is a field of a
+	// marked struct defined in another package.
+	check := func(lhs ast.Expr) {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return
+		}
+		named := namedRecv(selection.Recv())
+		if named == nil {
+			return
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg() == pass.Pkg {
+			return
+		}
+		qualified := obj.Pkg().Path() + "." + obj.Name()
+		if !pass.HasFact(qualified) {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"direct write to %s.%s: %s is marked //%s — assign through its setters so the memoized state is invalidated",
+			obj.Name(), sel.Sel.Name, qualified, MemoizedMarker)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					check(lhs)
+				}
+			case *ast.IncDecStmt:
+				check(n.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// namedRecv strips pointers off a selection receiver and returns the
+// named type underneath, if any.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// hasMarker reports whether a comment group contains the given
+// //coolair:... directive as its own line.
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+// Package floats exercises the floateq analyzer.
+package floats
+
+// temp is float-kinded through a named type, like units.Celsius.
+type temp float64
+
+// Bad compares floats for exact equality without annotation.
+func Bad(a, b float64, t temp) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	return t != temp(b) // want `floating-point != comparison`
+}
+
+// Good shows the allowlisted shapes.
+func Good(a float64, n, m int) bool {
+	if a == 0 { // zero literal: the conventional "unset" sentinel
+		return true
+	}
+	if a != 0.0 { // spelled as a float literal, still zero
+		return true
+	}
+	const unset = 0.0
+	if a == unset { // named compile-time zero
+		return true
+	}
+	if n == m { // integers are out of scope
+		return true
+	}
+	return a-1 < 1e-9 // epsilon comparisons are the recommended fix
+}
+
+// Annotated is exact on purpose and says so.
+func Annotated(a, b float64) bool {
+	return a == b //coolair:allow-floateq detecting a bit-identical repeated reading
+}
+
+// AnnotatedAbove carries the directive on the preceding line.
+func AnnotatedAbove(a, b float64) bool {
+	//coolair:allow-floateq memo key: both sides are the literal same stored value
+	return a != b
+}

@@ -1,0 +1,7 @@
+package floats
+
+// Test files are exempt: asserting exact float results is how Go tests
+// are written (got != want against computed constants).
+func helperWantEqual(got, want float64) bool {
+	return got != want
+}

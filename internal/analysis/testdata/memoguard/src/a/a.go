@@ -1,0 +1,41 @@
+// Package a declares the memoizing struct — a reconstruction of
+// weather.Conditions and the PR-2 stale-memo incident.
+package a
+
+// Memo is one sample with a memoized derived value.
+//
+//coolair:memoized
+type Memo struct {
+	Temp float64
+	RH   float64
+
+	memo   float64
+	memoOK bool
+}
+
+// SetTemp is the sanctioned mutation path: it drops the memo. Writes from
+// inside the defining package are always allowed — this package owns the
+// invariant.
+func (m *Memo) SetTemp(t float64) {
+	m.Temp = t
+	m.memoOK = false
+}
+
+// SetRH is the sanctioned mutation path for RH.
+func (m *Memo) SetRH(rh float64) {
+	m.RH = rh
+	m.memoOK = false
+}
+
+// Derived returns the memoized value.
+func (m *Memo) Derived() float64 {
+	if m.memoOK {
+		return m.memo
+	}
+	return m.Temp + m.RH
+}
+
+// Plain carries no marker: direct writes are fine from anywhere.
+type Plain struct {
+	X float64
+}

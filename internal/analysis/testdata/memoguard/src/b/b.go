@@ -1,0 +1,36 @@
+// Package b consumes the memoizing struct from outside its defining
+// package — the position fault injection and sensor sanitization were in
+// when PR 2's bug slipped through.
+package b
+
+import "a"
+
+// Bad reproduces the PR-2 incident: rewriting the sample's fields
+// directly leaves the memo stale.
+func Bad(m *a.Memo) {
+	m.Temp = 99 // want `direct write to Memo\.Temp: a\.Memo is marked //coolair:memoized`
+	m.RH = 50   // want `direct write to Memo\.RH`
+	m.Temp++    // want `direct write to Memo\.Temp`
+}
+
+// BadNested reaches the memoized struct through another struct.
+func BadNested(h *holder) {
+	h.m.Temp = 1 // want `direct write to Memo\.Temp`
+}
+
+type holder struct {
+	m a.Memo
+}
+
+// Good shows every sanctioned pattern: setters, construction, and reads.
+func Good(m *a.Memo) float64 {
+	m.SetTemp(21)            // setter invalidates the memo
+	m.SetRH(55)              //
+	fresh := a.Memo{Temp: 4} // composite literals start with an empty memo
+	return fresh.Derived() + m.Derived()
+}
+
+// Unmarked structs stay writable from anywhere.
+func Unmarked(p *a.Plain) {
+	p.X = 5
+}

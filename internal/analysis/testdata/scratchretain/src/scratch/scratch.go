@@ -1,0 +1,64 @@
+// Package scratch exercises the scratchretain analyzer: *Into / *Buf
+// functions must not retain their caller-owned buffers.
+package scratch
+
+type sink struct {
+	buf []float64
+}
+
+type state struct {
+	v []float64
+}
+
+var (
+	global []float64
+	keep   *state
+)
+
+// FillInto retains the scratch slice two forbidden ways: a field store
+// and a package-level store of a subslice.
+func (s *sink) FillInto(buf []float64) []float64 {
+	s.buf = buf      // want `FillInto stores caller-owned scratch "buf" in a field`
+	global = buf[:2] // want `FillInto stores caller-owned scratch "buf" in package-level variable "global"`
+	for i := range buf {
+		buf[i] = 0 // writing into the buffer's elements is the point
+	}
+	return buf[:1] // returning the filled buffer is the *Into contract
+}
+
+// LeaseBuf leaks the buffer through a returned closure.
+func LeaseBuf(buf []float64) func() []float64 {
+	return func() []float64 {
+		return buf // want `LeaseBuf captures caller-owned scratch "buf" in a returned closure`
+	}
+}
+
+// ResetInto retains a pointer-typed scratch argument.
+func ResetInto(dst *state) {
+	keep = dst // want `ResetInto stores caller-owned scratch "dst" in package-level variable "keep"`
+}
+
+// AppendInto is the canonical legitimate shape: alias locally, fill,
+// return.
+func AppendInto(dst []float64, n int) []float64 {
+	tmp := dst[:0]
+	for i := 0; i < n; i++ {
+		tmp = append(tmp, float64(i))
+	}
+	return tmp
+}
+
+// SumBuf only reads the scratch and passes it on: nothing retained.
+func SumBuf(buf []float64) float64 {
+	total := 0.0
+	for _, v := range buf {
+		total += v
+	}
+	return total
+}
+
+// Retain is not named *Into/*Buf, so the convention (and the analyzer)
+// does not apply: its parameter is not a scratch buffer.
+func Retain(data []float64) {
+	global = data
+}

@@ -1,0 +1,27 @@
+// Package units mirrors coolair/internal/units: thin float64 newtypes
+// plus named conversion functions. The unitcast analyzer recognizes it by
+// the import-path suffix and exempts it — conversions are defined here.
+package units
+
+// Celsius is a dry-bulb temperature.
+type Celsius float64
+
+// RelHumidity is a relative humidity in percent.
+type RelHumidity float64
+
+// AbsHumidity is a humidity ratio in kg/kg.
+type AbsHumidity float64
+
+// AbsFromRel is a named converter: the sanctioned way across units.
+func AbsFromRel(t Celsius, rh RelHumidity) AbsHumidity {
+	return AbsHumidity(float64(rh) * 0.0001 * (1 + float64(t)/100))
+}
+
+// DewPoint is a named converter returning the same dimension it takes.
+func DewPoint(t Celsius, rh RelHumidity) Celsius {
+	return t - Celsius((100-float64(rh))/5)
+}
+
+// inside the defining package even a cross-unit cast is exempt: this is
+// where conversions live.
+func magnitude(rh RelHumidity) Celsius { return Celsius(rh) }

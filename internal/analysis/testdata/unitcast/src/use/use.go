@@ -1,0 +1,28 @@
+// Package use exercises unitcast from outside the units package.
+package use
+
+import "internal/units"
+
+// Bad shows the two flagged shapes: a direct cross-unit conversion and
+// the float64 round-trip that launders one.
+func Bad(t units.Celsius, rh units.RelHumidity) {
+	_ = units.Celsius(rh)                 // want `direct conversion Celsius\(RelHumidity\)`
+	_ = units.AbsHumidity(t)              // want `direct conversion AbsHumidity\(Celsius\)`
+	_ = units.Celsius(float64(rh))        // want `conversion Celsius\(float64\(RelHumidity\)\) defeats the unit types`
+	_ = units.RelHumidity(float64(t) * 1) // extracting for arithmetic then re-wrapping a *different* unit: the
+	// multiplication hides the origin, which is exactly why flow-through
+	// laundering is documented as out of scope — see Good below for the
+	// one-level case the analyzer does catch.
+}
+
+// Good shows the sanctioned patterns.
+func Good(t units.Celsius, rh units.RelHumidity) float64 {
+	raw := float64(t) // unwrapping for arithmetic is fine
+	_ = units.Celsius(raw * 2)
+	_ = units.Celsius(21.5)     // building from a raw number is fine
+	_ = units.Celsius(t)        // same-type conversion is a no-op
+	_ = units.AbsFromRel(t, rh) // named converters are the sanctioned path
+	_ = units.DewPoint(t, rh)   //
+	_ = float64(rh)             // bare unwrap without re-wrap
+	return raw + float64(rh)
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// unitsPathSuffix identifies the units package by import-path suffix so
+// the analyzer also works on analysistest fixtures, which live under a
+// different module root.
+const unitsPathSuffix = "internal/units"
+
+// Unitcast flags conversions that move a value between two distinct
+// internal/units newtypes without going through a named converter:
+//
+//	units.Celsius(rh)                  // direct cross-unit conversion
+//	units.Celsius(float64(rh))         // float64 round-trip to defeat the type system
+//
+// The units newtypes (Celsius, RelHumidity, AbsHumidity, Watts, Joules)
+// are all named float64, so the compiler accepts any of these
+// conversions; dimensionally they are nonsense unless they pass through a
+// real conversion (AbsFromRel, RelFromAbs, DewPoint, JoulesFromKWh, …).
+// Extracting the raw number with float64(x) for arithmetic is legitimate
+// and not flagged, as is building a unit value from a raw float. The
+// units package itself is exempt: it is where conversions are defined.
+var Unitcast = &Analyzer{
+	Name: "unitcast",
+	Doc:  "flag direct conversions between distinct internal/units newtypes",
+	Run:  runUnitcast,
+}
+
+func runUnitcast(pass *Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), unitsPathSuffix) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			dst := conversionTarget(pass, call)
+			dstUnit := unitNewtype(dst)
+			if dstUnit == nil {
+				return true
+			}
+			arg := call.Args[0]
+			if srcUnit := unitNewtype(pass.TypesInfo.Types[arg].Type); srcUnit != nil && srcUnit != dstUnit {
+				pass.Reportf(call.Pos(),
+					"direct conversion %s(%s): use the named conversion functions in %s instead",
+					dstUnit.Obj().Name(), srcUnit.Obj().Name(), dstUnit.Obj().Pkg().Path())
+				return true
+			}
+			// Round-trip: dstUnit(float64(srcUnit-value)).
+			if inner, ok := arg.(*ast.CallExpr); ok {
+				innerDst := conversionTarget(pass, inner)
+				if innerDst == nil || !isFloatBasic(innerDst) {
+					return true
+				}
+				if srcUnit := unitNewtype(pass.TypesInfo.Types[inner.Args[0]].Type); srcUnit != nil && srcUnit != dstUnit {
+					pass.Reportf(call.Pos(),
+						"conversion %s(float64(%s)) defeats the unit types: use the named conversion functions in %s instead",
+						dstUnit.Obj().Name(), srcUnit.Obj().Name(), dstUnit.Obj().Pkg().Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// conversionTarget returns the destination type if call is a type
+// conversion with exactly one argument, else nil.
+func conversionTarget(pass *Pass, call *ast.CallExpr) types.Type {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	return tv.Type
+}
+
+// unitNewtype returns the named type if t is a float64-underlying newtype
+// declared in the units package, else nil.
+func unitNewtype(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), unitsPathSuffix) {
+		return nil
+	}
+	if basic, ok := named.Underlying().(*types.Basic); !ok || basic.Info()&types.IsFloat == 0 {
+		return nil
+	}
+	return named
+}
+
+// isFloatBasic reports whether t is a plain (unnamed) float type, i.e.
+// the target of a float64(x) / float32(x) unwrapping conversion.
+func isFloatBasic(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

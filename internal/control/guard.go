@@ -330,7 +330,10 @@ func (g *Guard) exitFailSafe() {
 // timestamp so Observe and a coincident Decide agree (and rate checks
 // never see a zero dt).
 func (g *Guard) sanitize(obs Observation) sanitized {
-	if g.haveCache && obs.Time == g.cachedTime {
+	// Observe and a coincident Decide pass the literal same timestamp;
+	// exact equality is the cache key, not a tolerance check.
+	if g.haveCache && obs.Time == g.cachedTime { //coolair:allow-floateq same-tick cache key
+
 		return g.cached
 	}
 	g.report.Observations++
@@ -398,7 +401,8 @@ func (g *Guard) acceptReading(sg *sensorGuard, v, t, med float64, nFinite int) b
 	defer func() {
 		// Flatline bookkeeping runs on every reading, accepted or not:
 		// a changed value re-arms the detector.
-		if !sg.hasRaw || v != sg.lastRaw {
+		if !sg.hasRaw || v != sg.lastRaw { //coolair:allow-floateq flatline = bit-identical reading
+
 			sg.flatSince = t
 		}
 		sg.lastRaw = v
@@ -424,7 +428,8 @@ func (g *Guard) acceptReading(sg *sensorGuard, v, t, med float64, nFinite int) b
 		g.report.QuorumRejects++
 		return false
 	}
-	if sg.hasRaw && v == sg.lastRaw && t-sg.flatSince >= g.cfg.FlatlineSeconds {
+	if sg.hasRaw && v == sg.lastRaw && t-sg.flatSince >= g.cfg.FlatlineSeconds { //coolair:allow-floateq flatline = bit-identical reading
+
 		g.report.FlatlineRejects++
 		return false
 	}

@@ -93,7 +93,7 @@ func coldestHourStart(j workload.Job, hourly []units.Celsius) float64 {
 	bestT := math.Inf(1)
 	for h := int(j.Arrival / 3600); h < len(hourly); h++ {
 		start := float64(h) * 3600
-		if start > j.Deadline && float64(h) != math.Floor(j.Arrival/3600) {
+		if start > j.Deadline && h != int(j.Arrival/3600) {
 			break
 		}
 		if t := float64(hourly[h]); t < bestT {

@@ -104,13 +104,17 @@ func candidateThresholds(X [][]float64, f int) []float64 {
 		vals[i] = row[f]
 	}
 	sort.Float64s(vals)
-	if vals[0] == vals[len(vals)-1] {
+	// After sorting, identical endpoints mean the whole column is one
+	// value — exact equality is the degenerate-feature test.
+	if vals[0] == vals[len(vals)-1] { //coolair:allow-floateq degenerate constant feature
+
 		return nil
 	}
 	var out []float64
 	for q := 1; q <= 8; q++ {
 		v := vals[len(vals)*q/9]
-		if len(out) == 0 || v != out[len(out)-1] {
+		if len(out) == 0 || v != out[len(out)-1] { //coolair:allow-floateq dedup of exact sample values
+
 			out = append(out, v)
 		}
 	}

@@ -68,7 +68,10 @@ type Env struct {
 // outside returns the outside conditions at the current simulation
 // instant, sampling the series once per distinct tick time.
 func (e *Env) outside() weather.Conditions {
-	if !e.outOK || e.outAt != e.now {
+	// Exact equality is the memo key: ticks reuse the literal same
+	// timestamp, not one recomputed through float arithmetic.
+	if !e.outOK || e.outAt != e.now { //coolair:allow-floateq same-tick memo key
+
 		e.outCond = e.Series.Sample(e.now)
 		e.outAt = e.now
 		e.outOK = true

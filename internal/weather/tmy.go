@@ -9,6 +9,20 @@ import (
 )
 
 // Conditions is one outside-air sample.
+//
+// The //coolair:memoized directive below is machine-read: coolair-vet's
+// memoguard analyzer (internal/analysis) flags any direct write to an
+// exported field of a marked struct from outside its defining package,
+// because such writes bypass the setters that invalidate memoized state.
+// The convention for memoizing structs repo-wide:
+//
+//  1. put "//coolair:memoized" on its own line in the type's doc comment,
+//  2. provide Set* methods for every exported field whose change must
+//     drop the memo,
+//  3. leave construction alone — composite literals start with an empty
+//     memo and stay legal everywhere.
+//
+//coolair:memoized
 type Conditions struct {
 	Temp units.Celsius
 	RH   units.RelHumidity
