@@ -2,10 +2,10 @@
 # .github/workflows/ci.yml), so a green `make check bench-check` locally
 # predicts a green CI run.
 
-BENCH_PATTERN := BenchmarkCoolAirDecision$$|BenchmarkPredictWindow$$|BenchmarkTMYGeneration$$
+BENCH_PATTERN := BenchmarkCoolAirDecision$$|BenchmarkCoolAirDecisionTraced$$|BenchmarkPredictWindow$$|BenchmarkTMYGeneration$$
 BENCH_COUNT   := 5
 
-.PHONY: build test vet lint check bench bench-check
+.PHONY: build test vet lint check bench bench-check fuzz
 
 build:
 	go build ./...
@@ -41,3 +41,8 @@ bench-check:
 	go run ./cmd/coolair-bench -out bench_current.json < bench_new.txt
 	go run ./cmd/coolair-bench -gate -baseline BENCH_decision.json -current bench_current.json
 	rm -f bench_new.txt bench_current.json
+
+# fuzz exercises the trace JSONL round-trip fuzzer beyond the checked-in
+# corpus. CI runs the same 10-second budget.
+fuzz:
+	go test -run '^FuzzTraceRoundTrip$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/trace/

@@ -205,9 +205,10 @@ func BenchmarkNutchWorkload(b *testing.B) {
 	}
 }
 
-// BenchmarkCoolAirDecision isolates the optimizer's per-period cost:
-// candidate enumeration, horizon prediction, and utility scoring.
-func BenchmarkCoolAirDecision(b *testing.B) {
+// decisionBenchSetup builds a primed controller and a realistic midday
+// observation for the per-period decision benchmarks.
+func decisionBenchSetup(b *testing.B) (*core.CoolAir, coolair.Observation) {
+	b.Helper()
 	l := lab(b)
 	m, err := l.Model(coolair.SmoothSim)
 	if err != nil {
@@ -224,23 +225,50 @@ func BenchmarkCoolAirDecision(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Prime the monitor history and a realistic observation.
-	res, err := coolair.Run(env, ca, coolair.RunConfig{Days: []int{150}, Trace: l.Facebook(), CollectSnapshots: true})
-	if err != nil {
+	if _, err := coolair.Run(env, ca, coolair.RunConfig{Days: []int{150}, Trace: l.Facebook(), CollectSnapshots: true}); err != nil {
 		b.Fatal(err)
 	}
-	_ = res
 	obs := coolair.Observation{
 		Day: 150, HourOfDay: 12,
 		PodInlet:  []coolair.Celsius{26, 27, 27.5, 28},
 		PodActive: []bool{true, true, true, true},
 		InsideRH:  55, Utilization: 0.5, ITLoad: 0.5,
 	}
+	return ca, obs
+}
+
+// BenchmarkCoolAirDecision isolates the optimizer's per-period cost:
+// candidate enumeration, horizon prediction, and utility scoring.
+func BenchmarkCoolAirDecision(b *testing.B) {
+	ca, obs := decisionBenchSetup(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ca.Decide(obs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCoolAirDecisionTraced is the same decision loop with a ring
+// flight recorder attached. The record path copies a fixed-size
+// DecisionRecord held on the controller into the preallocated ring, so
+// allocs/op must stay at zero and ns/op within a few percent of the
+// untraced benchmark; the baseline gate enforces the allocation bound.
+func BenchmarkCoolAirDecisionTraced(b *testing.B) {
+	ca, obs := decisionBenchSetup(b)
+	ring := coolair.NewTraceRing(0, 0)
+	ca.SetRecorder(ring)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ca.Decide(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(ring.Decisions()) == 0 {
+		b.Fatal("recorder captured nothing")
 	}
 }
 

@@ -10,18 +10,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"coolair/internal/experiments"
+	"coolair/internal/trace"
 )
 
 func main() {
 	days := flag.Int("days", 52, "sampled days per simulated year (the paper uses 52)")
 	sites := flag.Int("sites", 0, "world-sweep sites (0 = all 1520)")
+	traceOut := flag.String("trace", "", "write a flight-recorder JSONL trace of every run to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for long sweeps")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: coolair-experiments [-days N] [-sites N] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "usage: coolair-experiments [-days N] [-sites N] [-trace out.jsonl] [-pprof addr] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 cost temporal maxtemp forecast nutch all\n")
 		flag.PrintDefaults()
 	}
@@ -35,7 +40,23 @@ func main() {
 		ids = []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "cost", "temporal", "maxtemp", "forecast", "nutch"}
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	lab := experiments.NewLab()
+	var ring *trace.Ring
+	if *traceOut != "" {
+		// Grid studies share one ring across concurrent runs (the ring is
+		// mutex-protected); default capacities keep the most recent window.
+		ring = trace.NewRing(0, 0)
+		lab.Recorder = ring
+	}
 	var yearStudy *experiments.YearStudy
 	var worldStudy *experiments.WorldStudy
 
@@ -121,6 +142,19 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if ring != nil {
+		f, err := os.Create(*traceOut)
+		check(err)
+		err = ring.Snapshot().WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		check(err)
+		dd, td := ring.Dropped()
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (dropped %d decisions, %d ticks)\n%s",
+			*traceOut, dd, td, ring.Metrics())
 	}
 }
 

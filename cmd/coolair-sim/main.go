@@ -4,6 +4,7 @@
 //
 //	coolair-sim -location newark -system all-nd -days 7 -csv
 //	coolair-sim -location singapore -system baseline -year
+//	coolair-sim -days 2 -trace run.jsonl   # flight-recorder trace for coolair-trace
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"coolair/internal/core"
 	"coolair/internal/experiments"
 	"coolair/internal/sim"
+	"coolair/internal/trace"
 	"coolair/internal/weather"
 )
 
@@ -26,6 +28,7 @@ func main() {
 	startDay := flag.Int("start", 150, "first day of year (0-based)")
 	year := flag.Bool("year", false, "simulate the paper's 52-day year sample instead of -days")
 	csv := flag.Bool("csv", false, "print a 2-minute CSV time series")
+	traceOut := flag.String("trace", "", "write a flight-recorder JSONL trace to this file")
 	flag.Parse()
 
 	cl, ok := findClimate(*location)
@@ -40,9 +43,9 @@ func main() {
 	}
 
 	lab := experiments.NewLab()
-	trace := lab.Facebook()
+	wl := lab.Facebook()
 	if *workloadName == "nutch" {
-		trace = lab.Nutch()
+		wl = lab.Nutch()
 	}
 
 	var runDays []int
@@ -54,14 +57,32 @@ func main() {
 		}
 	}
 
-	res, err := lab.Run(cl, sys, runDays, trace, *csv)
+	// Size the ring to the whole run (warm-up evenings included for the
+	// decision ring) so the trace keeps every record instead of the most
+	// recent window.
+	var ring *trace.Ring
+	if *traceOut != "" {
+		decisionsPerDay := 86400 / 600
+		ring = trace.NewRing((len(runDays)+2)*decisionsPerDay*2, (len(runDays)+1)*720)
+		lab.Recorder = ring
+	}
+
+	res, err := lab.Run(cl, sys, runDays, wl, *csv)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 
+	if ring != nil {
+		if err := writeTrace(*traceOut, ring); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s\n%s", *traceOut, ring.Metrics())
+	}
+
 	s := res.Summary
-	fmt.Printf("location=%s system=%s days=%d workload=%s\n", cl.Name, sys.Name, s.Days, trace.Name)
+	fmt.Printf("location=%s system=%s days=%d workload=%s\n", cl.Name, sys.Name, s.Days, wl.Name)
 	fmt.Printf("avg violation           %8.2f °C above 30°C\n", s.AvgViolation)
 	fmt.Printf("worst daily range       %8.1f °C avg (%0.1f–%0.1f)\n", s.AvgWorstDailyRange, s.MinWorstDailyRange, s.MaxWorstDailyRange)
 	fmt.Printf("outside daily range     %8.1f °C avg\n", s.AvgOutsideDailyRange)
@@ -80,6 +101,19 @@ func main() {
 				float64(p.InsideRH), p.Mode, p.FanSpeed, p.CompSpeed, float64(p.CoolingW), float64(p.ITW), p.Util)
 		}
 	}
+}
+
+// writeTrace drains the ring to a JSONL file.
+func writeTrace(path string, ring *trace.Ring) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ring.Snapshot().WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func findClimate(name string) (weather.Climate, bool) {

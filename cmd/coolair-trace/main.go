@@ -1,0 +1,109 @@
+// Command coolair-trace inspects a flight-recorder JSONL trace written
+// by coolair-sim -trace (or coolair-experiments -trace): per-day
+// decision summaries, the worst prediction errors, and optional CSV
+// dumps of the raw records.
+//
+//	coolair-sim -days 2 -trace run.jsonl
+//	coolair-trace run.jsonl
+//	coolair-trace -top 5 run.jsonl
+//	coolair-trace -csv ticks run.jsonl > ticks.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"coolair/internal/cooling"
+	"coolair/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "coolair-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: args are the command-line arguments
+// after the program name, the trace comes from the named file or stdin.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("coolair-trace", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	top := fs.Int("top", 10, "how many worst prediction errors to list")
+	csvKind := fs.String("csv", "", "dump raw records as CSV instead of the summary: decisions|ticks")
+	fs.Usage = func() {
+		fmt.Fprintln(stdout, "usage: coolair-trace [-top N] [-csv decisions|ticks] [trace.jsonl]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	name := "stdin"
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, name = f, fs.Arg(0)
+	}
+	data, err := trace.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+
+	switch *csvKind {
+	case "decisions":
+		return data.WriteDecisionCSV(stdout)
+	case "ticks":
+		return data.WriteTickCSV(stdout)
+	case "":
+	default:
+		return fmt.Errorf("unknown -csv kind %q (want decisions or ticks)", *csvKind)
+	}
+
+	fmt.Fprintf(stdout, "%s: %d decisions, %d ticks\n\n", name, len(data.Decisions), len(data.Ticks))
+	days := data.DaySummaries()
+	if len(days) == 0 {
+		fmt.Fprintln(stdout, "no decision records")
+		return nil
+	}
+
+	fmt.Fprintln(stdout, "day  decisions  holds  guard  top-mode          mean-pen   max-pen  pred-err mean/max (n)")
+	for _, d := range days {
+		fmt.Fprintf(stdout, "%3d  %9d  %5d  %5d  %-16s  %8.3f  %8.3f  %0.2f / %0.2f °C (%d)\n",
+			d.Day, d.Decisions, d.Holds, d.GuardActions, topMode(d),
+			d.MeanWinnerPenalty, d.MaxWinnerPenalty,
+			d.MeanAbsPredErr, d.MaxAbsPredErr, d.PredErrSamples)
+	}
+
+	errs := data.TopPredictionErrors(*top)
+	if len(errs) > 0 {
+		fmt.Fprintf(stdout, "\ntop %d prediction errors (|predicted − realized| hottest inlet):\n", len(errs))
+		for _, e := range errs {
+			fmt.Fprintf(stdout, "  day %3d  t=%8.0fs  predicted %6.2f°C  actual %6.2f°C  |err| %5.2f°C\n",
+				e.Day, e.Time, e.Predicted, e.Actual, e.AbsError)
+		}
+	}
+	return nil
+}
+
+// topMode names the most frequently chosen cooling mode of a day, with
+// its share of the day's decisions.
+func topMode(d trace.DaySummary) string {
+	best, n, total := -1, 0, 0
+	for m, c := range d.ModeDecisions {
+		total += c
+		if c > n {
+			best, n = m, c
+		}
+	}
+	if best < 0 || total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s %d%%", cooling.Mode(best), 100*n/total)
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coolair/internal/trace"
+)
+
+// sampleTrace builds a two-day trace with a winner, a hold, and a guard
+// intervention.
+func sampleTrace(t *testing.T) string {
+	t.Helper()
+	mk := func(tm float64, day int32, mode int32, penalty, predHot, actual float64) trace.DecisionRecord {
+		d := trace.DecisionRecord{
+			Time: tm, Day: day, Source: trace.SourceController,
+			PeriodSeconds: 600, BandLo: 20, BandHi: 25,
+			ActualHottest: actual, NumCandidates: 1, Winner: 0,
+			Mode: mode, FanSpeed: 0.5,
+		}
+		d.Candidates[0] = trace.CandidateRecord{Mode: mode, FanSpeed: 0.5,
+			Penalty: penalty, NumPods: 1}
+		d.Candidates[0].PodTemp[0] = predHot
+		return d
+	}
+	hold := trace.DecisionRecord{Time: 1800, Day: 150, Source: trace.SourceController,
+		PeriodSeconds: 600, ActualHottest: 24, Winner: -1, Hold: true, Mode: 2}
+	guard := trace.DecisionRecord{Time: 87000, Day: 151, Source: trace.SourceGuard,
+		Guard: trace.GuardFailSafeSensor, Winner: -1, Mode: 3, CompSpeed: 1}
+	data := &trace.Data{
+		Decisions: []trace.DecisionRecord{
+			mk(600, 150, 2, 0.5, 24.5, 24),
+			mk(1200, 150, 2, 0.75, 23, 26.25), // realizes 24.5 → err 1.75
+			hold,
+			guard,
+		},
+		Ticks: []trace.TickRecord{
+			{Time: 600, Day: 150, OutsideTemp: 12, InletMax: 24},
+			{Time: 720, Day: 150, OutsideTemp: 12.5, InletMax: 24.2},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := data.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	path := sampleTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"4 decisions, 2 ticks",
+		"150", "151",
+		"1.75", // the worst prediction error
+		"prediction errors",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunReadsStdin(t *testing.T) {
+	path := sampleTrace(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(nil, bytes.NewReader(raw), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stdin: 4 decisions") {
+		t.Errorf("stdin mode output:\n%s", out.String())
+	}
+}
+
+func TestRunCSVModes(t *testing.T) {
+	path := sampleTrace(t)
+	var dec, tick bytes.Buffer
+	if err := run([]string{"-csv", "decisions", path}, strings.NewReader(""), &dec); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(dec.String(), "\n"); lines != 5 {
+		t.Errorf("decision CSV has %d lines, want header+4:\n%s", lines, dec.String())
+	}
+	if err := run([]string{"-csv", "ticks", path}, strings.NewReader(""), &tick); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tick.String(), "time_s,") {
+		t.Errorf("tick CSV missing header:\n%s", tick.String())
+	}
+	if err := run([]string{"-csv", "bogus", path}, strings.NewReader(""), &dec); err == nil {
+		t.Error("bogus -csv kind accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"/nonexistent/trace.jsonl"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(nil, strings.NewReader("{broken\n"), &bytes.Buffer{}); err == nil {
+		t.Error("malformed stdin accepted")
+	}
+	// An empty trace is valid input, not an error.
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("empty trace rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "no decision records") {
+		t.Errorf("empty-trace output:\n%s", out.String())
+	}
+}

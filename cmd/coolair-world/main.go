@@ -8,6 +8,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -18,7 +20,17 @@ func main() {
 	sites := flag.Int("sites", 0, "number of sites (0 = all 1520)")
 	days := flag.Int("days", 12, "sampled days per simulated year (paper: 52)")
 	csv := flag.Bool("csv", false, "print per-site CSV after the tables")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the sweep")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	lab := experiments.NewLab()
 	start := time.Now()

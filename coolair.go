@@ -38,6 +38,7 @@ import (
 	"coolair/internal/reliability"
 	"coolair/internal/sim"
 	"coolair/internal/tks"
+	"coolair/internal/trace"
 	"coolair/internal/units"
 	"coolair/internal/weather"
 	"coolair/internal/workload"
@@ -287,6 +288,38 @@ type (
 
 // AssessDisks scores a disk thermal profile.
 func AssessDisks(p DiskProfile) (DiskAssessment, error) { return reliability.Assess(p) }
+
+// Flight-recorder observability (see DESIGN.md §9).
+type (
+	// TraceRecorder receives decision and tick records from a traced run
+	// (set RunConfig.Recorder, or call SetRecorder on a controller).
+	TraceRecorder = trace.Recorder
+	// TraceRing is the allocation-free ring-buffer recorder.
+	TraceRing = trace.Ring
+	// TraceData is a drained or decoded trace (JSONL/CSV sinks hang off
+	// it).
+	TraceData = trace.Data
+	// DecisionRecord is one control-period decision: band, candidates,
+	// penalty breakdown, winner, and guard annotations.
+	DecisionRecord = trace.DecisionRecord
+	// TickRecord is one simulator telemetry sample.
+	TickRecord = trace.TickRecord
+	// TraceRegistry is the counter/gauge/histogram registry a TraceRing
+	// maintains (decisions_total, regime_transitions_total, …).
+	TraceRegistry = trace.Registry
+	// NopRecorder is the explicit do-nothing recorder.
+	NopRecorder = trace.Nop
+)
+
+// NewTraceRing creates a ring recorder with the given capacities
+// (values ≤ 0 take the defaults).
+func NewTraceRing(decisionCap, tickCap int) *TraceRing {
+	return trace.NewRing(decisionCap, tickCap)
+}
+
+// ReadTrace decodes a JSONL trace written by TraceData.WriteJSONL (or
+// the -trace flag of the command-line tools).
+func ReadTrace(r io.Reader) (*TraceData, error) { return trace.ReadJSONL(r) }
 
 // Experiments.
 type (

@@ -29,7 +29,8 @@ const goldenDigestPath = "testdata/golden_decision_digest.txt"
 
 // runDecisionDay runs the canonical determinism scenario: one simulated
 // day (day 150, Newark, Smooth-Sim, All-ND) with the recorded series on.
-func runDecisionDay(t testing.TB, l *experiments.Lab) *coolair.Result {
+// rec, when non-nil, attaches a flight recorder to the run.
+func runDecisionDay(t testing.TB, l *experiments.Lab, rec coolair.TraceRecorder) *coolair.Result {
 	t.Helper()
 	m, err := l.Model(coolair.SmoothSim)
 	if err != nil {
@@ -46,7 +47,7 @@ func runDecisionDay(t testing.TB, l *experiments.Lab) *coolair.Result {
 		t.Fatal(err)
 	}
 	res, err := coolair.Run(env, ca, coolair.RunConfig{
-		Days: []int{150}, Trace: l.Facebook(), RecordSeries: true,
+		Days: []int{150}, Trace: l.Facebook(), RecordSeries: true, Recorder: rec,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -78,8 +79,8 @@ func resultDigest(t testing.TB, res *coolair.Result) string {
 // on the same architecture are exactly reproducible.
 func TestDecisionDeterminism(t *testing.T) {
 	l := experiments.NewLab()
-	first := resultDigest(t, runDecisionDay(t, l))
-	second := resultDigest(t, runDecisionDay(t, l))
+	first := resultDigest(t, runDecisionDay(t, l, nil))
+	second := resultDigest(t, runDecisionDay(t, l, nil))
 	if first != second {
 		t.Fatalf("rerun produced a different trace:\n  first  %s\n  second %s", first, second)
 	}
@@ -105,5 +106,48 @@ func TestDecisionDeterminism(t *testing.T) {
 		t.Fatalf("trace diverged from the pre-optimization golden digest:\n  want %s\n  got  %s\n"+
 			"the decision hot path must stay byte-identical; if a deliberate behavior change "+
 			"is intended, rerun with -update and justify it in the commit", strings.TrimSpace(string(want)), got)
+	}
+}
+
+// TestRecorderEquivalence pins that attaching a flight recorder is pure
+// observation: the canonical day run with a ring recorder, with the
+// explicit no-op recorder, and with no recorder at all must produce
+// byte-identical results — and (on amd64) match the same golden digest
+// the untraced determinism test guards. Recording mirrors the penalty
+// accumulation into term buckets; any reordering of the float math would
+// flip a tie-break somewhere in the 144 decisions and break this test.
+func TestRecorderEquivalence(t *testing.T) {
+	l := experiments.NewLab()
+	ring := coolair.NewTraceRing(0, 0)
+	traced := resultDigest(t, runDecisionDay(t, l, ring))
+	nop := resultDigest(t, runDecisionDay(t, l, coolair.NopRecorder{}))
+	bare := resultDigest(t, runDecisionDay(t, l, nil))
+
+	if traced != nop || nop != bare {
+		t.Fatalf("recording changed the run:\n  ring %s\n  nop  %s\n  none %s", traced, nop, bare)
+	}
+	// The ring must actually have observed the run, or the equivalence is
+	// vacuous: one decision per 10-minute period over the metered day plus
+	// the warm-up, and one tick per model step over the metered day.
+	if n := len(ring.Decisions()); n < 144 {
+		t.Errorf("ring captured %d decisions, want >= 144", n)
+	}
+	if n := len(ring.Ticks()); n != 720 {
+		t.Errorf("ring captured %d ticks, want 720", n)
+	}
+	if got := ring.Metrics().DecisionsTotal.Value(); got < 144 {
+		t.Errorf("decisions_total = %d, want >= 144", got)
+	}
+
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden digest is recorded on amd64; got %s (equivalence still verified)", runtime.GOARCH)
+	}
+	want, err := os.ReadFile(goldenDigestPath)
+	if err != nil {
+		t.Fatalf("missing golden digest (run TestDecisionDeterminism with -update to record): %v", err)
+	}
+	if traced != strings.TrimSpace(string(want)) {
+		t.Fatalf("traced run diverged from the golden digest:\n  want %s\n  got  %s",
+			strings.TrimSpace(string(want)), traced)
 	}
 }

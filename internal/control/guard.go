@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"coolair/internal/cooling"
+	"coolair/internal/trace"
 	"coolair/internal/units"
 	"coolair/internal/workload"
 )
@@ -133,7 +134,23 @@ type Guard struct {
 	haveLast    bool
 	fsCompOn    bool
 
+	// Flight recorder: interventions are annotated as SourceGuard
+	// records. drec is struct-held scratch so emitting stays
+	// allocation-free (the Guard itself lives on the heap).
+	rec  trace.Recorder
+	drec trace.DecisionRecord
+
 	report GuardReport
+}
+
+// SetRecorder implements trace.Traceable: the guard annotates its
+// interventions to r and forwards the recorder to the inner controller
+// when that is traceable, so one call wires the whole controller stack.
+func (g *Guard) SetRecorder(r trace.Recorder) {
+	g.rec = r
+	if t, ok := g.inner.(trace.Traceable); ok {
+		t.SetRecorder(r)
+	}
 }
 
 // sensorGuard is the per-sensor sanitation state.
@@ -230,35 +247,72 @@ func (g *Guard) Decide(obs Observation) (cooling.Command, error) {
 	s := g.sanitize(obs)
 
 	if s.anyDead {
-		return g.decideFailSafe(s), nil
+		cmd := g.decideFailSafe(s)
+		g.emitGuard(trace.GuardFailSafeSensor, s.obs, cmd)
+		return cmd, nil
 	}
 
 	cmd, ok := g.tryInner(s.obs)
+	retried := false
 	if !ok {
 		// One retry: transient state inside the controller (a model
 		// hiccup, a scheduling edge) may clear on a second attempt.
 		g.report.DecideRetries++
 		cmd, ok = g.tryInner(s.obs)
+		retried = true
 	}
 	if !ok {
 		g.consecFails++
 		if g.consecFails >= g.cfg.MaxConsecFailures {
-			return g.decideFailSafe(s), nil
+			fs := g.decideFailSafe(s)
+			g.emitGuard(trace.GuardFailSafeControl, s.obs, fs)
+			return fs, nil
 		}
 		// Below K failures: hold the last good command (or stay closed
 		// if there has never been one).
 		g.report.HoldFallbacks++
+		held := cooling.Command{Mode: cooling.ModeClosed}
 		if g.haveLast {
-			return g.lastCmd, nil
+			held = g.lastCmd
 		}
-		return cooling.Command{Mode: cooling.ModeClosed}, nil
+		g.emitGuard(trace.GuardHold, s.obs, held)
+		return held, nil
 	}
 
 	g.consecFails = 0
 	g.exitFailSafe()
 	g.lastCmd = cmd
 	g.haveLast = true
+	if retried {
+		g.emitGuard(trace.GuardRetry, s.obs, cmd)
+	}
 	return cmd, nil
+}
+
+// emitGuard annotates one guard intervention as a SourceGuard decision
+// record (no candidates; the served command and the observed hottest
+// inlet only). No-op when tracing is off.
+func (g *Guard) emitGuard(action trace.GuardAction, obs Observation, cmd cooling.Command) {
+	if g.rec == nil {
+		return
+	}
+	g.drec = trace.DecisionRecord{
+		Time:          obs.Time,
+		Day:           int32(obs.Day),
+		Source:        trace.SourceGuard,
+		Guard:         action,
+		PeriodSeconds: g.Period(),
+		Winner:        -1,
+		Mode:          int32(cmd.Mode),
+		FanSpeed:      cmd.FanSpeed,
+		CompSpeed:     cmd.CompressorSpeed,
+	}
+	if hot, ok := obs.MaxPodInlet(); ok {
+		g.drec.ActualHottest = float64(hot)
+	} else {
+		g.drec.ActualHottest = math.NaN()
+	}
+	g.rec.RecordDecision(&g.drec)
 }
 
 // tryInner runs one inner Decide and validates the result.

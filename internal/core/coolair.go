@@ -8,6 +8,7 @@ import (
 	"coolair/internal/cooling"
 	"coolair/internal/hadoop"
 	"coolair/internal/model"
+	"coolair/internal/trace"
 	"coolair/internal/units"
 	"coolair/internal/weather"
 )
@@ -94,7 +95,18 @@ type CoolAir struct {
 	curState model.PredictorState
 	snapBuf  [2][]units.Celsius // ping-pong pod-temperature buffers for Observe
 	snapFlip int
+
+	// Flight recorder. rec is nil when tracing is off; drec is the
+	// struct-held scratch record — CoolAir itself lives on the heap, so
+	// passing &c.drec to the Recorder never escapes a stack value and the
+	// record path stays allocation-free (BenchmarkCoolAirDecisionTraced).
+	rec  trace.Recorder
+	drec trace.DecisionRecord
 }
+
+// SetRecorder implements trace.Traceable: subsequent decisions emit
+// trace.DecisionRecords to r (nil turns tracing off).
+func (c *CoolAir) SetRecorder(r trace.Recorder) { c.rec = r }
 
 // DegradeReport counts the graceful-degradation paths CoolAir took
 // instead of aborting: days planned without a usable forecast, candidate
@@ -255,12 +267,21 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 		c.manageServers()
 	}
 
+	recording := c.rec != nil
+	if recording {
+		c.beginDecisionRecord(obs)
+	}
+
 	// Before two monitoring snapshots exist the models cannot run;
 	// fail safe to the current plant mode.
 	if c.haveSnaps < 2 {
-		return cooling.Command{
+		hold := cooling.Command{
 			Mode: obs.Mode, FanSpeed: obs.FanSpeed, CompressorSpeed: obs.CompressorSpeed,
-		}, nil
+		}
+		if recording {
+			c.emitDecision(-1, true, hold)
+		}
+		return hold, nil
 	}
 
 	model.StateFromSnapshotsInto(&c.curState, c.prevSnap, c.curSnap)
@@ -271,19 +292,38 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 	scored := 0
 	bestPen := math.Inf(1)
 	bestPow := math.Inf(1)
+	winner := int32(-1)
 	for _, cmd := range c.menu {
+		// When recording, reserve the candidate's slot up front so skipped
+		// candidates appear in the trace too (with Skipped set).
+		var crec *trace.CandidateRecord
+		if recording && int(c.drec.NumCandidates) < trace.MaxCandidates {
+			crec = &c.drec.Candidates[c.drec.NumCandidates]
+			c.drec.NumCandidates++
+			*crec = trace.CandidateRecord{
+				Mode:      int32(cmd.Mode),
+				FanSpeed:  cmd.FanSpeed,
+				CompSpeed: cmd.CompressorSpeed,
+			}
+		}
 		// A candidate whose preview or prediction fails is skipped, not
 		// fatal: losing one regime from the menu degrades the decision,
 		// aborting it would stall the control loop.
 		sched, err := c.plant.PreviewScheduleInto(c.sched, cmd, model.ModelStepSeconds, horizon)
 		if err != nil {
 			c.degrade.SkippedCandidates++
+			if crec != nil {
+				crec.Skipped = true
+			}
 			continue
 		}
 		c.sched = sched
 		rollout, err := c.model.PredictWindowInto(&c.predict, state, sched)
 		if err != nil {
 			c.degrade.SkippedCandidates++
+			if crec != nil {
+				crec.Skipped = true
+			}
 			continue
 		}
 		// Predict each step's cooling power once: the utility's energy
@@ -295,26 +335,99 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 			c.powers = append(c.powers, w)
 			pow += float64(w)
 		}
-		pen := c.opts.Utility.PenaltyWithPowers(c.band, state, rollout, sched, obs.PodActive, c.powers)
+		// The Detail variant mirrors every term into the record without
+		// reordering the score's accumulation, so pen is bit-identical to
+		// the untraced call (the golden-digest equivalence test).
+		var pen float64
+		if crec != nil {
+			pen = c.opts.Utility.PenaltyWithPowersDetail(c.band, state, rollout, sched, obs.PodActive, c.powers, &crec.Terms)
+		} else {
+			pen = c.opts.Utility.PenaltyWithPowers(c.band, state, rollout, sched, obs.PodActive, c.powers)
+		}
 		if math.IsNaN(pen) {
 			c.degrade.SkippedCandidates++
+			if crec != nil {
+				*crec = trace.CandidateRecord{
+					Mode:      int32(cmd.Mode),
+					FanSpeed:  cmd.FanSpeed,
+					CompSpeed: cmd.CompressorSpeed,
+					Skipped:   true,
+				}
+			}
 			continue
+		}
+		if crec != nil {
+			crec.Penalty = pen
+			last := rollout[len(rollout)-1]
+			np := len(last.PodTemp)
+			if np > trace.MaxPods {
+				np = trace.MaxPods
+			}
+			crec.NumPods = int32(np)
+			for p := 0; p < np; p++ {
+				crec.PodTemp[p] = float64(last.PodTemp[p])
+			}
+			crec.RH = float64(last.RelHumidity())
+			crec.PowerW = pow / float64(len(sched))
 		}
 		scored++
 		// Pick the lowest penalty; break ties toward lower energy.
 		if pen < bestPen-1e-9 || (math.Abs(pen-bestPen) <= 1e-9 && pow < bestPow) {
 			best, bestPen, bestPow = cmd, pen, pow
+			if crec != nil {
+				winner = c.drec.NumCandidates - 1
+			}
 		}
 	}
 	if scored == 0 {
 		// Every candidate failed: hold the current plant state rather
 		// than abort — the same stance as the pre-warm-up path.
 		c.degrade.HoldDecisions++
-		return cooling.Command{
+		hold := cooling.Command{
 			Mode: obs.Mode, FanSpeed: obs.FanSpeed, CompressorSpeed: obs.CompressorSpeed,
-		}, nil
+		}
+		if recording {
+			c.emitDecision(-1, true, hold)
+		}
+		return hold, nil
+	}
+	if recording {
+		c.emitDecision(winner, false, best)
 	}
 	return best, nil
+}
+
+// beginDecisionRecord resets the struct-held record scratch and fills
+// the parts known before scoring. Allocation-free: the record is a value
+// field on the heap-resident CoolAir.
+func (c *CoolAir) beginDecisionRecord(obs control.Observation) {
+	c.drec = trace.DecisionRecord{
+		Time:          obs.Time,
+		Day:           int32(obs.Day),
+		Source:        trace.SourceController,
+		PeriodSeconds: c.opts.PeriodSeconds,
+		Winner:        -1,
+	}
+	if c.haveBand {
+		c.drec.BandLo = float64(c.band.Lo)
+		c.drec.BandHi = float64(c.band.Hi)
+	}
+	if hot, ok := obs.MaxPodInlet(); ok {
+		c.drec.ActualHottest = float64(hot)
+	} else {
+		c.drec.ActualHottest = math.NaN()
+	}
+}
+
+// emitDecision completes the scratch record with the outcome and hands
+// it to the recorder (which copies it before returning).
+func (c *CoolAir) emitDecision(winner int32, hold bool, cmd cooling.Command) {
+	c.drec.Winner = winner
+	c.drec.Hold = hold
+	c.drec.Mode = int32(cmd.Mode)
+	c.drec.FanSpeed = cmd.FanSpeed
+	c.drec.CompSpeed = cmd.CompressorSpeed
+	c.rec.RecordDecision(&c.drec)
 }
 
 // candidates enumerates the regimes the optimizer scores, matching the

@@ -3,6 +3,7 @@ package core
 import (
 	"coolair/internal/cooling"
 	"coolair/internal/model"
+	"coolair/internal/trace"
 	"coolair/internal/units"
 )
 
@@ -60,7 +61,7 @@ func DefaultUtility() UtilityConfig {
 // better.
 func (u UtilityConfig) Penalty(band Band, cur model.PredictorState, rollout []model.PredictorState,
 	schedule []cooling.Command, podActive []bool, m *model.Model) float64 {
-	return u.penalty(band, cur, rollout, schedule, podActive, m, nil)
+	return u.penalty(band, cur, rollout, schedule, podActive, m, nil, nil)
 }
 
 // PenaltyWithPowers scores like Penalty but consumes per-step cooling
@@ -70,14 +71,30 @@ func (u UtilityConfig) Penalty(band Band, cur model.PredictorState, rollout []mo
 // any scored value.
 func (u UtilityConfig) PenaltyWithPowers(band Band, cur model.PredictorState, rollout []model.PredictorState,
 	schedule []cooling.Command, podActive []bool, powers []units.Watts) float64 {
-	return u.penalty(band, cur, rollout, schedule, podActive, nil, powers)
+	return u.penalty(band, cur, rollout, schedule, podActive, nil, powers, nil)
+}
+
+// PenaltyWithPowersDetail scores like PenaltyWithPowers and additionally
+// fills terms with the per-term breakdown of the returned score. The
+// breakdown mirrors each increment into its bucket without reordering
+// the score's own accumulation, so the returned penalty is bit-identical
+// to the untraced call — attaching a flight recorder can never flip a
+// decision.
+func (u UtilityConfig) PenaltyWithPowersDetail(band Band, cur model.PredictorState, rollout []model.PredictorState,
+	schedule []cooling.Command, podActive []bool, powers []units.Watts, terms *trace.PenaltyTerms) float64 {
+	return u.penalty(band, cur, rollout, schedule, podActive, nil, powers, terms)
 }
 
 // penalty is the shared scoring core; powers, when non-nil, replaces
-// per-step m.PredictPower lookups.
+// per-step m.PredictPower lookups; terms, when non-nil, receives the
+// per-term breakdown (it is reset first).
 func (u UtilityConfig) penalty(band Band, cur model.PredictorState, rollout []model.PredictorState,
-	schedule []cooling.Command, podActive []bool, m *model.Model, powers []units.Watts) float64 {
+	schedule []cooling.Command, podActive []bool, m *model.Model, powers []units.Watts,
+	terms *trace.PenaltyTerms) float64 {
 
+	if terms != nil {
+		*terms = trace.PenaltyTerms{}
+	}
 	pen := 0.0
 	for si, st := range rollout {
 		for p, temp := range st.PodTemp {
@@ -87,29 +104,53 @@ func (u UtilityConfig) penalty(band Band, cur model.PredictorState, rollout []mo
 			tf := float64(temp)
 			if u.MaxTemp != 0 {
 				if tf > float64(u.MaxTemp) {
-					pen += (tf - float64(u.MaxTemp)) / 0.5
+					v := (tf - float64(u.MaxTemp)) / 0.5
+					pen += v
+					if terms != nil {
+						terms.AbsTemp += v
+					}
 				}
 				// Soft shoulder below the maximum: aim ~2°C under it
 				// so prediction error does not convert directly into
 				// violations (the paper's Temperature version likewise
 				// targets a setpoint below the desired maximum).
 				if sh := tf - (float64(u.MaxTemp) - 1.5); sh > 0 {
-					pen += 0.5 * sh
+					v := 0.5 * sh
+					pen += v
+					if terms != nil {
+						terms.AbsTemp += v
+					}
 				}
 			}
 			if u.UseBand {
 				if tf > float64(band.Hi) {
-					pen += (tf - float64(band.Hi)) / 0.5
+					v := (tf - float64(band.Hi)) / 0.5
+					pen += v
+					if terms != nil {
+						terms.Band += v
+					}
 				} else if tf < float64(band.Lo) {
-					pen += (float64(band.Lo) - tf) / 0.5
+					v := (float64(band.Lo) - tf) / 0.5
+					pen += v
+					if terms != nil {
+						terms.Band += v
+					}
 				}
 			}
 		}
 		rh := float64(st.RelHumidity())
 		if rh > float64(u.RHHi) {
-			pen += (rh - float64(u.RHHi)) / 5.0
+			v := (rh - float64(u.RHHi)) / 5.0
+			pen += v
+			if terms != nil {
+				terms.RH += v
+			}
 		} else if rh < float64(u.RHLo) {
-			pen += (float64(u.RHLo) - rh) / 5.0
+			v := (float64(u.RHLo) - rh) / 5.0
+			pen += v
+			if terms != nil {
+				terms.RH += v
+			}
 		}
 		if u.EnergyWeight > 0 && si < len(schedule) {
 			pw := units.Watts(0)
@@ -118,7 +159,11 @@ func (u UtilityConfig) penalty(band Band, cur model.PredictorState, rollout []mo
 			} else {
 				pw = m.PredictPower(schedule[si])
 			}
-			pen += u.EnergyWeight * pw.Kilowatts()
+			v := u.EnergyWeight * pw.Kilowatts()
+			pen += v
+			if terms != nil {
+				terms.Energy += v
+			}
 		}
 	}
 	// Rate-of-change is assessed over the whole horizon, matching the
@@ -146,7 +191,11 @@ func (u UtilityConfig) penalty(band Band, cur model.PredictorState, rollout []mo
 			}
 			ratePerHour := abs(end-start) / horizonHours
 			if ratePerHour > u.RateLimit {
-				pen += (ratePerHour - u.RateLimit) * float64(len(rollout))
+				v := (ratePerHour - u.RateLimit) * float64(len(rollout))
+				pen += v
+				if terms != nil {
+					terms.Rate += v
+				}
 			}
 		}
 	}
@@ -154,9 +203,15 @@ func (u UtilityConfig) penalty(band Band, cur model.PredictorState, rollout []mo
 		first := schedule[0]
 		if first.Mode == cooling.ModeACCool && first.CompressorSpeed >= 0.99 && cur.Mode != cooling.ModeACCool {
 			pen += u.ACFullPenalty
+			if terms != nil {
+				terms.ACStart += u.ACFullPenalty
+			}
 		}
 		if u.SwitchPenalty > 0 && first.Mode != cur.Mode {
 			pen += u.SwitchPenalty
+			if terms != nil {
+				terms.Switch += u.SwitchPenalty
+			}
 		}
 	}
 	if u.CenterWeight > 0 && u.UseBand && len(rollout) > 0 {
@@ -166,7 +221,11 @@ func (u UtilityConfig) penalty(band Band, cur model.PredictorState, rollout []mo
 			if p < len(podActive) && !podActive[p] {
 				continue
 			}
-			pen += u.CenterWeight * abs(float64(t)-center)
+			v := u.CenterWeight * abs(float64(t)-center)
+			pen += v
+			if terms != nil {
+				terms.Center += v
+			}
 		}
 	}
 	return pen

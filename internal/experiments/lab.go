@@ -16,6 +16,7 @@ import (
 	"coolair/internal/model"
 	"coolair/internal/sim"
 	"coolair/internal/tks"
+	trc "coolair/internal/trace"
 	"coolair/internal/units"
 	"coolair/internal/weather"
 	"coolair/internal/workload"
@@ -32,6 +33,14 @@ type Lab struct {
 	Seed int64
 	// TrainDays is the length of the data-collection campaign.
 	TrainDays int
+	// Workers caps runGrid's parallelism; 0 means runtime.NumCPU(). The
+	// metamorphic determinism test pins that a 1-worker grid and a
+	// NumCPU-worker grid produce byte-identical results.
+	Workers int
+	// Recorder, when non-nil, is attached to every run the lab starts.
+	// Grid studies run cells concurrently, so a shared recorder must be
+	// safe for concurrent use (trace.Ring is).
+	Recorder trc.Recorder
 
 	// mu guards only the maps and trace caches below — never the
 	// training itself, which runs under the per-fidelity slot's once so
@@ -178,8 +187,14 @@ func StandardSystems() []System {
 }
 
 // Run evaluates one system at one climate over the given days with the
-// given workload trace.
+// given workload trace, recording to the lab's Recorder (if any).
 func (l *Lab) Run(cl weather.Climate, sys System, days []int, trace *workload.Trace, record bool) (*sim.Result, error) {
+	return l.RunRecorded(cl, sys, days, trace, record, l.Recorder)
+}
+
+// RunRecorded evaluates like Run but with an explicit flight recorder
+// for this run only (nil turns tracing off regardless of l.Recorder).
+func (l *Lab) RunRecorded(cl weather.Climate, sys System, days []int, trace *workload.Trace, record bool, rec trc.Recorder) (*sim.Result, error) {
 	env, err := sim.NewEnv(cl, sys.Fidelity)
 	if err != nil {
 		return nil, err
@@ -193,7 +208,7 @@ func (l *Lab) Run(cl weather.Climate, sys System, days []int, trace *workload.Tr
 	if sys.Deferrable && trace != nil {
 		trace = trace.WithDeadlines(6 * 3600)
 	}
-	cfg := sim.RunConfig{Days: days, Trace: trace, RecordSeries: record}
+	cfg := sim.RunConfig{Days: days, Trace: trace, RecordSeries: record, Recorder: rec}
 
 	if sys.Baseline {
 		cfg.KeepAllActive = true
@@ -270,7 +285,10 @@ func (l *Lab) runGrid(cls []weather.Climate, systems []System, days []int, trace
 	// needed and the joined error lists cells deterministically.
 	cellErrs := make([]error, len(cls)*len(systems))
 	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if workers > len(cls)*len(systems) {
 		workers = len(cls) * len(systems)
 	}

@@ -93,6 +93,58 @@ func TestEmptyCollector(t *testing.T) {
 	}
 }
 
+func TestSingleSampleDay(t *testing.T) {
+	// One reading per day: the daily min and max coincide, so each day's
+	// worst range must be exactly zero, not Inf or NaN.
+	c := NewCollector(2, 30, 80)
+	c.Observe(0, []units.Celsius{21, 23}, 50, 15, 0, 100, 30)
+	c.Observe(1, []units.Celsius{24, 19}, 50, 18, 0, 100, 30)
+	s := c.Summarize()
+	if s.Days != 2 {
+		t.Fatalf("days = %d, want 2", s.Days)
+	}
+	if s.MinWorstDailyRange != 0 || s.MaxWorstDailyRange != 0 || s.AvgWorstDailyRange != 0 {
+		t.Errorf("single-sample ranges %v/%v/%v, want all 0",
+			s.MinWorstDailyRange, s.AvgWorstDailyRange, s.MaxWorstDailyRange)
+	}
+	if s.MaxOutsideDailyRange != 0 {
+		t.Errorf("single-sample outside range %v, want 0", s.MaxOutsideDailyRange)
+	}
+	// A single sample per day gives no same-day pair to difference, and the
+	// day boundary resets the pairing, so no rate may be recorded.
+	if s.MaxRatePerHour != 0 {
+		t.Errorf("rate %v °C/h across a day gap, want 0", s.MaxRatePerHour)
+	}
+}
+
+func TestPartialFinalDay(t *testing.T) {
+	// The final day is cut short (2 samples vs day 0's full 4): Summarize
+	// must still close it and fold its extremes into the daily stats.
+	c := NewCollector(1, 30, 80)
+	for _, temp := range []units.Celsius{18, 26, 22, 20} {
+		c.Observe(0, []units.Celsius{temp}, 50, 10, 0, 100, 30)
+	}
+	c.Observe(1, []units.Celsius{21}, 50, 12, 0, 100, 30)
+	c.Observe(1, []units.Celsius{24}, 50, 13, 0, 100, 30)
+	s := c.Summarize()
+	if s.Days != 2 {
+		t.Fatalf("days = %d, want 2 (partial final day dropped?)", s.Days)
+	}
+	// Day 0 spans 18–26 (8), the partial day 1 spans 21–24 (3).
+	if s.MinWorstDailyRange != 3 || s.MaxWorstDailyRange != 8 {
+		t.Errorf("min/max worst range %v/%v, want 3/8", s.MinWorstDailyRange, s.MaxWorstDailyRange)
+	}
+	ranges := c.WorstDailyRanges()
+	if len(ranges) != 2 || ranges[1] != 3 {
+		t.Errorf("WorstDailyRanges = %v, want [8 3]", ranges)
+	}
+	// Summarize closed the partial day; a second Summarize must not count
+	// it (or anything else) twice.
+	if again := c.Summarize(); again.Days != 2 {
+		t.Errorf("second Summarize days = %d, want 2", again.Days)
+	}
+}
+
 func TestSingleDayBoundary(t *testing.T) {
 	c := NewCollector(1, 30, 80)
 	c.Observe(5, []units.Celsius{20}, 50, 20, 0, 100, 30)

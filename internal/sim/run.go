@@ -12,6 +12,7 @@ import (
 	"coolair/internal/mlearn"
 	"coolair/internal/model"
 	"coolair/internal/reliability"
+	"coolair/internal/trace"
 	"coolair/internal/units"
 	"coolair/internal/workload"
 )
@@ -53,6 +54,12 @@ type RunConfig struct {
 	// environment's forecaster with Injector.WrapForecaster before
 	// constructing the controller.
 	Faults *faults.Injector
+	// Recorder, when non-nil, receives flight-recorder telemetry: the
+	// metered loop emits a trace.TickRecord at the model-step cadence,
+	// and the recorder is handed to the controller (via trace.Traceable)
+	// so it can emit per-decision records. Recording never changes a
+	// run's results — see the golden-digest equivalence test.
+	Recorder trace.Recorder
 }
 
 // WithMaxTemp returns the config with the temperature limit explicitly
@@ -143,6 +150,14 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 	planner, _ := ctrl.(control.DayPlanner)
 	scheduler, _ := ctrl.(control.TemporalScheduler)
 	inj := cfg.Faults
+
+	if cfg.Recorder != nil {
+		if t, ok := ctrl.(trace.Traceable); ok {
+			t.SetRecorder(cfg.Recorder)
+		}
+	}
+	// Tick scratch: one heap value per run, reused across every emission.
+	var trec trace.TickRecord
 
 	completedBefore := countMetered(env.Cluster.Completed())
 
@@ -288,6 +303,10 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 				diskSamples = append(diskSamples, float64(hottest))
 			}
 
+			if cfg.Recorder != nil && step%snapSteps == 0 {
+				fillTick(&trec, env, eff, day)
+				cfg.Recorder.RecordTick(&trec)
+			}
 			if cfg.RecordSeries && step%snapSteps == 0 {
 				res.Series = append(res.Series, seriesPoint(env, eff))
 			}
@@ -371,6 +390,30 @@ func seriesPoint(e *Env, eff cooling.Command) SeriesPoint {
 	p.InletMin, p.InletMax = minMax(e.state.PodInlet)
 	p.DiskMin, p.DiskMax = minMax(e.state.Disk)
 	return p
+}
+
+// fillTick writes one flight-recorder telemetry sample into the reused
+// scratch record (same channels as SeriesPoint, plus the day and the
+// outside humidity).
+func fillTick(t *trace.TickRecord, e *Env, eff cooling.Command, day int) {
+	out := e.outside()
+	*t = trace.TickRecord{
+		Time:        e.now,
+		Day:         int32(day),
+		OutsideTemp: float64(out.Temp),
+		OutsideRH:   float64(out.RH),
+		InsideRH:    float64(e.state.RelHumidity()),
+		Mode:        int32(eff.Mode),
+		FanSpeed:    eff.FanSpeed,
+		CompSpeed:   eff.CompressorSpeed,
+		CoolingW:    float64(e.Plant.Power()),
+		ITW:         float64(e.Cluster.ITPower()),
+		Utilization: e.Cluster.Utilization(),
+	}
+	lo, hi := minMax(e.state.PodInlet)
+	t.InletMin, t.InletMax = float64(lo), float64(hi)
+	lo, hi = minMax(e.state.Disk)
+	t.DiskMin, t.DiskMax = float64(lo), float64(hi)
 }
 
 // hottestOf returns the index and value of the warmest entry.

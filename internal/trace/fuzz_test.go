@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// seedLines produces representative valid trace lines for the fuzz
+// corpus: a full decision with candidates, a hold, a guard record, a
+// tick, and non-finite values through every float channel.
+func seedLines(t testing.TB) []string {
+	t.Helper()
+	d := DecisionRecord{
+		Time: 600, Day: 3, Source: SourceController, PeriodSeconds: 600,
+		BandLo: 20, BandHi: 25, ActualHottest: 24.5,
+		NumCandidates: 2, Winner: 1, Mode: 1, FanSpeed: 0.6,
+	}
+	d.Candidates[0] = CandidateRecord{Mode: 0, FanSpeed: 0.3, Penalty: 2.5,
+		Terms: PenaltyTerms{Band: 2, Center: 0.5}, NumPods: 4, RH: 55, PowerW: 90}
+	d.Candidates[0].PodTemp = [MaxPods]float64{23, 24, 25.5, 24.25}
+	d.Candidates[1] = CandidateRecord{Mode: 1, FanSpeed: 0.6, Penalty: 1.25,
+		NumPods: 4, RH: 52, PowerW: 140}
+	d.Candidates[1].PodTemp = [MaxPods]float64{22, 23, 24.5, 23.75}
+	hold := DecisionRecord{Time: 1200, Day: 3, Source: SourceController,
+		PeriodSeconds: 600, ActualHottest: math.NaN(), Winner: -1, Hold: true, Mode: 1}
+	guard := DecisionRecord{Time: 1800, Day: 3, Source: SourceGuard,
+		Guard: GuardFailSafeControl, Winner: -1, Mode: 3, CompSpeed: 1}
+	nonfinite := DecisionRecord{Time: math.Inf(1), Day: 4, Winner: -1,
+		ActualHottest: math.Inf(-1)}
+	tick := TickRecord{Time: 600, Day: 3, OutsideTemp: 11.5, OutsideRH: 70,
+		InletMin: 21, InletMax: 24.5, DiskMin: 30, DiskMax: 39, InsideRH: 50,
+		Mode: 1, FanSpeed: 0.6, CoolingW: 140, ITW: 2200, Utilization: 0.4}
+
+	var lines []string
+	for _, rec := range []DecisionRecord{d, hold, guard, nonfinite} {
+		data := &Data{Decisions: []DecisionRecord{rec}}
+		var buf bytes.Buffer
+		if err := data.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, buf.String())
+	}
+	{
+		data := &Data{Ticks: []TickRecord{tick}}
+		var buf bytes.Buffer
+		if err := data.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, buf.String())
+	}
+	return lines
+}
+
+// FuzzTraceRoundTrip feeds the JSONL decoder arbitrary bytes: it must
+// never panic, and whenever it accepts the input, encoding the decoded
+// trace and decoding that again must reproduce the same bytes and the
+// same records — encode∘decode is a fixed point.
+func FuzzTraceRoundTrip(f *testing.F) {
+	lines := seedLines(f)
+	for _, l := range lines {
+		f.Add([]byte(l))
+	}
+	f.Add([]byte(strings.Join(lines, "")))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"kind":"tick"}` + "\n"))
+	f.Add([]byte(`{"kind":"decision","winner":5,"candidates":[{"mode":1}]}` + "\n"))
+	f.Add([]byte(`{"kind":"decision","t":null,"fan":"+Inf","comp":"-Inf"}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		data, err := ReadJSONL(bytes.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		var enc1 bytes.Buffer
+		if err := data.WriteJSONL(&enc1); err != nil {
+			t.Fatalf("decoded trace failed to encode: %v", err)
+		}
+		data2, err := ReadJSONL(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\nencoding:\n%s", err, enc1.String())
+		}
+		var enc2 bytes.Buffer
+		if err := data2.WriteJSONL(&enc2); err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("encode∘decode is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				enc1.String(), enc2.String())
+		}
+		// The analysis entry points must also tolerate anything the
+		// decoder accepts (the coolair-trace inspector calls these).
+		_ = data.DaySummaries()
+		_ = data.TopPredictionErrors(10)
+	})
+}

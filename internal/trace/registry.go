@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotone event counter, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram accumulates float64 observations into fixed cumulative
+// buckets, Prometheus-style: bucket i counts observations ≤ Bounds[i],
+// with an implicit +Inf bucket at the end. All methods are safe for
+// concurrent use; Observe performs no allocation.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; non-cumulative per bucket
+	total   atomic.Int64
+	sumBits atomic.Uint64 // float64 bit pattern, CAS-updated
+}
+
+// NewHistogram creates a histogram with the given ascending bucket
+// upper bounds. Unsorted input is sorted; an empty bound list yields a
+// single +Inf bucket.
+func NewHistogram(bounds ...float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample. NaN samples are dropped (they carry no
+// magnitude to bucket).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Buckets returns the bounds and the cumulative count at each bound,
+// ending with the +Inf bucket (== Count()).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cumulative[i] = run
+	}
+	return bounds, cumulative
+}
+
+// Registry is the lightweight metrics surface of the flight recorder:
+// a fixed set of named counters plus the prediction-error histogram.
+// It renders in Prometheus text exposition format via String.
+type Registry struct {
+	// DecisionsTotal counts controller decision records (holds
+	// included).
+	DecisionsTotal Counter
+	// RegimeTransitionsTotal counts decisions whose chosen mode differs
+	// from the previous decision's.
+	RegimeTransitionsTotal Counter
+	// GuardInterventionsTotal counts guard annotation records (retries,
+	// holds, fail-safe service).
+	GuardInterventionsTotal Counter
+	// TicksTotal counts simulator telemetry samples.
+	TicksTotal Counter
+	// PredictionAbsError is the |predicted − realized| hottest-inlet
+	// error (°C) between consecutive decisions.
+	PredictionAbsError *Histogram
+}
+
+// NewRegistry creates a registry with the default prediction-error
+// buckets (0.05–5 °C).
+func NewRegistry() *Registry {
+	return &Registry{PredictionAbsError: NewHistogram(0.05, 0.1, 0.2, 0.5, 1, 2, 5)}
+}
+
+// String renders the registry in Prometheus text exposition format.
+func (r *Registry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "decisions_total %d\n", r.DecisionsTotal.Value())
+	fmt.Fprintf(&b, "regime_transitions_total %d\n", r.RegimeTransitionsTotal.Value())
+	fmt.Fprintf(&b, "guard_interventions_total %d\n", r.GuardInterventionsTotal.Value())
+	fmt.Fprintf(&b, "ticks_total %d\n", r.TicksTotal.Value())
+	bounds, cum := r.PredictionAbsError.Buckets()
+	for i, bound := range bounds {
+		fmt.Fprintf(&b, "prediction_abs_error_bucket{le=%q} %d\n", formatBound(bound), cum[i])
+	}
+	fmt.Fprintf(&b, "prediction_abs_error_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
+	fmt.Fprintf(&b, "prediction_abs_error_sum %g\n", r.PredictionAbsError.Sum())
+	fmt.Fprintf(&b, "prediction_abs_error_count %d\n", r.PredictionAbsError.Count())
+	return b.String()
+}
+
+func formatBound(v float64) string { return fmt.Sprintf("%g", v) }

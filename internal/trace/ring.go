@@ -1,0 +1,169 @@
+package trace
+
+import "sync"
+
+// Default ring capacities: a 52-day paper year emits ~7500 decisions
+// and ~37000 ticks at the 2-minute cadence; the defaults keep the most
+// recent few days of full-cadence telemetry while bounding memory to a
+// few megabytes.
+const (
+	DefaultDecisionCapacity = 4096
+	DefaultTickCapacity     = 16384
+)
+
+// Ring is the flight-recorder Recorder: two preallocated circular
+// buffers (decisions and ticks) that keep the most recent records,
+// overwriting the oldest once full. The record path performs no
+// allocation — each record is a single struct copy into its ring slot —
+// and a mutex makes the ring safe to share across the concurrent runs
+// of an experiment grid.
+type Ring struct {
+	mu sync.Mutex
+
+	dec     []DecisionRecord
+	decHead int // index of the oldest record
+	decLen  int
+
+	tick     []TickRecord
+	tickHead int
+	tickLen  int
+
+	// Overwrite accounting: how many records the ring has dropped to
+	// make room (flight-recorder semantics — the newest survive).
+	decDropped, tickDropped uint64
+
+	reg *Registry
+
+	// Pairing state for the prediction-error histogram: the previous
+	// controller decision's winning prediction, judged against the next
+	// decision's observed hottest inlet.
+	havePrev             bool
+	prevPredHottest      float64
+	prevTime, prevPeriod float64
+	haveMode             bool
+	lastMode             int32
+}
+
+// NewRing creates a ring recorder with the given capacities (values
+// ≤ 0 take the defaults) and a fresh metrics Registry.
+func NewRing(decisionCap, tickCap int) *Ring {
+	if decisionCap <= 0 {
+		decisionCap = DefaultDecisionCapacity
+	}
+	if tickCap <= 0 {
+		tickCap = DefaultTickCapacity
+	}
+	return &Ring{
+		dec:  make([]DecisionRecord, decisionCap),
+		tick: make([]TickRecord, tickCap),
+		reg:  NewRegistry(),
+	}
+}
+
+// Metrics returns the ring's counter/histogram registry.
+func (r *Ring) Metrics() *Registry { return r.reg }
+
+// RecordDecision implements Recorder: copy the record into the ring and
+// fold it into the metrics registry. Allocation-free.
+func (r *Ring) RecordDecision(rec *DecisionRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	if r.decLen < len(r.dec) {
+		r.dec[(r.decHead+r.decLen)%len(r.dec)] = *rec
+		r.decLen++
+	} else {
+		r.dec[r.decHead] = *rec
+		r.decHead = (r.decHead + 1) % len(r.dec)
+		r.decDropped++
+	}
+
+	if rec.Source == SourceGuard || rec.Guard != GuardNone {
+		r.reg.GuardInterventionsTotal.Inc()
+	} else {
+		r.reg.DecisionsTotal.Inc()
+	}
+	if r.haveMode && rec.Mode != r.lastMode {
+		r.reg.RegimeTransitionsTotal.Inc()
+	}
+	r.haveMode = true
+	r.lastMode = rec.Mode
+
+	// Predicted-vs-realized: the previous controller decision predicted
+	// the hottest inlet one period ahead; this record observed it. Only
+	// consecutive decisions pair up — a day jump (or a guard record in
+	// between) breaks the chain rather than scoring across the gap.
+	if rec.Source == SourceController {
+		if r.havePrev {
+			dt := rec.Time - r.prevTime
+			if dt > 0 && dt <= 1.5*r.prevPeriod {
+				err := rec.ActualHottest - r.prevPredHottest
+				if err < 0 {
+					err = -err
+				}
+				r.reg.PredictionAbsError.Observe(err)
+			}
+		}
+		if pred, ok := rec.WinnerPredictedHottest(); ok {
+			r.havePrev = true
+			r.prevPredHottest = pred
+			r.prevTime = rec.Time
+			r.prevPeriod = rec.PeriodSeconds
+		} else {
+			r.havePrev = false
+		}
+	} else {
+		r.havePrev = false
+	}
+}
+
+// RecordTick implements Recorder. Allocation-free.
+func (r *Ring) RecordTick(rec *TickRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tickLen < len(r.tick) {
+		r.tick[(r.tickHead+r.tickLen)%len(r.tick)] = *rec
+		r.tickLen++
+	} else {
+		r.tick[r.tickHead] = *rec
+		r.tickHead = (r.tickHead + 1) % len(r.tick)
+		r.tickDropped++
+	}
+	r.reg.TicksTotal.Inc()
+}
+
+// Dropped reports how many decision and tick records the ring has
+// overwritten to make room for newer ones.
+func (r *Ring) Dropped() (decisions, ticks uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.decDropped, r.tickDropped
+}
+
+// Decisions returns the retained decision records, oldest first.
+func (r *Ring) Decisions() []DecisionRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DecisionRecord, r.decLen)
+	for i := 0; i < r.decLen; i++ {
+		out[i] = r.dec[(r.decHead+i)%len(r.dec)]
+	}
+	return out
+}
+
+// Ticks returns the retained tick records, oldest first.
+func (r *Ring) Ticks() []TickRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TickRecord, r.tickLen)
+	for i := 0; i < r.tickLen; i++ {
+		out[i] = r.tick[(r.tickHead+i)%len(r.tick)]
+	}
+	return out
+}
+
+// Snapshot drains the ring into a Data value (copies; the ring keeps
+// recording).
+func (r *Ring) Snapshot() *Data {
+	return &Data{Decisions: r.Decisions(), Ticks: r.Ticks()}
+}

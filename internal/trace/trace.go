@@ -1,0 +1,239 @@
+// Package trace is the flight-recorder observability layer: controllers
+// and the simulation engine emit fixed-size decision and tick records
+// into a Recorder, and the ring-buffer implementation keeps the most
+// recent window of them without allocating on the record path. Records
+// are plain value types — recording one is a struct copy into a
+// preallocated ring — so attaching a recorder does not disturb the
+// allocation-free decision hot path (see DESIGN.md §9 and the
+// BenchmarkCoolAirDecisionTraced gate).
+//
+// The package is a dependency leaf: records carry plain float64/int32
+// fields (temperatures in °C, powers in W, cooling modes as their
+// integer codes) so every other package can import it without cycles.
+package trace
+
+// Record geometry. The fixed sizes bound one record's footprint so a
+// ring slot is a single contiguous copy; recorders truncate beyond them
+// (Parasol has 4 pods and at most 14 candidate regimes, so in practice
+// nothing is dropped).
+const (
+	// MaxPods is the per-candidate predicted-temperature capacity.
+	MaxPods = 8
+	// MaxCandidates is the per-decision candidate capacity.
+	MaxCandidates = 16
+)
+
+// Source identifies which layer emitted a DecisionRecord.
+type Source int32
+
+const (
+	// SourceController marks a record from the decision-making
+	// controller itself (CoolAir or a baseline).
+	SourceController Source = iota
+	// SourceGuard marks an annotation record from the control.Guard
+	// wrapper: the guard intervened instead of (or on behalf of) the
+	// inner controller.
+	SourceGuard
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	if s == SourceGuard {
+		return "guard"
+	}
+	return "controller"
+}
+
+// GuardAction classifies a guard intervention on a SourceGuard record.
+type GuardAction int32
+
+const (
+	// GuardNone: no guard involvement (controller records).
+	GuardNone GuardAction = iota
+	// GuardRetry: the inner controller failed once and succeeded on the
+	// guard's retry; the record carries the command that was served.
+	GuardRetry
+	// GuardHold: the inner controller kept failing below the fail-safe
+	// threshold and the guard held the last good command.
+	GuardHold
+	// GuardFailSafeSensor: pod sensors blew their staleness budget and
+	// the guard served the fail-safe policy.
+	GuardFailSafeSensor
+	// GuardFailSafeControl: the inner controller exceeded the
+	// consecutive-failure threshold and the guard served the fail-safe
+	// policy.
+	GuardFailSafeControl
+)
+
+// String implements fmt.Stringer.
+func (a GuardAction) String() string {
+	switch a {
+	case GuardRetry:
+		return "retry"
+	case GuardHold:
+		return "hold"
+	case GuardFailSafeSensor:
+		return "failsafe-sensor"
+	case GuardFailSafeControl:
+		return "failsafe-control"
+	}
+	return "none"
+}
+
+// PenaltyTerms is the per-term breakdown of one candidate's utility
+// penalty (paper §4.3). The terms sum to the candidate's Penalty up to
+// float rounding; the optimizer's score is still accumulated in its
+// original order, so recording the breakdown never changes a decision.
+type PenaltyTerms struct {
+	// AbsTemp: predicted temperature above MaxTemp plus the soft
+	// shoulder below it (Temperature/Energy/All versions).
+	AbsTemp float64 `json:"abs_temp"`
+	// Band: predicted temperature outside the day's band.
+	Band float64 `json:"band"`
+	// RH: predicted relative humidity outside [RHLo, RHHi].
+	RH float64 `json:"rh"`
+	// Energy: EnergyWeight × predicted cooling power.
+	Energy float64 `json:"energy"`
+	// Rate: horizon rate-of-change above the ASHRAE-style limit.
+	Rate float64 `json:"rate"`
+	// ACStart: the fixed penalty for starting the AC at full speed.
+	ACStart float64 `json:"ac_start"`
+	// Switch: the regime-flapping penalty for changing mode.
+	Switch float64 `json:"switch"`
+	// Center: the pull toward the band center on the end state.
+	Center float64 `json:"center"`
+}
+
+// CandidateRecord is the scoring of one candidate regime within a
+// decision. A candidate whose preview or prediction failed (or whose
+// penalty came back NaN) is recorded with Skipped set and zeroed
+// numbers.
+type CandidateRecord struct {
+	// Mode, FanSpeed, CompSpeed identify the candidate command (Mode is
+	// the cooling.Mode integer code).
+	Mode      int32
+	FanSpeed  float64
+	CompSpeed float64
+	// Skipped: the candidate dropped out of scoring (degradation path).
+	Skipped bool
+	// Penalty is the candidate's utility score (lower wins).
+	Penalty float64
+	// Terms is the penalty breakdown.
+	Terms PenaltyTerms
+	// NumPods and PodTemp hold the predicted end-of-horizon inlet
+	// temperatures (°C), one per pod.
+	NumPods int32
+	PodTemp [MaxPods]float64
+	// RH is the predicted end-of-horizon cold-aisle relative humidity.
+	RH float64
+	// PowerW is the predicted mean cooling power over the horizon.
+	PowerW float64
+}
+
+// DecisionRecord is one control-period decision: the band in force,
+// every candidate's scoring, and the command that won. Guard
+// interventions are recorded as separate SourceGuard records with no
+// candidates.
+type DecisionRecord struct {
+	// Time is the simulation time in seconds; Day the 0-based day of
+	// year the controller observed.
+	Time float64
+	Day  int32
+	// Source and Guard say who produced the record and, for guard
+	// records, which intervention it annotates.
+	Source Source
+	Guard  GuardAction
+	// PeriodSeconds is the emitting controller's decision cadence
+	// (consumers use it to pair consecutive decisions for
+	// predicted-vs-realized comparison).
+	PeriodSeconds float64
+	// BandLo and BandHi are the selected temperature band (°C); zero on
+	// records from band-less controllers.
+	BandLo, BandHi float64
+	// ActualHottest is the hottest pod inlet the controller observed at
+	// decision time — the realization its predecessor's prediction is
+	// judged against.
+	ActualHottest float64
+	// NumCandidates and Candidates list the scored menu.
+	NumCandidates int32
+	Candidates    [MaxCandidates]CandidateRecord
+	// Winner indexes the winning candidate, or −1 when the decision was
+	// a hold (insufficient history, every candidate failed, or a guard
+	// record).
+	Winner int32
+	// Hold: the controller fell back to holding the current plant state.
+	Hold bool
+	// Mode, FanSpeed, CompSpeed are the command actually returned.
+	Mode      int32
+	FanSpeed  float64
+	CompSpeed float64
+}
+
+// WinnerPredictedHottest returns the winning candidate's predicted
+// hottest end-of-horizon pod temperature, and whether the record has a
+// usable winner.
+func (d *DecisionRecord) WinnerPredictedHottest() (float64, bool) {
+	if d.Winner < 0 || d.Winner >= d.NumCandidates || d.Winner >= MaxCandidates {
+		return 0, false
+	}
+	c := &d.Candidates[d.Winner]
+	if c.NumPods <= 0 {
+		return 0, false
+	}
+	hot := c.PodTemp[0]
+	for _, v := range c.PodTemp[1:c.NumPods] {
+		if v > hot {
+			hot = v
+		}
+	}
+	return hot, true
+}
+
+// TickRecord is one simulator telemetry sample, emitted at the model
+// step cadence (2 minutes) from the metered part of a run.
+type TickRecord struct {
+	Time float64
+	Day  int32
+	// Outside air.
+	OutsideTemp, OutsideRH float64
+	// Inlet and disk temperature extremes across pods (°C).
+	InletMin, InletMax float64
+	DiskMin, DiskMax   float64
+	// InsideRH is the cold-aisle relative humidity.
+	InsideRH float64
+	// Effective plant state (after ramp limiting).
+	Mode      int32
+	FanSpeed  float64
+	CompSpeed float64
+	// Instantaneous powers and datacenter utilization.
+	CoolingW, ITW float64
+	Utilization   float64
+}
+
+// Recorder receives flight-recorder records. Implementations copy the
+// pointed-to value before returning — callers reuse the same scratch
+// record across calls, which is what keeps the record path
+// allocation-free. A nil Recorder everywhere means tracing is off; Nop
+// is the explicit do-nothing implementation.
+type Recorder interface {
+	RecordDecision(*DecisionRecord)
+	RecordTick(*TickRecord)
+}
+
+// Traceable is implemented by controllers that can emit decision
+// records. sim.Run uses it to hand RunConfig.Recorder to the controller
+// (wrappers like control.Guard forward it inward).
+type Traceable interface {
+	SetRecorder(Recorder)
+}
+
+// Nop is the no-op Recorder: every record is discarded. It exists so
+// "tracing off" can be expressed as an explicit recorder in equivalence
+// tests (a traced run and a Nop run must produce identical results).
+type Nop struct{}
+
+// RecordDecision implements Recorder.
+func (Nop) RecordDecision(*DecisionRecord) {}
+
+// RecordTick implements Recorder.
+func (Nop) RecordTick(*TickRecord) {}

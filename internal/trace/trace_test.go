@@ -1,0 +1,349 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// dec builds a controller decision record with one winning candidate.
+func dec(t float64, day int32, mode int32, penalty, predHot, actualHot float64) DecisionRecord {
+	d := DecisionRecord{
+		Time: t, Day: day, Source: SourceController,
+		PeriodSeconds: 600, BandLo: 20, BandHi: 25,
+		ActualHottest: actualHot, NumCandidates: 1, Winner: 0,
+		Mode: mode, FanSpeed: 0.5,
+	}
+	d.Candidates[0] = CandidateRecord{
+		Mode: mode, FanSpeed: 0.5, Penalty: penalty,
+		NumPods: 2, RH: 50, PowerW: 120,
+	}
+	d.Candidates[0].PodTemp[0] = predHot - 1
+	d.Candidates[0].PodTemp[1] = predHot
+	return d
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4, 3)
+	for i := 0; i < 10; i++ {
+		d := dec(float64(i)*600, 0, 1, float64(i), 25, 25)
+		r.RecordDecision(&d)
+	}
+	for i := 0; i < 7; i++ {
+		k := TickRecord{Time: float64(i) * 120}
+		r.RecordTick(&k)
+	}
+	got := r.Decisions()
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d decisions, want 4", len(got))
+	}
+	for i, d := range got {
+		if want := float64(6+i) * 600; d.Time != want {
+			t.Errorf("decision %d time %v, want %v (newest must survive)", i, d.Time, want)
+		}
+	}
+	ticks := r.Ticks()
+	if len(ticks) != 3 || ticks[0].Time != 4*120 {
+		t.Errorf("ticks = %d records starting %v, want 3 starting 480", len(ticks), ticks[0].Time)
+	}
+	dd, td := r.Dropped()
+	if dd != 6 || td != 4 {
+		t.Errorf("dropped = %d/%d, want 6/4", dd, td)
+	}
+}
+
+func TestRingRegistryCounters(t *testing.T) {
+	r := NewRing(16, 16)
+	// Three decisions: mode 1, 1, 2 → one transition. Second predicts
+	// hottest 26 and third observes 27 → one abs-error sample of 1.
+	d1 := dec(0, 0, 1, 0.5, 26, 25)
+	d2 := dec(600, 0, 1, 0.4, 26, 26)
+	d3 := dec(1200, 0, 2, 0.3, 25, 27)
+	g := DecisionRecord{Time: 1800, Source: SourceGuard, Guard: GuardHold, Mode: 2}
+	r.RecordDecision(&d1)
+	r.RecordDecision(&d2)
+	r.RecordDecision(&d3)
+	r.RecordDecision(&g)
+	k := TickRecord{Time: 0}
+	r.RecordTick(&k)
+
+	m := r.Metrics()
+	if got := m.DecisionsTotal.Value(); got != 3 {
+		t.Errorf("decisions_total = %d, want 3", got)
+	}
+	if got := m.GuardInterventionsTotal.Value(); got != 1 {
+		t.Errorf("guard_interventions_total = %d, want 1", got)
+	}
+	if got := m.RegimeTransitionsTotal.Value(); got != 1 {
+		t.Errorf("regime_transitions_total = %d, want 1", got)
+	}
+	if got := m.TicksTotal.Value(); got != 1 {
+		t.Errorf("ticks_total = %d, want 1", got)
+	}
+	// d1→d2: |26−26| = 0; d2→d3: |27−26| = 1 → two samples, sum 1.
+	if got := m.PredictionAbsError.Count(); got != 2 {
+		t.Errorf("prediction samples = %d, want 2", got)
+	}
+	if got := m.PredictionAbsError.Sum(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("prediction error sum = %v, want 1", got)
+	}
+	out := m.String()
+	for _, want := range []string{"decisions_total 3", "guard_interventions_total 1",
+		"regime_transitions_total 1", "prediction_abs_error_count 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("registry text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRingDayGapBreaksPredictionPairing(t *testing.T) {
+	r := NewRing(16, 16)
+	d1 := dec(0, 0, 1, 0.5, 26, 25)
+	// 7 days later (a year-sample jump): must not pair with d1.
+	d2 := dec(7*86400, 7, 1, 0.5, 26, 30)
+	r.RecordDecision(&d1)
+	r.RecordDecision(&d2)
+	if got := r.Metrics().PredictionAbsError.Count(); got != 0 {
+		t.Errorf("gap pairing produced %d samples, want 0", got)
+	}
+}
+
+func TestRingConcurrentRecording(t *testing.T) {
+	r := NewRing(64, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d := dec(float64(i)*600, int32(w), 1, 0.1, 25, 25)
+				r.RecordDecision(&d)
+				k := TickRecord{Time: float64(i)}
+				r.RecordTick(&k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Metrics().DecisionsTotal.Value(); got != 800 {
+		t.Errorf("decisions_total = %d, want 800", got)
+	}
+	if got := len(r.Decisions()); got != 64 {
+		t.Errorf("retained %d, want capacity 64", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 2, 5)
+	for _, v := range []float64{0.5, 1.0, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("bounds/cum lengths %d/%d", len(bounds), len(cum))
+	}
+	// ≤1: 0.5 and 1.0 → 2; ≤2: +1.5 → 3; ≤5: +3 → 4; +Inf: +10 → 5.
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Mean()-16.0/5) > 1e-12 {
+		t.Errorf("mean = %v, want 3.2", h.Mean())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := dec(600, 1, 2, 1.25, 26.5, 25.75)
+	d.Candidates[0].Terms = PenaltyTerms{Band: 1.0, Center: 0.25}
+	skip := DecisionRecord{
+		Time: 1200, Day: 1, Source: SourceController, PeriodSeconds: 600,
+		NumCandidates: 1, Winner: -1, Hold: true,
+	}
+	skip.Candidates[0] = CandidateRecord{Mode: 3, Skipped: true}
+	guard := DecisionRecord{Time: 1800, Day: 1, Source: SourceGuard,
+		Guard: GuardFailSafeSensor, Winner: -1, Mode: 3, CompSpeed: 1}
+	data := &Data{
+		Decisions: []DecisionRecord{d, skip, guard},
+		Ticks: []TickRecord{
+			{Time: 0, Day: 1, OutsideTemp: 12.5, OutsideRH: 60, InletMin: 22,
+				InletMax: 26, DiskMin: 30, DiskMax: 41, InsideRH: 48.5,
+				Mode: 1, FanSpeed: 0.35, CoolingW: 180, ITW: 2400, Utilization: 0.42},
+			{Time: 900, Day: 1, OutsideTemp: 13},
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := data.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Decisions) != 3 || len(got.Ticks) != 2 {
+		t.Fatalf("decoded %d decisions / %d ticks, want 3/2", len(got.Decisions), len(got.Ticks))
+	}
+	var buf2 bytes.Buffer
+	if err := got.WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Errorf("encode∘decode is not the identity:\nfirst:\n%s\nsecond:\n%s", buf.String(), buf2.String())
+	}
+	if got.Decisions[2].Guard != GuardFailSafeSensor {
+		t.Errorf("guard action lost: %v", got.Decisions[2].Guard)
+	}
+	if !got.Decisions[1].Candidates[0].Skipped {
+		t.Error("skipped flag lost")
+	}
+}
+
+func TestJSONLNonFiniteRoundTrip(t *testing.T) {
+	d := dec(0, 0, 1, math.NaN(), 26, math.Inf(1))
+	d.Candidates[0].PodTemp[1] = math.Inf(-1)
+	data := &Data{Decisions: []DecisionRecord{d}}
+	var buf bytes.Buffer
+	if err := data.WriteJSONL(&buf); err != nil {
+		t.Fatalf("non-finite values must encode: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := got.Decisions[0].Candidates[0]
+	if !math.IsNaN(c.Penalty) {
+		t.Errorf("NaN penalty decoded as %v", c.Penalty)
+	}
+	if !math.IsInf(got.Decisions[0].ActualHottest, 1) || !math.IsInf(c.PodTemp[1], -1) {
+		t.Errorf("infinities lost: %v / %v", got.Decisions[0].ActualHottest, c.PodTemp[1])
+	}
+}
+
+func TestReadJSONLRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"{not json}\n",
+		`{"kind":"mystery"}` + "\n",
+		`{"kind":"decision","t":"not-a-number-or-inf"}` + "\n",
+	} {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q decoded without error", in)
+		}
+	}
+	// Blank lines are tolerated.
+	if _, err := ReadJSONL(strings.NewReader("\n  \n")); err != nil {
+		t.Errorf("blank-only input errored: %v", err)
+	}
+}
+
+func TestJSONLMergeOrder(t *testing.T) {
+	data := &Data{
+		Decisions: []DecisionRecord{{Time: 600, Source: SourceController}},
+		Ticks:     []TickRecord{{Time: 0}, {Time: 600}, {Time: 1200}},
+	}
+	var buf bytes.Buffer
+	if err := data.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	// t=0 tick, then the t=600 decision before the t=600 tick, then t=1200.
+	wantKinds := []string{"tick", "decision", "tick", "tick"}
+	for i, k := range wantKinds {
+		if !strings.Contains(lines[i], `"kind":"`+k+`"`) {
+			t.Errorf("line %d = %s, want kind %s", i, lines[i], k)
+		}
+	}
+}
+
+func TestDaySummariesAndTopErrors(t *testing.T) {
+	d1 := dec(0, 0, 1, 0.5, 26, 25)
+	d2 := dec(600, 0, 1, 1.5, 24, 26.5) // realizes d1's 26 → err 0.5
+	d3 := dec(1200, 0, 2, 0.25, 25, 22) // realizes d2's 24 → err 2
+	// A hold still observes the hottest inlet, so it realizes d3's 25.
+	hold := DecisionRecord{Time: 1800, Day: 0, Source: SourceController,
+		PeriodSeconds: 600, ActualHottest: 25.5, Winner: -1, Hold: true, Mode: 2}
+	g := DecisionRecord{Time: 2400, Day: 0, Source: SourceGuard, Guard: GuardRetry, Mode: 2}
+	next := dec(86400*1, 1, 1, 0.1, 25, 25)
+	data := &Data{Decisions: []DecisionRecord{d1, d2, d3, hold, g, next}}
+
+	days := data.DaySummaries()
+	if len(days) != 2 {
+		t.Fatalf("got %d day summaries, want 2", len(days))
+	}
+	d := days[0]
+	if d.Day != 0 || d.Decisions != 4 || d.Holds != 1 || d.GuardActions != 1 {
+		t.Errorf("day0 = %+v", d)
+	}
+	if d.ModeDecisions[1] != 2 || d.ModeDecisions[2] != 2 {
+		t.Errorf("mode histogram = %v", d.ModeDecisions)
+	}
+	if math.Abs(d.MeanWinnerPenalty-(0.5+1.5+0.25)/3) > 1e-12 || math.Abs(d.MaxWinnerPenalty-1.5) > 1e-12 {
+		t.Errorf("penalties mean %v max %v", d.MeanWinnerPenalty, d.MaxWinnerPenalty)
+	}
+	// Pairs: d1→d2 (0.5), d2→d3 (2), d3→hold (0.5).
+	if d.PredErrSamples != 3 || math.Abs(d.MaxAbsPredErr-2) > 1e-12 || math.Abs(d.MeanAbsPredErr-1) > 1e-12 {
+		t.Errorf("pred err: %d samples mean %v max %v", d.PredErrSamples, d.MeanAbsPredErr, d.MaxAbsPredErr)
+	}
+
+	top := data.TopPredictionErrors(1)
+	if len(top) != 1 || math.Abs(top[0].AbsError-2) > 1e-12 || top[0].Time != 1200 {
+		t.Errorf("top error = %+v", top)
+	}
+	all := data.TopPredictionErrors(0)
+	if len(all) != 3 {
+		t.Errorf("unbounded top returned %d, want 3", len(all))
+	}
+}
+
+func TestWinnerPredictedHottest(t *testing.T) {
+	d := dec(0, 0, 1, 0.5, 27.25, 25)
+	if hot, ok := d.WinnerPredictedHottest(); !ok || math.Abs(hot-27.25) > 1e-12 {
+		t.Errorf("got %v/%v, want 27.25/true", hot, ok)
+	}
+	d.Winner = -1
+	if _, ok := d.WinnerPredictedHottest(); ok {
+		t.Error("hold record reported a winner prediction")
+	}
+	d.Winner = 99
+	if _, ok := d.WinnerPredictedHottest(); ok {
+		t.Error("out-of-range winner reported a prediction")
+	}
+}
+
+func TestCSVSinks(t *testing.T) {
+	d := dec(600, 0, 1, 0.5, 26, 25)
+	data := &Data{
+		Decisions: []DecisionRecord{d},
+		Ticks:     []TickRecord{{Time: 0, Day: 0, OutsideTemp: 10, Mode: 1}},
+	}
+	var tk, dc bytes.Buffer
+	if err := data.WriteTickCSV(&tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := data.WriteDecisionCSV(&dc); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(tk.String(), "\n"); lines != 2 {
+		t.Errorf("tick CSV has %d lines, want header+1", lines)
+	}
+	if !strings.Contains(dc.String(), "controller") {
+		t.Errorf("decision CSV missing source column:\n%s", dc.String())
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	var n Nop
+	d := dec(0, 0, 1, 0, 25, 25)
+	k := TickRecord{}
+	n.RecordDecision(&d) // must not panic or retain anything
+	n.RecordTick(&k)
+}
