@@ -5,7 +5,7 @@
 BENCH_PATTERN := BenchmarkCoolAirDecision$$|BenchmarkCoolAirDecisionTraced$$|BenchmarkPredictWindow$$|BenchmarkTMYGeneration$$
 BENCH_COUNT   := 5
 
-.PHONY: build test vet lint check bench bench-check fuzz
+.PHONY: build test vet lint check bench bench-check fuzz serve
 
 build:
 	go build ./...
@@ -41,6 +41,11 @@ bench-check:
 	go run ./cmd/coolair-bench -out bench_current.json < bench_new.txt
 	go run ./cmd/coolair-bench -gate -baseline BENCH_decision.json -current bench_current.json
 	rm -f bench_new.txt bench_current.json
+
+# serve boots the telemetry daemon on localhost:8080 at one simulated
+# hour per wall second. See README "Live telemetry".
+serve:
+	go run ./cmd/coolair-serve -speed 3600
 
 # fuzz exercises the trace JSONL round-trip fuzzer beyond the checked-in
 # corpus. CI runs the same 10-second budget.

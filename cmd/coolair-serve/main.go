@@ -1,0 +1,253 @@
+// Command coolair-serve runs one managed datacenter as a long-running
+// daemon with a live telemetry plane: the simulation is paced by a
+// wall clock (real time, scaled, or as fast as possible) and feeds the
+// flight-recorder ring, which the HTTP side exposes as Prometheus
+// metrics, health/readiness probes, a Server-Sent-Events stream of
+// decision records, and /debug/pprof.
+//
+//	coolair-serve -location newark -system all-nd -year -speed 3600
+//	curl localhost:8080/metrics
+//	curl -N localhost:8080/stream
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: the run loop stops
+// at the next physics step and in-flight HTTP streams are drained.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"coolair/internal/control"
+	"coolair/internal/core"
+	"coolair/internal/experiments"
+	"coolair/internal/sim"
+	"coolair/internal/trace"
+	"coolair/internal/trace/httpserve"
+	"coolair/internal/weather"
+
+	"log/slog"
+)
+
+// serveConfig is the daemon's parsed command line (a struct so the
+// in-process tests can run the daemon without exec).
+type serveConfig struct {
+	addr         string
+	location     string
+	system       string
+	workloadName string
+	days         int
+	startDay     int
+	year         bool
+	speed        float64 // simulated seconds per wall second; 0 = max
+	guard        bool
+}
+
+func main() {
+	var cfg serveConfig
+	flag.StringVar(&cfg.addr, "addr", "localhost:8080", "HTTP listen address for the telemetry plane")
+	flag.StringVar(&cfg.location, "location", "newark", "newark|chad|santiago|iceland|singapore")
+	flag.StringVar(&cfg.system, "system", "all-nd", "baseline|temperature|energy|variation|all-nd|all-def|energy-def")
+	flag.StringVar(&cfg.workloadName, "workload", "facebook", "facebook|nutch")
+	flag.IntVar(&cfg.days, "days", 7, "number of consecutive days to simulate")
+	flag.IntVar(&cfg.startDay, "start", 150, "first day of year (0-based)")
+	flag.BoolVar(&cfg.year, "year", false, "simulate the paper's 52-day year sample instead of -days")
+	flag.Float64Var(&cfg.speed, "speed", 0, "simulated seconds per wall second (1 = real time, 3600 = an hour per second; 0 = as fast as possible)")
+	flag.BoolVar(&cfg.guard, "guard", false, "wrap the controller in the sanitizing fail-safe guard")
+	logFormat := flag.String("log", "text", "log format: text|json")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -log-level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	var handler slog.Handler
+	if *logFormat == "json" {
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	}
+	logger := slog.New(handler)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, cfg, logger, func(addr string) {
+		logger.Info("telemetry plane listening", "addr", addr,
+			"endpoints", "/metrics /healthz /readyz /stream /debug/pprof/")
+	}); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the HTTP plane, then the simulation, and blocks until the
+// context is cancelled (signal) or the simulation fails. The HTTP plane
+// stays up after a completed simulation so the final state remains
+// inspectable; onListen (may be nil) receives the bound address.
+func run(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen func(addr string)) error {
+	cl, ok := findClimate(cfg.location)
+	if !ok {
+		return fmt.Errorf("unknown location %q", cfg.location)
+	}
+	sys, ok := findSystem(cfg.system)
+	if !ok {
+		return fmt.Errorf("unknown system %q", cfg.system)
+	}
+
+	ring := trace.NewRing(0, 0)
+
+	// Readiness: the model is trained (immediate for the baseline) AND
+	// the first decision has completed — before that, scrapes would read
+	// zeros and the stream would be empty.
+	var modelReady atomic.Bool
+	ready := func() bool { return modelReady.Load() && ring.Cursor().Decisions >= 1 }
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", httpserve.MetricsHandler(ring.Metrics()))
+	mux.Handle("/healthz", httpserve.HealthHandler())
+	mux.Handle("/readyz", httpserve.ReadyHandler(ready))
+	mux.Handle("/stream", &httpserve.StreamHandler{Ring: ring})
+	mux.Handle("/debug/pprof/", httpserve.PprofMux())
+
+	// Bind before training: /healthz answers (and bind errors surface)
+	// while the model campaign still runs.
+	srv, err := httpserve.Start(cfg.addr, mux)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			logger.Warn("http shutdown", "err", err)
+		}
+	}()
+	if onListen != nil {
+		onListen(srv.Addr())
+	}
+
+	simErr := make(chan error, 1)
+	go func() { simErr <- runSim(ctx, cfg, cl, sys, ring, &modelReady, logger) }()
+
+	select {
+	case <-ctx.Done():
+		logger.Info("shutdown signal received, stopping simulation")
+		// The run loop observes the same ctx; wait for it to unwind so
+		// its recorder emissions stop before the HTTP plane drains.
+		<-simErr
+		return nil
+	case err := <-simErr:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return fmt.Errorf("simulation: %w", err)
+		}
+		logger.Info("simulation complete, telemetry plane stays up until signal")
+		<-ctx.Done()
+		return nil
+	}
+}
+
+// runSim trains (when needed), assembles the controller, and drives the
+// simulation under the daemon's context and clock.
+func runSim(ctx context.Context, cfg serveConfig, cl weather.Climate, sys experiments.System,
+	ring *trace.Ring, modelReady *atomic.Bool, logger *slog.Logger) error {
+	lab := experiments.NewLab()
+	wl := lab.Facebook()
+	if cfg.workloadName == "nutch" {
+		wl = lab.Nutch()
+	}
+	if sys.Deferrable {
+		wl = wl.WithDeadlines(6 * 3600)
+	}
+
+	if !sys.Baseline {
+		logger.Info("training cooling model", "fidelity", sys.Fidelity)
+	}
+	env, ctrl, err := lab.NewRun(cl, sys)
+	if err != nil {
+		return err
+	}
+	modelReady.Store(true)
+
+	if cfg.guard {
+		g := control.NewGuard(ctrl, control.GuardConfig{})
+		g.SetLogger(logger)
+		ctrl = g
+	}
+
+	var runDays []int
+	if cfg.year {
+		runDays = sim.WeekdaySample()
+	} else {
+		for d := 0; d < cfg.days; d++ {
+			runDays = append(runDays, (cfg.startDay+d)%weather.DaysPerYear)
+		}
+	}
+
+	var clock sim.Clock
+	if cfg.speed > 0 {
+		clock = sim.NewScaledClock(cfg.speed)
+	}
+	runCfg := sim.RunConfig{
+		Days: runDays, Trace: wl,
+		KeepAllActive: sys.Baseline,
+		Recorder:      ring,
+		Context:       ctx,
+		Clock:         clock,
+		Logger:        logger,
+	}
+	logger.Info("simulation starting", "location", cl.Name, "system", sys.Name,
+		"days", len(runDays), "speed", cfg.speed, "guard", cfg.guard)
+	res, err := sim.Run(env, ctrl, runCfg)
+	if err != nil {
+		return err
+	}
+	logger.Info("simulation summary",
+		"pue", res.Summary.PUE,
+		"avg_violation_c", res.Summary.AvgViolation,
+		"jobs_completed", res.JobsCompleted)
+	return nil
+}
+
+func findClimate(name string) (weather.Climate, bool) {
+	for _, c := range weather.StudyLocations() {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return weather.Climate{}, false
+}
+
+func findSystem(name string) (experiments.System, bool) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return experiments.BaselineSystem(), true
+	case "temperature":
+		return experiments.CoolAirSystem(core.VersionTemperature), true
+	case "energy":
+		return experiments.CoolAirSystem(core.VersionEnergy), true
+	case "variation":
+		return experiments.CoolAirSystem(core.VersionVariation), true
+	case "all-nd", "allnd":
+		return experiments.CoolAirSystem(core.VersionAllND), true
+	case "all-def", "alldef":
+		s := experiments.CoolAirSystem(core.VersionAllDEF)
+		s.Deferrable = true
+		return s, true
+	case "energy-def":
+		s := experiments.CoolAirSystem(core.VersionEnergyDEF)
+		s.Deferrable = true
+		return s, true
+	}
+	return experiments.System{}, false
+}

@@ -8,12 +8,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"coolair/internal/experiments"
+	"coolair/internal/trace/httpserve"
 )
 
 func main() {
@@ -24,12 +23,12 @@ func main() {
 	flag.Parse()
 
 	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+		srv, err := httpserve.Start(*pprofAddr, httpserve.PprofMux())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", srv.Addr())
 	}
 
 	lab := experiments.NewLab()

@@ -309,6 +309,18 @@ type (
 	TraceRegistry = trace.Registry
 	// NopRecorder is the explicit do-nothing recorder.
 	NopRecorder = trace.Nop
+	// Gauge is a concurrent current-value metric (part of TraceRegistry).
+	Gauge = trace.Gauge
+	// Counter is a concurrent monotone event counter.
+	Counter = trace.Counter
+	// TracePhase names one decision-pipeline phase (forecast, band,
+	// enumerate, predict, penalty, guard) in the span latency histograms.
+	TracePhase = trace.Phase
+	// TraceCursor marks a position for tailing a TraceRing live.
+	TraceCursor = trace.Cursor
+	// Clock paces a run against wall time (see RunConfig.Clock); nil
+	// runs as fast as possible.
+	Clock = sim.Clock
 )
 
 // NewTraceRing creates a ring recorder with the given capacities
@@ -316,6 +328,14 @@ type (
 func NewTraceRing(decisionCap, tickCap int) *TraceRing {
 	return trace.NewRing(decisionCap, tickCap)
 }
+
+// NewScaledClock returns a Clock running the simulation at factor
+// simulated seconds per wall second (1 = real time, 3600 = an hour per
+// second).
+func NewScaledClock(factor float64) Clock { return sim.NewScaledClock(factor) }
+
+// RealTimeClock paces a run at wall speed.
+func RealTimeClock() Clock { return sim.RealTimeClock() }
 
 // ReadTrace decodes a JSONL trace written by TraceData.WriteJSONL (or
 // the -trace flag of the command-line tools).

@@ -1,7 +1,9 @@
 package control
 
 import (
+	"log/slog"
 	"math"
+	"time"
 
 	"coolair/internal/cooling"
 	"coolair/internal/trace"
@@ -139,6 +141,16 @@ type Guard struct {
 	// allocation-free (the Guard itself lives on the heap).
 	rec  trace.Recorder
 	drec trace.DecisionRecord
+	// spans, when non-nil, receives the guard's own overhead per decision
+	// (total Decide wall time minus time inside the inner controller) as
+	// the PhaseGuard span. innerSec is per-decision scratch for that
+	// subtraction.
+	spans    trace.SpanRecorder
+	innerSec float64
+
+	// log, when non-nil, receives structured warnings for interventions:
+	// retries, holds, and fail-safe engage/exit.
+	log *slog.Logger
 
 	report GuardReport
 }
@@ -146,12 +158,23 @@ type Guard struct {
 // SetRecorder implements trace.Traceable: the guard annotates its
 // interventions to r and forwards the recorder to the inner controller
 // when that is traceable, so one call wires the whole controller stack.
+// A recorder that also implements trace.SpanRecorder additionally
+// receives the guard-overhead phase span per decision.
 func (g *Guard) SetRecorder(r trace.Recorder) {
 	g.rec = r
+	g.spans = nil
+	if sr, ok := r.(trace.SpanRecorder); ok {
+		g.spans = sr
+	}
 	if t, ok := g.inner.(trace.Traceable); ok {
 		t.SetRecorder(r)
 	}
 }
+
+// SetLogger attaches a structured logger for intervention warnings (nil
+// disables logging). Logging happens only on the rare intervention
+// paths, never per healthy decision.
+func (g *Guard) SetLogger(l *slog.Logger) { g.log = l }
 
 // sensorGuard is the per-sensor sanitation state.
 type sensorGuard struct {
@@ -244,6 +267,22 @@ func (g *Guard) ScheduleDay(day int, jobs []workload.Job) []float64 {
 // validation; and when the sensing layer or the controller itself is
 // beyond salvage, the fail-safe regime takes over.
 func (g *Guard) Decide(obs Observation) (cooling.Command, error) {
+	if g.spans == nil {
+		return g.decide(obs)
+	}
+	// PhaseGuard is the guard's own overhead: total Decide wall time
+	// minus the time spent inside the inner controller (which reports
+	// its phases itself). tryInner accumulates the inner time.
+	start := time.Now()
+	g.innerSec = 0
+	cmd, err := g.decide(obs)
+	if over := time.Since(start).Seconds() - g.innerSec; over >= 0 {
+		g.spans.RecordSpan(trace.PhaseGuard, over)
+	}
+	return cmd, err
+}
+
+func (g *Guard) decide(obs Observation) (cooling.Command, error) {
 	s := g.sanitize(obs)
 
 	if s.anyDead {
@@ -258,6 +297,9 @@ func (g *Guard) Decide(obs Observation) (cooling.Command, error) {
 		// One retry: transient state inside the controller (a model
 		// hiccup, a scheduling edge) may clear on a second attempt.
 		g.report.DecideRetries++
+		if g.log != nil {
+			g.log.Warn("guard: retrying inner decision", "time", s.obs.Time)
+		}
 		cmd, ok = g.tryInner(s.obs)
 		retried = true
 	}
@@ -317,13 +359,27 @@ func (g *Guard) emitGuard(action trace.GuardAction, obs Observation, cmd cooling
 
 // tryInner runs one inner Decide and validates the result.
 func (g *Guard) tryInner(obs Observation) (cooling.Command, bool) {
+	var mark time.Time
+	timing := g.spans != nil
+	if timing {
+		mark = time.Now()
+	}
 	cmd, err := g.inner.Decide(obs)
+	if timing {
+		g.innerSec += time.Since(mark).Seconds()
+	}
 	if err != nil {
 		g.report.DecideErrors++
+		if g.log != nil {
+			g.log.Warn("guard: inner controller error", "time", obs.Time, "err", err)
+		}
 		return cooling.Command{}, false
 	}
 	if cmd.Validate() != nil {
 		g.report.InvalidCommands++
+		if g.log != nil {
+			g.log.Warn("guard: inner controller returned invalid command", "time", obs.Time)
+		}
 		return cooling.Command{}, false
 	}
 	return cmd, true
@@ -339,6 +395,10 @@ func (g *Guard) decideFailSafe(s sanitized) cooling.Command {
 		g.report.FailSafeEngagements++
 		if g.report.FailSafeEngagements == 1 {
 			g.report.FirstFailSafeTime = s.obs.Time
+		}
+		if g.log != nil {
+			g.log.Warn("guard: fail-safe engaged", "time", s.obs.Time,
+				"dead_sensors", s.anyDead, "consec_fails", g.consecFails)
 		}
 	}
 	g.report.FailSafeDecisions++
@@ -376,6 +436,9 @@ func (g *Guard) exitFailSafe() {
 	if g.failSafeOn {
 		g.failSafeOn = false
 		g.fsCompOn = false
+		if g.log != nil {
+			g.log.Warn("guard: fail-safe exited, inner controller healthy again")
+		}
 	}
 }
 

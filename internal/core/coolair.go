@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"coolair/internal/control"
 	"coolair/internal/cooling"
@@ -102,11 +103,24 @@ type CoolAir struct {
 	// record path stays allocation-free (BenchmarkCoolAirDecisionTraced).
 	rec  trace.Recorder
 	drec trace.DecisionRecord
+	// spans is the recorder's SpanRecorder facet, type-asserted once at
+	// SetRecorder so the hot path tests a plain nil instead of doing an
+	// interface assertion per decision. Nil when the recorder does not
+	// collect phase latencies.
+	spans trace.SpanRecorder
 }
 
 // SetRecorder implements trace.Traceable: subsequent decisions emit
-// trace.DecisionRecords to r (nil turns tracing off).
-func (c *CoolAir) SetRecorder(r trace.Recorder) { c.rec = r }
+// trace.DecisionRecords to r (nil turns tracing off). If r also
+// implements trace.SpanRecorder, decisions additionally report
+// per-phase latencies (forecast, band, enumerate, predict, penalty).
+func (c *CoolAir) SetRecorder(r trace.Recorder) {
+	c.rec = r
+	c.spans = nil
+	if sr, ok := r.(trace.SpanRecorder); ok {
+		c.spans = sr
+	}
+}
 
 // DegradeReport counts the graceful-degradation paths CoolAir took
 // instead of aborting: days planned without a usable forecast, candidate
@@ -191,11 +205,25 @@ func (c *CoolAir) StartDay(day int) {
 // bandForDay selects the band from the forecast, reporting failure when
 // the forecast is unusable.
 func (c *CoolAir) bandForDay(day int) (Band, bool) {
+	timing := c.spans != nil
+	var mark time.Time
+	if timing {
+		mark = time.Now()
+	}
 	mean := float64(c.forecast.DayMeanForecast(day))
+	if timing {
+		now := time.Now()
+		c.spans.RecordSpan(trace.PhaseForecast, now.Sub(mark).Seconds())
+		mark = now
+	}
 	if math.IsNaN(mean) || math.IsInf(mean, 0) {
 		return Band{}, false
 	}
-	return SelectBand(c.opts.Band, c.forecast, day), true
+	b := SelectBand(c.opts.Band, c.forecast, day)
+	if timing {
+		c.spans.RecordSpan(trace.PhaseBand, time.Since(mark).Seconds())
+	}
+	return b, true
 }
 
 // Degradations returns the degradation paths taken so far.
@@ -293,6 +321,13 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 	bestPen := math.Inf(1)
 	bestPow := math.Inf(1)
 	winner := int32(-1)
+	// Phase spans: accumulate wall time per pipeline phase across the
+	// candidate loop, emitting one observation per phase per decision.
+	// time.Now performs no allocation, so the traced hot path stays at
+	// 0 allocs/op with spans enabled.
+	timing := c.spans != nil
+	var enumSec, predSec, penSec float64
+	var mark time.Time
 	for _, cmd := range c.menu {
 		// When recording, reserve the candidate's slot up front so skipped
 		// candidates appear in the trace too (with Skipped set).
@@ -309,7 +344,13 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 		// A candidate whose preview or prediction fails is skipped, not
 		// fatal: losing one regime from the menu degrades the decision,
 		// aborting it would stall the control loop.
+		if timing {
+			mark = time.Now()
+		}
 		sched, err := c.plant.PreviewScheduleInto(c.sched, cmd, model.ModelStepSeconds, horizon)
+		if timing {
+			enumSec += time.Since(mark).Seconds()
+		}
 		if err != nil {
 			c.degrade.SkippedCandidates++
 			if crec != nil {
@@ -318,7 +359,13 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 			continue
 		}
 		c.sched = sched
+		if timing {
+			mark = time.Now()
+		}
 		rollout, err := c.model.PredictWindowInto(&c.predict, state, sched)
+		if timing {
+			predSec += time.Since(mark).Seconds()
+		}
 		if err != nil {
 			c.degrade.SkippedCandidates++
 			if crec != nil {
@@ -328,6 +375,9 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 		}
 		// Predict each step's cooling power once: the utility's energy
 		// term and the tie-break below share the same values.
+		if timing {
+			mark = time.Now()
+		}
 		c.powers = c.powers[:0]
 		pow := 0.0
 		for _, s := range sched {
@@ -335,14 +385,23 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 			c.powers = append(c.powers, w)
 			pow += float64(w)
 		}
+		if timing {
+			predSec += time.Since(mark).Seconds()
+		}
 		// The Detail variant mirrors every term into the record without
 		// reordering the score's accumulation, so pen is bit-identical to
 		// the untraced call (the golden-digest equivalence test).
+		if timing {
+			mark = time.Now()
+		}
 		var pen float64
 		if crec != nil {
 			pen = c.opts.Utility.PenaltyWithPowersDetail(c.band, state, rollout, sched, obs.PodActive, c.powers, &crec.Terms)
 		} else {
 			pen = c.opts.Utility.PenaltyWithPowers(c.band, state, rollout, sched, obs.PodActive, c.powers)
+		}
+		if timing {
+			penSec += time.Since(mark).Seconds()
 		}
 		if math.IsNaN(pen) {
 			c.degrade.SkippedCandidates++
@@ -378,6 +437,11 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 				winner = c.drec.NumCandidates - 1
 			}
 		}
+	}
+	if timing {
+		c.spans.RecordSpan(trace.PhaseEnumerate, enumSec)
+		c.spans.RecordSpan(trace.PhasePredict, predSec)
+		c.spans.RecordSpan(trace.PhasePenalty, penSec)
 	}
 	if scored == 0 {
 		// Every candidate failed: hold the current plant state rather

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 
+	"coolair/internal/control"
 	"coolair/internal/core"
 	"coolair/internal/model"
 	"coolair/internal/sim"
@@ -239,6 +240,42 @@ func (l *Lab) RunRecorded(cl weather.Climate, sys System, days []int, trace *wor
 	}
 	res.Controller = sys.Name
 	return res, nil
+}
+
+// NewRun assembles the environment and controller for one system at one
+// climate without starting the simulation, training the Cooling Model
+// first when the system needs one. Callers that need more control over
+// the run than Run offers — the serve daemon paces sim.Run with a
+// Clock, cancels it with a Context, and wraps the controller in a
+// Guard — drive sim.Run themselves with the returned pair.
+func (l *Lab) NewRun(cl weather.Climate, sys System) (*sim.Env, control.Controller, error) {
+	env, err := sim.NewEnv(cl, sys.Fidelity)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sys.ForecastBias != 0 {
+		env.SetForecast(weather.BiasedForecast{
+			Base: weather.PerfectForecast{Series: env.Series},
+			Bias: units.Celsius(sys.ForecastBias),
+		})
+	}
+	if sys.Baseline {
+		return env, baselineController(), nil
+	}
+	m, err := l.Model(sys.Fidelity)
+	if err != nil {
+		return nil, nil, err
+	}
+	env.Model = m
+	band := sys.Band
+	if band == (core.BandConfig{}) {
+		band = core.DefaultBandConfig()
+	}
+	ca, err := core.New(core.VersionOptions(sys.Version, band), m, env.Forecast, env.Plant, env.Cluster)
+	if err != nil {
+		return nil, nil, err
+	}
+	return env, ca, nil
 }
 
 // YearDays returns n evenly spaced days of the year (the paper's year

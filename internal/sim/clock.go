@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"context"
+	"time"
+)
+
+// Clock paces a run against wall time, turning the batch simulator into
+// a live process the serve plane can watch. The run loop calls Pace
+// before each physics step with the absolute simulated time it is about
+// to compute; Pace blocks until wall time has caught up (or returns
+// ctx's error if the run is cancelled while waiting).
+//
+// A nil Clock in RunConfig means no pacing: the run goes as fast as the
+// machine allows, which is the batch/experiment behavior.
+type Clock interface {
+	Pace(ctx context.Context, simSeconds float64) error
+}
+
+// scaledClock advances simulated time at factor × real time, anchored
+// at its first Pace call (so a run that starts mid-year does not sleep
+// through the skipped months). It is used from a single run loop, so
+// the anchor needs no locking.
+type scaledClock struct {
+	factor   float64
+	anchored bool
+	wall0    time.Time
+	sim0     float64
+}
+
+// NewScaledClock returns a Clock advancing simulated time at factor
+// real seconds per simulated second — factor 1 is real time, 3600 runs
+// a simulated hour each wall second. Non-positive factors are treated
+// as 1.
+func NewScaledClock(factor float64) Clock {
+	if factor <= 0 {
+		factor = 1
+	}
+	return &scaledClock{factor: factor}
+}
+
+// RealTimeClock paces the simulation at wall speed.
+func RealTimeClock() Clock { return NewScaledClock(1) }
+
+func (c *scaledClock) Pace(ctx context.Context, simSeconds float64) error {
+	if !c.anchored {
+		c.anchored = true
+		c.wall0 = time.Now()
+		c.sim0 = simSeconds
+		return ctx.Err()
+	}
+	due := c.wall0.Add(time.Duration((simSeconds - c.sim0) / c.factor * float64(time.Second)))
+	wait := time.Until(due)
+	if wait <= 0 {
+		// Behind schedule (a slow step, or a clock slower than the
+		// machine): never sleep, just let the run catch up.
+		return ctx.Err()
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"coolair/internal/tks"
+	"coolair/internal/weather"
+)
+
+// TestScaledClockPacing: after anchoring, a scaled clock holds the run
+// to factor × real time, and a clock slower than the machine never
+// sleeps the run further behind.
+func TestScaledClockPacing(t *testing.T) {
+	c := NewScaledClock(1000) // 1000 sim-seconds per wall second
+	ctx := context.Background()
+	start := time.Now()
+	if err := c.Pace(ctx, 0); err != nil { // anchor: no sleep
+		t.Fatal(err)
+	}
+	if err := c.Pace(ctx, 50); err != nil { // 50 sim-s → 50ms wall
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("paced 50 sim-seconds in %v, want ≥ 40ms at factor 1000", elapsed)
+	}
+
+	// Already behind schedule: Pace must return immediately.
+	start = time.Now()
+	if err := c.Pace(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("behind-schedule Pace slept %v", elapsed)
+	}
+}
+
+// TestScaledClockCancellation: a Pace sleeping toward a far-future
+// deadline unblocks with the context error.
+func TestScaledClockCancellation(t *testing.T) {
+	c := NewScaledClock(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := c.Pace(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Pace(ctx, 3600) }() // an hour of wall sleep
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("cancelled Pace returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pace ignored cancellation")
+	}
+}
+
+// TestNonPositiveFactorClamps: NewScaledClock(0) behaves as real time
+// rather than dividing by zero.
+func TestNonPositiveFactorClamps(t *testing.T) {
+	c := NewScaledClock(0)
+	if err := c.Pace(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Second call asks for 1ms of wall progress; it must neither panic
+	// nor sleep unreasonably.
+	start := time.Now()
+	if err := c.Pace(context.Background(), 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("clamped clock slept too long")
+	}
+}
+
+// TestRunHonorsContextCancellation: a cancelled config context stops a
+// run mid-day with the context error instead of finishing the day.
+func TestRunHonorsContextCancellation(t *testing.T) {
+	env, err := NewEnv(weather.Newark, RealSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first step
+	_, err = Run(env, tks.Baseline(), RunConfig{Days: []int{150}, Context: ctx})
+	if err != context.Canceled {
+		t.Fatalf("Run under cancelled context returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunUnderClock: a very fast clock must not change results, only
+// pacing; the run still completes.
+func TestRunUnderClock(t *testing.T) {
+	env, err := NewEnv(weather.Newark, RealSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, tks.Baseline(), RunConfig{
+		Days:  []int{150},
+		Clock: NewScaledClock(1e12), // effectively max speed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Days != 1 {
+		t.Fatalf("days = %d, want 1", res.Summary.Days)
+	}
+}

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 
 	"coolair/internal/control"
@@ -60,6 +62,19 @@ type RunConfig struct {
 	// so it can emit per-decision records. Recording never changes a
 	// run's results — see the golden-digest equivalence test.
 	Recorder trace.Recorder
+	// Context, when non-nil, cancels the run between physics steps: Run
+	// returns ctx.Err() promptly instead of finishing the remaining
+	// days. This is how the serve daemon turns SIGINT/SIGTERM into a
+	// graceful shutdown of a long-running simulation.
+	Context context.Context
+	// Clock, when non-nil, paces the metered loop against wall time (see
+	// Clock; warm-up evenings always run at full speed). Nil runs
+	// as-fast-as-possible — the batch/experiment behavior.
+	Clock Clock
+	// Logger, when non-nil, receives structured progress logs (day
+	// boundaries, warm-ups, completion). Nil disables logging; results
+	// are identical either way.
+	Logger *slog.Logger
 }
 
 // WithMaxTemp returns the config with the temperature limit explicitly
@@ -134,6 +149,10 @@ type Result struct {
 // back-to-back).
 func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	collector := metrics.NewCollector(len(env.Container.Pods), cfg.MaxTemp, cfg.RHLimit)
 	diskCollector := metrics.NewCollector(len(env.Container.Pods), 45, 100)
 	var diskSamples []float64
@@ -169,6 +188,9 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 		}
 		if planner != nil {
 			planner.StartDay(day)
+		}
+		if cfg.Logger != nil {
+			cfg.Logger.Info("day start", "day", day, "index", dayIdx, "of", len(cfg.Days))
 		}
 
 		// When the clock jumps (the year runs sample one day per week,
@@ -211,9 +233,15 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 				}
 				sort.Slice(warmSubs, func(a, b int) bool { return warmSubs[a].Arrival < warmSubs[b].Arrival })
 			}
+			if cfg.Logger != nil {
+				cfg.Logger.Debug("warm-up", "day", day, "hours", warmupSeconds/3600, "reseat", reseat)
+			}
 			warmNext := 0
 			warmSteps := int(warmupSeconds / PhysicsStepSeconds)
 			for step := 0; step < warmSteps; step++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				wallInDay := 86400 - warmupSeconds + float64(step)*PhysicsStepSeconds
 				for warmNext < len(warmSubs) && warmSubs[warmNext].Arrival <= wallInDay {
 					env.Cluster.Submit(warmSubs[warmNext])
@@ -266,6 +294,14 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 
 		next := 0
 		for step := 0; step < stepsPerDay; step++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if cfg.Clock != nil {
+				if err := cfg.Clock.Pace(ctx, env.Now()); err != nil {
+					return nil, err
+				}
+			}
 			dayTime := float64(step) * PhysicsStepSeconds
 			for next < len(subs) && subs[next].release <= dayTime {
 				env.Cluster.Submit(subs[next].job)
@@ -314,6 +350,9 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 				res.Snapshots = append(res.Snapshots, env.snapshot(eff))
 			}
 		}
+	}
+	if cfg.Logger != nil {
+		cfg.Logger.Info("run complete", "days", len(cfg.Days), "controller", ctrl.Name())
 	}
 	res.Summary = collector.Summarize()
 	res.DailyWorstRanges = collector.WorstDailyRanges()

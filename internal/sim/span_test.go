@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+
+	"coolair/internal/control"
+	"coolair/internal/core"
+	"coolair/internal/tks"
+	"coolair/internal/trace"
+	"coolair/internal/weather"
+	"coolair/internal/workload"
+)
+
+// TestPhaseSpansEmitted: a guarded CoolAir run with a ring recorder
+// populates every pipeline phase's latency histogram — forecast and
+// band once per day, enumerate/predict/penalty once per decision, and
+// the guard-overhead span once per guarded decision.
+func TestPhaseSpansEmitted(t *testing.T) {
+	env := trainedEnv(t, weather.Newark, RealSim)
+	ca := newCoolAir(t, env, core.VersionAllND)
+	g := control.NewGuard(ca, control.GuardConfig{})
+	ring := trace.NewRing(0, 0)
+	_, err := Run(env, g, RunConfig{
+		Days: []int{150}, Trace: workload.Facebook(64, 1), Recorder: ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ring.Metrics()
+	decisions := reg.DecisionsTotal.Value()
+	if decisions == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		if reg.PhaseSeconds[p].Count() == 0 {
+			t.Errorf("phase %s: no spans recorded", p)
+		}
+	}
+	// The candidate-loop phases fire once per model-backed decision;
+	// guard overhead on every guarded Decide.
+	if got := reg.PhaseSeconds[trace.PhaseGuard].Count(); got < decisions {
+		t.Errorf("guard spans %d < decisions %d", got, decisions)
+	}
+	if enum, pred := reg.PhaseSeconds[trace.PhaseEnumerate].Count(), reg.PhaseSeconds[trace.PhasePredict].Count(); enum != pred {
+		t.Errorf("enumerate spans %d != predict spans %d (phases must fire together)", enum, pred)
+	}
+}
+
+// TestTKSEmitsDecisionRecords: the baseline controller is traceable
+// too, so a serve session running -system baseline becomes ready and
+// streams decisions without a trained model.
+func TestTKSEmitsDecisionRecords(t *testing.T) {
+	env, err := NewEnv(weather.Newark, RealSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := trace.NewRing(0, 0)
+	if _, err := Run(env, tks.Baseline(), RunConfig{
+		Days: []int{150}, Trace: workload.Facebook(64, 1), KeepAllActive: true, Recorder: ring,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.Cursor().Decisions; got == 0 {
+		t.Fatal("baseline run recorded no decisions")
+	}
+	decs := ring.Decisions()
+	if decs[0].Source != trace.SourceController || decs[0].NumCandidates != 0 {
+		t.Fatalf("TKS record malformed: %+v", decs[0])
+	}
+}

@@ -11,8 +11,11 @@
 package tks
 
 import (
+	"math"
+
 	"coolair/internal/control"
 	"coolair/internal/cooling"
+	"coolair/internal/trace"
 	"coolair/internal/units"
 )
 
@@ -73,13 +76,49 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Controller is the TKS state machine. It implements control.Controller.
+// Controller is the TKS state machine. It implements control.Controller
+// and trace.Traceable.
 type Controller struct {
 	cfg Config
 	// hot is the LOT/HOT latch (with hysteresis).
 	hot bool
 	// compressorOn is the AC cycling latch.
 	compressorOn bool
+
+	// Flight recorder: the TKS has no candidate scoring, so its records
+	// carry only the chosen regime and the observed hottest inlet. drec
+	// is struct-held scratch, keeping the emit allocation-free.
+	rec  trace.Recorder
+	drec trace.DecisionRecord
+}
+
+// SetRecorder implements trace.Traceable: subsequent decisions emit
+// minimal trace.DecisionRecords (no candidates) to r, so a baseline
+// serve session flips readiness and streams decisions just like a
+// CoolAir one.
+func (c *Controller) SetRecorder(r trace.Recorder) { c.rec = r }
+
+// emitDecision records one TKS decision. No-op when tracing is off.
+func (c *Controller) emitDecision(obs control.Observation, cmd cooling.Command) {
+	if c.rec == nil {
+		return
+	}
+	c.drec = trace.DecisionRecord{
+		Time:          obs.Time,
+		Day:           int32(obs.Day),
+		Source:        trace.SourceController,
+		PeriodSeconds: c.cfg.PeriodSeconds,
+		Winner:        -1,
+		Mode:          int32(cmd.Mode),
+		FanSpeed:      cmd.FanSpeed,
+		CompSpeed:     cmd.CompressorSpeed,
+	}
+	if hot, ok := obs.MaxPodInlet(); ok {
+		c.drec.ActualHottest = float64(hot)
+	} else {
+		c.drec.ActualHottest = math.NaN()
+	}
+	c.rec.RecordDecision(&c.drec)
 }
 
 // New creates a TKS controller with factory defaults filled in.
@@ -116,7 +155,9 @@ func (c *Controller) Decide(obs control.Observation) (cooling.Command, error) {
 
 	inside, ok := obs.MaxPodInlet()
 	if !ok {
-		return cooling.Command{Mode: cooling.ModeClosed}, nil
+		cmd := cooling.Command{Mode: cooling.ModeClosed}
+		c.emitDecision(obs, cmd)
+		return cmd, nil
 	}
 
 	var cmd cooling.Command
@@ -130,6 +171,7 @@ func (c *Controller) Decide(obs control.Observation) (cooling.Command, error) {
 	if c.cfg.HumidityLimit > 0 && obs.InsideRH > c.cfg.HumidityLimit {
 		cmd = c.decideHumidity(cmd, obs)
 	}
+	c.emitDecision(obs, cmd)
 	return cmd, nil
 }
 

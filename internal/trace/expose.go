@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4): every metric family is
+// preceded by its # HELP and # TYPE lines, histograms expose the
+// cumulative _bucket{le=...} series plus _sum and _count, and the
+// per-phase latency histograms render as one family labeled by phase.
+// The format test in expose_test.go parses this output back line by
+// line, so the renderer and the parser pin each other.
+
+// counterFamilies fixes the render order and metadata of the plain
+// counters.
+var counterFamilies = []struct {
+	name, help string
+	get        func(*Registry) *Counter
+}{
+	{"decisions_total", "Controller decision records (holds included).",
+		func(r *Registry) *Counter { return &r.DecisionsTotal }},
+	{"regime_transitions_total", "Decisions whose chosen cooling mode differs from the previous decision's.",
+		func(r *Registry) *Counter { return &r.RegimeTransitionsTotal }},
+	{"guard_interventions_total", "Guard annotation records: retries, holds, and fail-safe service.",
+		func(r *Registry) *Counter { return &r.GuardInterventionsTotal }},
+	{"ticks_total", "Simulator telemetry samples.",
+		func(r *Registry) *Counter { return &r.TicksTotal }},
+	{"ring_decisions_dropped_total", "Decision records the ring overwrote to make room (newest-wins).",
+		func(r *Registry) *Counter { return &r.RingDecisionsDropped }},
+	{"ring_ticks_dropped_total", "Tick records the ring overwrote to make room (newest-wins).",
+		func(r *Registry) *Counter { return &r.RingTicksDropped }},
+	{"stream_dropped_total", "Records SSE clients missed because the ring overwrote them first (slow-client drops).",
+		func(r *Registry) *Counter { return &r.StreamDroppedTotal }},
+}
+
+// gaugeFamilies fixes the render order and metadata of the
+// current-state gauges.
+var gaugeFamilies = []struct {
+	name, help string
+	get        func(*Registry) *Gauge
+}{
+	{"inlet_max_celsius", "Hottest pod-inlet temperature at the last tick (degrees Celsius).",
+		func(r *Registry) *Gauge { return &r.InletMaxC }},
+	{"inlet_min_celsius", "Coolest pod-inlet temperature at the last tick (degrees Celsius).",
+		func(r *Registry) *Gauge { return &r.InletMinC }},
+	{"outside_celsius", "Outside air temperature at the last tick (degrees Celsius).",
+		func(r *Registry) *Gauge { return &r.OutsideTempC }},
+	{"outside_rh_percent", "Outside relative humidity at the last tick (percent).",
+		func(r *Registry) *Gauge { return &r.OutsideRH }},
+	{"active_regime", "Effective cooling mode code at the last record (0 closed, 1 free-cooling, 2 AC-fan, 3 AC-cool).",
+		func(r *Registry) *Gauge { return &r.ActiveRegime }},
+	{"band_lo_celsius", "Lower edge of the temperature band at the last decision (degrees Celsius).",
+		func(r *Registry) *Gauge { return &r.BandLoC }},
+	{"band_hi_celsius", "Upper edge of the temperature band at the last decision (degrees Celsius).",
+		func(r *Registry) *Gauge { return &r.BandHiC }},
+	{"ring_decisions", "Decision records currently retained in the ring buffer.",
+		func(r *Registry) *Gauge { return &r.RingDecisions }},
+	{"ring_ticks", "Tick records currently retained in the ring buffer.",
+		func(r *Registry) *Gauge { return &r.RingTicks }},
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format with # HELP/# TYPE metadata for every family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range counterFamilies {
+		writeMeta(&b, f.name, f.help, "counter")
+		fmt.Fprintf(&b, "%s %d\n", f.name, f.get(r).Value())
+	}
+	for _, f := range gaugeFamilies {
+		writeMeta(&b, f.name, f.help, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(f.get(r).Value()))
+	}
+	writeMeta(&b, "prediction_abs_error", "Absolute one-period-ahead hottest-inlet prediction error (degrees Celsius).", "histogram")
+	writeHistogram(&b, "prediction_abs_error", "", r.PredictionAbsError)
+	writeMeta(&b, "decision_phase_seconds", "Wall time spent per decision-pipeline phase (seconds per decision).", "histogram")
+	for p := Phase(0); p < NumPhases; p++ {
+		writeHistogram(&b, "decision_phase_seconds", fmt.Sprintf("phase=%q", p), r.PhaseSeconds[p])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderString backs Registry.String.
+func (r *Registry) renderString() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+func writeMeta(b *strings.Builder, name, help, typ string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// writeHistogram renders one histogram's _bucket/_sum/_count series.
+// extraLabel ("" or `phase="x"`) is merged into every series' label
+// set, le last, matching Prometheus convention.
+func writeHistogram(b *strings.Builder, name, extraLabel string, h *Histogram) {
+	bounds, cum := h.Buckets()
+	sep := ""
+	if extraLabel != "" {
+		sep = ","
+	}
+	for i, bound := range bounds {
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, extraLabel, sep, formatValue(bound), cum[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, extraLabel, sep, cum[len(cum)-1])
+	if extraLabel != "" {
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, extraLabel, formatValue(h.Sum()))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, extraLabel, h.Count())
+		return
+	}
+	fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+}
+
+// formatValue renders one sample value: shortest float form, with the
+// exposition spellings of the non-finite values.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

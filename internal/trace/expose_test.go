@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition line: name, label set (as the
+// raw text between braces), and value.
+type promSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+var promLineRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+
+// parsePrometheus parses text exposition output back into metadata and
+// samples, enforcing the format rules the renderer must uphold: every
+// sample's family has HELP and TYPE lines that precede it, TYPE values
+// are legal, and sample lines match the line grammar.
+func parsePrometheus(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = map[string]string{}
+	help := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, h, ok := strings.Cut(rest, " ")
+			if !ok || h == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			help[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: illegal TYPE %q", ln+1, typ)
+			}
+			if !help[name] {
+				t.Fatalf("line %d: TYPE for %s precedes its HELP", ln+1, name)
+			}
+			types[name] = typ
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
+		default:
+			m := promLineRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: not a valid sample line: %q", ln+1, line)
+			}
+			v, err := parsePromValue(m[3])
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, m[3], err)
+			}
+			family := m[1]
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(family, suffix)
+				if base != family && types[base] == "histogram" {
+					family = base
+					break
+				}
+			}
+			if types[family] == "" {
+				t.Fatalf("line %d: sample %s has no preceding TYPE", ln+1, m[1])
+			}
+			samples = append(samples, promSample{name: m[1], labels: m[2], value: v})
+		}
+	}
+	return types, samples
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return math.NaN(), nil
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// TestPrometheusExposition renders a populated registry and parses the
+// text back: HELP/TYPE for every family, histogram bucket series
+// cumulative with a trailing +Inf equal to _count, and gauge values
+// round-tripping (including a non-finite one).
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.DecisionsTotal.Add(7)
+	r.TicksTotal.Inc()
+	r.InletMaxC.Set(28.25)
+	r.OutsideTempC.Set(-3.5)
+	r.OutsideRH.Set(math.NaN())
+	r.BandLoC.Set(18)
+	r.BandHiC.Set(23)
+	r.PredictionAbsError.Observe(0.07)
+	r.PredictionAbsError.Observe(0.3)
+	r.PredictionAbsError.Observe(42)
+	r.RecordSpan(PhasePredict, 12e-6)
+	r.RecordSpan(PhasePredict, 3e-3)
+	r.RecordSpan(PhaseGuard, 2e-6)
+
+	text := r.String()
+	types, samples := parsePrometheus(t, text)
+
+	wantType := map[string]string{
+		"decisions_total":        "counter",
+		"ticks_total":            "counter",
+		"stream_dropped_total":   "counter",
+		"inlet_max_celsius":      "gauge",
+		"band_lo_celsius":        "gauge",
+		"ring_decisions":         "gauge",
+		"prediction_abs_error":   "histogram",
+		"decision_phase_seconds": "histogram",
+	}
+	for name, typ := range wantType {
+		if types[name] != typ {
+			t.Errorf("TYPE %s = %q, want %q", name, types[name], typ)
+		}
+	}
+
+	byName := map[string][]promSample{}
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+	if v := byName["decisions_total"][0].value; v != 7 {
+		t.Errorf("decisions_total = %g, want 7", v)
+	}
+	if v := byName["inlet_max_celsius"][0].value; v != 28.25 {
+		t.Errorf("inlet_max_celsius = %g, want 28.25", v)
+	}
+	if v := byName["outside_celsius"][0].value; v != -3.5 {
+		t.Errorf("outside_celsius = %g, want -3.5", v)
+	}
+	if v := byName["outside_rh_percent"][0].value; !math.IsNaN(v) {
+		t.Errorf("outside_rh_percent = %g, want NaN", v)
+	}
+
+	// prediction_abs_error: buckets cumulative, ending at +Inf == count.
+	buckets := byName["prediction_abs_error_bucket"]
+	if len(buckets) == 0 {
+		t.Fatal("no prediction_abs_error_bucket series")
+	}
+	prev := -1.0
+	for _, b := range buckets {
+		if b.value < prev {
+			t.Errorf("bucket counts not cumulative: %v", buckets)
+		}
+		prev = b.value
+	}
+	last := buckets[len(buckets)-1]
+	if !strings.Contains(last.labels, `le="+Inf"`) {
+		t.Errorf("last bucket is not +Inf: %q", last.labels)
+	}
+	count := byName["prediction_abs_error_count"][0].value
+	if last.value != count || count != 3 {
+		t.Errorf("+Inf bucket %g, _count %g, want both 3", last.value, count)
+	}
+	sum := byName["prediction_abs_error_sum"][0].value
+	if math.Abs(sum-42.37) > 1e-9 {
+		t.Errorf("_sum = %g, want 42.37", sum)
+	}
+
+	// Phase histograms: one labeled family, counts where observed.
+	phaseCounts := map[string]float64{}
+	for _, s := range byName["decision_phase_seconds_count"] {
+		phaseCounts[s.labels] = s.value
+	}
+	if phaseCounts[fmt.Sprintf("{phase=%q}", PhasePredict)] != 2 {
+		t.Errorf("predict phase count = %v, want 2", phaseCounts)
+	}
+	if phaseCounts[fmt.Sprintf("{phase=%q}", PhaseGuard)] != 1 {
+		t.Errorf("guard phase count = %v, want 1", phaseCounts)
+	}
+	// le label must come last in each phase bucket series (Prometheus
+	// convention the renderer promises).
+	for _, s := range byName["decision_phase_seconds_bucket"] {
+		if !strings.HasPrefix(s.labels, `{phase="`) || !strings.Contains(s.labels, `,le="`) {
+			t.Errorf("phase bucket labels malformed: %q", s.labels)
+		}
+	}
+}

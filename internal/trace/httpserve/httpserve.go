@@ -1,0 +1,100 @@
+// Package httpserve is the HTTP side of the observability plane: a
+// small server wrapper that surfaces bind errors synchronously (the
+// copy-pasted `go http.ListenAndServe` pattern it replaces could only
+// log them after the fact), plus the handlers the coolair-serve daemon
+// mounts — Prometheus metrics, liveness/readiness, an SSE stream
+// tailing a trace.Ring, and net/http/pprof on a non-default mux.
+package httpserve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"coolair/internal/trace"
+)
+
+// Server is a listening HTTP server. Start binds before returning, so
+// an unusable address (port taken, bad syntax) is an error at the call
+// site, not a message inside a goroutine.
+type Server struct {
+	srv *http.Server
+	lis net.Listener
+	err chan error
+}
+
+// Start binds addr and serves h on it in the background (h == nil means
+// http.DefaultServeMux). The returned server reports its bound address
+// via Addr — useful with ":0" — and serve-loop failures via Err.
+func Start(addr string, h http.Handler) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpserve: bind %s: %w", addr, err)
+	}
+	s := &Server{srv: &http.Server{Handler: h}, lis: lis, err: make(chan error, 1)}
+	go func() {
+		if err := s.srv.Serve(lis); err != nil && err != http.ErrServerClosed {
+			s.err <- err
+		}
+		close(s.err)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the real port when the
+// request was ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Err delivers a serve-loop failure, closing without a value on clean
+// shutdown.
+func (s *Server) Err() <-chan error { return s.err }
+
+// Shutdown gracefully drains in-flight requests (SSE streams observe
+// their request context end) within ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// PprofMux returns a fresh mux exposing the net/http/pprof handlers
+// under /debug/pprof/, without touching http.DefaultServeMux.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format (with # HELP/# TYPE metadata).
+func MetricsHandler(reg *trace.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// HealthHandler answers liveness probes: 200 whenever the process can
+// serve HTTP at all.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// ReadyHandler answers readiness probes: 200 once ready() reports true,
+// 503 before (load balancers keep traffic away until the model is
+// trained and the first decision has completed).
+func ReadyHandler(ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+}

@@ -1,0 +1,293 @@
+package httpserve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"coolair/internal/trace"
+)
+
+// TestStartSurfacesBindErrors: the whole point of Start over a bare
+// `go http.ListenAndServe` is that an unusable address fails at the
+// call site.
+func TestStartSurfacesBindErrors(t *testing.T) {
+	s, err := Start("127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatalf("Start on :0: %v", err)
+	}
+	defer s.Shutdown(context.Background())
+	if s.Addr() == "" || strings.HasSuffix(s.Addr(), ":0") {
+		t.Fatalf("Addr() = %q, want a concrete port", s.Addr())
+	}
+
+	// Same port again: the second bind must fail synchronously.
+	if _, err := Start(s.Addr(), http.NewServeMux()); err == nil {
+		t.Fatal("Start on an occupied port returned nil error")
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err, ok := <-s.Err(); ok && err != nil {
+		t.Fatalf("clean shutdown delivered serve error %v", err)
+	}
+}
+
+func TestHealthAndReadyHandlers(t *testing.T) {
+	rec := httptest.NewRecorder()
+	HealthHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", rec.Code)
+	}
+
+	ready := false
+	h := ReadyHandler(func() bool { return ready })
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before ready = %d, want 503", rec.Code)
+	}
+	ready = true
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz after ready = %d, want 200", rec.Code)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	ring := trace.NewRing(8, 8)
+	ring.RecordTick(&trace.TickRecord{Time: 60, InletMax: 27.5})
+	rec := httptest.NewRecorder()
+	MetricsHandler(ring.Metrics()).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"# TYPE ticks_total counter", "ticks_total 1", "inlet_max_celsius 27.5"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestPprofMux(t *testing.T) {
+	rec := httptest.NewRecorder()
+	PprofMux().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: code %d", rec.Code)
+	}
+}
+
+// sseEvent is one parsed frame from a text/event-stream body.
+type sseEvent struct {
+	event string
+	id    string
+	data  string
+}
+
+// readEvents consumes n events (ignoring comment keepalives) from an
+// SSE stream.
+func readEvents(t *testing.T, r *bufio.Reader, n int) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	for len(out) < n {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended after %d events: %v", len(out), err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if cur.data != "" {
+				out = append(out, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, ":"):
+			// keepalive comment
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		default:
+			t.Fatalf("unexpected stream line %q", line)
+		}
+	}
+	return out
+}
+
+func streamServer(ring *trace.Ring) *httptest.Server {
+	return httptest.NewServer(&StreamHandler{Ring: ring, Keepalive: 50 * time.Millisecond})
+}
+
+// TestStreamReplayAndLive: a fresh client replays the retained window,
+// then receives records appended while connected; decision payloads
+// round-trip through the JSONL decoder.
+func TestStreamReplayAndLive(t *testing.T) {
+	ring := trace.NewRing(16, 16)
+	d := &trace.DecisionRecord{Time: 120, Source: trace.SourceController, Winner: -1, BandLo: 18, BandHi: 23}
+	ring.RecordDecision(d)
+	ring.RecordTick(&trace.TickRecord{Time: 60, InletMax: 26})
+
+	srv := streamServer(ring)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stream?ticks=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	evs := readEvents(t, br, 2)
+	if evs[0].event != "tick" || evs[1].event != "decision" {
+		t.Fatalf("replay order = %s, %s; want tick, decision (merged by time)", evs[0].event, evs[1].event)
+	}
+	if evs[1].id != "1-1" {
+		t.Fatalf("decision id = %q, want 1-1", evs[1].id)
+	}
+	got, err := trace.ReadJSONL(strings.NewReader(evs[1].data))
+	if err != nil {
+		t.Fatalf("decision payload does not decode: %v", err)
+	}
+	if len(got.Decisions) != 1 || got.Decisions[0] != *d {
+		t.Fatalf("decision did not round-trip: %+v", got.Decisions)
+	}
+
+	// Live tail: a record appended after connect is delivered.
+	ring.RecordDecision(&trace.DecisionRecord{Time: 240, Source: trace.SourceController, Winner: -1})
+	evs = readEvents(t, br, 1)
+	if evs[0].event != "decision" || evs[0].id != "2-1" {
+		t.Fatalf("live event = %+v, want decision 2-1", evs[0])
+	}
+}
+
+// TestStreamResume: reconnecting with Last-Event-ID skips everything up
+// to that cursor.
+func TestStreamResume(t *testing.T) {
+	ring := trace.NewRing(16, 16)
+	for i := 0; i < 3; i++ {
+		ring.RecordDecision(&trace.DecisionRecord{Time: float64(i), Winner: -1})
+	}
+	srv := streamServer(ring)
+	defer srv.Close()
+
+	req, _ := http.NewRequest("GET", srv.URL+"/stream", nil)
+	req.Header.Set("Last-Event-ID", "2-0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	evs := readEvents(t, bufio.NewReader(resp.Body), 1)
+	if evs[0].id != "3-0" {
+		t.Fatalf("resumed stream delivered id %q first, want 3-0", evs[0].id)
+	}
+	var payload bytes.Buffer
+	payload.WriteString(evs[0].data)
+	got, err := trace.ReadJSONL(&payload)
+	if err != nil || len(got.Decisions) != 1 || got.Decisions[0].Time != 2 {
+		t.Fatalf("resumed record = %+v (err %v), want the Time=2 decision", got, err)
+	}
+}
+
+// TestStreamSlowClientDrops: when the ring laps a client's cursor the
+// stream reports a dropped event and the registry counter advances.
+func TestStreamSlowClientDrops(t *testing.T) {
+	ring := trace.NewRing(4, 4)
+	for i := 0; i < 10; i++ {
+		ring.RecordDecision(&trace.DecisionRecord{Time: float64(i), Winner: -1})
+	}
+	srv := streamServer(ring)
+	defer srv.Close()
+
+	// A client that last saw decision 2 of 10 through a capacity-4 ring
+	// missed decisions 3..6.
+	req, _ := http.NewRequest("GET", srv.URL+"/stream", nil)
+	req.Header.Set("Last-Event-ID", "2-0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	evs := readEvents(t, bufio.NewReader(resp.Body), 2)
+	if evs[0].event != "dropped" {
+		t.Fatalf("first event = %q, want dropped", evs[0].event)
+	}
+	if !strings.Contains(evs[0].data, `"decisions":4`) {
+		t.Fatalf("dropped payload = %q, want 4 dropped decisions", evs[0].data)
+	}
+	if evs[1].event != "decision" || evs[1].id != "7-0" {
+		t.Fatalf("first record after drop = %+v, want decision 7-0", evs[1])
+	}
+	if got := ring.Metrics().StreamDroppedTotal.Value(); got != 4 {
+		t.Fatalf("stream_dropped_total = %d, want 4", got)
+	}
+}
+
+// TestStreamKeepalive: an idle stream emits comment keepalives rather
+// than going silent.
+func TestStreamKeepalive(t *testing.T) {
+	ring := trace.NewRing(4, 4)
+	srv := streamServer(ring) // 50ms keepalive
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	deadline := time.After(5 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		line, err := br.ReadString('\n')
+		if err == nil {
+			got <- line
+		}
+	}()
+	select {
+	case line := <-got:
+		if !strings.HasPrefix(line, ":") {
+			t.Fatalf("idle stream emitted %q, want a comment keepalive", line)
+		}
+	case <-deadline:
+		t.Fatal("no keepalive within 5s")
+	}
+}
+
+// TestStreamClientDisconnect: closing the client ends the handler (the
+// server does not leak the streaming goroutine past Shutdown).
+func TestStreamClientDisconnect(t *testing.T) {
+	ring := trace.NewRing(4, 4)
+	s, err := Start("127.0.0.1:0", &StreamHandler{Ring: ring, Keepalive: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.CopyN(io.Discard, resp.Body, 1) // wait until the stream is live
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown did not drain after client disconnect: %v", err)
+	}
+}

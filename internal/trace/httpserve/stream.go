@@ -1,0 +1,163 @@
+package httpserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"coolair/internal/trace"
+)
+
+// defaultKeepalive is how often an idle stream emits an SSE comment so
+// proxies and clients know the connection is alive.
+const defaultKeepalive = 15 * time.Second
+
+// StreamHandler serves the ring as a Server-Sent Events stream: each
+// retained record, then each new one as it lands, framed as an SSE
+// event ("decision" or "tick") whose data line is the record's JSONL
+// encoding — the same wire format archived traces use, so a stream
+// consumer can feed lines straight into the JSONL decoder.
+//
+// Event ids encode the ring cursor after the event as
+// "<decisions>-<ticks>", and a reconnecting client's Last-Event-ID
+// header resumes from that position. A client slower than the writer
+// does not buffer without bound: the ring overwrites, the stream emits
+// a "dropped" event with the per-kind skip counts, and the registry's
+// stream_dropped_total counter advances.
+//
+// Ticks are high-volume, so the stream carries decisions only unless
+// the request asks for ?ticks=1.
+type StreamHandler struct {
+	Ring *trace.Ring
+	// Keepalive overrides the idle-comment interval (0 means 15s).
+	Keepalive time.Duration
+}
+
+func (h *StreamHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	keepalive := h.Keepalive
+	if keepalive <= 0 {
+		keepalive = defaultKeepalive
+	}
+	includeTicks := r.URL.Query().Get("ticks") == "1"
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// A fresh client starts from the zero cursor and replays the ring's
+	// retained window; a reconnecting one resumes from its last id.
+	cur := parseCursor(r.Header.Get("Last-Event-ID"))
+
+	ctx := r.Context()
+	var decBuf [64]trace.DecisionRecord
+	var tickBuf [256]trace.TickRecord
+	var data []byte
+	for {
+		nd, skD, next := h.Ring.TailDecisions(cur, decBuf[:])
+		var nt int
+		var skT uint64
+		if includeTicks {
+			nt, skT, next = h.Ring.TailTicks(next, tickBuf[:])
+		} else {
+			// Pin the tick cursor to the live end so untailed ticks don't
+			// spin the wait loop below.
+			next.Ticks = h.Ring.Cursor().Ticks
+		}
+
+		if skD+skT > 0 {
+			h.Ring.Metrics().StreamDroppedTotal.Add(int64(skD + skT))
+			if err := writeEvent(w, "dropped", formatCursor(trace.Cursor{Decisions: cur.Decisions + skD, Ticks: cur.Ticks + skT}),
+				[]byte(fmt.Sprintf(`{"decisions":%d,"ticks":%d}`, skD, skT))); err != nil {
+				return
+			}
+		}
+
+		// Merge the two batches by record time (tick first on a tie, since
+		// the tick at an instant is the state the decision saw), tracking
+		// the per-kind sequence position for event ids.
+		idD, idT := cur.Decisions+skD, cur.Ticks+skT
+		i, j := 0, 0
+		for i < nd || j < nt {
+			takeTick := j < nt && (i >= nd || tickBuf[j].Time <= decBuf[i].Time)
+			var err error
+			if takeTick {
+				data, err = trace.AppendTickJSONL(data[:0], &tickBuf[j])
+				j++
+				idT++
+			} else {
+				data, err = trace.AppendDecisionJSONL(data[:0], &decBuf[i])
+				i++
+				idD++
+			}
+			if err != nil {
+				continue
+			}
+			kind := "decision"
+			if takeTick {
+				kind = "tick"
+			}
+			if err := writeEvent(w, kind, formatCursor(trace.Cursor{Decisions: idD, Ticks: idT}), data); err != nil {
+				return
+			}
+		}
+		cur = next
+		if nd > 0 || nt > 0 {
+			fl.Flush()
+			continue
+		}
+
+		// Idle: wait for the ring to move, emitting a keepalive comment
+		// when nothing arrives within the interval.
+		waitCtx, cancel := context.WithTimeout(ctx, keepalive)
+		err := h.Ring.WaitForMore(waitCtx, cur)
+		cancel()
+		if ctx.Err() != nil {
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			if _, werr := fmt.Fprint(w, ": keepalive\n\n"); werr != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeEvent frames one SSE event. The data is a single JSONL line
+// (record encodings contain no newlines).
+func writeEvent(w http.ResponseWriter, event, id string, data []byte) error {
+	_, err := fmt.Fprintf(w, "event: %s\nid: %s\ndata: %s\n\n", event, id, data)
+	return err
+}
+
+// formatCursor renders a ring cursor as an SSE event id.
+func formatCursor(c trace.Cursor) string {
+	return strconv.FormatUint(c.Decisions, 10) + "-" + strconv.FormatUint(c.Ticks, 10)
+}
+
+// parseCursor decodes a Last-Event-ID header. Anything malformed (or
+// absent) yields the zero cursor, i.e. a full replay of the retained
+// window — the safe default for a client whose id came from a previous
+// daemon instance.
+func parseCursor(s string) trace.Cursor {
+	d, t, ok := strings.Cut(s, "-")
+	if !ok {
+		return trace.Cursor{}
+	}
+	dv, err1 := strconv.ParseUint(d, 10, 64)
+	tv, err2 := strconv.ParseUint(t, 10, 64)
+	if err1 != nil || err2 != nil {
+		return trace.Cursor{}
+	}
+	return trace.Cursor{Decisions: dv, Ticks: tv}
+}

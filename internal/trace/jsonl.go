@@ -270,6 +270,29 @@ func tickFromWire(w *wireTick) TickRecord {
 	}
 }
 
+// AppendDecisionJSONL appends the record's one-line JSON form (the
+// same wire encoding WriteJSONL emits, no trailing newline) to dst and
+// returns the extended slice. The SSE stream uses it to render single
+// records without draining the ring.
+func AppendDecisionJSONL(dst []byte, d *DecisionRecord) ([]byte, error) {
+	w := wireFromDecision(d)
+	line, err := json.Marshal(&w)
+	if err != nil {
+		return dst, fmt.Errorf("trace: encode: %w", err)
+	}
+	return append(dst, line...), nil
+}
+
+// AppendTickJSONL is AppendDecisionJSONL for tick records.
+func AppendTickJSONL(dst []byte, t *TickRecord) ([]byte, error) {
+	w := wireFromTick(t)
+	line, err := json.Marshal(&w)
+	if err != nil {
+		return dst, fmt.Errorf("trace: encode: %w", err)
+	}
+	return append(dst, line...), nil
+}
+
 // WriteJSONL writes the trace as one JSON object per line, decisions
 // and ticks merged by timestamp (ties put the decision first). Records
 // containing NaN or ±Inf encode losslessly (null / "±Inf").

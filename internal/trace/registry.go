@@ -1,10 +1,8 @@
 package trace
 
 import (
-	"fmt"
 	"math"
 	"sort"
-	"strings"
 	"sync/atomic"
 )
 
@@ -14,7 +12,10 @@ type Counter struct{ v atomic.Int64 }
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
-// Add adds n (negative n is ignored: counters are monotone).
+// Add adds n. Non-positive n is ignored: counters are monotone, so a
+// negative n is dropped rather than applied, and n == 0 is a no-op (it
+// would not change the count anyway, and skipping it keeps the zero and
+// negative cases on the same documented "ignored" path).
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.v.Add(n)
@@ -23,6 +24,32 @@ func (c *Counter) Add(n int64) {
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a current-value metric (a float64 that goes up and down),
+// safe for concurrent use. The zero value reads 0.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the current value. Any float64 is stored verbatim,
+// including NaN and ±Inf — a gauge mirrors state, it does not judge it
+// (the Prometheus renderer encodes non-finite values as NaN/±Inf).
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the current value by delta (negative deltas subtract).
+// The read-modify-write is a CAS loop, so concurrent Adds never lose an
+// update; mixing Add with Set is safe but the usual usage is one or the
+// other per gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram accumulates float64 observations into fixed cumulative
 // buckets, Prometheus-style: bucket i counts observations ≤ Bounds[i],
@@ -90,9 +117,11 @@ func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
 	return bounds, cumulative
 }
 
-// Registry is the lightweight metrics surface of the flight recorder:
-// a fixed set of named counters plus the prediction-error histogram.
-// It renders in Prometheus text exposition format via String.
+// Registry is the metrics surface of the flight recorder: event
+// counters, current-state gauges (the serve plane's live view), the
+// prediction-error histogram, and per-phase decision-latency
+// histograms. It renders in Prometheus text exposition format — with
+// # HELP/# TYPE metadata — via WritePrometheus/String.
 type Registry struct {
 	// DecisionsTotal counts controller decision records (holds
 	// included).
@@ -105,32 +134,58 @@ type Registry struct {
 	GuardInterventionsTotal Counter
 	// TicksTotal counts simulator telemetry samples.
 	TicksTotal Counter
+	// RingDecisionsDropped / RingTicksDropped count records the ring
+	// overwrote to make room (flight-recorder newest-wins semantics).
+	RingDecisionsDropped Counter
+	RingTicksDropped     Counter
+	// StreamDroppedTotal counts records SSE stream clients missed
+	// because the ring overwrote them before the client caught up
+	// (slow-client drop accounting; see httpserve.StreamHandler).
+	StreamDroppedTotal Counter
+
+	// Current-state gauges, refreshed by the ring on every record.
+	// InletMaxC/InletMinC are the pod-inlet extremes (°C); OutsideTempC
+	// and OutsideRH the outside air; ActiveRegime the effective cooling
+	// mode's integer code; BandLoC/BandHiC the band in force at the last
+	// decision; RingDecisions/RingTicks the ring occupancy.
+	InletMaxC     Gauge
+	InletMinC     Gauge
+	OutsideTempC  Gauge
+	OutsideRH     Gauge
+	ActiveRegime  Gauge
+	BandLoC       Gauge
+	BandHiC       Gauge
+	RingDecisions Gauge
+	RingTicks     Gauge
+
 	// PredictionAbsError is the |predicted − realized| hottest-inlet
 	// error (°C) between consecutive decisions.
 	PredictionAbsError *Histogram
+	// PhaseSeconds holds one latency histogram per decision-pipeline
+	// phase (forecast, band, enumerate, predict, penalty, guard); the
+	// exposition renders them as one family labeled by phase.
+	PhaseSeconds [NumPhases]*Histogram
 }
 
 // NewRegistry creates a registry with the default prediction-error
-// buckets (0.05–5 °C).
+// buckets (0.05–5 °C) and phase-latency buckets (1 µs–100 ms).
 func NewRegistry() *Registry {
-	return &Registry{PredictionAbsError: NewHistogram(0.05, 0.1, 0.2, 0.5, 1, 2, 5)}
-}
-
-// String renders the registry in Prometheus text exposition format.
-func (r *Registry) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "decisions_total %d\n", r.DecisionsTotal.Value())
-	fmt.Fprintf(&b, "regime_transitions_total %d\n", r.RegimeTransitionsTotal.Value())
-	fmt.Fprintf(&b, "guard_interventions_total %d\n", r.GuardInterventionsTotal.Value())
-	fmt.Fprintf(&b, "ticks_total %d\n", r.TicksTotal.Value())
-	bounds, cum := r.PredictionAbsError.Buckets()
-	for i, bound := range bounds {
-		fmt.Fprintf(&b, "prediction_abs_error_bucket{le=%q} %d\n", formatBound(bound), cum[i])
+	r := &Registry{PredictionAbsError: NewHistogram(0.05, 0.1, 0.2, 0.5, 1, 2, 5)}
+	for p := range r.PhaseSeconds {
+		r.PhaseSeconds[p] = NewHistogram(1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2, 0.1)
 	}
-	fmt.Fprintf(&b, "prediction_abs_error_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
-	fmt.Fprintf(&b, "prediction_abs_error_sum %g\n", r.PredictionAbsError.Sum())
-	fmt.Fprintf(&b, "prediction_abs_error_count %d\n", r.PredictionAbsError.Count())
-	return b.String()
+	return r
 }
 
-func formatBound(v float64) string { return fmt.Sprintf("%g", v) }
+// RecordSpan folds one phase-latency observation into the matching
+// histogram (out-of-range phases are dropped). Allocation-free.
+func (r *Registry) RecordSpan(p Phase, seconds float64) {
+	if p < 0 || p >= NumPhases {
+		return
+	}
+	r.PhaseSeconds[p].Observe(seconds)
+}
+
+// String renders the registry in Prometheus text exposition format
+// (WritePrometheus into a string).
+func (r *Registry) String() string { return r.renderString() }

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCounterAddSemantics pins the documented monotone semantics:
+// positive n adds, zero is a no-op, negative n is ignored (not
+// subtracted).
+func TestCounterAddSemantics(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Add(5): %d, want 5", got)
+	}
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Add(0) must be a no-op: %d, want 5", got)
+	}
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Add(-3) must be ignored: %d, want 5", got)
+	}
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("Inc: %d, want 6", got)
+	}
+}
+
+// TestGaugeSemantics pins Set (replace, any float64 including
+// non-finite) and Add (signed adjustment, CAS so concurrent adds never
+// lose updates).
+func TestGaugeSemantics(t *testing.T) {
+	var g Gauge
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero Gauge = %g, want 0", got)
+	}
+	g.Set(21.5)
+	if got := g.Value(); got != 21.5 {
+		t.Fatalf("Set(21.5): %g", got)
+	}
+	g.Add(-1.25)
+	if got := g.Value(); got != 20.25 {
+		t.Fatalf("Add(-1.25): %g, want 20.25", got)
+	}
+	g.Set(math.Inf(1))
+	if got := g.Value(); !math.IsInf(got, 1) {
+		t.Fatalf("Set(+Inf): %g", got)
+	}
+	g.Set(math.NaN())
+	if got := g.Value(); !math.IsNaN(got) {
+		t.Fatalf("Set(NaN): %g", got)
+	}
+
+	// Concurrent Add must not lose updates (CAS loop).
+	var h Gauge
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Value(); got != workers*perWorker {
+		t.Fatalf("concurrent Add lost updates: %g, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers Observe from several
+// goroutines (run under -race in CI) and verifies the CAS'd sumBits
+// total and the bucket counts come out exact. Every observation is a
+// power of two, so float addition is exact in any order and the sum
+// check is an equality, not a tolerance.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(0.5, 2, 8)
+	const workers, perWorker = 8, 5000
+	vals := []float64{0.25, 1, 4, 16} // one per bucket, exactly representable
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(vals[(w+i)%len(vals)])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(workers * perWorker)
+	if got := h.Count(); got != total {
+		t.Fatalf("Count = %d, want %d", got, total)
+	}
+	perVal := total / int64(len(vals))
+	wantSum := float64(perVal) * (0.25 + 1 + 4 + 16)
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %g, want %g (CAS lost an update?)", got, wantSum)
+	}
+	_, cum := h.Buckets()
+	want := []int64{perVal, 2 * perVal, 3 * perVal, total}
+	for i, c := range cum {
+		if c != want[i] {
+			t.Fatalf("cumulative buckets = %v, want %v", cum, want)
+		}
+	}
+}
+
+// TestHistogramEmptyBounds: no bounds yields a single +Inf bucket that
+// counts everything.
+func TestHistogramEmptyBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-100)
+	h.Observe(0)
+	h.Observe(1e12)
+	bounds, cum := h.Buckets()
+	if len(bounds) != 0 {
+		t.Fatalf("bounds = %v, want none", bounds)
+	}
+	if len(cum) != 1 || cum[0] != 3 {
+		t.Fatalf("cumulative = %v, want [3]", cum)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+}
+
+// TestRegistryRecordSpan drops out-of-range phases instead of
+// panicking.
+func TestRegistryRecordSpan(t *testing.T) {
+	r := NewRegistry()
+	r.RecordSpan(Phase(-1), 1)
+	r.RecordSpan(NumPhases, 1)
+	r.RecordSpan(PhaseBand, 1e-5)
+	if got := r.PhaseSeconds[PhaseBand].Count(); got != 1 {
+		t.Fatalf("band count = %d, want 1", got)
+	}
+	var total int64
+	for _, h := range r.PhaseSeconds {
+		total += h.Count()
+	}
+	if total != 1 {
+		t.Fatalf("out-of-range phases must be dropped; total = %d", total)
+	}
+}

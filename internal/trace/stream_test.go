@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func decAt(t float64) *DecisionRecord {
+	return &DecisionRecord{Time: t, Source: SourceController, Winner: -1}
+}
+
+// TestRingTailing covers the live-tail API: reading from a zero cursor,
+// incremental reads, and skip accounting once the writer laps a slow
+// reader.
+func TestRingTailing(t *testing.T) {
+	r := NewRing(4, 4)
+	for i := 0; i < 3; i++ {
+		r.RecordDecision(decAt(float64(i)))
+	}
+
+	buf := make([]DecisionRecord, 8)
+	n, skipped, cur := r.TailDecisions(Cursor{}, buf)
+	if n != 3 || skipped != 0 {
+		t.Fatalf("initial tail: n=%d skipped=%d, want 3, 0", n, skipped)
+	}
+	for i := 0; i < n; i++ {
+		if buf[i].Time != float64(i) {
+			t.Fatalf("record %d has Time %g", i, buf[i].Time)
+		}
+	}
+
+	// Nothing new: empty read, cursor unchanged.
+	n, skipped, cur2 := r.TailDecisions(cur, buf)
+	if n != 0 || skipped != 0 || cur2 != cur {
+		t.Fatalf("idle tail: n=%d skipped=%d", n, skipped)
+	}
+
+	// Lap the reader: 6 more records through a capacity-4 ring means the
+	// oldest two unread ones are gone.
+	for i := 3; i < 9; i++ {
+		r.RecordDecision(decAt(float64(i)))
+	}
+	n, skipped, cur = r.TailDecisions(cur, buf)
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2 (reader was lapped)", skipped)
+	}
+	if n != 4 {
+		t.Fatalf("n = %d, want 4 (ring capacity)", n)
+	}
+	if buf[0].Time != 5 || buf[n-1].Time != 8 {
+		t.Fatalf("tail window [%g, %g], want [5, 8]", buf[0].Time, buf[n-1].Time)
+	}
+
+	// A cursor beyond the ring's history (e.g. from a stale
+	// last-event-id against a restarted daemon) clamps to the live end.
+	n, skipped, _ = r.TailDecisions(Cursor{Decisions: 1 << 40}, buf)
+	if n != 0 || skipped != 0 {
+		t.Fatalf("future cursor: n=%d skipped=%d, want 0, 0", n, skipped)
+	}
+
+	// Small read buffers page through the backlog.
+	small := make([]DecisionRecord, 2)
+	n1, _, c1 := r.TailDecisions(Cursor{}, small)
+	n2, _, _ := r.TailDecisions(c1, small)
+	if n1 != 2 || n2 != 2 {
+		t.Fatalf("paged reads: %d then %d, want 2 and 2", n1, n2)
+	}
+}
+
+// TestRingTailTicks mirrors the decision tailing for ticks.
+func TestRingTailTicks(t *testing.T) {
+	r := NewRing(4, 2)
+	for i := 0; i < 5; i++ {
+		r.RecordTick(&TickRecord{Time: float64(i)})
+	}
+	buf := make([]TickRecord, 4)
+	n, skipped, _ := r.TailTicks(Cursor{}, buf)
+	if n != 2 || skipped != 3 {
+		t.Fatalf("tick tail: n=%d skipped=%d, want 2, 3", n, skipped)
+	}
+	if buf[0].Time != 3 || buf[1].Time != 4 {
+		t.Fatalf("tick window [%g, %g], want [3, 4]", buf[0].Time, buf[1].Time)
+	}
+}
+
+// TestRingWaitForMore: a waiter wakes when a record arrives, returns
+// immediately when the cursor is already behind, and honors context
+// cancellation.
+func TestRingWaitForMore(t *testing.T) {
+	r := NewRing(4, 4)
+	r.RecordTick(&TickRecord{})
+
+	// Already behind: returns without blocking.
+	if err := r.WaitForMore(context.Background(), Cursor{}); err != nil {
+		t.Fatalf("WaitForMore behind cursor: %v", err)
+	}
+
+	cur := r.Cursor()
+	woke := make(chan error, 1)
+	go func() { woke <- r.WaitForMore(context.Background(), cur) }()
+	// Give the waiter a moment to park, then append.
+	time.Sleep(10 * time.Millisecond)
+	r.RecordDecision(decAt(1))
+	select {
+	case err := <-woke:
+		if err != nil {
+			t.Fatalf("woken waiter returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke on append")
+	}
+
+	// Cancellation unblocks with the context error.
+	cur = r.Cursor()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { woke <- r.WaitForMore(ctx, cur) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-woke:
+		if err != context.Canceled {
+			t.Fatalf("cancelled waiter returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never observed cancellation")
+	}
+}
+
+// TestAppendJSONLMatchesWriteJSONL pins that the single-record
+// encoders emit byte-identical lines to the batch writer, so SSE
+// payloads round-trip through ReadJSONL exactly like archived traces.
+func TestAppendJSONLMatchesWriteJSONL(t *testing.T) {
+	d := decAt(120)
+	d.NumCandidates = 1
+	d.Candidates[0] = CandidateRecord{Mode: 1, FanSpeed: 0.5, Penalty: 1.25, NumPods: 2, PodTemp: [MaxPods]float64{25, 26}}
+	d.Winner = 0
+	tick := &TickRecord{Time: 60, InletMax: 27.5, Mode: 1}
+
+	var batch bytes.Buffer
+	data := &Data{Decisions: []DecisionRecord{*d}, Ticks: []TickRecord{*tick}}
+	if err := data.WriteJSONL(&batch); err != nil {
+		t.Fatal(err)
+	}
+
+	tl, err := AppendTickJSONL(nil, tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := AppendDecisionJSONL(nil, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := string(tl) + "\n" + string(dl) + "\n"
+	if single != batch.String() {
+		t.Fatalf("single-record encoding diverges from WriteJSONL:\n%s\nvs\n%s", single, batch.String())
+	}
+
+	// And the single lines decode back to the same records.
+	rt, err := ReadJSONL(bytes.NewReader(dl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Decisions) != 1 || rt.Decisions[0] != *d {
+		t.Fatalf("decision did not round-trip: %+v", rt.Decisions)
+	}
+}

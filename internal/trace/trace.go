@@ -210,6 +210,49 @@ type TickRecord struct {
 	Utilization   float64
 }
 
+// Phase identifies one stage of the decision pipeline for latency
+// spans. Controllers accumulate wall time per phase across one Decide
+// and emit one span per phase, so a phase histogram's count advances at
+// the decision cadence (guard spans at the guarded-decision cadence).
+type Phase int32
+
+const (
+	// PhaseForecast: day-mean forecast lookups during day planning.
+	PhaseForecast Phase = iota
+	// PhaseBand: temperature-band selection from the forecast.
+	PhaseBand
+	// PhaseEnumerate: candidate-regime enumeration and plant previews.
+	PhaseEnumerate
+	// PhasePredict: learned-model horizon rollouts and power predictions.
+	PhasePredict
+	// PhasePenalty: utility scoring of the predicted rollouts.
+	PhasePenalty
+	// PhaseGuard: guard overhead around the inner controller (sensor
+	// sanitation, command validation, fail-safe bookkeeping).
+	PhaseGuard
+	// NumPhases sizes per-phase arrays.
+	NumPhases
+)
+
+// String implements fmt.Stringer (the Prometheus phase label).
+func (p Phase) String() string {
+	switch p {
+	case PhaseForecast:
+		return "forecast"
+	case PhaseBand:
+		return "band"
+	case PhaseEnumerate:
+		return "enumerate"
+	case PhasePredict:
+		return "predict"
+	case PhasePenalty:
+		return "penalty"
+	case PhaseGuard:
+		return "guard"
+	}
+	return "unknown"
+}
+
 // Recorder receives flight-recorder records. Implementations copy the
 // pointed-to value before returning — callers reuse the same scratch
 // record across calls, which is what keeps the record path
@@ -218,6 +261,14 @@ type TickRecord struct {
 type Recorder interface {
 	RecordDecision(*DecisionRecord)
 	RecordTick(*TickRecord)
+}
+
+// SpanRecorder is optionally implemented by recorders that accept
+// phase-latency observations (Ring feeds them into its registry's
+// per-phase histograms). Controllers type-assert once at SetRecorder
+// time; RecordSpan must be allocation-free, like the record methods.
+type SpanRecorder interface {
+	RecordSpan(p Phase, seconds float64)
 }
 
 // Traceable is implemented by controllers that can emit decision
@@ -237,3 +288,6 @@ func (Nop) RecordDecision(*DecisionRecord) {}
 
 // RecordTick implements Recorder.
 func (Nop) RecordTick(*TickRecord) {}
+
+// RecordSpan implements SpanRecorder.
+func (Nop) RecordSpan(Phase, float64) {}
