@@ -1,0 +1,268 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"coolair/internal/core"
+	"coolair/internal/experiments"
+	"coolair/internal/store"
+)
+
+// The chaos tests exercise the crash-safety contract end to end, the
+// way an operator would see it: a real daemon process is SIGKILLed
+// mid-run and a successor is booted against the same state directory.
+// They are exec-based because SIGKILL cannot be absorbed in-process —
+// the whole point is that no shutdown path runs.
+
+// buildDaemon compiles the daemon binary into the test's temp dir (the
+// go build cache makes repeat builds cheap).
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("exec-based chaos test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "coolair-serve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running child process of the built binary.
+type daemon struct {
+	t      *testing.T
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	log    string // combined stdout+stderr path
+	waited bool
+}
+
+// startDaemon launches the binary with an ephemeral port, waits for
+// the -addr-file handshake, and returns the running daemon. The child
+// is killed at test cleanup if the test did not already reap it.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	logPath := filepath.Join(dir, "daemon.log")
+	logf, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logf.Close()
+
+	full := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, args...)
+	cmd := exec.Command(bin, full...)
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	d := &daemon{t: t, cmd: cmd, log: logPath}
+	t.Cleanup(func() {
+		if !d.waited {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+		if t.Failed() {
+			if out, err := os.ReadFile(logPath); err == nil {
+				t.Logf("daemon log (%v):\n%s", full, out)
+			}
+		}
+	})
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			d.base = "http://" + string(b)
+			return d
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its -addr-file")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the daemon — the crash under test. Nothing graceful
+// runs: no checkpoint flush, no HTTP drain.
+func (d *daemon) kill() {
+	d.t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		d.t.Fatalf("kill: %v", err)
+	}
+	d.cmd.Wait()
+	d.waited = true
+}
+
+// term SIGTERMs the daemon and requires a clean exit (the graceful
+// path run() takes on a real shutdown signal).
+func (d *daemon) term() {
+	d.t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		d.t.Fatalf("signal: %v", err)
+	}
+	err := d.cmd.Wait()
+	d.waited = true
+	if err != nil {
+		d.t.Errorf("daemon exited dirty on SIGTERM: %v", err)
+	}
+}
+
+// waitReady polls /readyz until 200 or the budget runs out.
+func waitReady(t *testing.T, base string, budget time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for getStatus(t, base+"/readyz") != 200 {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon not ready within %s", budget)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitMetricAtLeast polls until the named sample reaches min.
+func waitMetricAtLeast(t *testing.T, base, name string, min float64, budget time.Duration) float64 {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for {
+		if v := metricValue(t, base, name); v >= min {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never reached %g within %s (now %g)",
+				name, min, budget, metricValue(t, base, name))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// chaosArgs is the shared daemon configuration: a paced two-day
+// managed run with tight checkpointing against the given state dir.
+func chaosArgs(stateDir string, extra ...string) []string {
+	return append([]string{
+		"-location", "newark", "-system", "all-nd", "-days", "2", "-start", "150",
+		"-state-dir", stateDir, "-checkpoint-every", "600", "-speed", "7200",
+	}, extra...)
+}
+
+// TestChaosKillAndWarmReboot is the headline crash-recovery scenario:
+// SIGKILL a mid-run daemon, boot a successor on the same state dir,
+// and require a warm boot — ready in seconds with zero retraining,
+// resuming at (not before) the checkpointed position.
+func TestChaosKillAndWarmReboot(t *testing.T) {
+	bin := buildDaemon(t)
+	state := t.TempDir()
+
+	// Boot 1: cold — trains the model, checkpoints as it runs.
+	d1 := startDaemon(t, bin, chaosArgs(state)...)
+	waitReady(t, d1.base, 120*time.Second)
+	if got := metricValue(t, d1.base, "trainings_total"); got != 1 {
+		t.Errorf("cold boot trainings_total = %v, want 1", got)
+	}
+	waitMetricAtLeast(t, d1.base, "checkpoints_total", 3, 60*time.Second)
+	killPoint := metricValue(t, d1.base, "sim_time_seconds")
+	d1.kill()
+
+	// Boot 2: warm — model and run state come off disk.
+	rebootStart := time.Now()
+	d2 := startDaemon(t, bin, chaosArgs(state)...)
+	waitReady(t, d2.base, 30*time.Second)
+	t.Logf("warm reboot ready in %s (kill point: sim t=%0.0f)", time.Since(rebootStart), killPoint)
+
+	if got := metricValue(t, d2.base, "trainings_total"); got != 0 {
+		t.Errorf("warm boot retrained: trainings_total = %v, want 0", got)
+	}
+	// Two snapshots restored: the model and the run state.
+	if got := metricValue(t, d2.base, "state_restore_success_total"); got < 2 {
+		t.Errorf("state_restore_success_total = %v, want >= 2 (model + run state)", got)
+	}
+	if got := metricValue(t, d2.base, "state_restore_failure_total"); got != 0 {
+		t.Errorf("state_restore_failure_total = %v, want 0", got)
+	}
+	// The successor re-runs the checkpointed day and pushes past the
+	// kill point instead of restarting the year from scratch.
+	waitMetricAtLeast(t, d2.base, "sim_time_seconds", killPoint, 60*time.Second)
+	d2.term()
+}
+
+// TestChaosCorruptSnapshotColdBoot flips a byte in the persisted model
+// snapshot: the successor must detect the damage (CRC), count the
+// failed restore, fall back to a cold-boot training run, and repair
+// the snapshot by writing the fresh model through.
+func TestChaosCorruptSnapshotColdBoot(t *testing.T) {
+	bin := buildDaemon(t)
+	state := t.TempDir()
+
+	d1 := startDaemon(t, bin, chaosArgs(state)...)
+	waitReady(t, d1.base, 120*time.Second)
+	waitMetricAtLeast(t, d1.base, "checkpoints_total", 1, 60*time.Second)
+	d1.term()
+
+	// Locate the model snapshot the way the daemon does and damage it.
+	reg, err := store.Open(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := experiments.NewLab().ModelKey(experiments.CoolAirSystem(core.VersionAllND).Fidelity)
+	raw, err := os.ReadFile(reg.ModelPath(key))
+	if err != nil {
+		t.Fatalf("model snapshot missing after boot 1: %v", err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(reg.ModelPath(key), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadModel(key); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("corruption not detectable before boot: %v", err)
+	}
+
+	d2 := startDaemon(t, bin, chaosArgs(state)...)
+	waitReady(t, d2.base, 120*time.Second)
+	if got := metricValue(t, d2.base, "state_restore_failure_total"); got < 1 {
+		t.Errorf("state_restore_failure_total = %v, want >= 1 (corrupt model)", got)
+	}
+	if got := metricValue(t, d2.base, "trainings_total"); got != 1 {
+		t.Errorf("cold-boot fallback trainings_total = %v, want 1", got)
+	}
+	// Write-through repaired the snapshot for the next boot.
+	if _, err := reg.LoadModel(key); err != nil {
+		t.Errorf("model snapshot not repaired after retraining: %v", err)
+	}
+	d2.term()
+}
+
+// TestChaosFaultsComposeWithRestore runs the kill-and-recover drill
+// with the PR-1 sensor-fault injector and the fail-safe guard armed:
+// crash recovery must compose with fault injection — the successor
+// restores, resumes under the same deterministic fault plan, and keeps
+// making progress.
+func TestChaosFaultsComposeWithRestore(t *testing.T) {
+	bin := buildDaemon(t)
+	state := t.TempDir()
+	args := chaosArgs(state, "-guard", "-fault-seed", "7")
+
+	d1 := startDaemon(t, bin, args...)
+	waitReady(t, d1.base, 120*time.Second)
+	waitMetricAtLeast(t, d1.base, "checkpoints_total", 2, 60*time.Second)
+	d1.kill()
+
+	d2 := startDaemon(t, bin, args...)
+	waitReady(t, d2.base, 30*time.Second)
+	if got := metricValue(t, d2.base, "trainings_total"); got != 0 {
+		t.Errorf("warm boot under faults retrained: trainings_total = %v", got)
+	}
+	if got := metricValue(t, d2.base, "state_restore_success_total"); got < 2 {
+		t.Errorf("state_restore_success_total = %v, want >= 2", got)
+	}
+	// The restored run keeps simulating through the fault plan.
+	now := metricValue(t, d2.base, "sim_time_seconds")
+	waitMetricAtLeast(t, d2.base, "sim_time_seconds", now+1800, 60*time.Second)
+	d2.term()
+}

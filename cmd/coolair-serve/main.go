@@ -22,14 +22,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"coolair/internal/control"
 	"coolair/internal/core"
 	"coolair/internal/experiments"
-	"coolair/internal/sim"
+	"coolair/internal/store"
 	"coolair/internal/trace"
 	"coolair/internal/trace/httpserve"
 	"coolair/internal/weather"
@@ -49,6 +47,18 @@ type serveConfig struct {
 	year         bool
 	speed        float64 // simulated seconds per wall second; 0 = max
 	guard        bool
+
+	// State plane (the crash-safety flags).
+	stateDir        string  // snapshot registry directory; "" disables persistence
+	checkpointEvery float64 // simulated seconds between run-state checkpoints
+	maxRestarts     int     // panics tolerated before the circuit breaker opens
+	restartBackoff  time.Duration
+	addrFile        string // write the bound address here (exec-based tests)
+
+	// Chaos knobs (deterministic fault/crash injection for the tests).
+	faultSeed       int64
+	chaosPanicAfter int
+	chaosPanicCount int
 }
 
 func main() {
@@ -62,6 +72,14 @@ func main() {
 	flag.BoolVar(&cfg.year, "year", false, "simulate the paper's 52-day year sample instead of -days")
 	flag.Float64Var(&cfg.speed, "speed", 0, "simulated seconds per wall second (1 = real time, 3600 = an hour per second; 0 = as fast as possible)")
 	flag.BoolVar(&cfg.guard, "guard", false, "wrap the controller in the sanitizing fail-safe guard")
+	flag.StringVar(&cfg.stateDir, "state-dir", "", "snapshot directory: trained models and run-state checkpoints survive restarts (empty disables)")
+	flag.Float64Var(&cfg.checkpointEvery, "checkpoint-every", 900, "simulated seconds between run-state checkpoints (with -state-dir)")
+	flag.IntVar(&cfg.maxRestarts, "max-restarts", 5, "run-loop panics tolerated before the crash-loop circuit breaker opens")
+	flag.DurationVar(&cfg.restartBackoff, "restart-backoff", 500*time.Millisecond, "initial restart backoff after a run-loop panic (doubles per restart, jittered)")
+	flag.StringVar(&cfg.addrFile, "addr-file", "", "write the bound HTTP address to this file after listening")
+	flag.Int64Var(&cfg.faultSeed, "fault-seed", 0, "inject a deterministic sensor-fault plan derived from this seed (0 disables)")
+	flag.IntVar(&cfg.chaosPanicAfter, "chaos-panic-after", 0, "inject a controller panic after this many decisions (0 disables; testing only)")
+	flag.IntVar(&cfg.chaosPanicCount, "chaos-panic-count", 1, "how many times -chaos-panic-after fires before disarming")
 	logFormat := flag.String("log", "text", "log format: text|json")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	flag.Parse()
@@ -91,10 +109,11 @@ func main() {
 	}
 }
 
-// run starts the HTTP plane, then the simulation, and blocks until the
-// context is cancelled (signal) or the simulation fails. The HTTP plane
-// stays up after a completed simulation so the final state remains
-// inspectable; onListen (may be nil) receives the bound address.
+// run starts the HTTP plane, then the supervised run loop, and blocks
+// until the context is cancelled (signal) or the loop fails. The HTTP
+// plane stays up after a completed (or circuit-broken) loop so the
+// final state remains inspectable; onListen (may be nil) receives the
+// bound address.
 func run(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen func(addr string)) error {
 	cl, ok := findClimate(cfg.location)
 	if !ok {
@@ -105,23 +124,31 @@ func run(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen fun
 		return fmt.Errorf("unknown system %q", cfg.system)
 	}
 
-	ring := trace.NewRing(0, 0)
+	var reg *store.Registry
+	if cfg.stateDir != "" {
+		r, err := store.Open(cfg.stateDir)
+		if err != nil {
+			return err
+		}
+		reg = r
+		logger.Info("state plane enabled", "dir", reg.Dir(), "checkpoint_every_sim_s", cfg.checkpointEvery)
+	}
 
-	// Readiness: the model is trained (immediate for the baseline) AND
-	// the first decision has completed — before that, scrapes would read
-	// zeros and the stream would be empty.
-	var modelReady atomic.Bool
-	ready := func() bool { return modelReady.Load() && ring.Cursor().Decisions >= 1 }
+	ring := trace.NewRing(0, 0)
+	sup, err := newSupervisor(cfg, cl, sys, ring, reg, logger)
+	if err != nil {
+		return err
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", httpserve.MetricsHandler(ring.Metrics()))
 	mux.Handle("/healthz", httpserve.HealthHandler())
-	mux.Handle("/readyz", httpserve.ReadyHandler(ready))
+	mux.Handle("/readyz", httpserve.ReadyHandler(sup.ready))
 	mux.Handle("/stream", &httpserve.StreamHandler{Ring: ring})
 	mux.Handle("/debug/pprof/", httpserve.PprofMux())
 
-	// Bind before training: /healthz answers (and bind errors surface)
-	// while the model campaign still runs.
+	// Bind before booting the run loop: /healthz answers (and bind
+	// errors surface) while snapshots restore or the model campaign runs.
 	srv, err := httpserve.Start(cfg.addr, mux)
 	if err != nil {
 		return err
@@ -133,12 +160,17 @@ func run(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen fun
 			logger.Warn("http shutdown", "err", err)
 		}
 	}()
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(srv.Addr()), 0o644); err != nil {
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
 	if onListen != nil {
 		onListen(srv.Addr())
 	}
 
 	simErr := make(chan error, 1)
-	go func() { simErr <- runSim(ctx, cfg, cl, sys, ring, &modelReady, logger) }()
+	go func() { simErr <- sup.loop(ctx) }()
 
 	select {
 	case <-ctx.Done():
@@ -151,72 +183,9 @@ func run(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen fun
 		if err != nil && !errors.Is(err, context.Canceled) {
 			return fmt.Errorf("simulation: %w", err)
 		}
-		logger.Info("simulation complete, telemetry plane stays up until signal")
 		<-ctx.Done()
 		return nil
 	}
-}
-
-// runSim trains (when needed), assembles the controller, and drives the
-// simulation under the daemon's context and clock.
-func runSim(ctx context.Context, cfg serveConfig, cl weather.Climate, sys experiments.System,
-	ring *trace.Ring, modelReady *atomic.Bool, logger *slog.Logger) error {
-	lab := experiments.NewLab()
-	wl := lab.Facebook()
-	if cfg.workloadName == "nutch" {
-		wl = lab.Nutch()
-	}
-	if sys.Deferrable {
-		wl = wl.WithDeadlines(6 * 3600)
-	}
-
-	if !sys.Baseline {
-		logger.Info("training cooling model", "fidelity", sys.Fidelity)
-	}
-	env, ctrl, err := lab.NewRun(cl, sys)
-	if err != nil {
-		return err
-	}
-	modelReady.Store(true)
-
-	if cfg.guard {
-		g := control.NewGuard(ctrl, control.GuardConfig{})
-		g.SetLogger(logger)
-		ctrl = g
-	}
-
-	var runDays []int
-	if cfg.year {
-		runDays = sim.WeekdaySample()
-	} else {
-		for d := 0; d < cfg.days; d++ {
-			runDays = append(runDays, (cfg.startDay+d)%weather.DaysPerYear)
-		}
-	}
-
-	var clock sim.Clock
-	if cfg.speed > 0 {
-		clock = sim.NewScaledClock(cfg.speed)
-	}
-	runCfg := sim.RunConfig{
-		Days: runDays, Trace: wl,
-		KeepAllActive: sys.Baseline,
-		Recorder:      ring,
-		Context:       ctx,
-		Clock:         clock,
-		Logger:        logger,
-	}
-	logger.Info("simulation starting", "location", cl.Name, "system", sys.Name,
-		"days", len(runDays), "speed", cfg.speed, "guard", cfg.guard)
-	res, err := sim.Run(env, ctrl, runCfg)
-	if err != nil {
-		return err
-	}
-	logger.Info("simulation summary",
-		"pue", res.Summary.PUE,
-		"avg_violation_c", res.Summary.AvgViolation,
-		"jobs_completed", res.JobsCompleted)
-	return nil
 }
 
 func findClimate(name string) (weather.Climate, bool) {

@@ -1,0 +1,500 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coolair/internal/control"
+	"coolair/internal/cooling"
+	"coolair/internal/experiments"
+	"coolair/internal/faults"
+	"coolair/internal/sim"
+	"coolair/internal/store"
+	"coolair/internal/tks"
+	"coolair/internal/trace"
+	"coolair/internal/weather"
+	"coolair/internal/workload"
+)
+
+// serveMode is the daemon's lifecycle state, exported as the serve_mode
+// gauge (the codes are part of the metrics contract — see the gauge's
+// help text).
+type serveMode int32
+
+const (
+	// modeBooting: assembling the run (no snapshot involved yet).
+	modeBooting serveMode = iota
+	// modeRestoring: loading verified snapshots (model, run state).
+	modeRestoring
+	// modeDegraded: no trusted model — a training campaign runs in the
+	// background while a TKS fail-safe baseline serves decisions into
+	// the ring. /readyz stays 503 with this reason.
+	modeDegraded
+	// modeRunning: the managed run loop is live (readiness flips 200
+	// once the first decision lands).
+	modeRunning
+	// modeCrashLoop: the restart circuit breaker opened; the run loop is
+	// stopped but the HTTP plane stays up for observability.
+	modeCrashLoop
+)
+
+func (m serveMode) String() string {
+	switch m {
+	case modeBooting:
+		return "booting"
+	case modeRestoring:
+		return "restoring"
+	case modeDegraded:
+		return "degraded"
+	case modeRunning:
+		return "running"
+	case modeCrashLoop:
+		return "crash-loop"
+	}
+	return fmt.Sprintf("mode(%d)", int32(m))
+}
+
+// panicError wraps a recovered run-loop panic so the supervisor can
+// tell "the run loop crashed" (restart with backoff) from "the run
+// failed" (configuration or simulation errors propagate and end the
+// daemon).
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("run loop panic: %v", p.val) }
+
+// supervisor owns the daemon's crash-safe run loop: it boots the
+// simulation (restoring model and run-state snapshots when the state
+// directory has them), converts panics into recorded fail-safe events,
+// restarts with jittered exponential backoff, and opens a circuit
+// breaker instead of crash-looping forever.
+type supervisor struct {
+	cfg    serveConfig
+	cl     weather.Climate
+	sys    experiments.System
+	wl     *workload.Trace
+	days   []int
+	ring   *trace.Ring
+	reg    *store.Registry // nil without -state-dir
+	lab    *experiments.Lab
+	inj    *faults.Injector
+	logger *slog.Logger
+
+	mode     atomic.Int32
+	reasonMu sync.Mutex
+	reason   string
+
+	// modelCounted: the model-provenance counters are bumped once per
+	// process (an in-process restart reuses the lab's cached model — no
+	// new campaign, no new restore).
+	modelCounted bool
+	// modelResolved: the lab already holds the model, so a restart takes
+	// the warm path without consulting the registry again.
+	modelResolved bool
+	// chaosRemaining arms the injected-panic wrapper (chaos flags).
+	chaosRemaining int
+}
+
+// newSupervisor assembles the supervisor: workload, day schedule, fault
+// plan, and the model lab wired to the registry.
+func newSupervisor(cfg serveConfig, cl weather.Climate, sys experiments.System,
+	ring *trace.Ring, reg *store.Registry, logger *slog.Logger) (*supervisor, error) {
+	lab := experiments.NewLab()
+	lab.Store = reg
+	lab.Logger = logger
+	wl := lab.Facebook()
+	if cfg.workloadName == "nutch" {
+		wl = lab.Nutch()
+	}
+	if sys.Deferrable {
+		wl = wl.WithDeadlines(6 * 3600)
+	}
+
+	var days []int
+	if cfg.year {
+		days = sim.WeekdaySample()
+	} else {
+		for d := 0; d < cfg.days; d++ {
+			days = append(days, (cfg.startDay+d)%weather.DaysPerYear)
+		}
+	}
+
+	var inj *faults.Injector
+	if cfg.faultSeed != 0 {
+		in, err := faults.NewInjector(*chaosFaultPlan(cfg.faultSeed, days))
+		if err != nil {
+			return nil, fmt.Errorf("fault plan: %w", err)
+		}
+		inj = in
+	}
+
+	s := &supervisor{
+		cfg: cfg, cl: cl, sys: sys, wl: wl, days: days,
+		ring: ring, reg: reg, lab: lab, inj: inj, logger: logger,
+		chaosRemaining: cfg.chaosPanicCount,
+	}
+	s.setMode(modeBooting, "booting")
+	return s, nil
+}
+
+// chaosFaultPlan derives a deterministic sensor-fault mix from the seed
+// for the composed faults+crash+restore chaos runs: the same seed
+// yields the same plan before and after a restart, so the restored run
+// faces the same perturbations the interrupted one did.
+func chaosFaultPlan(seed int64, days []int) *faults.Plan {
+	rng := rand.New(rand.NewSource(seed))
+	base := 0.0
+	if len(days) > 0 {
+		base = float64(days[0]) * 86400
+	}
+	return &faults.Plan{Seed: seed, Faults: []faults.Fault{
+		{Kind: faults.SensorSpike, Target: faults.TargetPodInlet, Pod: faults.AllPods,
+			Start: base + 3600*(1+rng.Float64()*4), Duration: 4 * 3600, Magnitude: 1.5},
+		{Kind: faults.SensorStuck, Target: faults.TargetOutsideTemp,
+			Start: base + 3600*(8+rng.Float64()*4), Duration: 2 * 3600},
+		{Kind: faults.SensorDropout, Target: faults.TargetPodInlet, Pod: 0,
+			Start: base + 3600*(14+rng.Float64()*4), Duration: 3600},
+	}}
+}
+
+// setMode publishes the lifecycle state: the serve_mode gauge for
+// scrapers and the reason string for /readyz 503 bodies.
+func (s *supervisor) setMode(m serveMode, reason string) {
+	s.mode.Store(int32(m))
+	s.ring.Metrics().ServeMode.Set(float64(m))
+	s.reasonMu.Lock()
+	s.reason = reason
+	s.reasonMu.Unlock()
+}
+
+// ready answers the readiness probe: 200 only when the managed run loop
+// is live and the first decision has landed; otherwise the current
+// lifecycle reason explains the 503.
+func (s *supervisor) ready() (bool, string) {
+	if serveMode(s.mode.Load()) == modeRunning {
+		if s.ring.Cursor().Decisions >= 1 {
+			return true, ""
+		}
+		return false, "running: awaiting first decision"
+	}
+	s.reasonMu.Lock()
+	defer s.reasonMu.Unlock()
+	return false, s.reason
+}
+
+// fingerprint identifies the run configuration a run-state snapshot
+// belongs to. Any field that changes the simulation's trajectory is in
+// here — resuming across a config change would splice two different
+// runs together.
+func (s *supervisor) fingerprint() string {
+	return fmt.Sprintf("v1|loc=%s|sys=%s|wl=%s|days=%v|guard=%t|seed=%d|train=%d|faults=%d",
+		s.cl.Name, s.sys.Name, s.cfg.workloadName, s.days, s.cfg.guard,
+		s.lab.Seed, s.lab.TrainDays, s.cfg.faultSeed)
+}
+
+// loop is the supervised run loop: run, and on panic record the event,
+// back off (jittered, exponential), and restart — until the context
+// ends, the run completes, a non-panic error surfaces, or the
+// crash-loop circuit breaker opens. A nil return leaves the HTTP plane
+// up (the caller keeps serving until the shutdown signal).
+func (s *supervisor) loop(ctx context.Context) error {
+	backoff := s.cfg.restartBackoff
+	if backoff <= 0 {
+		backoff = 500 * time.Millisecond
+	}
+	const maxBackoff = 30 * time.Second
+	maxRestarts := s.cfg.maxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 5
+	}
+	jitter := rand.New(rand.NewSource(time.Now().UnixNano()))
+
+	for restarts := 0; ; {
+		err := s.runOnce(ctx)
+		if ctx.Err() != nil {
+			return nil // graceful shutdown
+		}
+		if err == nil {
+			s.logger.Info("simulation complete, telemetry plane stays up until signal")
+			return nil
+		}
+		var pe *panicError
+		if !errors.As(err, &pe) {
+			return err // a real failure, not a crash: propagate
+		}
+
+		// A panic is recorded like a guard fail-safe event and answered
+		// with a restart, not a dead process.
+		s.logger.Error("run loop panicked", "panic", fmt.Sprint(pe.val))
+		os.Stderr.Write(pe.stack)
+		s.recordPanic()
+		s.ring.Metrics().RestartsTotal.Inc()
+		restarts++
+		if restarts > maxRestarts {
+			s.setMode(modeCrashLoop,
+				fmt.Sprintf("crash-loop: %d consecutive panics, circuit breaker open", restarts))
+			s.logger.Error("crash-loop circuit breaker open: run loop stopped, telemetry plane stays up",
+				"restarts", restarts)
+			return nil
+		}
+		delay := backoff + time.Duration(jitter.Int63n(int64(backoff)))
+		s.logger.Info("restarting run loop", "attempt", restarts, "backoff", delay)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(delay):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// recordPanic emits a fail-safe-style decision record for the panic, so
+// the crash is visible in the same stream and counters operators
+// already watch (SourceGuard + failsafe-control, a hold, no candidates).
+func (s *supervisor) recordPanic() {
+	rec := trace.DecisionRecord{
+		Time:   s.ring.Metrics().SimTimeSeconds.Value(),
+		Source: trace.SourceGuard,
+		Guard:  trace.GuardFailSafeControl,
+		Winner: -1,
+		Hold:   true,
+	}
+	rec.Day = int32(rec.Time / 86400)
+	s.ring.RecordDecision(&rec)
+}
+
+// runOnce boots (restoring what the registry holds) and drives one
+// attempt of the simulation, converting panics anywhere in the attempt
+// into a *panicError for the loop to handle.
+func (s *supervisor) runOnce(ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	met := s.ring.Metrics()
+
+	// Model: restore, reuse, or train — degraded (serving the TKS
+	// fail-safe baseline) while a campaign runs.
+	if !s.sys.Baseline {
+		key := s.lab.ModelKey(s.sys.Fidelity)
+		warm := s.modelResolved || (s.reg != nil && s.reg.HasModel(key))
+		if warm {
+			s.setMode(modeRestoring, "restoring: loading model snapshot")
+		} else {
+			s.setMode(modeDegraded, "degraded: training cooling model, serving fail-safe baseline")
+			if err := s.trainDegraded(ctx); err != nil {
+				return err
+			}
+		}
+		res, err := s.lab.ModelResult(ctx, s.sys.Fidelity)
+		if err != nil {
+			return err
+		}
+		s.modelResolved = true
+		if !s.modelCounted {
+			s.modelCounted = true
+			if res.Restored {
+				met.StateRestoreSuccessTotal.Inc()
+			} else {
+				met.TrainingsTotal.Inc()
+			}
+			if res.RestoreErr != nil {
+				met.StateRestoreFailureTotal.Inc()
+			}
+		}
+	} else {
+		s.setMode(modeBooting, "booting: assembling baseline run")
+	}
+
+	env, ctrl, err := s.lab.NewRunContext(ctx, s.cl, s.sys)
+	if err != nil {
+		return err
+	}
+
+	var guard *control.Guard
+	if s.cfg.guard {
+		guard = control.NewGuard(ctrl, control.GuardConfig{})
+		guard.SetLogger(s.logger)
+		ctrl = guard
+	}
+	if s.cfg.chaosPanicAfter > 0 {
+		ctrl = &panicAfter{inner: ctrl, sup: s, after: s.cfg.chaosPanicAfter}
+	}
+
+	// Run state: resume from the latest checkpoint when the registry
+	// holds one for this exact configuration.
+	fp := s.fingerprint()
+	runCfg := s.baseRunCfg(ctx)
+	runCfg.KeepAllActive = s.sys.Baseline
+	if s.reg != nil {
+		st, err := s.reg.LoadRunState("serve", fp)
+		switch {
+		case err == nil:
+			met.StateRestoreSuccessTotal.Inc()
+			if s.ring.RestoreCursor(trace.Cursor{Decisions: st.SavedDecisions, Ticks: st.SavedTicks}) {
+				s.logger.Info("flight-recorder cursor restored",
+					"decisions", st.SavedDecisions, "ticks", st.SavedTicks)
+			}
+			if guard != nil && st.Guard != nil {
+				guard.RestoreState(*st.Guard)
+			}
+			runCfg.Resume = &st.Sim
+			s.logger.Info("run state restored, resuming mid-run",
+				"day", st.Sim.Day, "tick", st.Sim.Tick)
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing saved yet: a genuine cold boot.
+		default:
+			met.StateRestoreFailureTotal.Inc()
+			s.logger.Warn("run state unusable, cold boot", "err", err)
+		}
+		runCfg.CheckpointSeconds = s.cfg.checkpointEvery
+		runCfg.Checkpoint = func(cp *sim.Checkpoint) {
+			st := &store.RunState{Fingerprint: fp, Sim: *cp}
+			cur := s.ring.Cursor()
+			st.SavedDecisions, st.SavedTicks = cur.Decisions, cur.Ticks
+			if guard != nil {
+				gs := guard.StateSnapshot()
+				st.Guard = &gs
+			}
+			if err := s.reg.SaveRunState("serve", st); err != nil {
+				s.logger.Warn("checkpoint write failed", "err", err)
+				return
+			}
+			met.CheckpointsTotal.Inc()
+		}
+	}
+
+	s.setMode(modeRunning, "")
+	s.logger.Info("simulation starting", "location", s.cl.Name, "system", s.sys.Name,
+		"days", len(s.days), "speed", s.cfg.speed, "guard", s.cfg.guard,
+		"resuming", runCfg.Resume != nil)
+	res, err := sim.Run(env, ctrl, runCfg)
+	if err != nil {
+		return err
+	}
+	s.logger.Info("simulation summary",
+		"pue", res.Summary.PUE,
+		"avg_violation_c", res.Summary.AvgViolation,
+		"jobs_completed", res.JobsCompleted)
+	return nil
+}
+
+// trainDegraded runs the training campaign in the background while a
+// TKS fail-safe baseline serves decisions into the same ring, so the
+// telemetry plane is live (and the datacenter managed, as it would be
+// under the paper's default controller) during the boot-time campaign.
+// Returns when the campaign finishes or ctx ends; the model itself is
+// cached in the lab for the caller to pick up.
+func (s *supervisor) trainDegraded(ctx context.Context) error {
+	trained := make(chan error, 1)
+	go func() {
+		_, err := s.lab.ModelResult(ctx, s.sys.Fidelity)
+		trained <- err
+	}()
+
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		env, err := sim.NewEnv(s.cl, s.sys.Fidelity)
+		if err != nil {
+			s.logger.Warn("degraded baseline unavailable", "err", err)
+			return
+		}
+		cfg := s.baseRunCfg(dctx)
+		cfg.KeepAllActive = true
+		if _, err := sim.Run(env, tks.Baseline(), cfg); err != nil && !errors.Is(err, context.Canceled) {
+			s.logger.Warn("degraded baseline run stopped", "err", err)
+		}
+	}()
+
+	err := <-trained
+	cancel()
+	<-done
+	return err
+}
+
+// baseRunCfg is the shared run configuration (degraded and managed
+// runs differ only in controller and checkpointing).
+func (s *supervisor) baseRunCfg(ctx context.Context) sim.RunConfig {
+	var clock sim.Clock
+	if s.cfg.speed > 0 {
+		clock = sim.NewScaledClock(s.cfg.speed)
+	}
+	return sim.RunConfig{
+		Days: s.days, Trace: s.wl,
+		Faults:   s.inj,
+		Recorder: s.ring,
+		Context:  ctx,
+		Clock:    clock,
+		Logger:   s.logger,
+	}
+}
+
+// panicAfter injects a controller panic after a configured number of
+// decisions (the -chaos-panic-after flag): the chaos tests use it to
+// prove the supervisor recovers from crashes in the decision path. The
+// wrapper forwards the optional controller interfaces so wrapping does
+// not silently strip Monitor/DayPlanner/TemporalScheduler/Traceable
+// from the inner controller.
+type panicAfter struct {
+	inner control.Controller
+	sup   *supervisor
+	after int
+	n     int
+}
+
+func (p *panicAfter) Name() string    { return p.inner.Name() }
+func (p *panicAfter) Period() float64 { return p.inner.Period() }
+
+func (p *panicAfter) Decide(obs control.Observation) (cooling.Command, error) {
+	p.n++
+	if p.n >= p.after && p.sup.chaosRemaining > 0 {
+		p.sup.chaosRemaining--
+		panic(fmt.Sprintf("chaos: injected panic after %d decisions", p.n))
+	}
+	return p.inner.Decide(obs)
+}
+
+func (p *panicAfter) Observe(obs control.Observation) {
+	if m, ok := p.inner.(control.Monitor); ok {
+		m.Observe(obs)
+	}
+}
+
+func (p *panicAfter) StartDay(day int) {
+	if d, ok := p.inner.(control.DayPlanner); ok {
+		d.StartDay(day)
+	}
+}
+
+func (p *panicAfter) ScheduleDay(day int, jobs []workload.Job) []float64 {
+	if t, ok := p.inner.(control.TemporalScheduler); ok {
+		return t.ScheduleDay(day, jobs)
+	}
+	releases := make([]float64, len(jobs))
+	for i, j := range jobs {
+		releases[i] = j.Arrival
+	}
+	return releases
+}
+
+func (p *panicAfter) SetRecorder(r trace.Recorder) {
+	if t, ok := p.inner.(trace.Traceable); ok {
+		t.SetRecorder(r)
+	}
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServe boots the daemon in-process and returns its base URL plus
+// the run-error channel; the context cancel is registered as cleanup.
+func startServe(t *testing.T, ctx context.Context, cfg serveConfig) (string, chan error) {
+	t.Helper()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, cfg, logger, func(a string) { addrCh <- a }) }()
+	select {
+	case a := <-addrCh:
+		return "http://" + a, runErr
+	case err := <-runErr:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+	return "", nil
+}
+
+// metricValue scrapes /metrics and returns the named sample (counters
+// and gauges render as "name value" lines; histograms carry suffixes,
+// so an exact name match is unambiguous).
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(body), "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("metric %s = %q: %v", name, rest, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not exposed", name)
+	return 0
+}
+
+// TestSupervisorPanicRecovery injects a single controller panic into a
+// baseline run and requires the supervisor to absorb it: the panic is
+// counted as a restart, the run loop comes back, and readiness reaches
+// 200 as if nothing had happened. The process never dies.
+func TestSupervisorPanicRecovery(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, runErr := startServe(t, ctx, serveConfig{
+		addr: "127.0.0.1:0", location: "newark", system: "baseline",
+		workloadName: "facebook", days: 1, startDay: 150,
+		maxRestarts: 5, restartBackoff: time.Millisecond,
+		chaosPanicAfter: 3, chaosPanicCount: 1,
+	})
+
+	deadline := time.Now().Add(60 * time.Second)
+	for metricValue(t, base, "restarts_total") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("injected panic never surfaced as restarts_total")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The panic was recorded in the decision stream as a fail-safe event.
+	if got := metricValue(t, base, "guard_interventions_total"); got < 1 {
+		t.Errorf("guard_interventions_total = %v after a panic, want >= 1", got)
+	}
+	// The loop restarted: readiness recovers.
+	for getStatus(t, base+"/readyz") != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never recovered after the injected panic")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := metricValue(t, base, "restarts_total"); got != 1 {
+		t.Errorf("restarts_total = %v, want exactly 1 (panic disarmed after one shot)", got)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v on shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down after cancel")
+	}
+}
+
+// TestSupervisorCrashLoopBreaker arms a panic that re-fires on every
+// restart and caps restarts low: the circuit breaker must open instead
+// of crash-looping forever, leaving the telemetry plane alive (healthz
+// 200, metrics scrapeable) while /readyz explains the 503.
+func TestSupervisorCrashLoopBreaker(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, runErr := startServe(t, ctx, serveConfig{
+		addr: "127.0.0.1:0", location: "newark", system: "baseline",
+		workloadName: "facebook", days: 1, startDay: 150,
+		maxRestarts: 2, restartBackoff: time.Millisecond,
+		chaosPanicAfter: 1, chaosPanicCount: 1 << 20,
+	})
+
+	// The breaker opens after maxRestarts+1 consecutive panics.
+	deadline := time.Now().Add(60 * time.Second)
+	var body string
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && strings.Contains(string(b), "crash-loop") {
+			body = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("circuit breaker never opened; last readyz %d %q", resp.StatusCode, b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Logf("readyz after breaker: %s", strings.TrimSpace(body))
+
+	// The plane survives the dead run loop.
+	if code := getStatus(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz = %d with breaker open, want 200", code)
+	}
+	if got := metricValue(t, base, "restarts_total"); got != 3 {
+		t.Errorf("restarts_total = %v, want 3 (maxRestarts 2 + the breaking one)", got)
+	}
+	if got := metricValue(t, base, "serve_mode"); got != 4 {
+		t.Errorf("serve_mode = %v, want 4 (crash-loop)", got)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v on shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down after cancel")
+	}
+}

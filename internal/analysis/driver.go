@@ -7,7 +7,7 @@ import (
 )
 
 // All is the coolair-vet suite: every analyzer the multichecker runs.
-var All = []*Analyzer{Memoguard, Unitcast, Scratchretain, Floateq}
+var All = []*Analyzer{Memoguard, Unitcast, Scratchretain, Floateq, Statewrite}
 
 // Run loads the packages matched by patterns (resolved relative to dir)
 // and applies every analyzer to each in-module package, in dependency

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// StatewriteAllowMarker suppresses a statewrite finding when it appears
+// in a comment on the same line as the call or on the line above it.
+// Every use should say why a raw write is intended (the canonical one:
+// test-style corruption helpers where damaging the file is the point —
+// though plain _test.go files are already exempt).
+const StatewriteAllowMarker = "coolair:allow-statewrite"
+
+// storePkgPath is the snapshot registry package: the one place raw
+// state-file writes are the implementation rather than a violation.
+const storePkgPath = "coolair/internal/store"
+
+// statewriteWriters are the os entry points that create or overwrite a
+// file. Reads are out of scope — the invariant protects durability, and
+// a torn read of a snapshot is already caught by the store's checksum.
+var statewriteWriters = map[string]bool{
+	"WriteFile":  true,
+	"Create":     true,
+	"CreateTemp": true,
+	"OpenFile":   true,
+}
+
+// Statewrite flags raw os file writes aimed at snapshot state files
+// from outside internal/store. The store's writer is what makes state
+// crash-safe — same-directory temp file, fsync, atomic rename, and a
+// checksummed versioned header; an os.WriteFile to a ".snap" path (or
+// to a path obtained from the store's registry) silently forfeits all
+// of that, and a crash mid-write would leave a torn file that the next
+// boot rejects as corrupt. Unrelated files (reports, JSON exports, the
+// -addr-file handshake) are none of this analyzer's business.
+var Statewrite = &Analyzer{
+	Name: "statewrite",
+	Doc:  "flag raw os writes to snapshot state files outside internal/store",
+	Run:  runStatewrite,
+}
+
+func runStatewrite(pass *Pass) error {
+	if pass.Pkg.Path() == storePkgPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		allowed := directiveLines(pass.Fset, f, StatewriteAllowMarker)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := osWriterCallee(pass, call)
+			if !ok {
+				return true
+			}
+			why := snapshotArg(pass, call.Args)
+			if why == "" {
+				return true
+			}
+			line := pass.Fset.Position(call.Pos()).Line
+			if allowed[line] || allowed[line-1] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"os.%s on %s: state snapshots must go through internal/store's atomic, checksummed writer, or annotate with //%s <reason>",
+				name, why, StatewriteAllowMarker)
+			return true
+		})
+	}
+	return nil
+}
+
+// osWriterCallee reports whether the call is one of package os's
+// file-creating entry points, returning the function name.
+func osWriterCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return "", false
+	}
+	if !statewriteWriters[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// snapshotArg scans the call's arguments for evidence the target is a
+// state snapshot: a compile-time string containing ".snap" anywhere in
+// the expression (literals survive constant folding through + and
+// named constants), or a path produced by the store registry. Dynamic
+// paths are out of scope — the analyzer trades recall for zero false
+// positives on unrelated writes.
+func snapshotArg(pass *Pass, args []ast.Expr) string {
+	for _, arg := range args {
+		found := ""
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != "" {
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok {
+				if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil &&
+					tv.Value.Kind() == constant.String &&
+					strings.Contains(constant.StringVal(tv.Value), ".snap") {
+					found = `a ".snap" path`
+					return false
+				}
+			}
+			if c, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := c.Fun.(*ast.SelectorExpr); ok {
+					if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+						obj.Pkg().Path() == storePkgPath {
+						found = "a store registry path (" + obj.Name() + ")"
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if found != "" {
+			return found
+		}
+	}
+	return ""
+}

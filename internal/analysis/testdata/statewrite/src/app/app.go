@@ -1,0 +1,37 @@
+// Package app exercises the statewrite analyzer.
+package app
+
+import (
+	"os"
+
+	"coolair/internal/store"
+)
+
+// snapName is a named compile-time constant; folding still exposes it.
+const snapName = "model_newark.snap"
+
+// Bad writes state snapshots with raw os calls.
+func Bad(reg *store.Registry, data []byte) {
+	os.WriteFile("state/checkpoint.snap", data, 0o644) // want `os.WriteFile on a ".snap" path`
+	os.WriteFile(snapName, data, 0o644)                // want `os.WriteFile on a ".snap" path`
+	os.Create("runstate_serve" + ".snap")              // want `os.Create on a ".snap" path`
+	os.CreateTemp("state", "*.snap.tmp")               // want `os.CreateTemp on a ".snap" path`
+	os.WriteFile(reg.ModelPath("newark"), data, 0o644) // want `a store registry path \(ModelPath\)`
+	f, _ := os.OpenFile(reg.RunStatePath("serve"), 1, 0o644) // want `a store registry path \(RunStatePath\)`
+	_ = f
+}
+
+// Good shows the out-of-scope shapes: unrelated files, dynamic paths,
+// reads, and the blessed writer itself.
+func Good(reg *store.Registry, data []byte, path string) {
+	os.WriteFile("addr.txt", data, 0o644)             // the -addr-file handshake and friends
+	os.WriteFile(path, data, 0o644)                   // dynamic paths are out of scope
+	os.ReadFile(reg.ModelPath("newark"))              // reads are fine
+	store.WriteSnapshot(reg.ModelPath("x"), data)     // the atomic writer is the fix
+}
+
+// Annotated damages a snapshot on purpose and says so.
+func Annotated(data []byte) {
+	//coolair:allow-statewrite corruption-injection helper: the damage is the point
+	os.WriteFile("victim.snap", data, 0o644)
+}

@@ -1,0 +1,17 @@
+// Package os is a minimal stub of the standard library's os package:
+// the analysistest loader resolves imports only within this testdata
+// tree, so the golden packages import this instead. Only the identity
+// (package path "os" + function name) matters to the analyzer.
+package os
+
+// File stands in for *os.File.
+type File struct{}
+
+// FileMode stands in for os.FileMode.
+type FileMode uint32
+
+func WriteFile(name string, data []byte, perm FileMode) error     { return nil }
+func Create(name string) (*File, error)                           { return nil, nil }
+func CreateTemp(dir, pattern string) (*File, error)               { return nil, nil }
+func OpenFile(name string, flag int, perm FileMode) (*File, error) { return nil, nil }
+func ReadFile(name string) ([]byte, error)                        { return nil, nil }

@@ -599,3 +599,93 @@ func medianFinite(v []units.Celsius) (float64, int) {
 	}
 	return (fin[n/2-1] + fin[n/2]) / 2, n
 }
+
+// SensorGuardState is one pod sensor's sanitation state in snapshot
+// form (see sensorGuard).
+type SensorGuardState struct {
+	LastGood     float64
+	LastGoodTime float64
+	HasGood      bool
+	LastRaw      float64
+	HasRaw       bool
+	FlatSince    float64
+}
+
+// ScalarGuardState is one scalar channel's sanitation state in snapshot
+// form (see scalarGuard).
+type ScalarGuardState struct {
+	LastGood float64
+	HasGood  bool
+}
+
+// GuardState is the Guard's dynamic state in snapshot form: exported
+// and gob-encodable so a run-state checkpoint restores sensor health,
+// fail-safe posture, and the intervention report across a daemon
+// restart (internal/store). The per-tick sanitized-observation cache is
+// deliberately not part of it — it is recomputed on the next decision.
+type GuardState struct {
+	Sensors            []SensorGuardState
+	Outside            ScalarGuardState
+	OutsideRH          ScalarGuardState
+	InsideRH           ScalarGuardState
+	ConsecFails        int
+	FailSafeOn         bool
+	FailSafeCompressor bool
+	LastCmd            cooling.Command
+	HaveLast           bool
+	Report             GuardReport
+}
+
+// StateSnapshot captures the guard's dynamic state for checkpointing.
+func (g *Guard) StateSnapshot() GuardState {
+	snapScalar := func(sg scalarGuard) ScalarGuardState {
+		return ScalarGuardState{LastGood: sg.lastGood, HasGood: sg.hasGood}
+	}
+	s := GuardState{
+		Outside:            snapScalar(g.outside),
+		OutsideRH:          snapScalar(g.outRH),
+		InsideRH:           snapScalar(g.insideRH),
+		ConsecFails:        g.consecFails,
+		FailSafeOn:         g.failSafeOn,
+		FailSafeCompressor: g.fsCompOn,
+		LastCmd:            g.lastCmd,
+		HaveLast:           g.haveLast,
+		Report:             g.report,
+	}
+	s.Sensors = make([]SensorGuardState, len(g.sensors))
+	for i, sg := range g.sensors {
+		s.Sensors[i] = SensorGuardState{
+			LastGood: sg.lastGood, LastGoodTime: sg.lastGoodTime, HasGood: sg.hasGood,
+			LastRaw: sg.lastRaw, HasRaw: sg.hasRaw, FlatSince: sg.flatSince,
+		}
+	}
+	return s
+}
+
+// RestoreState reinstates a snapshot taken by StateSnapshot. The
+// sanitized-observation cache is dropped so the next Observe/Decide
+// sanitizes afresh against the restored sensor history.
+func (g *Guard) RestoreState(s GuardState) {
+	g.sensors = make([]sensorGuard, len(s.Sensors))
+	for i, sg := range s.Sensors {
+		g.sensors[i] = sensorGuard{
+			lastGood: sg.LastGood, lastGoodTime: sg.LastGoodTime, hasGood: sg.HasGood,
+			lastRaw: sg.LastRaw, hasRaw: sg.HasRaw, flatSince: sg.FlatSince,
+		}
+	}
+	restoreScalar := func(ss ScalarGuardState) scalarGuard {
+		return scalarGuard{lastGood: ss.LastGood, hasGood: ss.HasGood}
+	}
+	g.outside = restoreScalar(s.Outside)
+	g.outRH = restoreScalar(s.OutsideRH)
+	g.insideRH = restoreScalar(s.InsideRH)
+	g.consecFails = s.ConsecFails
+	g.failSafeOn = s.FailSafeOn
+	g.fsCompOn = s.FailSafeCompressor
+	g.lastCmd = s.LastCmd
+	g.haveLast = s.HaveLast
+	g.report = s.Report
+	g.haveCache = false
+	g.cached = sanitized{}
+	g.cachedTime = 0
+}

@@ -247,3 +247,47 @@ func (p *Plant) String() string {
 	return fmt.Sprintf("plant[%s fan=%.0f%% comp=%.0f%% %v]",
 		p.mode, p.fanSpeed*100, p.compSpeed*100, p.Power())
 }
+
+// PlantState is the Plant's dynamic state in snapshot form: everything
+// Step mutates, exported and gob-encodable so a run-state checkpoint
+// can restore the plant mid-run (internal/store). The device models
+// (FC, AC, Evap) are configuration, not state — a restored checkpoint
+// is only valid against the same plant construction.
+type PlantState struct {
+	Mode, PrevMode  Mode
+	FanSpeed        float64
+	CompressorSpeed float64
+	// CompressorAge is seconds since the compressor last started (the
+	// DX warm-up ramp position).
+	CompressorAge float64
+	Energy        units.Joules
+	// ModeEnergy is the per-mode cumulative energy, indexed by Mode.
+	ModeEnergy []units.Joules
+}
+
+// StateSnapshot captures the plant's dynamic state for checkpointing.
+func (p *Plant) StateSnapshot() PlantState {
+	return PlantState{
+		Mode:            p.mode,
+		PrevMode:        p.prevMode,
+		FanSpeed:        p.fanSpeed,
+		CompressorSpeed: p.compSpeed,
+		CompressorAge:   p.compAge,
+		Energy:          p.energy,
+		ModeEnergy:      append([]units.Joules(nil), p.modeEnergy[:]...),
+	}
+}
+
+// RestoreState reinstates a snapshot taken by StateSnapshot. Unknown
+// trailing mode-energy entries (from a build with more modes) are
+// dropped; missing ones stay zero.
+func (p *Plant) RestoreState(s PlantState) {
+	p.mode = s.Mode
+	p.prevMode = s.PrevMode
+	p.fanSpeed = s.FanSpeed
+	p.compSpeed = s.CompressorSpeed
+	p.compAge = s.CompressorAge
+	p.energy = s.Energy
+	p.modeEnergy = [numModes]units.Joules{}
+	copy(p.modeEnergy[:], s.ModeEnergy)
+}

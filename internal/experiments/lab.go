@@ -7,8 +7,11 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"os"
 	"runtime"
 	"sync"
 
@@ -16,6 +19,7 @@ import (
 	"coolair/internal/core"
 	"coolair/internal/model"
 	"coolair/internal/sim"
+	"coolair/internal/store"
 	"coolair/internal/tks"
 	trc "coolair/internal/trace"
 	"coolair/internal/units"
@@ -42,6 +46,13 @@ type Lab struct {
 	// Grid studies run cells concurrently, so a shared recorder must be
 	// safe for concurrent use (trace.Ring is).
 	Recorder trc.Recorder
+	// Store, when non-nil, is the durable model registry: Model consults
+	// it before training (a valid snapshot skips the campaign entirely —
+	// the campaign is seeded, so the restored model is bit-identical to
+	// retraining) and writes freshly trained models through to it.
+	Store *store.Registry
+	// Logger, when non-nil, receives registry hit/miss/corruption logs.
+	Logger *slog.Logger
 
 	// mu guards only the maps and trace caches below — never the
 	// training itself, which runs under the per-fidelity slot's once so
@@ -58,8 +69,23 @@ type Lab struct {
 // train concurrently.
 type modelSlot struct {
 	once sync.Once
-	m    *model.Model
+	res  ModelResult
 	err  error
+}
+
+// ModelResult is a model plus its provenance: whether it was restored
+// from the lab's Store or freshly trained, and — when a snapshot
+// existed but failed verification — the restore error that forced the
+// retraining. The serve daemon's supervisor turns these into the
+// state_restore_success/failure and trainings counters.
+type ModelResult struct {
+	Model *model.Model
+	// Restored is true when the model came from the Store, false when a
+	// training campaign ran.
+	Restored bool
+	// RestoreErr is the verification failure of an existing snapshot
+	// (store.ErrCorrupt and friends); nil on a clean hit or a clean miss.
+	RestoreErr error
 }
 
 // NewLab creates a lab with the evaluation defaults.
@@ -91,6 +117,25 @@ func (l *Lab) Nutch() *workload.Trace {
 // data-collection campaign at the prototype's home climate (Newark, like
 // Parasol's New Jersey site) on first use.
 func (l *Lab) Model(fid sim.Fidelity) (*model.Model, error) {
+	res, err := l.ModelResult(context.Background(), fid)
+	if err != nil {
+		return nil, err
+	}
+	return res.Model, nil
+}
+
+// ModelKey is the registry key the lab files the fidelity's model
+// under (the standard campaign spans Newark and Chad).
+func (l *Lab) ModelKey(fid sim.Fidelity) store.ModelKey {
+	return store.ModelKey{Climate: "newark+chad", Fidelity: fid.String(), TrainDays: l.TrainDays, Seed: l.Seed}
+}
+
+// ModelResult returns the fidelity's Cooling Model with provenance:
+// restored from the Store when a valid snapshot exists, trained (and
+// written through) otherwise. The context cancels an in-flight
+// training campaign; a canceled campaign is not cached, so a later
+// call retries.
+func (l *Lab) ModelResult(ctx context.Context, fid sim.Fidelity) (ModelResult, error) {
 	trace := l.Facebook() // acquire outside l.mu: Facebook locks too
 	l.mu.Lock()
 	slot := l.models[fid]
@@ -99,7 +144,7 @@ func (l *Lab) Model(fid sim.Fidelity) (*model.Model, error) {
 		l.models[fid] = slot
 	}
 	l.mu.Unlock()
-	slot.once.Do(func() { slot.m, slot.err = l.train(fid, trace) })
+	slot.once.Do(func() { slot.res, slot.err = l.obtain(ctx, fid, trace) })
 	if slot.err != nil {
 		// Don't cache a failed campaign for the process lifetime: drop
 		// the slot (if it is still the installed one) so the next call
@@ -110,15 +155,57 @@ func (l *Lab) Model(fid sim.Fidelity) (*model.Model, error) {
 			delete(l.models, fid)
 		}
 		l.mu.Unlock()
-		return nil, slot.err
+		return ModelResult{}, slot.err
 	}
-	return slot.m, nil
+	return slot.res, nil
+}
+
+// obtain resolves one fidelity's model: registry first, campaign on a
+// miss. A snapshot that exists but fails verification is reported in
+// RestoreErr and falls back to training — a corrupt file costs a
+// retrain, never a wrong model.
+func (l *Lab) obtain(ctx context.Context, fid sim.Fidelity, trace *workload.Trace) (ModelResult, error) {
+	var restoreErr error
+	if l.Store != nil {
+		key := l.ModelKey(fid)
+		m, err := l.Store.LoadModel(key)
+		switch {
+		case err == nil:
+			if l.Logger != nil {
+				l.Logger.Info("model restored from registry", "key", key.String(), "path", l.Store.ModelPath(key))
+			}
+			return ModelResult{Model: m, Restored: true}, nil
+		case errors.Is(err, os.ErrNotExist):
+			if l.Logger != nil {
+				l.Logger.Info("no model snapshot, training", "key", key.String())
+			}
+		default:
+			restoreErr = err
+			if l.Logger != nil {
+				l.Logger.Warn("model snapshot unusable, cold boot", "key", key.String(), "err", err)
+			}
+		}
+	}
+	m, err := l.train(ctx, fid, trace)
+	if err != nil {
+		return ModelResult{}, err
+	}
+	if l.Store != nil {
+		if err := l.Store.SaveModel(l.ModelKey(fid), m); err != nil {
+			// A write-through failure costs the next boot a retrain; it
+			// does not fail this one.
+			if l.Logger != nil {
+				l.Logger.Warn("model write-through failed", "err", err)
+			}
+		}
+	}
+	return ModelResult{Model: m, RestoreErr: restoreErr}, nil
 }
 
 // train runs the data-collection campaign and fits the model. It holds
 // no lab lock: concurrent callers are serialized per fidelity by the
 // slot's once, and everything it touches is local to the call.
-func (l *Lab) train(fid sim.Fidelity, trace *workload.Trace) (*model.Model, error) {
+func (l *Lab) train(ctx context.Context, fid sim.Fidelity, trace *workload.Trace) (*model.Model, error) {
 	// The campaign covers both the prototype's home climate and a hot
 	// one, so the learned models interpolate rather than extrapolate
 	// when CoolAir is deployed at hot sites (the paper's 1.5 months of
@@ -127,7 +214,7 @@ func (l *Lab) train(fid sim.Fidelity, trace *workload.Trace) (*model.Model, erro
 	if err != nil {
 		return nil, err
 	}
-	logN, err := envN.CollectTrainingData(l.TrainDays, trace, l.Seed)
+	logN, err := envN.CollectTrainingDataContext(ctx, l.TrainDays, trace, l.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +222,7 @@ func (l *Lab) train(fid sim.Fidelity, trace *workload.Trace) (*model.Model, erro
 	if err != nil {
 		return nil, err
 	}
-	logC, err := envC.CollectTrainingData((l.TrainDays+1)/2, trace, l.Seed+1)
+	logC, err := envC.CollectTrainingDataContext(ctx, (l.TrainDays+1)/2, trace, l.Seed+1)
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +336,13 @@ func (l *Lab) RunRecorded(cl weather.Climate, sys System, days []int, trace *wor
 // Clock, cancels it with a Context, and wraps the controller in a
 // Guard — drive sim.Run themselves with the returned pair.
 func (l *Lab) NewRun(cl weather.Climate, sys System) (*sim.Env, control.Controller, error) {
+	return l.NewRunContext(context.Background(), cl, sys)
+}
+
+// NewRunContext is NewRun with cancellation of the boot-time training
+// campaign (the daemon's SIGTERM handling reaches into the campaign's
+// physics loop through this context).
+func (l *Lab) NewRunContext(ctx context.Context, cl weather.Climate, sys System) (*sim.Env, control.Controller, error) {
 	env, err := sim.NewEnv(cl, sys.Fidelity)
 	if err != nil {
 		return nil, nil, err
@@ -262,10 +356,11 @@ func (l *Lab) NewRun(cl weather.Climate, sys System) (*sim.Env, control.Controll
 	if sys.Baseline {
 		return env, baselineController(), nil
 	}
-	m, err := l.Model(sys.Fidelity)
+	res, err := l.ModelResult(ctx, sys.Fidelity)
 	if err != nil {
 		return nil, nil, err
 	}
+	m := res.Model
 	env.Model = m
 	band := sys.Band
 	if band == (core.BandConfig{}) {

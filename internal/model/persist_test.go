@@ -1,0 +1,162 @@
+package model
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"coolair/internal/cooling"
+	"coolair/internal/mlearn"
+)
+
+// handModel builds a model that exercises every persisted shape: linear
+// and tree regressors, both in per-pod slices and scalar slots, across
+// all four group maps plus the power map.
+func handModel() *Model {
+	lin := func(b float64) *mlearn.Linear {
+		return &mlearn.Linear{Intercept: b, Coef: []float64{0.5, -0.25, b / 10}, TrainRMSE: 0.3, N: 100}
+	}
+	tree := func(b float64) *mlearn.ModelTree {
+		return &mlearn.ModelTree{
+			Feature:   1,
+			Threshold: 20,
+			Left:      &mlearn.ModelTree{Model: lin(b)},
+			Right:     &mlearn.ModelTree{Model: lin(b + 1)},
+		}
+	}
+	trA := cooling.Transition{From: cooling.ModeClosed, To: cooling.ModeFreeCooling}
+	trB := cooling.Transition{From: cooling.ModeFreeCooling, To: cooling.ModeFreeCooling}
+	return &Model{
+		pods: 2,
+		temp: map[cooling.Transition][]mlearn.Regressor{
+			trA: {lin(1), tree(2)},
+			trB: {tree(3), lin(4)},
+		},
+		hum: map[cooling.Transition]mlearn.Regressor{
+			trA: lin(5),
+			trB: tree(6),
+		},
+		hTemp: map[cooling.Transition][]mlearn.Regressor{
+			trA: {lin(7), lin(8)},
+		},
+		hHum: map[cooling.Transition]mlearn.Regressor{
+			trA: tree(9),
+		},
+		power: map[cooling.Mode]mlearn.Regressor{
+			cooling.ModeFreeCooling: lin(10),
+			cooling.ModeACCool:      tree(11),
+		},
+		recircRank: []int{1, 0},
+	}
+}
+
+// TestPersistRoundTripAllKinds: every regressor kind in every group map
+// survives Save/Load exactly (gob is bit-exact on float64s, so this is
+// equality, not tolerance).
+func TestPersistRoundTripAllKinds(t *testing.T) {
+	m := handModel()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.pods != m.pods || !reflect.DeepEqual(got.recircRank, m.recircRank) {
+		t.Fatalf("pods/recircRank: got %d/%v", got.pods, got.recircRank)
+	}
+	if !reflect.DeepEqual(got.temp, m.temp) {
+		t.Fatalf("temp map did not round-trip:\n got %+v\nwant %+v", got.temp, m.temp)
+	}
+	if !reflect.DeepEqual(got.hum, m.hum) {
+		t.Fatal("hum map did not round-trip")
+	}
+	if !reflect.DeepEqual(got.hTemp, m.hTemp) {
+		t.Fatal("hTemp map did not round-trip")
+	}
+	if !reflect.DeepEqual(got.hHum, m.hHum) {
+		t.Fatal("hHum map did not round-trip")
+	}
+	if !reflect.DeepEqual(got.power, m.power) {
+		t.Fatal("power map did not round-trip")
+	}
+}
+
+// TestLoadRejectsDamage: truncated streams, non-gob bytes, and
+// semantically hollow payloads all error instead of yielding a partial
+// model.
+func TestLoadRejectsDamage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := handModel().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, frac := range []int{4, 2} {
+			if _, err := Load(bytes.NewReader(full[:len(full)/frac])); err == nil {
+				t.Fatalf("loading %d/%d of the stream succeeded", 1, frac)
+			}
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Load(bytes.NewReader(nil)); err == nil {
+			t.Fatal("loading an empty stream succeeded")
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := Load(strings.NewReader("not a gob stream at all")); err == nil {
+			t.Fatal("loading garbage succeeded")
+		}
+	})
+	t.Run("no pods", func(t *testing.T) {
+		m := handModel()
+		m.pods = 0
+		var b bytes.Buffer
+		if err := m.Save(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(&b); err == nil {
+			t.Fatal("pods=0 model loaded")
+		}
+	})
+	t.Run("no temperature regressors", func(t *testing.T) {
+		m := handModel()
+		m.temp = map[cooling.Transition][]mlearn.Regressor{}
+		var b bytes.Buffer
+		if err := m.Save(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(&b); err == nil {
+			t.Fatal("model without temperature regressors loaded")
+		}
+	})
+}
+
+// FuzzModelLoad: Load must never panic, whatever bytes it is fed — the
+// daemon feeds it CRC-verified payloads, but the CRC guards transport,
+// not schema, and a hostile or stale payload must fail cleanly.
+func FuzzModelLoad(f *testing.F) {
+	var buf bytes.Buffer
+	if err := handModel().Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	// A bit-flipped but length-preserving mutation.
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/3] ^= 0xA5
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err == nil && m == nil {
+			t.Fatal("Load returned nil model with nil error")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 
 	"coolair/internal/cooling"
@@ -19,6 +20,14 @@ import (
 // the learned models see the whole operating envelope. Snapshots are
 // logged every model step (2 minutes).
 func (e *Env) CollectTrainingData(days int, trace *workload.Trace, seed int64) (*model.Logger, error) {
+	return e.CollectTrainingDataContext(context.Background(), days, trace, seed)
+}
+
+// CollectTrainingDataContext is CollectTrainingData with cancellation:
+// the campaign checks ctx between physics steps and returns ctx.Err()
+// promptly, so a daemon interrupted during boot-time training exits on
+// SIGTERM instead of finishing the remaining campaign days.
+func (e *Env) CollectTrainingDataContext(ctx context.Context, days int, trace *workload.Trace, seed int64) (*model.Logger, error) {
 	rng := rand.New(rand.NewSource(seed))
 	logger := model.NewLogger(len(e.Container.Pods))
 	ctrl := tks.New(tks.Config{})
@@ -39,6 +48,9 @@ func (e *Env) CollectTrainingData(days int, trace *workload.Trace, seed int64) (
 
 	eff := cooling.Command{Mode: cooling.ModeClosed}
 	for i := 0; i < total; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		elapsed := e.now - start
 		dayTime := elapsed - float64(int(elapsed/86400))*86400
 
@@ -127,7 +139,13 @@ func withUniqueID(j workload.Job, day int) workload.Job {
 // trainDays of 4–7 with forced extremes cover the same regime space in
 // simulation.
 func (e *Env) Train(trainDays int, trace *workload.Trace, seed int64) error {
-	logger, err := e.CollectTrainingData(trainDays, trace, seed)
+	return e.TrainContext(context.Background(), trainDays, trace, seed)
+}
+
+// TrainContext is Train with cancellation (see
+// CollectTrainingDataContext).
+func (e *Env) TrainContext(ctx context.Context, trainDays int, trace *workload.Trace, seed int64) error {
+	logger, err := e.CollectTrainingDataContext(ctx, trainDays, trace, seed)
 	if err != nil {
 		return err
 	}

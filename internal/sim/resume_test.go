@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+
+	"coolair/internal/tks"
+	"coolair/internal/weather"
+)
+
+// TestRunCheckpointResume exercises the crash-safety contract at the
+// sim layer: a run emits checkpoints at the configured cadence, and a
+// fresh environment handed one of them resumes at the checkpointed day
+// instead of re-simulating the days before it.
+func TestRunCheckpointResume(t *testing.T) {
+	days := []int{150, 157} // a week gap, so the second day warm-ups
+	const cpSeconds = 6 * 3600
+
+	env, err := NewEnv(weather.Newark, SmoothSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cps []*Checkpoint
+	res, err := Run(env, tks.Baseline(), RunConfig{
+		Days: days, KeepAllActive: true,
+		Checkpoint:        func(cp *Checkpoint) { cps = append(cps, cp) },
+		CheckpointSeconds: cpSeconds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(days) * 86400 / cpSeconds; len(cps) != want {
+		t.Fatalf("got %d checkpoints, want %d", len(cps), want)
+	}
+	// Cadence and provenance: the first checkpoint lands one interval
+	// into the first day; the last closes out the last day.
+	if got := cps[0]; got.DayIdx != 0 || got.Day != 150 || got.Tick != 150*86400+cpSeconds {
+		t.Fatalf("first checkpoint = %+v", got)
+	}
+	if got := cps[len(cps)-1]; got.DayIdx != 1 || got.Day != 157 || got.Tick != 158*86400 {
+		t.Fatalf("last checkpoint = %+v", got)
+	}
+	for _, cp := range cps {
+		if cp.Physics == nil || len(cp.Physics.PodInlet) == 0 {
+			t.Fatalf("checkpoint at %0.0f carries no physics state", cp.Tick)
+		}
+	}
+
+	// Resume from a mid-second-day checkpoint: only that day re-runs.
+	cp := cps[5] // day 157, 6 hours in
+	if cp.DayIdx != 1 {
+		t.Fatalf("checkpoint layout changed: cps[5] = %+v", cp)
+	}
+	env2, err := NewEnv(weather.Newark, SmoothSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(env2, tks.Baseline(), RunConfig{
+		Days: days, KeepAllActive: true, Resume: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res2.DailyWorstRanges), 1; got != want {
+		t.Fatalf("resumed run metered %d days, want %d (the checkpointed day onward)", got, want)
+	}
+	if len(res.DailyWorstRanges) != 2 {
+		t.Fatalf("full run metered %d days, want 2", len(res.DailyWorstRanges))
+	}
+	if got, want := env2.Now(), 158.0*86400; got != want {
+		t.Fatalf("resumed run ended at %0.0f, want %0.0f", got, want)
+	}
+
+	// The resumed day is a faithful re-simulation of the same day under
+	// the same controller, so its disk/inlet behavior should land close
+	// to the full run's second day (not bit-equal: the warm-up replay
+	// rebuilds the unserialized cluster state from the restored physics).
+	d := res2.DailyWorstRanges[0] - res.DailyWorstRanges[1]
+	if d < -2 || d > 2 {
+		t.Errorf("resumed day worst range %0.2f vs full run %0.2f: drifted more than 2°C",
+			res2.DailyWorstRanges[0], res.DailyWorstRanges[1])
+	}
+}
+
+// TestRunResumeRejectsMismatch: a checkpoint from a different day list
+// (or a damaged one) must refuse to resume rather than splice two
+// different runs together.
+func TestRunResumeRejectsMismatch(t *testing.T) {
+	env, err := NewEnv(weather.Newark, SmoothSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &Checkpoint{DayIdx: 0, Day: 150, Tick: 150 * 86400, Physics: env.state.Clone()}
+
+	cases := []struct {
+		name string
+		days []int
+		cp   Checkpoint
+	}{
+		{"day mismatch", []int{151}, *good},
+		{"index out of range", []int{150}, Checkpoint{DayIdx: 3, Day: 150, Physics: good.Physics}},
+		{"negative index", []int{150}, Checkpoint{DayIdx: -1, Day: 150, Physics: good.Physics}},
+		{"no physics", []int{150}, Checkpoint{DayIdx: 0, Day: 150}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := NewEnv(weather.Newark, SmoothSim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp := tc.cp
+			if _, err := Run(e, tks.Baseline(), RunConfig{Days: tc.days, Resume: &cp}); err == nil {
+				t.Fatal("mismatched resume accepted")
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"coolair/internal/metrics"
 	"coolair/internal/mlearn"
 	"coolair/internal/model"
+	"coolair/internal/physics"
 	"coolair/internal/reliability"
 	"coolair/internal/trace"
 	"coolair/internal/units"
@@ -75,6 +76,43 @@ type RunConfig struct {
 	// boundaries, warm-ups, completion). Nil disables logging; results
 	// are identical either way.
 	Logger *slog.Logger
+	// Checkpoint, when non-nil, receives a restartable snapshot of the
+	// run every CheckpointSeconds of simulated time during the metered
+	// day loop (the handed *Checkpoint carries fresh copies; the
+	// callback may retain it). The serve daemon persists these through
+	// internal/store so a crashed process resumes mid-year.
+	Checkpoint func(*Checkpoint)
+	// CheckpointSeconds is the simulated-time cadence of Checkpoint
+	// calls (default 900 s when Checkpoint is set).
+	CheckpointSeconds float64
+	// Resume, when non-nil, starts the run from a checkpoint instead of
+	// from Days[0]: the physical and plant state are restored and the
+	// checkpointed day re-runs from its warm-up evening (the cluster's
+	// job state is not serialized — the warm-up replay rebuilds it, so
+	// the resumed day is a faithful re-simulation, not a bit-exact
+	// continuation of the interrupted one). Days and the environment
+	// must match the checkpointing run's.
+	Resume *Checkpoint
+}
+
+// Checkpoint is a restartable position in a run: where the run was
+// (which entry of RunConfig.Days, at what simulated time) and the
+// dynamic state that must survive a restart (container physics, plant
+// ramp/energy counters, the command in force). Guard state and
+// flight-recorder cursors live one layer up — see store.RunState.
+type Checkpoint struct {
+	// DayIdx indexes RunConfig.Days; Day is Days[DayIdx] (stored
+	// redundantly so a mismatched Days list is detected at resume).
+	DayIdx int
+	Day    int
+	// Tick is the absolute simulated time (seconds) at capture.
+	Tick float64
+	// Physics is a deep copy of the container state.
+	Physics *physics.State
+	// Plant is the cooling plant's dynamic state.
+	Plant cooling.PlantState
+	// Cmd is the controller command in force at capture.
+	Cmd cooling.Command
 }
 
 // WithMaxTemp returns the config with the temperature limit explicitly
@@ -178,10 +216,44 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 	// Tick scratch: one heap value per run, reused across every emission.
 	var trec trace.TickRecord
 
+	// Checkpoint cadence in physics steps.
+	cpSteps := 0
+	if cfg.Checkpoint != nil {
+		cpSec := cfg.CheckpointSeconds
+		if cpSec <= 0 {
+			cpSec = 900
+		}
+		cpSteps = int(cpSec / PhysicsStepSeconds)
+		if cpSteps < 1 {
+			cpSteps = 1
+		}
+	}
+
 	completedBefore := countMetered(env.Cluster.Completed())
 
 	cmd := cooling.Command{Mode: cooling.ModeClosed}
-	for dayIdx, day := range cfg.Days {
+	startIdx := 0
+	resumed := false
+	if cp := cfg.Resume; cp != nil {
+		if cp.DayIdx < 0 || cp.DayIdx >= len(cfg.Days) || cfg.Days[cp.DayIdx] != cp.Day {
+			return nil, fmt.Errorf("sim: resume checkpoint (day %d at index %d) does not match the configured days", cp.Day, cp.DayIdx)
+		}
+		if cp.Physics == nil {
+			return nil, fmt.Errorf("sim: resume checkpoint carries no physics state")
+		}
+		env.state = cp.Physics.Clone()
+		env.Plant.RestoreState(cp.Plant)
+		env.now = cp.Tick
+		cmd = cp.Cmd
+		startIdx = cp.DayIdx
+		resumed = true
+		if cfg.Logger != nil {
+			cfg.Logger.Info("resuming from checkpoint", "day", cp.Day, "index", cp.DayIdx, "tick", cp.Tick)
+		}
+	}
+	for dayIdx := startIdx; dayIdx < len(cfg.Days); dayIdx++ {
+		day := cfg.Days[dayIdx]
+		resumedDay := resumed && dayIdx == startIdx
 		gap := float64(day)*86400 - env.Now()
 		if cfg.KeepAllActive {
 			env.Cluster.ActivateAll()
@@ -198,9 +270,13 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 		// state), run an unmetered warm-up evening so the container,
 		// plant, and controller state are consistent with the new
 		// day's weather before metrics start at midnight.
-		if gap != 0 || env.Now() == 0 {
+		// A resumed day always re-runs its warm-up evening, even when
+		// the checkpoint landed exactly on the day boundary (gap == 0):
+		// the cluster's job state is not checkpointed, so the warm-up
+		// replay is what rebuilds it.
+		if gap != 0 || env.Now() == 0 || resumedDay {
 			warmupSeconds := 4.0 * 3600
-			reseat := gap > 10*86400 || env.Now() == 0
+			reseat := (gap > 10*86400 || env.Now() == 0) && !resumedDay
 			if reseat {
 				// A cold start needs a long shakeout: the thermal-mass
 				// node takes many hours to reach operating temperature.
@@ -342,6 +418,16 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 			if cfg.Recorder != nil && step%snapSteps == 0 {
 				fillTick(&trec, env, eff, day)
 				cfg.Recorder.RecordTick(&trec)
+			}
+			if cpSteps > 0 && (step+1)%cpSteps == 0 {
+				cfg.Checkpoint(&Checkpoint{
+					DayIdx:  dayIdx,
+					Day:     day,
+					Tick:    env.Now(),
+					Physics: env.state.Clone(),
+					Plant:   env.Plant.StateSnapshot(),
+					Cmd:     cmd,
+				})
 			}
 			if cfg.RecordSeries && step%snapSteps == 0 {
 				res.Series = append(res.Series, seriesPoint(env, eff))

@@ -1,0 +1,120 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"coolair/internal/model"
+)
+
+// ModelKey identifies one trained Cooling Model in the registry. Two
+// training campaigns with the same key are deterministic replays of
+// each other (the campaign is seeded), so a registry hit is
+// bit-identical to retraining — the golden-digest determinism test pins
+// this.
+type ModelKey struct {
+	// Climate names the data-collection campaign's climate mix (the
+	// lab's standard campaign spans Newark and Chad: "newark+chad").
+	Climate string
+	// Fidelity is the trained plant fidelity (sim.Fidelity.String()).
+	Fidelity string
+	// TrainDays is the campaign length in days.
+	TrainDays int
+	// Seed is the campaign's random seed.
+	Seed int64
+}
+
+// String renders the key in its canonical, human-scannable form.
+func (k ModelKey) String() string {
+	return fmt.Sprintf("%s_%s_%dd_s%d", sanitize(k.Climate), sanitize(k.Fidelity), k.TrainDays, k.Seed)
+}
+
+// filename is the on-disk name for the key's snapshot.
+func (k ModelKey) filename() string { return "model_" + k.String() + ".snap" }
+
+// sanitize keeps registry filenames portable: anything outside
+// [a-z0-9+-] becomes '-'.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '+', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// Registry is a directory of snapshots: trained models keyed by
+// ModelKey, run-state checkpoints keyed by name. All writes go through
+// the atomic snapshot writer; all reads verify the CRC before decoding.
+type Registry struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the registry rooted at dir.
+func Open(dir string) (*Registry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty registry directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open registry: %w", err)
+	}
+	return &Registry{dir: dir}, nil
+}
+
+// Dir returns the registry's root directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// ModelPath returns the path the key's snapshot lives at (chaos tests
+// corrupt it deliberately).
+func (r *Registry) ModelPath(k ModelKey) string {
+	return filepath.Join(r.dir, k.filename())
+}
+
+// HasModel reports whether a snapshot exists for the key (without
+// verifying it — a corrupt file still answers true; LoadModel is the
+// verdict).
+func (r *Registry) HasModel(k ModelKey) bool {
+	return exists(r.ModelPath(k))
+}
+
+// exists reports whether a path is stat-able.
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// SaveModel atomically writes the trained model under the key.
+func (r *Registry) SaveModel(k ModelKey, m *model.Model) error {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return fmt.Errorf("store: encode model %s: %w", k, err)
+	}
+	if err := WriteSnapshot(r.ModelPath(k), KindModel, buf.Bytes()); err != nil {
+		return fmt.Errorf("store: save model %s: %w", k, err)
+	}
+	return nil
+}
+
+// LoadModel reads and verifies the key's snapshot and decodes the
+// model. A missing snapshot satisfies errors.Is(err, os.ErrNotExist); a
+// damaged one satisfies ErrCorrupt (decode failures of a
+// checksum-valid payload too — the payload was written by a different
+// schema, which is as unusable as bit rot).
+func (r *Registry) LoadModel(k ModelKey) (*model.Model, error) {
+	payload, err := ReadSnapshot(r.ModelPath(k), KindModel)
+	if err != nil {
+		return nil, err
+	}
+	m, err := model.Load(readerOf(payload))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, r.ModelPath(k), err)
+	}
+	return m, nil
+}

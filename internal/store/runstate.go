@@ -1,0 +1,87 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"path/filepath"
+
+	"coolair/internal/control"
+	"coolair/internal/sim"
+)
+
+// RunState is everything a serve daemon needs to resume a simulation
+// mid-year after a crash or restart: the sim-layer checkpoint (position
+// plus physical and plant state), the sensor guard's memory, the
+// flight-recorder cursor (so SSE Last-Event-ID sequencing stays
+// monotonic across restarts), and a fingerprint of the configuration
+// that produced it — a checkpoint taken under one climate/system/
+// workload must never seed a run under another.
+type RunState struct {
+	// Fingerprint is the owning run configuration, rendered by the
+	// daemon (location, system, workload, days, seed, guard). Loaders
+	// pass the current fingerprint and a mismatch is ErrFingerprint.
+	Fingerprint string
+	// SavedDecisions / SavedTicks are the flight-recorder sequence
+	// counters at capture (trace.Cursor), restored into the fresh ring
+	// so post-restart record IDs continue the pre-crash numbering.
+	SavedDecisions uint64
+	SavedTicks     uint64
+	// Guard is the sensor guard's dynamic state (last-good values,
+	// fail-safe latch), nil when the run is unguarded.
+	Guard *control.GuardState
+	// Sim is the simulation checkpoint proper.
+	Sim sim.Checkpoint
+}
+
+// ErrFingerprint marks a run-state snapshot that belongs to a
+// different configuration than the one trying to resume from it.
+var ErrFingerprint = fmt.Errorf("store: run-state fingerprint mismatch")
+
+// runStateName is the on-disk name of a run-state snapshot.
+func runStateName(name string) string { return "runstate_" + sanitize(name) + ".snap" }
+
+// RunStatePath returns the path the named run-state snapshot lives at.
+func (r *Registry) RunStatePath(name string) string {
+	return filepath.Join(r.dir, runStateName(name))
+}
+
+// HasRunState reports whether a named run-state snapshot exists
+// (without verifying it).
+func (r *Registry) HasRunState(name string) bool {
+	return exists(r.RunStatePath(name))
+}
+
+// SaveRunState atomically writes the run state under the name.
+func (r *Registry) SaveRunState(name string, st *RunState) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return fmt.Errorf("store: encode run state %q: %w", name, err)
+	}
+	if err := WriteSnapshot(r.RunStatePath(name), KindRunState, buf.Bytes()); err != nil {
+		return fmt.Errorf("store: save run state %q: %w", name, err)
+	}
+	return nil
+}
+
+// LoadRunState reads, verifies, and decodes the named run state,
+// checking it against the caller's configuration fingerprint. A missing
+// snapshot satisfies errors.Is(err, os.ErrNotExist); a damaged one
+// ErrCorrupt; a snapshot from a different configuration
+// ErrFingerprint. All three mean "cold boot" to the daemon — only the
+// log line differs.
+func (r *Registry) LoadRunState(name, fingerprint string) (*RunState, error) {
+	path := r.RunStatePath(name)
+	payload, err := ReadSnapshot(path, KindRunState)
+	if err != nil {
+		return nil, err
+	}
+	var st RunState
+	if err := gob.NewDecoder(readerOf(payload)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	if st.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("%w: %s: snapshot %q, run %q", ErrFingerprint, path, st.Fingerprint, fingerprint)
+	}
+	return &st, nil
+}

@@ -1,0 +1,162 @@
+// Package store is the durable-state plane: an atomic, crash-safe
+// snapshot file format, and a Registry that keys trained Cooling Models
+// and run-state checkpoints on disk so a restarted daemon resumes
+// mid-year instead of paying a full training campaign on every boot
+// (the paper's models are built "over time, e.g. 6 months or 1 year" of
+// monitoring — §6 — so they must outlive the process that fitted them).
+//
+// Every snapshot is one file: a fixed header (magic, kind, format
+// version, payload length, CRC-32C of the payload) followed by the
+// payload bytes. Writers never touch the destination path directly —
+// the bytes go to a same-directory temp file that is fsynced and then
+// renamed over the target, and the directory is fsynced after the
+// rename — so a reader observes either the old snapshot or the new one,
+// never a torn mix. Readers verify the header and the checksum before
+// handing the payload to a decoder, so a truncated or bit-rotted file
+// is a detected ErrCorrupt, not silently decoded garbage.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot kinds: each durable object type gets its own tag so a
+// runstate file handed to the model loader (or vice versa) is rejected
+// at the header, before any decoding.
+const (
+	// KindModel tags a persisted Cooling Model (gob via model.Save).
+	KindModel uint32 = 1
+	// KindRunState tags a run-state checkpoint (gob of RunState).
+	KindRunState uint32 = 2
+)
+
+// SnapshotVersion is the current format version written into every
+// header. Readers reject other versions with ErrVersion so a payload
+// schema change can never be mis-decoded by an old or new binary.
+const SnapshotVersion uint32 = 1
+
+// ErrCorrupt marks a snapshot that exists but cannot be trusted: bad
+// magic, a truncated header or payload, or a checksum mismatch. Callers
+// treat it as "no snapshot" plus a loud log line — a clean cold boot.
+var ErrCorrupt = errors.New("store: corrupt snapshot")
+
+// ErrVersion marks a snapshot written by an incompatible format
+// version.
+var ErrVersion = errors.New("store: unsupported snapshot version")
+
+// ErrKind marks a snapshot of the wrong kind for the requested object.
+var ErrKind = errors.New("store: snapshot kind mismatch")
+
+// magic identifies a CoolAir snapshot file. 8 bytes, never reused
+// across incompatible layouts.
+var magic = [8]byte{'C', 'O', 'O', 'L', 'S', 'N', 'P', '1'}
+
+// header layout after the magic: kind (u32), version (u32), payload
+// length (u64), CRC-32C of the payload (u32) — all big-endian.
+const headerSize = 8 + 4 + 4 + 8 + 4
+
+// castagnoli is the CRC-32C table (the same polynomial storage systems
+// use for on-disk integrity).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteSnapshot atomically replaces path with a snapshot of the given
+// kind wrapping payload. The write is crash-safe: temp file in the same
+// directory, fsync, rename, directory fsync. On any error the
+// destination is untouched and the temp file is removed.
+func WriteSnapshot(path string, kind uint32, payload []byte) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: create temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic[:])
+	binary.BigEndian.PutUint32(hdr[8:12], kind)
+	binary.BigEndian.PutUint32(hdr[12:16], SnapshotVersion)
+	binary.BigEndian.PutUint64(hdr[16:24], uint64(len(payload)))
+	binary.BigEndian.PutUint32(hdr[24:28], crc32.Checksum(payload, castagnoli))
+	if _, err = tmp.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: write header: %w", err)
+	}
+	if _, err = tmp.Write(payload); err != nil {
+		return fmt.Errorf("store: write payload: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("store: close temp: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so the rename that just landed in it is
+// durable. Best-effort: some filesystems (and platforms) refuse to sync
+// directories, and the rename itself is already atomic — durability of
+// the directory entry is the extra mile, not the correctness line.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// ReadSnapshot reads and verifies the snapshot at path, returning its
+// payload. A missing file returns an error satisfying
+// errors.Is(err, os.ErrNotExist); a damaged one satisfies ErrCorrupt; a
+// kind or version mismatch satisfies ErrKind / ErrVersion.
+func ReadSnapshot(path string, kind uint32) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %s: %d bytes, below header size", ErrCorrupt, path, len(data))
+	}
+	if !bytes.Equal(data[:8], magic[:]) {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	gotKind := binary.BigEndian.Uint32(data[8:12])
+	version := binary.BigEndian.Uint32(data[12:16])
+	length := binary.BigEndian.Uint64(data[16:24])
+	sum := binary.BigEndian.Uint32(data[24:28])
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: %s: version %d, want %d", ErrVersion, path, version, SnapshotVersion)
+	}
+	if gotKind != kind {
+		return nil, fmt.Errorf("%w: %s: kind %d, want %d", ErrKind, path, gotKind, kind)
+	}
+	payload := data[headerSize:]
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("%w: %s: payload %d bytes, header says %d (truncated?)",
+			ErrCorrupt, path, len(payload), length)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return nil, fmt.Errorf("%w: %s: CRC %08x, header says %08x", ErrCorrupt, path, got, sum)
+	}
+	return payload, nil
+}
+
+// readerOf adapts a verified payload for decoders that want an
+// io.Reader (gob).
+func readerOf(payload []byte) io.Reader { return bytes.NewReader(payload) }

@@ -1,0 +1,236 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"coolair/internal/control"
+	"coolair/internal/cooling"
+	"coolair/internal/physics"
+	"coolair/internal/sim"
+	"coolair/internal/units"
+	"coolair/internal/weather"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.snap")
+	payload := []byte("the payload bytes")
+	if err := WriteSnapshot(path, KindModel, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path, KindModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload did not round-trip: %q", got)
+	}
+
+	// The writer must not leave temp files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "x.snap" {
+		t.Fatalf("directory after write = %v, want only x.snap", entries)
+	}
+
+	// Overwrite is atomic-replace, not append.
+	if err := WriteSnapshot(path, KindModel, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = ReadSnapshot(path, KindModel); err != nil || string(got) != "v2" {
+		t.Fatalf("after overwrite: %q, %v", got, err)
+	}
+}
+
+func TestSnapshotMissing(t *testing.T) {
+	_, err := ReadSnapshot(filepath.Join(t.TempDir(), "nope.snap"), KindModel)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing snapshot error = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestSnapshotCorruptionDetected: every way a snapshot file can be
+// damaged or misused is a typed error, never silently decoded garbage.
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.snap")
+	payload := []byte("some state that matters")
+	if err := WriteSnapshot(path, KindModel, payload); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		kind    uint32
+		wantErr error
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:headerSize-3] }, KindModel, ErrCorrupt},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-4] }, KindModel, ErrCorrupt},
+		{"flipped payload bit", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[headerSize+2] ^= 0x40
+			return c
+		}, KindModel, ErrCorrupt},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}, KindModel, ErrCorrupt},
+		{"empty file", func(b []byte) []byte { return nil }, KindModel, ErrCorrupt},
+		{"wrong kind", func(b []byte) []byte { return b }, KindRunState, ErrKind},
+		{"future version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[15] = 99 // version field, big-endian low byte
+			return c
+		}, KindModel, ErrVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, tc.mutate(pristine), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadSnapshot(path, tc.kind); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestModelKeyFilename(t *testing.T) {
+	k := ModelKey{Climate: "Newark+Chad", Fidelity: "smooth-sim", TrainDays: 4, Seed: 42}
+	if got, want := k.String(), "newark+chad_smooth-sim_4d_s42"; got != want {
+		t.Fatalf("key = %q, want %q", got, want)
+	}
+	odd := ModelKey{Climate: "a/b c", Fidelity: "x", TrainDays: 1, Seed: 0}
+	if got, want := odd.filename(), "model_a-b-c_x_1d_s0.snap"; got != want {
+		t.Fatalf("sanitized filename = %q, want %q", got, want)
+	}
+}
+
+// trainTestModel fits a minimal real model (1-day idle campaign) so the
+// registry tests exercise the genuine gob schema.
+func trainTestModel(t *testing.T) *sim.Env {
+	t.Helper()
+	env, err := sim.NewEnv(weather.Newark, sim.SmoothSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Train(1, nil, 42); err != nil {
+		t.Fatalf("training campaign: %v", err)
+	}
+	return env
+}
+
+func TestRegistryModelRoundTrip(t *testing.T) {
+	env := trainTestModel(t)
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Climate: "newark", Fidelity: "smooth-sim", TrainDays: 1, Seed: 42}
+
+	if reg.HasModel(key) {
+		t.Fatal("HasModel true before save")
+	}
+	if _, err := reg.LoadModel(key); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("load before save = %v, want os.ErrNotExist", err)
+	}
+	if err := reg.SaveModel(key, env.Model); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.HasModel(key) {
+		t.Fatal("HasModel false after save")
+	}
+	if _, err := reg.LoadModel(key); err != nil {
+		t.Fatalf("load after save: %v", err)
+	}
+
+	// A corrupted snapshot is a detected ErrCorrupt, not a wrong model.
+	raw, err := os.ReadFile(reg.ModelPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(reg.ModelPath(key), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadModel(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted model load = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRegistryRunStateRoundTrip(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "v1|loc=newark|sys=all-nd"
+	st := &RunState{
+		Fingerprint:    fp,
+		SavedDecisions: 17,
+		SavedTicks:     230,
+		Guard: &control.GuardState{
+			ConsecFails: 2,
+			FailSafeOn:  true,
+			LastCmd:     cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: 0.6},
+			HaveLast:    true,
+		},
+		Sim: sim.Checkpoint{
+			DayIdx: 3,
+			Day:    171,
+			Tick:   171*86400 + 1800,
+			Physics: &physics.State{
+				Air: 21.5, Mass: 22, HotAisle: 27, Abs: 0.009,
+				PodInlet: []units.Celsius{21, 22, 23},
+				Disk:     []units.Celsius{31, 32, 33},
+			},
+			Plant: cooling.PlantState{Mode: cooling.ModeFreeCooling, FanSpeed: 0.6, Energy: 1e7},
+			Cmd:   cooling.Command{Mode: cooling.ModeFreeCooling, FanSpeed: 0.6},
+		},
+	}
+
+	if reg.HasRunState("serve") {
+		t.Fatal("HasRunState true before save")
+	}
+	if _, err := reg.LoadRunState("serve", fp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("load before save = %v, want os.ErrNotExist", err)
+	}
+	if err := reg.SaveRunState("serve", st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.LoadRunState("serve", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SavedDecisions != 17 || got.SavedTicks != 230 {
+		t.Fatalf("cursor did not round-trip: %+v", got)
+	}
+	if got.Guard == nil || !got.Guard.FailSafeOn || got.Guard.ConsecFails != 2 {
+		t.Fatalf("guard state did not round-trip: %+v", got.Guard)
+	}
+	if got.Sim.Day != 171 || got.Sim.Tick != st.Sim.Tick {
+		t.Fatalf("sim checkpoint did not round-trip: %+v", got.Sim)
+	}
+	if got.Sim.Physics == nil || len(got.Sim.Physics.PodInlet) != 3 || got.Sim.Physics.PodInlet[2] != 23 {
+		t.Fatalf("physics state did not round-trip: %+v", got.Sim.Physics)
+	}
+	if got.Sim.Plant.Mode != cooling.ModeFreeCooling || got.Sim.Plant.FanSpeed != 0.6 {
+		t.Fatalf("plant state did not round-trip: %+v", got.Sim.Plant)
+	}
+
+	// A snapshot from a different configuration never seeds a resume.
+	if _, err := reg.LoadRunState("serve", "v1|loc=chad|sys=all-nd"); !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("fingerprint mismatch = %v, want ErrFingerprint", err)
+	}
+}

@@ -34,6 +34,16 @@ var counterFamilies = []struct {
 		func(r *Registry) *Counter { return &r.RingTicksDropped }},
 	{"stream_dropped_total", "Records SSE clients missed because the ring overwrote them first (slow-client drops).",
 		func(r *Registry) *Counter { return &r.StreamDroppedTotal }},
+	{"restarts_total", "Supervised run-loop restarts after a panic.",
+		func(r *Registry) *Counter { return &r.RestartsTotal }},
+	{"trainings_total", "Model training campaigns run (zero on a warm boot that restored a snapshot).",
+		func(r *Registry) *Counter { return &r.TrainingsTotal }},
+	{"state_restore_success_total", "Snapshot restores that verified and decoded cleanly.",
+		func(r *Registry) *Counter { return &r.StateRestoreSuccessTotal }},
+	{"state_restore_failure_total", "Snapshot restores rejected (corrupt, mismatched, or unreadable); each is a cold-boot fallback.",
+		func(r *Registry) *Counter { return &r.StateRestoreFailureTotal }},
+	{"checkpoints_total", "Run-state checkpoints persisted to the state directory.",
+		func(r *Registry) *Counter { return &r.CheckpointsTotal }},
 }
 
 // gaugeFamilies fixes the render order and metadata of the
@@ -60,6 +70,10 @@ var gaugeFamilies = []struct {
 		func(r *Registry) *Gauge { return &r.RingDecisions }},
 	{"ring_ticks", "Tick records currently retained in the ring buffer.",
 		func(r *Registry) *Gauge { return &r.RingTicks }},
+	{"serve_mode", "Serve daemon mode code (0 booting, 1 restoring, 2 degraded, 3 running, 4 crash-loop).",
+		func(r *Registry) *Gauge { return &r.ServeMode }},
+	{"sim_time_seconds", "Simulated time at the last tick record (absolute seconds).",
+		func(r *Registry) *Gauge { return &r.SimTimeSeconds }},
 }
 
 // WritePrometheus renders the registry in Prometheus text exposition

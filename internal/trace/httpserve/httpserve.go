@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"coolair/internal/trace"
 )
@@ -25,15 +26,54 @@ type Server struct {
 	err chan error
 }
 
+// Options tunes the server's connection hygiene. The zero value takes
+// the defaults below; tests shrink the timeouts to exercise the drops.
+type Options struct {
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers before being dropped (default 5s). Without it a
+	// client that connects and sends nothing pins a connection forever —
+	// a trivial slow-loris on a daemon meant to run for months.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout closes keep-alive connections with no request in
+	// flight (default 120s). SSE streams are live requests, not idle
+	// connections, so the stream plane is unaffected.
+	IdleTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReadHeaderTimeout <= 0 {
+		o.ReadHeaderTimeout = 5 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 120 * time.Second
+	}
+	return o
+}
+
 // Start binds addr and serves h on it in the background (h == nil means
-// http.DefaultServeMux). The returned server reports its bound address
-// via Addr — useful with ":0" — and serve-loop failures via Err.
+// http.DefaultServeMux) with the default connection hygiene. The
+// returned server reports its bound address via Addr — useful with
+// ":0" — and serve-loop failures via Err.
 func Start(addr string, h http.Handler) (*Server, error) {
+	return StartOptions(addr, h, Options{})
+}
+
+// StartOptions is Start with explicit connection-hygiene options.
+func StartOptions(addr string, h http.Handler, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("httpserve: bind %s: %w", addr, err)
 	}
-	s := &Server{srv: &http.Server{Handler: h}, lis: lis, err: make(chan error, 1)}
+	s := &Server{
+		srv: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: opts.ReadHeaderTimeout,
+			IdleTimeout:       opts.IdleTimeout,
+		},
+		lis: lis,
+		err: make(chan error, 1),
+	}
 	go func() {
 		if err := s.srv.Serve(lis); err != nil && err != http.ErrServerClosed {
 			s.err <- err
@@ -86,13 +126,19 @@ func HealthHandler() http.Handler {
 }
 
 // ReadyHandler answers readiness probes: 200 once ready() reports true,
-// 503 before (load balancers keep traffic away until the model is
-// trained and the first decision has completed).
-func ReadyHandler(ready func() bool) http.Handler {
+// 503 before, with ready()'s reason as the response body (load
+// balancers keep traffic away until the model is available and the
+// first decision has completed; operators read the body to learn
+// whether the daemon is restoring, training, or crash-looping). An
+// empty reason falls back to "not ready".
+func ReadyHandler(ready func() (bool, string)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if !ready() {
-			http.Error(w, "not ready", http.StatusServiceUnavailable)
+		if ok, reason := ready(); !ok {
+			if reason == "" {
+				reason = "not ready"
+			}
+			http.Error(w, reason, http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ready")

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -40,6 +41,37 @@ func TestStartSurfacesBindErrors(t *testing.T) {
 	}
 }
 
+// TestStalledHeaderDropped: a connection that opens and never finishes
+// its request headers is dropped at ReadHeaderTimeout instead of
+// pinning a connection on a daemon meant to run for months.
+func TestStalledHeaderDropped(t *testing.T) {
+	s, err := StartOptions("127.0.0.1:0", http.NewServeMux(), Options{
+		ReadHeaderTimeout: 100 * time.Millisecond,
+		IdleTimeout:       time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Dribble an incomplete request line and stall.
+	if _, err := conn.Write([]byte("GET /healthz HTT")); err != nil {
+		t.Fatal(err)
+	}
+	// The server answers the stall with 408 (or nothing) and closes;
+	// reaching EOF before the read deadline proves the drop. Without
+	// ReadHeaderTimeout this read would sit until the deadline fired.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatalf("stalled connection was not dropped: read err %v", err)
+	}
+}
+
 func TestHealthAndReadyHandlers(t *testing.T) {
 	rec := httptest.NewRecorder()
 	HealthHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
@@ -48,11 +80,14 @@ func TestHealthAndReadyHandlers(t *testing.T) {
 	}
 
 	ready := false
-	h := ReadyHandler(func() bool { return ready })
+	h := ReadyHandler(func() (bool, string) { return ready, "model training" })
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("readyz before ready = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "model training") {
+		t.Fatalf("readyz 503 body = %q, want the reason", rec.Body.String())
 	}
 	ready = true
 	rec = httptest.NewRecorder()

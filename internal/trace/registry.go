@@ -143,6 +143,20 @@ type Registry struct {
 	// (slow-client drop accounting; see httpserve.StreamHandler).
 	StreamDroppedTotal Counter
 
+	// Supervision counters (the serve daemon's crash-safety plane).
+	// RestartsTotal counts supervised run-loop restarts after a panic;
+	// TrainingsTotal counts training campaigns actually run (a warm boot
+	// that restores a model snapshot leaves it at zero);
+	// StateRestoreSuccessTotal / StateRestoreFailureTotal count snapshot
+	// restores that verified cleanly vs. were rejected (corrupt,
+	// mismatched, or unreadable — each failure is a logged cold-boot
+	// fallback); CheckpointsTotal counts run-state checkpoints persisted.
+	RestartsTotal            Counter
+	TrainingsTotal           Counter
+	StateRestoreSuccessTotal Counter
+	StateRestoreFailureTotal Counter
+	CheckpointsTotal         Counter
+
 	// Current-state gauges, refreshed by the ring on every record.
 	// InletMaxC/InletMinC are the pod-inlet extremes (°C); OutsideTempC
 	// and OutsideRH the outside air; ActiveRegime the effective cooling
@@ -157,6 +171,13 @@ type Registry struct {
 	BandHiC       Gauge
 	RingDecisions Gauge
 	RingTicks     Gauge
+	// ServeMode is the serve daemon's mode code (see the daemon's mode
+	// enum: 0 booting, 1 restoring, 2 degraded, 3 running, 4 crash-loop).
+	ServeMode Gauge
+	// SimTimeSeconds is the simulated time of the last tick record
+	// (absolute seconds) — after a warm boot it resumes near the
+	// checkpointed tick instead of zero, which the chaos tests assert.
+	SimTimeSeconds Gauge
 
 	// PredictionAbsError is the |predicted − realized| hottest-inlet
 	// error (°C) between consecutive decisions.

@@ -174,7 +174,24 @@ func (r *Ring) RecordTick(rec *TickRecord) {
 	r.reg.OutsideTempC.Set(rec.OutsideTemp)
 	r.reg.OutsideRH.Set(rec.OutsideRH)
 	r.reg.ActiveRegime.Set(float64(rec.Mode))
+	r.reg.SimTimeSeconds.Set(rec.Time)
 	r.wake()
+}
+
+// RestoreCursor seeds the ring's sequence counters from a checkpointed
+// Cursor so record numbering (and SSE Last-Event-ID continuity)
+// survives a daemon restart: clients reconnecting with a pre-crash id
+// resume from the live end instead of replaying renumbered history.
+// Only an empty ring accepts a restore — once records exist the
+// numbering is already in use.
+func (r *Ring) RestoreCursor(c Cursor) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.decSeq != 0 || r.tickSeq != 0 {
+		return false
+	}
+	r.decSeq, r.tickSeq = c.Decisions, c.Ticks
+	return true
 }
 
 // RecordSpan implements SpanRecorder, feeding the registry's per-phase
