@@ -2,7 +2,7 @@
 # .github/workflows/ci.yml), so a green `make check bench-check` locally
 # predicts a green CI run.
 
-BENCH_PATTERN := BenchmarkCoolAirDecision$$|BenchmarkCoolAirDecisionTraced$$|BenchmarkPredictWindow$$|BenchmarkTMYGeneration$$
+BENCH_PATTERN := BenchmarkCoolAirDecision$$|BenchmarkCoolAirDecisionBatch$$|BenchmarkCoolAirDecisionTraced$$|BenchmarkPredictWindow$$|BenchmarkTMYGeneration$$
 BENCH_COUNT   := 5
 
 .PHONY: build test vet lint check bench bench-check fuzz serve

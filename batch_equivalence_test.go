@@ -1,0 +1,114 @@
+// Metamorphic equivalence suite for the batched decision path: the
+// worker fan-out is an implementation detail, so runs under any
+// DecisionWorkers setting — serial, one worker, every core — must
+// produce byte-identical traces, with and without injected faults. The
+// per-candidate float math is pinned at the model layer
+// (internal/model/batch_test.go); these tests pin the full pipeline.
+package coolair_test
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"coolair"
+	"coolair/internal/core"
+	"coolair/internal/experiments"
+	"coolair/internal/faults"
+)
+
+// requireGoldenDigest compares a digest against the recorded golden
+// trace (amd64 only; other ports differ in last-ULP libm behavior).
+func requireGoldenDigest(t *testing.T, got string) {
+	t.Helper()
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden digest is recorded on amd64; got %s (equivalence still verified)", runtime.GOARCH)
+	}
+	want, err := os.ReadFile(goldenDigestPath)
+	if err != nil {
+		t.Fatalf("missing golden digest (run TestDecisionDeterminism with -update to record): %v", err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Fatalf("run diverged from the golden digest:\n  want %s\n  got  %s",
+			strings.TrimSpace(string(want)), got)
+	}
+}
+
+// runDecisionDayWorkers runs the canonical determinism day (see
+// runDecisionDay) with an explicit worker count and optional fault
+// injector, returning the digest of the full result.
+func runDecisionDayWorkers(t testing.TB, l *experiments.Lab, workers int, inj *faults.Injector) string {
+	t.Helper()
+	m, err := l.Model(coolair.SmoothSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := coolair.NewEnv(coolair.Newark, coolair.SmoothSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Model = m
+	ca, err := core.New(core.VersionOptions(core.VersionAllND, core.DefaultBandConfig()),
+		m, env.Forecast, env.Plant, env.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coolair.Run(env, ca, coolair.RunConfig{
+		Days: []int{150}, Trace: l.Facebook(), RecordSeries: true,
+		DecisionWorkers: workers, Faults: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resultDigest(t, res)
+}
+
+// TestDecisionWorkerEquivalence pins that the goroutine fan-out over
+// candidates is pure mechanism: serial evaluation (workers unset),
+// a single worker, two workers, and a full-machine fan-out all yield
+// the same digest — which on amd64 is the golden digest itself.
+func TestDecisionWorkerEquivalence(t *testing.T) {
+	l := experiments.NewLab()
+	serial := runDecisionDayWorkers(t, l, 0, nil)
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		if got := runDecisionDayWorkers(t, l, workers, nil); got != serial {
+			t.Fatalf("workers=%d diverged from the serial run:\n  serial %s\n  got    %s",
+				workers, serial, got)
+		}
+	}
+	requireGoldenDigest(t, serial)
+}
+
+// TestDecisionWorkerFaultEquivalence repeats the worker sweep under an
+// adversarial fault plan (spiking inlet sensors plus a stuck fan): the
+// injector corrupts observations and actuations identically per step,
+// so any worker-count divergence here would expose ordering leaking
+// into the decision floats through the degraded-candidate paths.
+func TestDecisionWorkerFaultEquivalence(t *testing.T) {
+	day := 150 * 86400.0
+	plan := faults.Plan{Seed: 9, Faults: []faults.Fault{
+		{Kind: faults.SensorSpike, Target: faults.TargetPodInlet, Pod: faults.AllPods,
+			Start: day + 2*3600, Duration: 8 * 3600, Magnitude: 3},
+		{Kind: faults.FanStuck, Start: day + 6*3600, Duration: 6 * 3600, Magnitude: 0.15},
+	}}
+	l := experiments.NewLab()
+	digest := make(map[int]string)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		inj, err := faults.NewInjector(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digest[workers] = runDecisionDayWorkers(t, l, workers, inj)
+	}
+	if digest[1] != digest[runtime.NumCPU()] {
+		t.Fatalf("faulted runs diverged across worker counts:\n  workers=1 %s\n  workers=%d %s",
+			digest[1], runtime.NumCPU(), digest[runtime.NumCPU()])
+	}
+	// The plan must have actually perturbed the run, or the sweep proves
+	// nothing: a faulted day cannot match the clean golden digest.
+	clean := runDecisionDayWorkers(t, l, 0, nil)
+	if digest[1] == clean {
+		t.Fatal("fault plan left the run untouched; equivalence sweep is vacuous")
+	}
+}

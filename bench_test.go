@@ -272,6 +272,43 @@ func BenchmarkCoolAirDecisionTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkCoolAirDecisionBatch is the per-period decision with the
+// batched evaluator's goroutine fan-out pinned at four workers. The
+// worker sweep is digest-equivalent to the serial path (see
+// batch_equivalence_test.go), so this tracks only the dispatch overhead
+// the fan-out adds on a single decision's candidate set.
+func BenchmarkCoolAirDecisionBatch(b *testing.B) {
+	ca, obs := decisionBenchSetup(b)
+	ca.SetDecisionWorkers(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ca.Decide(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorldThroughput is the tentpole number for the world sweep:
+// the Figure 12/13 study (8 sites × 2 systems × benchDays sampled days)
+// reported as simulated site-days per second of wall clock — the metric
+// cmd/coolair-world prints for its full-grid runs.
+func BenchmarkWorldThroughput(b *testing.B) {
+	l := lab(b)
+	const sites = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := l.RunWorldStudy(sites, benchDays)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(st.Sites) != sites {
+			b.Fatalf("swept %d sites, want %d", len(st.Sites), sites)
+		}
+	}
+	b.ReportMetric(float64(sites*2*benchDays*b.N)/b.Elapsed().Seconds(), "site-days/s")
+}
+
 // BenchmarkPredictWindow isolates one horizon prediction — the unit of
 // work the optimizer repeats once per candidate regime per period.
 func BenchmarkPredictWindow(b *testing.B) {

@@ -6,16 +6,19 @@ import (
 	"strings"
 )
 
-// Scratchretain flags *Into / *Buf functions that retain their
+// Scratchretain flags *Into / *Buf / *Batch functions that retain their
 // caller-owned scratch argument beyond the call. The allocation-free hot
-// path (PredictWindowInto, PreviewScheduleInto, PredictPowerBuf, …) works
+// path (PredictWindowInto, PredictWindowBatch, PredictPowerBuf, …) works
 // because the caller owns the buffer and may reuse or resize it between
 // calls; a callee that squirrels the slice away in a field, a
 // package-level variable, or a returned closure aliases that scratch
-// memory across calls and corrupts later results.
+// memory across calls and corrupts later results. Batch entry points
+// carry the same contract for their input arenas (the schedule and skip
+// slices): the evaluator may read them during the call and must copy
+// anything it needs beyond it.
 //
 // Flagged, for any parameter of slice or pointer type in a function whose
-// name ends in "Into" or "Buf":
+// name ends in "Into", "Buf", or "Batch":
 //
 //   - assigning the parameter (or a subslice of it) to any field
 //     (x.f = buf) — the receiver outlives the call;
@@ -28,7 +31,7 @@ import (
 // this pass; keep scratch flow direct.
 var Scratchretain = &Analyzer{
 	Name: "scratchretain",
-	Doc:  "flag *Into/*Buf functions that retain their caller-owned scratch arguments",
+	Doc:  "flag *Into/*Buf/*Batch functions that retain their caller-owned scratch arguments",
 	Run:  runScratchretain,
 }
 
@@ -40,7 +43,8 @@ func runScratchretain(pass *Pass) error {
 				continue
 			}
 			name := fd.Name.Name
-			if !strings.HasSuffix(name, "Into") && !strings.HasSuffix(name, "Buf") {
+			if !strings.HasSuffix(name, "Into") && !strings.HasSuffix(name, "Buf") &&
+				!strings.HasSuffix(name, "Batch") {
 				continue
 			}
 			scratch := scratchParams(pass, fd)

@@ -1,5 +1,5 @@
-// Package scratch exercises the scratchretain analyzer: *Into / *Buf
-// functions must not retain their caller-owned buffers.
+// Package scratch exercises the scratchretain analyzer: *Into / *Buf /
+// *Batch functions must not retain their caller-owned buffers.
 package scratch
 
 type sink struct {
@@ -57,8 +57,42 @@ func SumBuf(buf []float64) float64 {
 	return total
 }
 
-// Retain is not named *Into/*Buf, so the convention (and the analyzer)
-// does not apply: its parameter is not a scratch buffer.
+// EvalBatch retains its input arena in a field: the batch contract says
+// arenas are readable only during the call.
+func (s *sink) EvalBatch(arena []float64, skip []bool) {
+	s.buf = arena // want `EvalBatch stores caller-owned scratch "arena" in a field`
+	for i := range arena {
+		if !skip[i] {
+			arena[i] *= 2
+		}
+	}
+}
+
+// ScoreBatch leaks a pointer-typed scratch through a returned closure.
+func ScoreBatch(st *state, arena []float64) func() []float64 {
+	for i := range st.v {
+		st.v[i] = arena[i%len(arena)]
+	}
+	return func() []float64 {
+		return st.v // want `ScoreBatch captures caller-owned scratch "st" in a returned closure`
+	}
+}
+
+// SumBatch is the legitimate shape: read the arenas, copy what must
+// outlive the call, retain nothing.
+func SumBatch(arena []float64, skip []bool) float64 {
+	total := 0.0
+	for i, v := range arena {
+		if i < len(skip) && skip[i] {
+			continue
+		}
+		total += v
+	}
+	return total
+}
+
+// Retain is not named *Into/*Buf/*Batch, so the convention (and the
+// analyzer) does not apply: its parameter is not a scratch buffer.
 func Retain(data []float64) {
 	global = data
 }

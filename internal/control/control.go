@@ -94,6 +94,16 @@ type DayPlanner interface {
 	StartDay(day int)
 }
 
+// WorkerConfigurable is implemented by controllers whose decision path
+// can fan candidate evaluation across goroutines (CoolAir's batched
+// evaluator). The simulator hands RunConfig.DecisionWorkers down
+// through it; wrappers like Guard forward the setting to the inner
+// controller. Implementations must keep decisions bit-identical for
+// any worker count — parallelism may change only wall-clock time.
+type WorkerConfigurable interface {
+	SetDecisionWorkers(n int)
+}
+
 // TemporalScheduler is implemented by controllers that defer job starts
 // (CoolAir's All-DEF and the Energy-DEF comparison system). ScheduleDay
 // maps each of the day's jobs to a release time in seconds from

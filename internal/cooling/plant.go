@@ -129,15 +129,41 @@ func (p *Plant) PreviewSchedule(cmd Command, dtSeconds float64, steps int) ([]Co
 // until the caller reuses the buffer. The Cooling Optimizer previews
 // every candidate regime every period, so buffer reuse here removes one
 // slice allocation per candidate per decision.
+//
+// The preview evolves only the fan and compressor ramps — the parts of
+// Step that determine the effective command. The ramp targets depend on
+// the command alone (Step recomputes them identically every step), and
+// the power/energy accounting a shadow plant would accrue is discarded
+// with the copy, so skipping both yields bit-identical schedules at a
+// fraction of Step's cost.
 func (p *Plant) PreviewScheduleInto(dst []Command, cmd Command, dtSeconds float64, steps int) ([]Command, error) {
-	shadow := *p // value copy: device structs and counters only
+	if err := cmd.Validate(); err != nil {
+		return nil, err
+	}
+	targetFan := 0.0
+	if cmd.Mode == ModeFreeCooling {
+		targetFan = p.FC.ClampSpeed(cmd.FanSpeed)
+		if targetFan == 0 {
+			targetFan = p.FC.MinSpeed
+		}
+	}
+	targetComp := 0.0
+	if cmd.Mode == ModeACCool {
+		targetComp = p.AC.ClampCompressor(cmd.CompressorSpeed)
+		if targetComp == 0 {
+			targetComp = 1
+		}
+	}
+	minComp := 0.15
+	if !p.AC.VariableSpeed {
+		minComp = 1
+	}
+	fan, comp := p.fanSpeed, p.compSpeed
 	out := dst[:0]
 	for i := 0; i < steps; i++ {
-		eff, err := shadow.Step(cmd, dtSeconds)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, eff)
+		fan = ramp(fan, targetFan, p.FC.RampUpPerMinute, p.FC.MinSpeed, dtSeconds)
+		comp = ramp(comp, targetComp, p.AC.RampUpPerMinute, minComp, dtSeconds)
+		out = append(out, Command{Mode: cmd.Mode, FanSpeed: fan, CompressorSpeed: comp})
 	}
 	return out, nil
 }

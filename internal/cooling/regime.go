@@ -32,6 +32,11 @@ const (
 	numModes
 )
 
+// NumModes counts the cooling modes, sizing mode-indexed lookup tables
+// (the batched candidate evaluator keys its per-mode model tables by
+// Mode instead of hashing Transition maps in the hot loop).
+const NumModes = int(numModes)
+
 // Modes lists every mode, for enumerating candidate regimes.
 func Modes() []Mode {
 	return []Mode{ModeClosed, ModeFreeCooling, ModeACFan, ModeACCool}

@@ -87,15 +87,20 @@ type CoolAir struct {
 	// Steady-state scratch for the allocation-free decision loop. Decide
 	// and Observe run on a single goroutine per instance (the control
 	// loop), so plain struct-held buffers suffice — no sync.Pool. See
-	// DESIGN.md, "Scratch buffers and Into APIs".
-	menu     []cooling.Command // cached candidate regimes (plant-dependent, immutable)
-	sched    []cooling.Command // PreviewScheduleInto buffer, reused across candidates
-	powers   []units.Watts     // per-step predicted cooling power of the current candidate
-	powBuf   []float64         // power-model feature scratch
-	predict  model.PredictScratch
-	curState model.PredictorState
-	snapBuf  [2][]units.Celsius // ping-pong pod-temperature buffers for Observe
-	snapFlip int
+	// DESIGN.md, "Scratch buffers and Into APIs" and §11 "Batched
+	// candidate evaluation".
+	menu       []cooling.Command // cached candidate regimes (plant-dependent, immutable)
+	cands      candidateSet      // the menu in SoA form, built once at New
+	schedArena []cooling.Command // flat preview arena: candidate i fills [i*H, (i+1)*H)
+	skip       []bool            // per-candidate preview-failure mask
+	batch      model.BatchScratch
+	powers     []units.Watts // per-step predicted cooling power of the current candidate
+	powBuf     []float64     // power-model feature scratch
+	powMemo    []powerMemoEntry
+	workers    int // PredictWindowBatch fan-out; ≤1 means serial
+	curState   model.PredictorState
+	snapBuf    [2][]units.Celsius // ping-pong pod-temperature buffers for Observe
+	snapFlip   int
 
 	// Flight recorder. rec is nil when tracing is off; drec is the
 	// struct-held scratch record — CoolAir itself lives on the heap, so
@@ -142,11 +147,26 @@ func New(opts Options, m *model.Model, f weather.Forecaster, plant *cooling.Plan
 	opts = opts.withDefaults()
 	c := &CoolAir{opts: opts, model: m, forecast: f, plant: plant, cluster: cluster, day: -1}
 	// The candidate menu depends only on the installed plant's
-	// granularity, so build it once instead of per decision.
+	// granularity, so build it once instead of per decision — both in
+	// command form (diagnostics) and in the SoA form the batched
+	// evaluator sweeps.
 	c.menu = c.candidates()
-	c.sched = make([]cooling.Command, 0, model.HorizonSteps)
+	n := len(c.menu)
+	c.cands = candidateSet{
+		modes: make([]cooling.Mode, n),
+		fans:  make([]float64, n),
+		comps: make([]float64, n),
+	}
+	for i, cmd := range c.menu {
+		c.cands.modes[i] = cmd.Mode
+		c.cands.fans[i] = cmd.FanSpeed
+		c.cands.comps[i] = cmd.CompressorSpeed
+	}
+	c.schedArena = make([]cooling.Command, n*model.HorizonSteps)
+	c.skip = make([]bool, n)
 	c.powers = make([]units.Watts, 0, model.HorizonSteps)
 	c.powBuf = make([]float64, 0, 4)
+	c.powMemo = make([]powerMemoEntry, 0, n*model.HorizonSteps)
 	if cluster != nil {
 		order := c.placementOrder()
 		if err := cluster.SetPlacementOrder(order); err != nil {
@@ -314,21 +334,60 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 
 	model.StateFromSnapshotsInto(&c.curState, c.prevSnap, c.curSnap)
 	state := c.curState
-	const horizon = 5 // 5 × 2 min = the 10-minute optimizer period
+	const horizon = model.HorizonSteps // 5 × 2 min = the 10-minute optimizer period
 
+	// Phase spans: one observation per phase per decision. time.Now
+	// performs no allocation, so the traced hot path stays at 0
+	// allocs/op with spans enabled.
+	timing := c.spans != nil
+	var mark time.Time
+
+	// Sweep 1 — enumerate: preview every candidate's effective schedule
+	// into the SoA arena. A candidate whose preview fails is masked out,
+	// not fatal: losing one regime from the menu degrades the decision,
+	// aborting it would stall the control loop.
+	if timing {
+		mark = time.Now()
+	}
+	n := len(c.cands.modes)
+	for i := 0; i < n; i++ {
+		dst := c.schedArena[i*horizon : i*horizon : (i+1)*horizon]
+		_, err := c.plant.PreviewScheduleInto(dst, c.candidate(i), model.ModelStepSeconds, horizon)
+		c.skip[i] = err != nil
+	}
+	if timing {
+		c.spans.RecordSpan(trace.PhaseEnumerate, time.Since(mark).Seconds())
+	}
+
+	// Sweep 2 — predict: one batched pass over every surviving
+	// candidate's rollout chain. A whole-batch error is the condition
+	// every serial prediction would have failed with, so it degrades
+	// every candidate rather than aborting the decision.
+	if timing {
+		mark = time.Now()
+	}
+	allFailed := c.model.PredictWindowBatch(&c.batch, state, c.schedArena, horizon, c.skip, c.workers) != nil
+	if timing {
+		c.spans.RecordSpan(trace.PhasePredict, time.Since(mark).Seconds())
+	}
+
+	// Sweep 3 — score: fused power prediction + penalty accumulation,
+	// serial and in menu order so the power memo and the winner rule
+	// stay deterministic for any worker count. Per-candidate float
+	// accumulation order is exactly the old serial loop's, bit for bit.
 	var best cooling.Command
 	scored := 0
 	bestPen := math.Inf(1)
 	bestPow := math.Inf(1)
 	winner := int32(-1)
-	// Phase spans: accumulate wall time per pipeline phase across the
-	// candidate loop, emitting one observation per phase per decision.
-	// time.Now performs no allocation, so the traced hot path stays at
-	// 0 allocs/op with spans enabled.
-	timing := c.spans != nil
-	var enumSec, predSec, penSec float64
-	var mark time.Time
-	for _, cmd := range c.menu {
+	var scoreMark, penMark time.Time
+	var penSec float64
+	if timing {
+		scoreMark = time.Now()
+	}
+	c.powMemo = c.powMemo[:0]
+	for i := 0; i < n; i++ {
+		cmd := c.candidate(i)
 		// When recording, reserve the candidate's slot up front so skipped
 		// candidates appear in the trace too (with Skipped set).
 		var crec *trace.CandidateRecord
@@ -341,58 +400,31 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 				CompSpeed: cmd.CompressorSpeed,
 			}
 		}
-		// A candidate whose preview or prediction fails is skipped, not
-		// fatal: losing one regime from the menu degrades the decision,
-		// aborting it would stall the control loop.
-		if timing {
-			mark = time.Now()
-		}
-		sched, err := c.plant.PreviewScheduleInto(c.sched, cmd, model.ModelStepSeconds, horizon)
-		if timing {
-			enumSec += time.Since(mark).Seconds()
-		}
-		if err != nil {
+		if c.skip[i] || allFailed || c.batch.Failed(i) {
 			c.degrade.SkippedCandidates++
 			if crec != nil {
 				crec.Skipped = true
 			}
 			continue
 		}
-		c.sched = sched
-		if timing {
-			mark = time.Now()
-		}
-		rollout, err := c.model.PredictWindowInto(&c.predict, state, sched)
-		if timing {
-			predSec += time.Since(mark).Seconds()
-		}
-		if err != nil {
-			c.degrade.SkippedCandidates++
-			if crec != nil {
-				crec.Skipped = true
-			}
-			continue
-		}
+		sched := c.schedArena[i*horizon : (i+1)*horizon]
+		rollout := c.batch.Rollout(i)
 		// Predict each step's cooling power once: the utility's energy
-		// term and the tie-break below share the same values.
-		if timing {
-			mark = time.Now()
-		}
+		// term and the tie-break below share the same values, and the
+		// memo dedupes the many identical post-ramp schedule steps
+		// across candidates.
 		c.powers = c.powers[:0]
 		pow := 0.0
 		for _, s := range sched {
-			w := c.model.PredictPowerBuf(c.powBuf, s)
+			w := c.predictPowerMemo(s)
 			c.powers = append(c.powers, w)
 			pow += float64(w)
-		}
-		if timing {
-			predSec += time.Since(mark).Seconds()
 		}
 		// The Detail variant mirrors every term into the record without
 		// reordering the score's accumulation, so pen is bit-identical to
 		// the untraced call (the golden-digest equivalence test).
 		if timing {
-			mark = time.Now()
+			penMark = time.Now()
 		}
 		var pen float64
 		if crec != nil {
@@ -401,7 +433,7 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 			pen = c.opts.Utility.PenaltyWithPowers(c.band, state, rollout, sched, obs.PodActive, c.powers)
 		}
 		if timing {
-			penSec += time.Since(mark).Seconds()
+			penSec += time.Since(penMark).Seconds()
 		}
 		if math.IsNaN(pen) {
 			c.degrade.SkippedCandidates++
@@ -439,9 +471,8 @@ func (c *CoolAir) Decide(obs control.Observation) (cooling.Command, error) {
 		}
 	}
 	if timing {
-		c.spans.RecordSpan(trace.PhaseEnumerate, enumSec)
-		c.spans.RecordSpan(trace.PhasePredict, predSec)
 		c.spans.RecordSpan(trace.PhasePenalty, penSec)
+		c.spans.RecordSpan(trace.PhaseScore, time.Since(scoreMark).Seconds())
 	}
 	if scored == 0 {
 		// Every candidate failed: hold the current plant state rather
@@ -492,6 +523,61 @@ func (c *CoolAir) emitDecision(winner int32, hold bool, cmd cooling.Command) {
 	c.drec.FanSpeed = cmd.FanSpeed
 	c.drec.CompSpeed = cmd.CompressorSpeed
 	c.rec.RecordDecision(&c.drec)
+}
+
+// candidateSet is the candidate menu in struct-of-arrays form: modes,
+// fan speeds, and compressor speeds in parallel arrays, indexed by
+// candidate. The batched decision sweeps address candidates by index
+// against this set and the parallel schedule arena / skip mask.
+type candidateSet struct {
+	modes []cooling.Mode
+	fans  []float64
+	comps []float64
+}
+
+// candidate reassembles candidate i's command from the SoA menu.
+func (c *CoolAir) candidate(i int) cooling.Command {
+	return cooling.Command{
+		Mode:            c.cands.modes[i],
+		FanSpeed:        c.cands.fans[i],
+		CompressorSpeed: c.cands.comps[i],
+	}
+}
+
+// SetDecisionWorkers implements control.WorkerConfigurable: n > 1 fans
+// the batched prediction sweep across n goroutines. Results are merged
+// by candidate index and scoring stays serial, so any worker count
+// produces bit-identical decisions (the workers-equivalence test pins
+// this). Values ≤ 1 keep the sweep on the calling goroutine.
+func (c *CoolAir) SetDecisionWorkers(n int) { c.workers = n }
+
+// powerMemoEntry memoizes one power-model evaluation within a decision.
+// The key compares the command's float speeds by bit pattern
+// (math.Float64bits) — exact, NaN-safe, and free of float equality.
+type powerMemoEntry struct {
+	mode      cooling.Mode
+	fan, comp uint64
+	w         units.Watts
+}
+
+// predictPowerMemo returns the predicted cooling power for cmd, reusing
+// any evaluation already made this decision. Schedules converge to
+// their ramp targets after a step or two, so the ~70 per-step lookups
+// of a decision collapse to a handful of distinct model evaluations;
+// the linear scan over a few dozen 32-byte entries is cheaper than
+// hashing. The memo is reset at the start of every scoring sweep.
+func (c *CoolAir) predictPowerMemo(cmd cooling.Command) units.Watts {
+	f := math.Float64bits(cmd.FanSpeed)
+	p := math.Float64bits(cmd.CompressorSpeed)
+	for i := range c.powMemo {
+		e := &c.powMemo[i]
+		if e.mode == cmd.Mode && e.fan == f && e.comp == p {
+			return e.w
+		}
+	}
+	w := c.model.PredictPowerBuf(c.powBuf, cmd)
+	c.powMemo = append(c.powMemo, powerMemoEntry{mode: cmd.Mode, fan: f, comp: p, w: w})
+	return w
 }
 
 // candidates enumerates the regimes the optimizer scores, matching the
@@ -565,35 +651,48 @@ type CandidateEval struct {
 // EvaluateCandidates scores every candidate regime for the current
 // state without committing to a decision — the observability hook for
 // debugging and for the example programs. Returns nil before enough
-// monitoring history exists.
+// monitoring history exists. It runs the same batched sweeps as Decide
+// over the same cached menu and scratch (single-goroutine, like Decide
+// and Observe), so the diagnostic view cannot drift from the decision
+// path; only the result slice allocates.
 func (c *CoolAir) EvaluateCandidates(obs control.Observation) []CandidateEval {
 	if c.haveSnaps < 2 {
 		return nil
 	}
-	state := model.StateFromSnapshots(c.prevSnap, c.curSnap)
-	var out []CandidateEval
-	for _, cmd := range c.candidates() {
-		sched, err := c.plant.PreviewSchedule(cmd, model.ModelStepSeconds, 5)
-		if err != nil {
+	model.StateFromSnapshotsInto(&c.curState, c.prevSnap, c.curSnap)
+	state := c.curState
+	const horizon = model.HorizonSteps
+	n := len(c.cands.modes)
+	for i := 0; i < n; i++ {
+		dst := c.schedArena[i*horizon : i*horizon : (i+1)*horizon]
+		_, err := c.plant.PreviewScheduleInto(dst, c.candidate(i), model.ModelStepSeconds, horizon)
+		c.skip[i] = err != nil
+	}
+	batchErr := c.model.PredictWindowBatch(&c.batch, state, c.schedArena, horizon, c.skip, c.workers)
+	out := make([]CandidateEval, 0, n)
+	c.powMemo = c.powMemo[:0]
+	for i := 0; i < n; i++ {
+		if c.skip[i] || batchErr != nil || c.batch.Failed(i) {
 			continue
 		}
-		rollout, err := c.model.PredictWindow(state, sched)
-		if err != nil {
-			continue
+		sched := c.schedArena[i*horizon : (i+1)*horizon]
+		rollout := c.batch.Rollout(i)
+		c.powers = c.powers[:0]
+		var pw float64
+		for _, s := range sched {
+			w := c.predictPowerMemo(s)
+			c.powers = append(c.powers, w)
+			pw += float64(w)
 		}
 		ev := CandidateEval{
-			Cmd:     cmd,
-			Penalty: c.opts.Utility.Penalty(c.band, state, rollout, sched, obs.PodActive, c.model),
+			Cmd:     c.candidate(i),
+			Penalty: c.opts.Utility.PenaltyWithPowers(c.band, state, rollout, sched, obs.PodActive, c.powers),
 		}
 		last := rollout[len(rollout)-1]
 		for _, v := range last.PodTemp {
 			if v > ev.PredictedHottest {
 				ev.PredictedHottest = v
 			}
-		}
-		var pw float64
-		for _, s := range sched {
-			pw += float64(c.model.PredictPower(s))
 		}
 		ev.PredictedPower = units.Watts(pw / float64(len(sched)))
 		out = append(out, ev)

@@ -62,11 +62,15 @@ type Server struct {
 	// IdlePower and BusyPower bound the draw (paper: 22–30 W each).
 	IdlePower, BusyPower units.Watts
 
-	// running tasks: remaining seconds and owning job, per slot in use.
-	tasks []*task
-	// holds is the set of incomplete jobs whose temporary data lives on
-	// this server's disk.
-	holds map[int]struct{}
+	// tasks are the server's slots (remaining seconds and owning job);
+	// the first ntasks entries are in use. Inline value slots keep the
+	// per-step advance walk free of pointer chasing and allocation.
+	tasks  [SlotsPerServer]task
+	ntasks int
+	// holdCount counts the incomplete jobs whose temporary data lives on
+	// this server's disk (membership itself is tracked per job, in
+	// runningJob.holdBits, keyed by the dense server ID).
+	holdCount int
 
 	// powerCycles counts transitions into Sleep (disk spin-downs).
 	powerCycles int
@@ -89,6 +93,12 @@ type runningJob struct {
 	startTime    float64
 	finishTime   float64
 	mapPhaseDone bool
+	// holders lists the servers holding this job's temporary data, so
+	// completion releases exactly those instead of sweeping the whole
+	// cluster; holdBits is the same set as a server-ID bitmap, making
+	// the does-this-server-already-hold-it dispatch check two ALU ops.
+	holders  []*Server
+	holdBits []uint64
 }
 
 func (r *runningJob) done() bool {
@@ -100,9 +110,45 @@ type Cluster struct {
 	Servers []*Server
 	pods    int
 
-	pending   []*runningJob // submitted, not yet fully dispatched
-	inFlight  map[int]*runningJob
+	pending []*runningJob // submitted, not yet fully dispatched
+	// flight holds submitted, unfinished jobs in submission order.
+	// Completion scans it in order, so job records land deterministically
+	// (a map here would randomize the intra-step completion order).
+	flight    []*runningJob
 	completed []JobRecord
+	// cursor indexes the first possibly-dispatchable job in pending.
+	// Eligibility never turns back on for a skipped job (mapsLeft and
+	// redsLeft never grow) except when a map phase completes — the only
+	// event unlocking reduces — so nextTask resumes from the cursor
+	// across steps instead of rescanning the blocked prefix, and the
+	// task-advance walk sets cursorReset on every map-phase completion.
+	cursor      int
+	cursorReset bool
+	// dirtyPending records that dispatch (or submission) may have left
+	// fully-dispatched jobs in pending, so the end-of-step compaction
+	// can be skipped on the steps that changed nothing.
+	dirtyPending bool
+	// running counts tasks currently occupying slots cluster-wide, so an
+	// idle Step can skip the per-server advance walk.
+	running int
+	// freeJobs recycles completed job records (and their holder slices
+	// and bitmaps) into later submissions.
+	freeJobs []*runningJob
+
+	// gen counts mutations of server state (power states and running
+	// tasks). Cached aggregates in power.go record the generation they
+	// were computed at and rescan only when stale; the cached values are
+	// produced by the very loops they replace, so hits are bit-identical
+	// to recomputation.
+	gen          uint64
+	itPowerGen   uint64
+	itPowerCur   units.Watts
+	activeGen    uint64
+	activeCur    int
+	maxITCached  bool
+	maxITCur     units.Watts
+	diskBusy     []int
+	diskActSlots []int
 
 	placement []int // pod preference order for new tasks
 	// order caches serverOrder's result; it depends only on placement
@@ -130,7 +176,7 @@ func NewCluster(podSizes []int) (*Cluster, error) {
 	if len(podSizes) == 0 {
 		return nil, fmt.Errorf("hadoop: no pods")
 	}
-	c := &Cluster{pods: len(podSizes), inFlight: map[int]*runningJob{}}
+	c := &Cluster{pods: len(podSizes), gen: 1}
 	id := 0
 	for pod, n := range podSizes {
 		if n <= 0 {
@@ -142,7 +188,6 @@ func NewCluster(podSizes []int) (*Cluster, error) {
 				Covering:  id%6 == 0,
 				State:     Active,
 				IdlePower: 22, BusyPower: 30,
-				holds: map[int]struct{}{},
 			}
 			c.Servers = append(c.Servers, s)
 			id++
@@ -179,12 +224,21 @@ func (c *Cluster) SetPlacementOrder(podOrder []int) error {
 
 // Submit enqueues a job for execution (dispatch happens in Step).
 func (c *Cluster) Submit(j workload.Job) {
-	r := &runningJob{job: j, mapsLeft: j.Maps, redsLeft: j.Reduces}
-	if j.Reduces == 0 {
-		// jobs with no reduces finish when maps do
+	var r *runningJob
+	if n := len(c.freeJobs); n > 0 {
+		r = c.freeJobs[n-1]
+		c.freeJobs = c.freeJobs[:n-1]
+		holders, bits := r.holders[:0], r.holdBits
+		for i := range bits {
+			bits[i] = 0
+		}
+		*r = runningJob{job: j, mapsLeft: j.Maps, redsLeft: j.Reduces, holders: holders, holdBits: bits}
+	} else {
+		r = &runningJob{job: j, mapsLeft: j.Maps, redsLeft: j.Reduces}
 	}
 	c.pending = append(c.pending, r)
-	c.inFlight[j.ID] = r
+	c.flight = append(c.flight, r)
+	c.dirtyPending = true
 }
 
 // serverOrder returns the servers in placement-preference order. The
@@ -217,88 +271,161 @@ func (c *Cluster) serverOrder() []*Server {
 func (c *Cluster) Step(dt float64) {
 	c.now += dt
 	c.elapsed += dt
+	c.gen++
 
-	// 1. Advance running tasks.
-	for _, s := range c.Servers {
-		kept := s.tasks[:0]
-		for _, t := range s.tasks {
-			t.remaining -= dt
-			if t.remaining > 0 {
-				kept = append(kept, t)
+	// 1. Advance running tasks in place. An idle cluster (overnight gaps
+	// in the traces) skips the server walk outright.
+	finished := false
+	if c.running > 0 {
+		for _, s := range c.Servers {
+			if s.ntasks == 0 {
 				continue
 			}
-			if t.reduce {
-				t.job.redsRunning--
-			} else {
-				t.job.mapsRunning--
-				if t.job.mapsLeft == 0 && t.job.mapsRunning == 0 {
-					t.job.mapPhaseDone = true
+			kept := 0
+			for i := 0; i < s.ntasks; i++ {
+				t := &s.tasks[i]
+				t.remaining -= dt
+				if t.remaining > 0 {
+					if kept != i {
+						s.tasks[kept] = *t
+					}
+					kept++
+					continue
 				}
+				if t.reduce {
+					t.job.redsRunning--
+				} else {
+					t.job.mapsRunning--
+					if t.job.mapsLeft == 0 && t.job.mapsRunning == 0 {
+						t.job.mapPhaseDone = true
+						c.cursorReset = true
+					}
+				}
+				c.running--
+				finished = true
+				t.job = nil
 			}
+			s.ntasks = kept
 		}
-		s.tasks = kept
 	}
 
-	// 2. Complete jobs whose phases are all done.
-	for id, r := range c.inFlight {
-		if r.job.Reduces == 0 && r.mapPhaseDone || r.done() {
-			r.finishTime = c.now
-			c.completed = append(c.completed, JobRecord{Job: r.job, Start: r.startTime, End: c.now})
-			delete(c.inFlight, id)
-			for _, s := range c.Servers {
-				delete(s.holds, id)
+	// 2. Complete jobs whose phases are all done. Holds are released
+	// only from the servers that actually acquired them, and the job
+	// record is recycled (nothing references it once complete: all its
+	// tasks finished, and pending dropped it when dispatch exhausted it).
+	// A job's completion condition can only turn true through a task
+	// finishing above — mapPhaseDone flips only there, and redsLeft
+	// reaching zero at dispatch always leaves redsRunning > 0 — and every
+	// prior step collected what had completed then, so the scan is skipped
+	// when nothing finished this step.
+	if finished {
+		keptFlight := c.flight[:0]
+		for _, r := range c.flight {
+			if r.job.Reduces == 0 && r.mapPhaseDone || r.done() {
+				r.finishTime = c.now
+				c.completed = append(c.completed, JobRecord{Job: r.job, Start: r.startTime, End: c.now})
+				for _, s := range r.holders {
+					s.holdCount--
+				}
+				c.freeJobs = append(c.freeJobs, r)
+				continue
 			}
+			keptFlight = append(keptFlight, r)
 		}
+		for i := len(keptFlight); i < len(c.flight); i++ {
+			c.flight[i] = nil
+		}
+		c.flight = keptFlight
 	}
 
-	// 3. Dispatch queued work onto free slots of active servers.
+	// 3. Dispatch queued work onto free slots of active servers. An
+	// empty queue skips the placement walk.
+	if len(c.pending) == 0 {
+		return
+	}
 	order := c.serverOrder()
+	if c.cursorReset {
+		c.cursor = 0
+		c.cursorReset = false
+	}
 dispatch:
 	for _, s := range order {
 		if s.State != Active {
 			continue
 		}
-		for len(s.tasks) < SlotsPerServer {
-			t := c.nextTask()
-			if t == nil {
+		for s.ntasks < SlotsPerServer {
+			r, ok := c.nextTask(&s.tasks[s.ntasks])
+			if !ok {
 				break dispatch
 			}
-			if !t.job.started {
-				t.job.started = true
-				t.job.startTime = c.now
+			s.ntasks++
+			c.running++
+			c.dirtyPending = true
+			if r.holdBits == nil {
+				r.holdBits = make([]uint64, (len(c.Servers)+63)/64)
 			}
-			s.tasks = append(s.tasks, t)
-			s.holds[t.job.job.ID] = struct{}{}
+			if w, bit := s.ID>>6, uint64(1)<<(uint(s.ID)&63); r.holdBits[w]&bit == 0 {
+				r.holdBits[w] |= bit
+				s.holdCount++
+				r.holders = append(r.holders, s)
+			}
 		}
 	}
 	// Drop fully-dispatched jobs from the pending queue.
-	c.compactPending()
+	if c.dirtyPending {
+		c.compactPending()
+		c.dirtyPending = false
+	}
 }
 
-// nextTask pulls the next dispatchable task: maps of the oldest pending
-// job, then reduces once its map phase completed.
-func (c *Cluster) nextTask() *task {
-	for _, r := range c.pending {
+// nextTask fills dst with the next dispatchable task — maps of the
+// oldest pending job, then reduces once its map phase completed —
+// returning the owning job. It resumes from the step's dispatch cursor:
+// jobs skipped earlier in this dispatch phase cannot have become
+// dispatchable since (see the cursor field), so the scan never revisits
+// them.
+func (c *Cluster) nextTask(dst *task) (*runningJob, bool) {
+	for c.cursor < len(c.pending) {
+		r := c.pending[c.cursor]
 		if r.mapsLeft > 0 {
 			r.mapsLeft--
 			r.mapsRunning++
-			return &task{job: r, remaining: r.job.MapDur}
+			if !r.started {
+				r.started = true
+				r.startTime = c.now
+			}
+			*dst = task{job: r, remaining: r.job.MapDur}
+			return r, true
 		}
 		if r.mapPhaseDone && r.redsLeft > 0 {
 			r.redsLeft--
 			r.redsRunning++
-			return &task{job: r, remaining: r.job.RedDur, reduce: true}
+			if !r.started {
+				r.started = true
+				r.startTime = c.now
+			}
+			*dst = task{job: r, remaining: r.job.RedDur, reduce: true}
+			return r, true
 		}
+		c.cursor++
 	}
-	return nil
+	return nil, false
 }
 
 func (c *Cluster) compactPending() {
 	kept := c.pending[:0]
-	for _, r := range c.pending {
+	removedBelow := 0
+	for i, r := range c.pending {
 		if r.mapsLeft > 0 || r.redsLeft > 0 {
 			kept = append(kept, r)
+		} else if i < c.cursor {
+			removedBelow++
 		}
 	}
+	for i := len(kept); i < len(c.pending); i++ {
+		c.pending[i] = nil
+	}
 	c.pending = kept
+	// Keep the cursor on the same job after the prefix shrank.
+	c.cursor -= removedBelow
 }

@@ -86,7 +86,7 @@ func TestReducesWaitForMapPhase(t *testing.T) {
 	c.Submit(workload.Job{ID: 1, Maps: 200, MapDur: 100, Reduces: 5, RedDur: 50})
 	c.Step(30)
 	for _, s := range c.Servers {
-		for _, tk := range s.tasks {
+		for _, tk := range s.tasks[:s.ntasks] {
 			if tk.reduce {
 				t.Fatal("reduce dispatched before map phase finished")
 			}
@@ -174,7 +174,7 @@ func TestBusyServersDecommissionedNotSlept(t *testing.T) {
 		switch s.State {
 		case Decommissioned:
 			dec++
-			if len(s.tasks) == 0 && len(s.holds) == 0 {
+			if s.ntasks == 0 && s.holdCount == 0 {
 				t.Error("idle server decommissioned instead of slept")
 			}
 		case Sleep:
@@ -197,11 +197,11 @@ func TestBusyServersDecommissionedNotSlept(t *testing.T) {
 		activeBusy := 0
 		for _, s := range c.Servers {
 			if s.State == Active {
-				activeBusy += len(s.tasks)
+				activeBusy += s.ntasks
 			}
 		}
 		for _, s := range c.Servers {
-			if s.State == Decommissioned && len(s.tasks) > SlotsPerServer {
+			if s.State == Decommissioned && s.ntasks > SlotsPerServer {
 				t.Error("decommissioned server gained tasks")
 			}
 		}
@@ -221,7 +221,7 @@ func TestDrainedDecommissionedServersSleep(t *testing.T) {
 	c.SetActiveTarget(11)
 	for _, s := range c.Servers {
 		if s.State == Decommissioned {
-			if len(s.tasks) == 0 && len(s.holds) == 0 {
+			if s.ntasks == 0 && s.holdCount == 0 {
 				t.Error("drained decommissioned server did not sleep")
 			}
 		}

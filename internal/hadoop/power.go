@@ -29,6 +29,10 @@ func (c *Cluster) SetActiveTarget(want int) error {
 	}
 
 	order := c.serverOrder()
+	// The state flips below happen after the ActiveServers query above,
+	// so the generation advances on exit (not before the query, which
+	// would freshen the cache against a state about to change).
+	defer func() { c.gen++ }()
 
 	// Pass 1: wake sleepers (in placement order) until enough active.
 	active := c.ActiveServers()
@@ -51,7 +55,7 @@ func (c *Cluster) SetActiveTarget(want int) error {
 		if s.State != Active || s.Covering {
 			continue
 		}
-		if len(s.tasks) > 0 || len(s.holds) > 0 {
+		if s.ntasks > 0 || s.holdCount > 0 {
 			s.State = Decommissioned
 		} else {
 			s.State = Sleep
@@ -62,7 +66,7 @@ func (c *Cluster) SetActiveTarget(want int) error {
 
 	// Pass 3: decommissioned servers that have drained fully can sleep.
 	for _, s := range c.Servers {
-		if s.State == Decommissioned && len(s.tasks) == 0 && len(s.holds) == 0 {
+		if s.State == Decommissioned && s.ntasks == 0 && s.holdCount == 0 {
 			s.State = Sleep
 			s.powerCycles++
 		}
@@ -73,19 +77,25 @@ func (c *Cluster) SetActiveTarget(want int) error {
 // ActivateAll forces every server active (the baseline system does no
 // energy management of servers).
 func (c *Cluster) ActivateAll() {
+	c.gen++
 	for _, s := range c.Servers {
 		s.State = Active
 	}
 }
 
-// ActiveServers counts servers in the active state.
+// ActiveServers counts servers in the active state. The count is cached
+// per cluster mutation (see Cluster.gen).
 func (c *Cluster) ActiveServers() int {
+	if c.activeGen == c.gen {
+		return c.activeCur
+	}
 	n := 0
 	for _, s := range c.Servers {
 		if s.State == Active {
 			n++
 		}
 	}
+	c.activeGen, c.activeCur = c.gen, n
 	return n
 }
 
@@ -110,7 +120,7 @@ func (c *Cluster) Utilization() float64 {
 func (c *Cluster) BusySlots() int {
 	n := 0
 	for _, s := range c.Servers {
-		n += len(s.tasks)
+		n += s.ntasks
 	}
 	return n
 }
@@ -138,36 +148,65 @@ func serverPower(s *Server) units.Watts {
 	case Sleep:
 		return 1.5 // S3 standby
 	default:
-		frac := float64(len(s.tasks)) / SlotsPerServer
+		frac := float64(s.ntasks) / SlotsPerServer
 		return s.IdlePower + units.Watts(frac*float64(s.BusyPower-s.IdlePower))
 	}
 }
 
 // PodPower returns the per-pod IT power draw.
 func (c *Cluster) PodPower() []units.Watts {
-	out := make([]units.Watts, c.pods)
-	for _, s := range c.Servers {
-		out[s.Pod] += serverPower(s)
-	}
-	return out
+	return c.PodPowerInto(make([]units.Watts, c.pods))
 }
 
-// ITPower returns the total IT power draw.
+// PodPowerInto fills dst (resized to the pod count) with the per-pod IT
+// power draw and returns it, letting per-step callers reuse a scratch
+// slice. The accumulation order is identical to PodPower's. The walk
+// also refreshes the ITPower cache: the total accumulates server by
+// server in the very order ITPower's own loop uses (NOT as a sum of the
+// pod subtotals, which would associate the floats differently).
+func (c *Cluster) PodPowerInto(dst []units.Watts) []units.Watts {
+	if cap(dst) < c.pods {
+		dst = make([]units.Watts, c.pods)
+	}
+	dst = dst[:c.pods]
+	for i := range dst {
+		dst[i] = 0
+	}
+	var t units.Watts
+	for _, s := range c.Servers {
+		p := serverPower(s)
+		dst[s.Pod] += p
+		t += p
+	}
+	c.itPowerGen, c.itPowerCur = c.gen, t
+	return dst
+}
+
+// ITPower returns the total IT power draw, cached per cluster mutation.
 func (c *Cluster) ITPower() units.Watts {
+	if c.itPowerGen == c.gen {
+		return c.itPowerCur
+	}
 	var t units.Watts
 	for _, s := range c.Servers {
 		t += serverPower(s)
 	}
+	c.itPowerGen, c.itPowerCur = c.gen, t
 	return t
 }
 
 // MaxITPower returns the draw with every server busy — the
-// normalization basis for load fractions.
+// normalization basis for load fractions. Per-server power ratings are
+// fixed at construction, so the sum is computed once.
 func (c *Cluster) MaxITPower() units.Watts {
+	if c.maxITCached {
+		return c.maxITCur
+	}
 	var t units.Watts
 	for _, s := range c.Servers {
 		t += s.BusyPower
 	}
+	c.maxITCached, c.maxITCur = true, t
 	return t
 }
 
@@ -198,32 +237,61 @@ func (c *Cluster) PodActive() []bool {
 // busy-slot fraction of its active servers (sleeping disks are spun
 // down and contribute nothing).
 func (c *Cluster) PodDiskUtil() []float64 {
-	busy := make([]int, c.pods)
-	activeSlots := make([]int, c.pods)
+	return c.PodDiskUtilInto(make([]float64, c.pods))
+}
+
+// PodDiskUtilInto fills dst (resized to the pod count) with each pod's
+// disk utilization and returns it, letting per-step callers reuse a
+// scratch slice.
+func (c *Cluster) PodDiskUtilInto(dst []float64) []float64 {
+	if c.diskBusy == nil {
+		c.diskBusy = make([]int, c.pods)
+		c.diskActSlots = make([]int, c.pods)
+	}
+	busy, activeSlots := c.diskBusy, c.diskActSlots
+	for p := 0; p < c.pods; p++ {
+		busy[p], activeSlots[p] = 0, 0
+	}
 	for _, s := range c.Servers {
 		if s.State == Sleep {
 			continue
 		}
-		busy[s.Pod] += len(s.tasks)
+		busy[s.Pod] += s.ntasks
 		activeSlots[s.Pod] += SlotsPerServer
 	}
-	out := make([]float64, c.pods)
-	for p := range out {
+	if cap(dst) < c.pods {
+		dst = make([]float64, c.pods)
+	}
+	dst = dst[:c.pods]
+	for p := range dst {
+		dst[p] = 0
 		if activeSlots[p] > 0 {
-			out[p] = float64(busy[p]) / float64(activeSlots[p])
+			dst[p] = float64(busy[p]) / float64(activeSlots[p])
 		}
 	}
-	return out
+	return dst
 }
 
 // Completed returns the completion records so far.
 func (c *Cluster) Completed() []JobRecord { return c.completed }
 
+// ReserveCompleted ensures capacity for at least n more completion
+// records, letting a run size the log once up front instead of growing
+// it through repeated append doubling.
+func (c *Cluster) ReserveCompleted(n int) {
+	if n <= 0 || cap(c.completed)-len(c.completed) >= n {
+		return
+	}
+	grown := make([]JobRecord, len(c.completed), len(c.completed)+n)
+	copy(grown, c.completed)
+	c.completed = grown
+}
+
 // PendingJobs returns the number of jobs not yet fully dispatched.
 func (c *Cluster) PendingJobs() int { return len(c.pending) }
 
 // InFlightJobs returns the number of submitted, unfinished jobs.
-func (c *Cluster) InFlightJobs() int { return len(c.inFlight) }
+func (c *Cluster) InFlightJobs() int { return len(c.flight) }
 
 // MaxPowerCycleRate returns the highest per-server rate of disk
 // power-cycles per hour over the simulated span. The paper bounds this

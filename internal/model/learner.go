@@ -222,7 +222,10 @@ func (m *Model) Transitions() []cooling.Transition {
 
 // tempModel resolves the temperature regressor for a transition and pod
 // with graceful fallback: exact transition → steady model of the target
-// mode → any available model.
+// mode → the lowest-ordered available model. The last resort scans for
+// the smallest (From, To) key rather than taking the first map entry:
+// map iteration order varies call to call, and the batched evaluator's
+// metamorphic suite requires every resolution to be reproducible.
 func (m *Model) tempModel(tr cooling.Transition, p int) mlearn.Regressor {
 	if ms, ok := m.temp[tr]; ok {
 		return ms[p]
@@ -230,8 +233,8 @@ func (m *Model) tempModel(tr cooling.Transition, p int) mlearn.Regressor {
 	if ms, ok := m.temp[cooling.Transition{From: tr.To, To: tr.To}]; ok {
 		return ms[p]
 	}
-	for _, ms := range m.temp {
-		return ms[p]
+	if first, ok := lowestTransition(m.temp); ok {
+		return m.temp[first][p]
 	}
 	return nil
 }
@@ -243,10 +246,23 @@ func (m *Model) humModel(tr cooling.Transition) mlearn.Regressor {
 	if h, ok := m.hum[cooling.Transition{From: tr.To, To: tr.To}]; ok {
 		return h
 	}
-	for _, h := range m.hum {
-		return h
+	if first, ok := lowestTransition(m.hum); ok {
+		return m.hum[first]
 	}
 	return nil
+}
+
+// lowestTransition returns the smallest (From, To) key of a transition
+// map: the deterministic stand-in for "any available model".
+func lowestTransition[V any](models map[cooling.Transition]V) (cooling.Transition, bool) {
+	var best cooling.Transition
+	found := false
+	for tr := range models {
+		if !found || tr.From < best.From || (tr.From == best.From && tr.To < best.To) {
+			best, found = tr, true
+		}
+	}
+	return best, found
 }
 
 // PredictPower estimates the plant's electrical draw under the given

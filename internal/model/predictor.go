@@ -132,6 +132,19 @@ func (m *Model) PredictInto(sc *PredictScratch, start PredictorState, schedule [
 		sc = &local
 	}
 	states, temps := sc.buffers(len(schedule), m.pods)
+	if err := m.predictChain(&sc.feat, states, temps, start, schedule, outside); err != nil {
+		return nil, err
+	}
+	return states, nil
+}
+
+// predictChain is the chained-prediction core shared by PredictInto and
+// the batched evaluator's fallback path: it rolls the per-step models
+// through schedule, writing the resulting states into states and their
+// pod temperatures into the temps arena (one pod-sized chunk per step).
+// feat is the feature scratch, passed by pointer so growth is kept by
+// the caller. The caller has already validated lengths.
+func (m *Model) predictChain(feat *[]float64, states []PredictorState, temps []units.Celsius, start PredictorState, schedule []cooling.Command, outside []Snapshot) error {
 	cur := start
 	for i, cmd := range schedule {
 		// Model selection mirrors the training labels: the first two
@@ -183,20 +196,20 @@ func (m *Model) PredictInto(sc *PredictScratch, start PredictorState, schedule [
 		for p := 0; p < m.pods; p++ {
 			reg := m.tempModel(tr, p)
 			if reg == nil {
-				return nil, fmt.Errorf("model: no temperature model available")
+				return fmt.Errorf("model: no temperature model available")
 			}
-			sc.feat = tempFeaturesInto(sc.feat[:0], prevSnap, curSnap, cmd.FanSpeed, cmd.CompressorSpeed, p)
-			y, err := mlearn.PredictChecked(reg, sc.feat)
+			*feat = tempFeaturesInto((*feat)[:0], prevSnap, curSnap, cmd.FanSpeed, cmd.CompressorSpeed, p)
+			y, err := mlearn.PredictChecked(reg, *feat)
 			if err != nil {
-				return nil, fmt.Errorf("model: pod %d temperature: %w", p, err)
+				return fmt.Errorf("model: pod %d temperature: %w", p, err)
 			}
 			next.PodTemp[p] = units.Celsius(y)
 		}
 		if h := m.humModel(tr); h != nil {
-			sc.feat = humFeaturesInto(sc.feat[:0], curSnap, cmd.FanSpeed, cmd.CompressorSpeed)
-			g, err := mlearn.PredictChecked(h, sc.feat)
+			*feat = humFeaturesInto((*feat)[:0], curSnap, cmd.FanSpeed, cmd.CompressorSpeed)
+			g, err := mlearn.PredictChecked(h, *feat)
 			if err != nil {
-				return nil, fmt.Errorf("model: humidity: %w", err)
+				return fmt.Errorf("model: humidity: %w", err)
 			}
 			if g < 0 {
 				g = 0
@@ -206,7 +219,7 @@ func (m *Model) PredictInto(sc *PredictScratch, start PredictorState, schedule [
 		states[i] = next
 		cur = next
 	}
-	return states, nil
+	return nil
 }
 
 // PredictHorizon is a convenience wrapper: roll the model nSteps ahead

@@ -63,6 +63,12 @@ type Env struct {
 	outAt   float64
 	outCond weather.Conditions
 	outOK   bool
+
+	// stepPhysics scratch: the physics inputs only read these during the
+	// step, so the buffers are reused every tick (snapshots, which retain
+	// their pod powers, use the allocating accessors instead).
+	podPowerBuf []units.Watts
+	podDiskBuf  []float64
 }
 
 // outside returns the outside conditions at the current simulation
@@ -137,11 +143,13 @@ func (e *Env) stepPhysics(cmd cooling.Command, dt float64) (cooling.Command, err
 		return eff, err
 	}
 	out := e.outside()
+	e.podPowerBuf = e.Cluster.PodPowerInto(e.podPowerBuf)
+	e.podDiskBuf = e.Cluster.PodDiskUtilInto(e.podDiskBuf)
 	in := physics.Inputs{
 		Outside:     out,
 		HourOfDay:   hourOfDay(e.now),
-		PodPower:    e.Cluster.PodPower(),
-		PodDiskUtil: e.Cluster.PodDiskUtil(),
+		PodPower:    e.podPowerBuf,
+		PodDiskUtil: e.podDiskBuf,
 		Airflow:     e.Plant.Airflow(),
 		RecircFlow:  e.Plant.RecirculationAirflow(),
 		HeatRemoval: e.Plant.HeatRemoval(),

@@ -57,6 +57,11 @@ type RunConfig struct {
 	// environment's forecaster with Injector.WrapForecaster before
 	// constructing the controller.
 	Faults *faults.Injector
+	// DecisionWorkers, when > 1, asks the controller (via
+	// control.WorkerConfigurable) to fan its batched candidate
+	// evaluation across that many goroutines. Decisions are
+	// bit-identical for any value — only wall-clock time changes.
+	DecisionWorkers int
 	// Recorder, when non-nil, receives flight-recorder telemetry: the
 	// metered loop emits a trace.TickRecord at the model-step cadence,
 	// and the recorder is handed to the controller (via trace.Traceable)
@@ -213,8 +218,38 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 			t.SetRecorder(cfg.Recorder)
 		}
 	}
+	if cfg.DecisionWorkers > 0 {
+		if w, ok := ctrl.(control.WorkerConfigurable); ok {
+			w.SetDecisionWorkers(cfg.DecisionWorkers)
+		}
+	}
 	// Tick scratch: one heap value per run, reused across every emission.
 	var trec trace.TickRecord
+
+	// Day-loop scratch: the submission schedules are rebuilt every day
+	// but never exceed the trace's job count, so one buffer serves all
+	// days (sorting a reused backing array is deterministic in the
+	// content alone). The cluster's completion log is likewise sized up
+	// front instead of growing through repeated doubling — together these
+	// were the run loop's dominant allocation sources.
+	type submission struct {
+		release float64
+		job     workload.Job
+	}
+	var (
+		subsBuf     []submission
+		warmSubsBuf []workload.Job
+		releasesBuf []float64
+	)
+	if cfg.Trace != nil {
+		n := len(cfg.Trace.Jobs)
+		subsBuf = make([]submission, 0, n)
+		warmSubsBuf = make([]workload.Job, 0, n)
+		releasesBuf = make([]float64, n)
+		// Each day completes up to one full trace plus one warm-up replay
+		// of it (a long jump re-runs the whole previous evening).
+		env.Cluster.ReserveCompleted(n * (2*len(cfg.Days) + 1))
+	}
 
 	// Checkpoint cadence in physics steps.
 	cpSteps := 0
@@ -300,7 +335,7 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 			// The warm-up must carry the workload too, or the cluster
 			// idles down and the metered day starts from an
 			// artificially cold, empty datacenter.
-			var warmSubs []workload.Job
+			warmSubs := warmSubsBuf[:0]
 			if cfg.Trace != nil {
 				for _, j := range cfg.Trace.Jobs {
 					if j.Arrival >= 86400-warmupSeconds {
@@ -323,19 +358,26 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 					env.Cluster.Submit(warmSubs[warmNext])
 					warmNext++
 				}
-				obs := env.observation()
-				if inj != nil {
-					inj.PerturbObservation(&obs)
-				}
-				if monitor != nil && step%snapSteps == 0 {
-					monitor.Observe(obs)
-				}
-				if step%ctlSteps == 0 {
-					decided, err := ctrl.Decide(obs)
-					if err != nil {
-						return nil, err
+				// Build the observation only on steps that consume it —
+				// unless faults are injected: the injector's corruption
+				// state (e.g. a stuck sensor freezing the first value it
+				// observes) is call-timing-sensitive, so fault runs keep
+				// the exact per-step observation sequence.
+				if inj != nil || (monitor != nil && step%snapSteps == 0) || step%ctlSteps == 0 {
+					obs := env.observation()
+					if inj != nil {
+						inj.PerturbObservation(&obs)
 					}
-					cmd = decided
+					if monitor != nil && step%snapSteps == 0 {
+						monitor.Observe(obs)
+					}
+					if step%ctlSteps == 0 {
+						decided, err := ctrl.Decide(obs)
+						if err != nil {
+							return nil, err
+						}
+						cmd = decided
+					}
 				}
 				actual := cmd
 				if inj != nil {
@@ -348,13 +390,9 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 		}
 
 		// Build the day's submission schedule.
-		type submission struct {
-			release float64
-			job     workload.Job
-		}
-		var subs []submission
+		subs := subsBuf[:0]
 		if cfg.Trace != nil {
-			releases := make([]float64, len(cfg.Trace.Jobs))
+			releases := releasesBuf
 			for i, j := range cfg.Trace.Jobs {
 				releases[i] = j.Arrival
 			}
@@ -383,19 +421,24 @@ func Run(env *Env, ctrl control.Controller, cfg RunConfig) (*Result, error) {
 				env.Cluster.Submit(subs[next].job)
 				next++
 			}
-			obs := env.observation()
-			if inj != nil {
-				inj.PerturbObservation(&obs)
-			}
-			if monitor != nil && step%snapSteps == 0 {
-				monitor.Observe(obs)
-			}
-			if step%ctlSteps == 0 {
-				decided, err := ctrl.Decide(obs)
-				if err != nil {
-					return nil, err
+			// As in the warm-up loop: observations are built lazily, but
+			// fault runs keep the exact per-step sequence the injector's
+			// state machine expects.
+			if inj != nil || (monitor != nil && step%snapSteps == 0) || step%ctlSteps == 0 {
+				obs := env.observation()
+				if inj != nil {
+					inj.PerturbObservation(&obs)
 				}
-				cmd = decided
+				if monitor != nil && step%snapSteps == 0 {
+					monitor.Observe(obs)
+				}
+				if step%ctlSteps == 0 {
+					decided, err := ctrl.Decide(obs)
+					if err != nil {
+						return nil, err
+					}
+					cmd = decided
+				}
 			}
 			actual := cmd
 			if inj != nil {

@@ -230,6 +230,10 @@ const (
 	// PhaseGuard: guard overhead around the inner controller (sensor
 	// sanitation, command validation, fail-safe bookkeeping).
 	PhaseGuard
+	// PhaseScore: the fused power-prediction + penalty sweep of the
+	// batched decision path (declared after PhaseGuard so existing phase
+	// codes keep their values).
+	PhaseScore
 	// NumPhases sizes per-phase arrays.
 	NumPhases
 )
@@ -249,6 +253,8 @@ func (p Phase) String() string {
 		return "penalty"
 	case PhaseGuard:
 		return "guard"
+	case PhaseScore:
+		return "score"
 	}
 	return "unknown"
 }
