@@ -5,6 +5,11 @@
 BENCH_PATTERN := BenchmarkCoolAirDecision$$|BenchmarkCoolAirDecisionBatch$$|BenchmarkCoolAirDecisionTraced$$|BenchmarkPredictWindow$$|BenchmarkTMYGeneration$$
 BENCH_COUNT   := 5
 
+# The world-sweep throughput benchmark runs ~1 s/op, so it gets its own
+# pattern with fewer repetitions to keep the gate fast.
+BENCH_WORLD_PATTERN := BenchmarkWorldThroughput$$
+BENCH_WORLD_COUNT   := 3
+
 .PHONY: build test vet lint check bench bench-check fuzz serve
 
 build:
@@ -15,7 +20,10 @@ test:
 
 # vet runs the standard toolchain checks plus coolair-vet, the project's
 # own analyzer suite (internal/analysis): memoguard, unitcast,
-# scratchretain, floateq. See README "Static analysis".
+# scratchretain, floateq, statewrite, maporder, wallclock, globalrand,
+# plus the driver's stale-suppression audit over //coolair:allow-*
+# markers. See README "Static analysis".
+# (TestListMatchesDocs pins this comment to analysis.All.)
 vet:
 	go vet ./...
 	go run ./cmd/coolair-vet ./...
@@ -30,6 +38,7 @@ check: build lint
 # changes and commit the result.
 bench:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . | tee bench_new.txt
+	go test -run '^$$' -bench '$(BENCH_WORLD_PATTERN)' -benchmem -count=$(BENCH_WORLD_COUNT) . | tee -a bench_new.txt
 	go run ./cmd/coolair-bench -out BENCH_decision.json < bench_new.txt
 	rm -f bench_new.txt
 
@@ -38,6 +47,7 @@ bench:
 # allocs/op increase).
 bench-check:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) . | tee bench_new.txt
+	go test -run '^$$' -bench '$(BENCH_WORLD_PATTERN)' -benchmem -count=$(BENCH_WORLD_COUNT) . | tee -a bench_new.txt
 	go run ./cmd/coolair-bench -out bench_current.json < bench_new.txt
 	go run ./cmd/coolair-bench -gate -baseline BENCH_decision.json -current bench_current.json
 	rm -f bench_new.txt bench_current.json

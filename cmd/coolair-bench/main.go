@@ -58,7 +58,10 @@ type File struct {
 }
 
 var (
-	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+	// Custom metrics from b.ReportMetric (e.g. BenchmarkWorldThroughput's
+	// site-days/s) may sit between ns/op and B/op; the lazy middle match
+	// skips them so allocs still parse.
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
 	goosLine   = regexp.MustCompile(`^goos: (\S+)`)
 	goarchLine = regexp.MustCompile(`^goarch: (\S+)`)
 )

@@ -14,6 +14,7 @@ BenchmarkCoolAirDecision 	  107106	     11192 ns/op	       0 B/op	       0 alloc
 BenchmarkCoolAirDecision 	  109162	     11158 ns/op	       0 B/op	       0 allocs/op
 BenchmarkPredictWindow-8 	 4927044	       247.4 ns/op	       0 B/op	       0 allocs/op
 BenchmarkTMYGeneration 	     613	   1988826 ns/op	  226720 B/op	       5 allocs/op
+BenchmarkWorldThroughput 	       2	 848942354 ns/op	        75.39 site-days/s	94291976 B/op	  127787 allocs/op
 PASS
 ok  	coolair	8.932s
 `
@@ -26,8 +27,8 @@ func TestParse(t *testing.T) {
 	if f.Goos != "linux" || f.Goarch != "amd64" {
 		t.Errorf("platform = %s/%s, want linux/amd64", f.Goos, f.Goarch)
 	}
-	if len(f.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
 	}
 	dec := f.Benchmarks[0]
 	if dec.Name != "BenchmarkCoolAirDecision" || len(dec.NsPerOp) != 3 {
@@ -45,6 +46,15 @@ func TestParse(t *testing.T) {
 	}
 	if f.Benchmarks[2].MedianAllocs != 5 {
 		t.Errorf("TMY median allocs = %v, want 5", f.Benchmarks[2].MedianAllocs)
+	}
+	// A b.ReportMetric column (site-days/s) between ns/op and B/op must
+	// not swallow the alloc columns.
+	world := f.Benchmarks[3]
+	if world.MedianNs != 848942354 {
+		t.Errorf("world median ns = %v, want 848942354", world.MedianNs)
+	}
+	if world.MedianAllocs != 127787 {
+		t.Errorf("world median allocs = %v, want 127787 (custom-metric column mis-parse)", world.MedianAllocs)
 	}
 }
 

@@ -217,6 +217,7 @@ func (s *supervisor) loop(ctx context.Context) error {
 	if maxRestarts <= 0 {
 		maxRestarts = 5
 	}
+	//coolair:allow-globalrand restart backoff jitter must desynchronize real processes and never touches simulated state
 	jitter := rand.New(rand.NewSource(time.Now().UnixNano()))
 
 	for restarts := 0; ; {

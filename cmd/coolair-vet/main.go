@@ -3,19 +3,27 @@
 //
 //	coolair-vet ./...
 //	coolair-vet -C path/to/module ./...
+//	coolair-vet -json ./...
 //	coolair-vet -list
 //
 // It is the project's multichecker: every analyzer in analysis.All runs
-// over every matched package, diagnostics print one per line as
+// over every matched package (fanned out across the dependency DAG;
+// -serial falls back to the one-package-at-a-time reference scheduler,
+// whose output is byte-identical), plus the driver's stale-suppression
+// audit over //coolair:allow-* markers. Diagnostics print one per line
+// as
 //
 //	file:line:col: message (analyzer)
 //
-// and the exit code reports the outcome: 0 clean, 1 findings, 2 usage or
-// load/typecheck failure. CI runs it next to `go vet` (see the lint job
-// in .github/workflows/ci.yml and `make lint`).
+// or, with -json, as a JSON array of {file, line, col, analyzer,
+// message} objects on stdout. The exit code reports the outcome:
+// 0 clean, 1 findings, 2 usage or load/typecheck failure. CI runs it
+// next to `go vet` (see the lint job in .github/workflows/ci.yml and
+// `make lint`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +36,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiagnostic is the -json wire shape of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // run is main with the process edges injected, so tests can assert on
 // exit codes and output.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -35,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "change to this directory before resolving package patterns")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	serial := fs.Bool("serial", false, "disable the parallel scheduler (reference mode; same output)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -49,13 +68,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
-	diags, fset, err := analysis.Run(*dir, analysis.All, patterns...)
+	runner := analysis.Run
+	if *serial {
+		runner = analysis.RunSerial
+	}
+	diags, fset, err := runner(*dir, analysis.All, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "coolair-vet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			out = append(out, jsonDiagnostic{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "coolair-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "coolair-vet: %d finding(s)\n", len(diags))

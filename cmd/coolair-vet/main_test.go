@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"regexp"
 	"strings"
 	"testing"
+
+	"coolair/internal/analysis"
 )
 
 // TestExitCodes runs the multichecker driver in-process over the fixture
@@ -26,31 +31,165 @@ func TestExitCodes(t *testing.T) {
 	for _, want := range []string{
 		"broken.go:8:", "(floateq)",
 		"broken.go:12:", "(scratchretain)",
+		"detbroken.go:14:", "(maporder)",
+		"detbroken.go:21:", "(wallclock)",
+		"detbroken.go:24:", "(globalrand)",
+		"detbroken.go:26:", "(stale-suppression)",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("broken fixture output missing %q:\n%s", want, out.String())
 		}
 	}
+}
 
-	out.Reset()
-	errOut.Reset()
-	if code := run([]string{"-C", "testdata/no-such-dir", "./..."}, &out, &errOut); code != 2 {
-		t.Errorf("missing dir: exit %d, want 2", code)
+// TestLoadErrorPaths pins exit 2 with a stderr diagnostic for each way
+// loading can fail: a nonexistent -C directory, a directory that is not
+// a module, a pattern that matches nothing, and a fixture that does not
+// typecheck.
+func TestLoadErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing dir", []string{"-C", "testdata/no-such-dir", "./..."}},
+		{"not a module", []string{"-C", t.TempDir(), "./..."}},
+		{"bad pattern", []string{"-C", "testdata/cleanmod", "./does/not/exist"}},
+		{"typecheck failure", []string{"-C", "testdata/typecheckfailmod", "./..."}},
 	}
+	for _, tc := range cases {
+		var out, errOut strings.Builder
+		if code := run(tc.args, &out, &errOut); code != 2 {
+			t.Errorf("%s: exit %d, want 2\nstdout:\n%s\nstderr:\n%s", tc.name, code, out.String(), errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "coolair-vet:") {
+			t.Errorf("%s: stderr missing coolair-vet diagnostic:\n%s", tc.name, errOut.String())
+		}
+	}
+
+	var out, errOut strings.Builder
 	if code := run([]string{"-bogus-flag"}, &out, &errOut); code != 2 {
 		t.Errorf("bad flag: exit %d, want 2", code)
 	}
 }
 
-// TestList checks the -list roster output.
+// TestJSONOutput checks that -json emits a well-formed array that
+// round-trips through encoding/json, covers the same findings as the
+// plain format, and emits [] (not null) on a clean tree.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "testdata/brokenmod", "-json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("broken fixture: exit %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	reencoded, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	var again []jsonDiagnostic
+	if err := json.Unmarshal(reencoded, &again); err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
+	if len(again) != len(diags) || len(diags) == 0 {
+		t.Fatalf("round-trip changed length: %d -> %d", len(diags), len(again))
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		byAnalyzer[d.Analyzer]++
+	}
+	for _, want := range []string{"floateq", "scratchretain", "maporder", "wallclock", "globalrand", analysis.StaleSuppressionName} {
+		if byAnalyzer[want] == 0 {
+			t.Errorf("-json output missing a %s finding: %v", want, byAnalyzer)
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", "testdata/cleanmod", "-json", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("clean fixture: exit %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out.String())
+	}
+}
+
+// TestSerialFlagMatches: -serial must produce byte-identical stdout to
+// the default parallel scheduler.
+func TestSerialFlagMatches(t *testing.T) {
+	var par, ser, errOut strings.Builder
+	if code := run([]string{"-C", "testdata/brokenmod", "./..."}, &par, &errOut); code != 1 {
+		t.Fatalf("parallel: exit %d, want 1", code)
+	}
+	if code := run([]string{"-C", "testdata/brokenmod", "-serial", "./..."}, &ser, &errOut); code != 1 {
+		t.Fatalf("serial: exit %d, want 1", code)
+	}
+	if par.String() != ser.String() {
+		t.Errorf("serial output differs from parallel:\nparallel:\n%s\nserial:\n%s", par.String(), ser.String())
+	}
+}
+
+// TestList checks the -list roster output against analysis.All.
 func TestList(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list: exit %d, want 0", code)
 	}
-	for _, name := range []string{"memoguard", "unitcast", "scratchretain", "floateq"} {
-		if !strings.Contains(out.String(), name) {
-			t.Errorf("-list output missing %q:\n%s", name, out.String())
+	for _, a := range analysis.All {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing %q:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+// TestListMatchesDocs keeps the prose honest: the analyzer roster
+// documented in README's "Static analysis" section (the `* **name** —`
+// bullets) and in the Makefile vet comment must equal analysis.All —
+// no missing passes, no passes that no longer exist.
+func TestListMatchesDocs(t *testing.T) {
+	want := map[string]bool{}
+	for _, a := range analysis.All {
+		want[a.Name] = true
+	}
+
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, section, ok := strings.Cut(string(readme), "## Static analysis")
+	if !ok {
+		t.Fatal("README.md has no \"## Static analysis\" section")
+	}
+	if next := strings.Index(section, "\n## "); next >= 0 {
+		section = section[:next]
+	}
+	bullet := regexp.MustCompile(`(?m)^\* \*\*(\w+)\*\*`)
+	documented := map[string]bool{}
+	for _, m := range bullet.FindAllStringSubmatch(section, -1) {
+		documented[m[1]] = true
+	}
+	for name := range want {
+		if !documented[name] {
+			t.Errorf("README Static analysis section missing a bullet for %q", name)
+		}
+	}
+	for name := range documented {
+		if !want[name] {
+			t.Errorf("README documents analyzer %q that is not in analysis.All", name)
+		}
+	}
+
+	makefile, err := os.ReadFile("../../Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range want {
+		if !strings.Contains(string(makefile), name) {
+			t.Errorf("Makefile vet comment missing analyzer %q", name)
 		}
 	}
 }

@@ -1,0 +1,27 @@
+// Determinism violations for the maporder, wallclock, globalrand, and
+// stale-suppression passes; each line number below is pinned by
+// main_test.go.
+package brokenmod
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Keys is a maporder violation: append without a sort.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Stamp is a wallclock violation: brokenmod is simulated logic.
+func Stamp() time.Time { return time.Now() }
+
+// Draw is a globalrand violation: the process-global source.
+func Draw() int { return rand.Intn(6) }
+
+//coolair:allow-floateq stale on purpose: nothing here compares floats
+var Unused = 1

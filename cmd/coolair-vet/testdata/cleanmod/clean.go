@@ -2,6 +2,11 @@
 // coolair-vet must exit 0 here.
 package cleanmod
 
+import (
+	"math/rand"
+	"sort"
+)
+
 // NearlyEqual compares floats the sanctioned way.
 func NearlyEqual(a, b float64) bool {
 	d := a - b
@@ -13,3 +18,21 @@ func NearlyEqual(a, b float64) bool {
 
 // Unset uses the allowlisted zero sentinel.
 func Unset(v float64) bool { return v == 0 }
+
+// SortedKeys is the sanctioned map-iteration idiom: materialize, then
+// sort, so the result is the same under every iteration order.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Seeded threads an explicit seed through to the source: the blessed
+// randomness shape.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

@@ -1,0 +1,5 @@
+// Package typecheckfailmod does not typecheck: coolair-vet must exit 2
+// here with the type error on stderr, not report a clean tree.
+package typecheckfailmod
+
+var X int = "not an int"

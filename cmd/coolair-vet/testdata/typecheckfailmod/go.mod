@@ -1,0 +1,3 @@
+module typecheckfailmod
+
+go 1.22

@@ -1,6 +1,6 @@
 // Package analysis is CoolAir's static-analysis suite: a small,
 // dependency-free reimplementation of the golang.org/x/tools/go/analysis
-// programming model plus the four project-specific analyzers that enforce
+// programming model plus the project-specific analyzers that enforce
 // invariants this codebase has already been burned by (or is one edit away
 // from being burned by):
 //
@@ -12,7 +12,15 @@
 //   - scratchretain: *Into/*Buf functions must not retain their
 //     caller-owned scratch arguments,
 //   - floateq:       no ==/!= on float-kinded operands outside the
-//     zero-sentinel allowlist (NaN hardening).
+//     zero-sentinel allowlist (NaN hardening),
+//   - statewrite:    no raw os writes to snapshot state files outside
+//     internal/store (crash-safety),
+//   - maporder:      no order-observable range over a map (the PR-7
+//     lowestTransition bug class),
+//   - wallclock:     no time.Now/Since/Sleep in simulated logic — time
+//     comes from sim.Clock and observation timestamps,
+//   - globalrand:    no global math/rand draws or time-seeded sources —
+//     all randomness derives from an explicit int64 seed.
 //
 // The build container has no module cache and no network, so
 // golang.org/x/tools cannot be added to go.mod; this package keeps the
@@ -26,6 +34,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
+	"sync"
 )
 
 // Analyzer describes one static-analysis pass. It mirrors
@@ -46,7 +56,9 @@ type Diagnostic struct {
 
 // Pass carries one package's syntax and type information to an analyzer,
 // plus the fact store shared across the dependency graph. Packages are
-// analyzed in dependency order, so facts exported by a dependency are
+// scheduled so that every dependency completes before its importers
+// start (the parallel driver walks the dependency DAG; the serial one
+// walks topological order), so facts exported by a dependency are always
 // visible to every package that imports it (this is how memoguard learns
 // which out-of-package types carry the //coolair:memoized marker).
 type Pass struct {
@@ -57,7 +69,8 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
-	facts  map[string]bool
+	facts  *factStore
+	supp   *suppressionLog
 }
 
 // Reportf records a diagnostic at pos.
@@ -68,8 +81,98 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // ExportFact publishes a string fact (e.g. a marked type's qualified name)
 // for passes over packages that import this one. Facts are namespaced per
 // analyzer by the driver.
-func (p *Pass) ExportFact(key string) { p.facts[key] = true }
+func (p *Pass) ExportFact(key string) { p.facts.set(key) }
 
 // HasFact reports whether any already-analyzed package (including this
 // one) exported the fact under the same analyzer.
-func (p *Pass) HasFact(key string) bool { return p.facts[key] }
+func (p *Pass) HasFact(key string) bool { return p.facts.has(key) }
+
+// Allowlisted reports whether the line holding pos — or the line above
+// it — carries the given //coolair:allow-* directive, and records the
+// directive as used so the driver's stale-suppression audit knows the
+// marker still excuses a live finding. Call it only where a finding
+// would otherwise be reported: a directive that is never consulted from
+// a real finding site is exactly what the audit exists to flag.
+func (p *Pass) Allowlisted(f *ast.File, marker string, pos token.Pos) bool {
+	line := p.Fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !isDirective(c.Text, marker) {
+				continue
+			}
+			cpos := p.Fset.Position(c.Pos())
+			if cpos.Line == line || cpos.Line == line-1 {
+				if p.supp != nil {
+					p.supp.markUsed(marker, cpos)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isDirective reports whether a comment is the given //coolair:...
+// directive: the marker must open the comment (no leading space — the
+// gofmt-enforced directive shape) and be followed by a reason or the end
+// of the line, so prose that merely mentions a marker does not count.
+func isDirective(text, marker string) bool {
+	rest, ok := strings.CutPrefix(text, "//"+marker)
+	if !ok {
+		return false
+	}
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// factStore is one analyzer's fact namespace. The parallel driver runs
+// passes for the same analyzer concurrently on independent packages, so
+// access is locked; DAG scheduling guarantees a dependency's facts are
+// fully written before any importer reads them.
+type factStore struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+func newFactStore() *factStore { return &factStore{m: map[string]bool{}} }
+
+func (s *factStore) set(k string) {
+	s.mu.Lock()
+	s.m[k] = true
+	s.mu.Unlock()
+}
+
+func (s *factStore) has(k string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[k]
+}
+
+// suppressionLog records which //coolair:allow-* directives suppressed a
+// live finding during a run. The driver compares it against every
+// directive declared in the analyzed sources: a declared directive that
+// never fired is stale — the code it excused has moved or been fixed —
+// and suppressions must not outlive the code they excuse.
+type suppressionLog struct {
+	mu   sync.Mutex
+	used map[string]bool // marker + "\x00" + file:line of the directive comment
+}
+
+func newSuppressionLog() *suppressionLog {
+	return &suppressionLog{used: map[string]bool{}}
+}
+
+func suppressionKey(marker string, pos token.Position) string {
+	return marker + "\x00" + pos.Filename + ":" + fmt.Sprint(pos.Line)
+}
+
+func (l *suppressionLog) markUsed(marker string, pos token.Position) {
+	l.mu.Lock()
+	l.used[suppressionKey(marker, pos)] = true
+	l.mu.Unlock()
+}
+
+func (l *suppressionLog) wasUsed(marker string, pos token.Position) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used[suppressionKey(marker, pos)]
+}

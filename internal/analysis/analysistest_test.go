@@ -36,7 +36,8 @@ func runAnalysisTest(t *testing.T, analyzer *Analyzer) {
 	pkgs := loadGolden(t, root)
 
 	var diags []Diagnostic
-	facts := map[string]bool{}
+	facts := newFactStore()
+	supp := newSuppressionLog()
 	for _, pkg := range pkgs {
 		pass := &Pass{
 			Analyzer:  analyzer,
@@ -45,6 +46,7 @@ func runAnalysisTest(t *testing.T, analyzer *Analyzer) {
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.Info,
 			facts:     facts,
+			supp:      supp,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := analyzer.Run(pass); err != nil {

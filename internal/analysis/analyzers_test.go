@@ -7,11 +7,18 @@ func TestUnitcast(t *testing.T)      { runAnalysisTest(t, Unitcast) }
 func TestScratchretain(t *testing.T) { runAnalysisTest(t, Scratchretain) }
 func TestFloateq(t *testing.T)       { runAnalysisTest(t, Floateq) }
 func TestStatewrite(t *testing.T)    { runAnalysisTest(t, Statewrite) }
+func TestMaporder(t *testing.T)      { runAnalysisTest(t, Maporder) }
+func TestWallclock(t *testing.T)     { runAnalysisTest(t, Wallclock) }
+func TestGlobalrand(t *testing.T)    { runAnalysisTest(t, Globalrand) }
 
 // TestSuiteRegistration pins the multichecker roster: adding an analyzer
 // means adding it to All (and to this list once it has golden packages).
 func TestSuiteRegistration(t *testing.T) {
-	want := map[string]bool{"memoguard": true, "unitcast": true, "scratchretain": true, "floateq": true, "statewrite": true}
+	want := map[string]bool{
+		"memoguard": true, "unitcast": true, "scratchretain": true,
+		"floateq": true, "statewrite": true,
+		"maporder": true, "wallclock": true, "globalrand": true,
+	}
 	if len(All) != len(want) {
 		t.Fatalf("analysis.All has %d analyzers, want %d", len(All), len(want))
 	}

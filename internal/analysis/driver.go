@@ -2,18 +2,48 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // All is the coolair-vet suite: every analyzer the multichecker runs.
-var All = []*Analyzer{Memoguard, Unitcast, Scratchretain, Floateq, Statewrite}
+var All = []*Analyzer{
+	Memoguard, Unitcast, Scratchretain, Floateq, Statewrite,
+	Maporder, Wallclock, Globalrand,
+}
+
+// StaleSuppressionName labels the driver's stale-suppression audit in
+// diagnostics. It is not an analyzer — it cannot run without the others'
+// suppression logs — but its findings ride the same Diagnostic stream so
+// -json consumers and the exit code treat staleness like any violation.
+const StaleSuppressionName = "stale-suppression"
 
 // Run loads the packages matched by patterns (resolved relative to dir)
-// and applies every analyzer to each in-module package, in dependency
-// order so exported facts flow from defining packages to their importers.
-// Diagnostics come back sorted by position.
+// and applies every analyzer to each in-module package, fanning out
+// across the dependency DAG: a package is analyzed as soon as all of its
+// in-module imports are done, so independent subtrees run concurrently
+// while exported facts still flow strictly from defining packages to
+// their importers. Diagnostics come back in a deterministic total order
+// (position, then analyzer, then message) — the vet tool obeys its own
+// determinism rules, and its output is byte-identical to RunSerial's.
 func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, *token.FileSet, error) {
+	return runDriver(dir, analyzers, runtime.GOMAXPROCS(0), patterns...)
+}
+
+// RunSerial is Run with the fan-out disabled: one package at a time, in
+// topological order. It exists so the parallel scheduler has a reference
+// implementation to be compared against (see cmd/coolair-vet -serial and
+// TestParallelMatchesSerial).
+func RunSerial(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, *token.FileSet, error) {
+	return runDriver(dir, analyzers, 1, patterns...)
+}
+
+func runDriver(dir string, analyzers []*Analyzer, workers int, patterns ...string) ([]Diagnostic, *token.FileSet, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, nil, err
@@ -26,15 +56,25 @@ func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, *
 		}
 	}
 
-	var diags []Diagnostic
-	facts := map[*Analyzer]map[string]bool{}
+	facts := map[*Analyzer]*factStore{}
 	for _, a := range analyzers {
-		facts[a] = map[string]bool{}
+		facts[a] = newFactStore()
 	}
+	supp := newSuppressionLog()
+
+	var inMod []*LoadedPackage
 	for _, pkg := range pkgs {
-		if !pkg.InModule {
-			continue
+		if pkg.InModule {
+			inMod = append(inMod, pkg)
 		}
+	}
+
+	// diagsByPkg[i] is package i's findings in analyzer order: each
+	// worker writes only its own slot, so collection needs no lock and
+	// the concatenation below is identical for any execution order.
+	diagsByPkg := make([][]Diagnostic, len(inMod))
+	runPkg := func(i int) error {
+		pkg := inMod[i]
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -43,13 +83,204 @@ func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, *
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.Info,
 				facts:     facts[a],
-				report:    func(d Diagnostic) { diags = append(diags, d) },
+				supp:      supp,
+				report:    func(d Diagnostic) { diagsByPkg[i] = append(diagsByPkg[i], d) },
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+				return fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		return nil
+	}
+
+	if workers <= 1 || len(inMod) <= 1 {
+		for i := range inMod {
+			if err := runPkg(i); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else if err := runDAG(inMod, workers, runPkg); err != nil {
+		return nil, nil, err
+	}
+
+	var diags []Diagnostic
+	for _, d := range diagsByPkg {
+		diags = append(diags, d...)
+	}
+	diags = append(diags, auditSuppressions(inMod, analyzers, supp)...)
+	sortDiagnostics(diags)
+	return diags, fset, nil
+}
+
+// runDAG schedules runPkg over the in-module dependency DAG: a package
+// becomes ready when every in-module package it imports has finished, so
+// fact flow is identical to the serial topological walk while
+// independent subtrees analyze concurrently.
+func runDAG(inMod []*LoadedPackage, workers int, runPkg func(int) error) error {
+	index := make(map[string]int, len(inMod))
+	for i, pkg := range inMod {
+		index[pkg.ImportPath] = i
+	}
+	dependents := make([][]int, len(inMod))
+	remaining := make([]int32, len(inMod))
+	for i, pkg := range inMod {
+		for _, imp := range pkg.Imports {
+			if j, ok := index[imp]; ok {
+				dependents[j] = append(dependents[j], i)
+				remaining[i]++
 			}
 		}
 	}
-	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, fset, nil
+
+	if workers > len(inMod) {
+		workers = len(inMod)
+	}
+	ready := make(chan int, len(inMod))
+	for i := range inMod {
+		if remaining[i] == 0 {
+			ready <- i
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Int32
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	complete := func(i int) {
+		for _, dep := range dependents[i] {
+			if atomic.AddInt32(&remaining[dep], -1) == 0 {
+				ready <- dep
+			}
+		}
+		if int(done.Add(1)) == len(inMod) {
+			close(ready)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				// After a failure the pipeline only drains: completion
+				// still propagates so close(ready) is reached, but no
+				// further analysis runs.
+				if !failed.Load() {
+					if err := runPkg(i); err != nil {
+						failed.Store(true)
+						errOnce.Do(func() { firstErr = err })
+					}
+				}
+				complete(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// declaredSuppression is one //coolair:allow-* directive found in the
+// analyzed sources.
+type declaredSuppression struct {
+	marker string // e.g. "coolair:allow-floateq"
+	name   string // the analyzer it claims to suppress
+	pos    token.Pos
+	fpos   token.Position
+}
+
+// auditSuppressions reports every //coolair:allow-* directive that did
+// not suppress a live finding during this run: either its analyzer ran
+// and never consulted it (the code it excused is gone — the marker must
+// go too), or it names no analyzer at all (a typo that will never
+// suppress anything). Directives for known analyzers excluded from this
+// run are left alone. Test files are skipped, matching the analyzers
+// themselves.
+func auditSuppressions(inMod []*LoadedPackage, analyzers []*Analyzer, supp *suppressionLog) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range inMod {
+		for _, f := range pkg.Files {
+			filename := pkg.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(filename, "_test.go") {
+				continue
+			}
+			for _, d := range declaredSuppressions(pkg.Fset, f) {
+				switch {
+				case ran[d.name]:
+					if !supp.wasUsed(d.marker, d.fpos) {
+						diags = append(diags, Diagnostic{
+							Analyzer: StaleSuppressionName,
+							Pos:      d.pos,
+							Message: fmt.Sprintf("stale suppression: //%s no longer excuses a %s finding on this or the next line — remove it",
+								d.marker, d.name),
+						})
+					}
+				case !known[d.name]:
+					diags = append(diags, Diagnostic{
+						Analyzer: StaleSuppressionName,
+						Pos:      d.pos,
+						Message: fmt.Sprintf("suppression //%s names no analyzer in the suite — it will never suppress anything",
+							d.marker),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// declaredSuppressions extracts the //coolair:allow-<name> directives of
+// one file, in source order.
+func declaredSuppressions(fset *token.FileSet, f *ast.File) []declaredSuppression {
+	const prefix = "//coolair:allow-"
+	var out []declaredSuppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, prefix) {
+				continue
+			}
+			rest := c.Text[len(prefix):]
+			name := rest
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				name = rest[:i]
+			}
+			if name == "" {
+				continue
+			}
+			out = append(out, declaredSuppression{
+				marker: "coolair:allow-" + name,
+				name:   name,
+				pos:    c.Pos(),
+				fpos:   fset.Position(c.Pos()),
+			})
+		}
+	}
+	return out
+}
+
+// sortDiagnostics imposes the driver's deterministic total order:
+// position, then analyzer name, then message. Both drivers and any
+// worker interleaving produce the same diagnostic multiset, so this
+// order makes the printed output byte-identical across runs — the suite
+// obeys the same reproducibility contract it enforces.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
 }

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// renderDiags projects diagnostics onto the stable representation the
+// vet tool prints: file:line:col analyzer message. Two runs over the
+// same tree have different FileSets, so token.Pos values cannot be
+// compared directly.
+func renderDiags(diags []Diagnostic, fset *token.FileSet) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return out
+}
+
+// TestParallelMatchesSerial is the determinism contract of the parallel
+// scheduler: over the entire module, the DAG fan-out must produce output
+// byte-identical to the one-package-at-a-time reference walk.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module twice")
+	}
+	par, parFset, err := Run("../..", All, "./...")
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	ser, serFset, err := RunSerial("../..", All, "./...")
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	pr := renderDiags(par, parFset)
+	sr := renderDiags(ser, serFset)
+	if len(pr) != len(sr) {
+		t.Fatalf("parallel produced %d diagnostics, serial %d:\nparallel: %v\nserial: %v", len(pr), len(sr), pr, sr)
+	}
+	for i := range pr {
+		if pr[i] != sr[i] {
+			t.Errorf("diagnostic %d differs:\nparallel: %s\nserial:   %s", i, pr[i], sr[i])
+		}
+	}
+}
+
+// writeModule materializes a throwaway module for driver-level tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestStaleSuppressionAudit pins the audit's three behaviors: a marker
+// that suppresses a live finding is silent, a marker whose analyzer ran
+// but never consulted it is flagged stale, and a marker naming no
+// analyzer at all is flagged as dead weight.
+func TestStaleSuppressionAudit(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module stalecheck\n\ngo 1.22\n",
+		"a.go": `package a
+
+//coolair:allow-floateq nothing on the next line compares floats anymore
+var X = 1
+
+//coolair:allow-nosuchpass typo of a pass that never existed
+var Y = 2
+
+func eq(a, b float64) bool {
+	//coolair:allow-floateq exact flatline check is the point here
+	return a == b
+}
+`,
+	})
+	diags, fset, err := Run(dir, All, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d %s", fset.Position(d.Pos).Line, d.Analyzer))
+	}
+	want := []string{
+		"3 " + StaleSuppressionName, // unused floateq marker
+		"6 " + StaleSuppressionName, // unknown analyzer name
+	}
+	if strings.Join(got, ", ") != strings.Join(want, ", ") {
+		t.Fatalf("diagnostics = %v, want %v\nfull: %v", got, want, renderDiags(diags, fset))
+	}
+}
+
+// TestAuditSkipsExcludedAnalyzers: a marker for a known analyzer that was
+// not part of this run must be left alone — only the analyzers that
+// actually ran can vouch for (or against) their own suppressions.
+func TestAuditSkipsExcludedAnalyzers(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module excludecheck\n\ngo 1.22\n",
+		"a.go": `package a
+
+//coolair:allow-statewrite judged by an analyzer excluded from this run
+var X = 1
+`,
+	})
+	diags, fset, err := Run(dir, []*Analyzer{Floateq}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", renderDiags(diags, fset))
+	}
+}
+
+// TestRunLoadErrors pins the driver's failure modes: an unresolvable
+// pattern and a type error in an in-module package both surface as
+// errors, not as silent empty results.
+func TestRunLoadErrors(t *testing.T) {
+	if _, _, err := Run("../..", All, "./does/not/exist"); err == nil {
+		t.Error("bad pattern: want error, got nil")
+	}
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module brokencheck\n\ngo 1.22\n",
+		"a.go":   "package a\n\nvar X int = \"not an int\"\n",
+	})
+	if _, _, err := Run(dir, All, "./..."); err == nil {
+		t.Error("type error: want error, got nil")
+	}
+}

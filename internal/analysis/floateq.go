@@ -38,7 +38,6 @@ func runFloateq(pass *Pass) error {
 		if strings.HasSuffix(filename, "_test.go") {
 			continue
 		}
-		allowed := directiveLines(pass.Fset, f, FloateqAllowMarker)
 		ast.Inspect(f, func(n ast.Node) bool {
 			be, ok := n.(*ast.BinaryExpr)
 			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
@@ -50,8 +49,7 @@ func runFloateq(pass *Pass) error {
 			if isConstZero(pass, be.X) || isConstZero(pass, be.Y) {
 				return true
 			}
-			line := pass.Fset.Position(be.Pos()).Line
-			if allowed[line] || allowed[line-1] {
+			if pass.Allowlisted(f, FloateqAllowMarker, be.Pos()) {
 				return true
 			}
 			pass.Reportf(be.Pos(),
@@ -87,18 +85,4 @@ func isConstZero(pass *Pass, e ast.Expr) bool {
 		return f == 0
 	}
 	return false
-}
-
-// directiveLines returns the set of line numbers carrying the given
-// //coolair:... directive anywhere in a comment.
-func directiveLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
-	lines := map[int]bool{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, marker) {
-				lines[fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
-	return lines
 }

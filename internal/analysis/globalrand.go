@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GlobalrandAllowMarker suppresses a globalrand finding when it appears
+// on the call's line or on the line above it. Every use should say why
+// unreproducible randomness is the point (the canonical one: restart
+// backoff jitter, which must desynchronize real processes and never
+// touches simulated state).
+const GlobalrandAllowMarker = "coolair:allow-globalrand"
+
+// globalrandDraws are the math/rand package-level functions that consume
+// the process-global source. rand.New and rand.NewSource are absent on
+// purpose: they are the blessed path, checked separately for the shape
+// of their seed expression.
+var globalrandDraws = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true, "N": true,
+}
+
+// globalrandSources are the constructors whose seed argument is audited.
+var globalrandSources = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// Globalrand flags randomness that does not derive from an explicit
+// int64 seed: math/rand's package-level draw functions (they consume the
+// process-global, boot-seeded source) and rand.NewSource calls whose
+// seed expression is time-dependent or a bare constant. Every sanctioned
+// call site in this repo follows the same convention —
+// rand.New(rand.NewSource(seedExpr)) where seedExpr mixes an explicit
+// seed variable that ultimately reaches the caller — which is what makes
+// fault plans, TMY synthesis, LMS fits, and SWIM traces replay
+// bit-for-bit. A time-seeded source is unreproducible by construction; a
+// constant-only seed hides the seed from callers so it cannot be swept
+// or threaded through a fingerprint. Test files are exempt (a test IS
+// the explicit-seed caller).
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flag math/rand global draws and time-dependent or constant-only rand sources",
+	Run:  runGlobalrand,
+}
+
+func runGlobalrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+				return true
+			}
+			if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are the convention
+			}
+			switch {
+			case globalrandDraws[fn.Name()]:
+				if pass.Allowlisted(f, GlobalrandAllowMarker, call.Pos()) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"global rand.%s draws from the process-global source: use rand.New(rand.NewSource(seed)) with an explicit int64 seed, or annotate with //%s <reason>",
+					fn.Name(), GlobalrandAllowMarker)
+			case globalrandSources[fn.Name()] && len(call.Args) > 0:
+				why := badSeedExpr(pass, call.Args)
+				if why == "" {
+					return true
+				}
+				if pass.Allowlisted(f, GlobalrandAllowMarker, call.Pos()) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"rand.%s with %s: derive the seed from an explicit int64 threaded through the caller, or annotate with //%s <reason>",
+					fn.Name(), why, GlobalrandAllowMarker)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// badSeedExpr vets a source constructor's seed arguments: a seed that
+// mentions package time is unreproducible, and a seed that folds to a
+// compile-time constant cannot be threaded through from a caller. A seed
+// expression mixing at least one run-time variable and no clock is the
+// sanctioned shape and returns "".
+func badSeedExpr(pass *Pass, args []ast.Expr) string {
+	constOnly := true
+	for _, arg := range args {
+		timeDep := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+				timeDep = true
+				return false
+			}
+			return true
+		})
+		if timeDep {
+			return "a time-dependent seed (the run cannot be replayed)"
+		}
+		if tv, ok := pass.TypesInfo.Types[arg]; !ok || tv.Value == nil {
+			constOnly = false
+		}
+	}
+	if constOnly {
+		return "a constant-only seed (callers cannot choose or sweep it)"
+	}
+	return ""
+}

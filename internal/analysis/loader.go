@@ -20,6 +20,7 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	Module     *struct{ Path string }
 	Error      *struct{ Err string }
@@ -31,6 +32,7 @@ type listedPackage struct {
 // analyzed.
 type LoadedPackage struct {
 	ImportPath string
+	Imports    []string // resolved import paths, as reported by go list
 	InModule   bool
 	Fset       *token.FileSet
 	Files      []*ast.File
@@ -102,6 +104,7 @@ func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
 		}
 		loaded := &LoadedPackage{
 			ImportPath: lp.ImportPath,
+			Imports:    lp.Imports,
 			InModule:   inModule,
 			Fset:       fset,
 			Files:      files,
@@ -124,7 +127,7 @@ func firstErr(errs []error, fallback error) error {
 // goList shells out to the go tool for pattern resolution and build-tag
 // filtering; the returned slice is in dependency order.
 func goList(dir string, patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,Standard,Module,Error", "-e"}, patterns...)
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,Imports,Standard,Module,Error", "-e"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")

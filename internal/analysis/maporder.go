@@ -1,0 +1,373 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MaporderAllowMarker suppresses a maporder finding when it appears on
+// the line of the `for … range` statement or on the line above it.
+// Every use should say why the loop is iteration-order-independent
+// despite the heuristic (e.g. a strict min over a totally ordered key).
+const MaporderAllowMarker = "coolair:allow-maporder"
+
+// Maporder flags `for … range` loops over map-typed operands whose body
+// is iteration-order-observable. Go randomizes map iteration order per
+// loop, so any of the following makes the loop's outcome vary run to
+// run — the exact bug class PR 7's metamorphic suite caught dynamically
+// in the model-fallback path (lowestTransition returned the first map
+// entry, so fallback predictions differed between reruns):
+//
+//   - appending to a slice declared outside the loop (element order
+//     follows iteration order),
+//   - accumulating floating-point values into an outer variable
+//     (float addition is not associative; the sum's low bits follow
+//     iteration order — integers are exempt, they commute exactly),
+//   - first-wins / min-max selection: assigning an outer variable under
+//     an ordering comparison (ties resolve by iteration order),
+//   - exiting the loop early with break or return (which element is
+//     "first" is nondeterministic).
+//
+// Writes keyed by the iteration variable (m2[k] = v, arr[k] = v) are
+// order-independent and never flagged. Early exits guarded by a nil
+// check (`if err != nil { return err }`) are exempt too: they fire only
+// when the run is failing anyway, so no successful run — the domain the
+// reproducibility contract covers — observes the iteration order
+// through them. The one sanctioned
+// order-observable shape is key materialization: a loop whose only
+// effect is appending to slices that are each passed to a sort
+// (sort.*, slices.Sort*) later in the same function is the canonical
+// deterministic-iteration idiom and is exempt. Everything else needs
+// the keys sorted first or a //coolair:allow-maporder <reason>.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map loops whose body observes the nondeterministic iteration order",
+	Run:  runMaporder,
+}
+
+// mapEffect is one order-observable behavior found in a range body.
+type mapEffect struct {
+	pos  token.Pos
+	desc string
+	// appendTo is the outer slice an append targets, when the effect is
+	// an append to a plain identifier (the only exemptible shape).
+	appendTo types.Object
+}
+
+func runMaporder(pass *Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, f, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkMapRanges walks a function body, reporting every map range whose
+// body is order-observable. body is also the scope scanned for the
+// sort-after-materialize exemption.
+func checkMapRanges(pass *Pass, f *ast.File, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		effects := classifyRangeBody(pass, rs)
+		if len(effects) == 0 {
+			return true
+		}
+		// Key-materialization exemption: every effect is an append whose
+		// target slice is sorted after the loop.
+		exempt := true
+		for _, e := range effects {
+			if e.appendTo == nil || !sortedAfter(pass, body, e.appendTo, rs.End()) {
+				exempt = false
+				break
+			}
+		}
+		if exempt {
+			return true
+		}
+		if pass.Allowlisted(f, MaporderAllowMarker, rs.Pos()) {
+			return true
+		}
+		pass.Reportf(rs.Pos(),
+			"nondeterministic map iteration: %s — materialize and sort the keys first, or annotate with //%s <reason>",
+			effects[0].desc, MaporderAllowMarker)
+		return true
+	})
+}
+
+// classifyRangeBody collects the order-observable effects of one map
+// range body. Function literals are skipped (their control flow does not
+// touch the loop, and deferred execution is beyond this pass); nested
+// loops, switches, and selects are tracked so only break statements that
+// actually exit the range loop count.
+func classifyRangeBody(pass *Pass, rs *ast.RangeStmt) []mapEffect {
+	var effects []mapEffect
+	declared := map[types.Object]bool{} // objects declared inside the body (incl. loop vars)
+	for _, kv := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := kv.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				declared[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			declared[obj] = true
+		}
+		return true
+	})
+	outer := func(e ast.Expr) (types.Object, bool) {
+		root := rootIdent(e)
+		if root == nil {
+			return nil, false
+		}
+		obj := pass.TypesInfo.Uses[root.(*ast.Ident)]
+		if obj == nil || declared[obj] {
+			return nil, false
+		}
+		return obj, true
+	}
+
+	var walk func(n ast.Node, breakDepth, orderedIf, errGuard int)
+	walk = func(n ast.Node, breakDepth, orderedIf, errGuard int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			breakDepth++
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && breakDepth == 0 && errGuard == 0 {
+				effects = append(effects, mapEffect{pos: n.Pos(), desc: "the loop breaks early, so which entry is reached first varies run to run"})
+			}
+			return
+		case *ast.ReturnStmt:
+			if errGuard == 0 {
+				effects = append(effects, mapEffect{pos: n.Pos(), desc: "the loop returns from inside the body, so which entry is reached first varies run to run"})
+			}
+		case *ast.IfStmt:
+			// The nil-check guard (if err != nil { … }) covers only the
+			// then-branch; the else and everything after keep the outer
+			// context, so recurse by hand instead of via childNodes.
+			if hasOrderingCompare(n.Cond) {
+				orderedIf++
+			}
+			guard := errGuard
+			if isNilCheck(n.Cond) {
+				guard++
+			}
+			if n.Init != nil {
+				walk(n.Init, breakDepth, orderedIf, errGuard)
+			}
+			walk(n.Cond, breakDepth, orderedIf, errGuard)
+			walk(n.Body, breakDepth, orderedIf, guard)
+			if n.Else != nil {
+				walk(n.Else, breakDepth, orderedIf, errGuard)
+			}
+			return
+		case *ast.AssignStmt:
+			classifyAssign(pass, n, outer, orderedIf, &effects)
+		}
+		for _, c := range childNodes(n) {
+			walk(c, breakDepth, orderedIf, errGuard)
+		}
+	}
+	walk(rs.Body, 0, 0, 0)
+	return effects
+}
+
+// isNilCheck reports whether the condition contains an x != nil
+// comparison — the shape of Go error propagation. Loops whose early
+// exits all sit under such guards only vary across runs that fail.
+func isNilCheck(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.NEQ {
+			return !found
+		}
+		for _, op := range []ast.Expr{be.X, be.Y} {
+			if id, ok := op.(*ast.Ident); ok && id.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// classifyAssign records append, float-accumulation, and selection
+// effects of one assignment against outer state.
+func classifyAssign(pass *Pass, n *ast.AssignStmt, outer func(ast.Expr) (types.Object, bool), orderedIf int, effects *[]mapEffect) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := n.Lhs[0]
+		if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+			return // keyed writes commute across iterations
+		}
+		if obj, ok := outer(lhs); ok && isFloatKinded(pass, lhs) {
+			*effects = append(*effects, mapEffect{pos: n.Pos(),
+				desc: "floating-point accumulation into " + quoted(obj.Name()) + " (float addition order changes the low bits)"})
+		}
+		return
+	case token.ASSIGN:
+	default:
+		return // := declares body-local state
+	}
+	for i, lhs := range n.Lhs {
+		if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+			continue // m2[k] = v / arr[k] = v: keyed by the iteration variable
+		}
+		obj, ok := outer(lhs)
+		if !ok {
+			continue
+		}
+		// s = append(s, …): element order follows iteration order.
+		if len(n.Lhs) == len(n.Rhs) {
+			if call, isCall := n.Rhs[i].(*ast.CallExpr); isCall && isBuiltinAppend(pass, call) {
+				eff := mapEffect{pos: n.Pos(), desc: "append to " + quoted(obj.Name()) + " (element order follows iteration order)"}
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					eff.appendTo = obj
+				}
+				*effects = append(*effects, eff)
+				continue
+			}
+		}
+		// Assignment under an ordering comparison: min/max or first-wins
+		// selection, where ties resolve by iteration order.
+		if orderedIf > 0 {
+			*effects = append(*effects, mapEffect{pos: n.Pos(),
+				desc: "selection into " + quoted(obj.Name()) + " under an ordering comparison (ties resolve by iteration order)"})
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.*
+// call that appears after pos within body — the tail half of the
+// materialize-keys-then-sort idiom.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.TypesInfo.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// hasOrderingCompare reports whether the expression contains a <, >, <=,
+// or >= comparison (function literals excluded).
+func hasOrderingCompare(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if be, ok := n.(*ast.BinaryExpr); ok {
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdent resolves an lvalue to its base identifier: x, x.f, x.f.g →
+// x. Index expressions are intentionally not traversed (keyed writes are
+// handled by the callers).
+func rootIdent(e ast.Expr) ast.Node {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func quoted(s string) string { return `"` + s + `"` }
+
+// childNodes returns the direct AST children of n, in source order, for
+// the stateful walk in classifyRangeBody (ast.Inspect cannot thread the
+// break-depth and ordered-if context down the tree).
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return c == n
+		}
+		out = append(out, c)
+		return false
+	})
+	return out
+}

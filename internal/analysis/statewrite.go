@@ -50,7 +50,6 @@ func runStatewrite(pass *Pass) error {
 		if strings.HasSuffix(filename, "_test.go") {
 			continue
 		}
-		allowed := directiveLines(pass.Fset, f, StatewriteAllowMarker)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -64,8 +63,7 @@ func runStatewrite(pass *Pass) error {
 			if why == "" {
 				return true
 			}
-			line := pass.Fset.Position(call.Pos()).Line
-			if allowed[line] || allowed[line-1] {
+			if pass.Allowlisted(f, StatewriteAllowMarker, call.Pos()) {
 				return true
 			}
 			pass.Reportf(call.Pos(),

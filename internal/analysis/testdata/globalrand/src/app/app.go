@@ -1,0 +1,42 @@
+// Package app exercises the globalrand analyzer: global draws, seed
+// shapes, and the sanctioned explicit-seed convention.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() int {
+	n := rand.Intn(10) // want `global rand\.Intn draws from the process-global source`
+	_ = rand.Float64() // want `global rand\.Float64 draws from the process-global source`
+	rand.Seed(42)      // want `global rand\.Seed draws from the process-global source`
+	return n
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource with a time-dependent seed`
+}
+
+func constSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.NewSource with a constant-only seed`
+}
+
+func explicitSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // the sanctioned shape: exempt
+}
+
+func mixedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*31 + 7)) // mixes a run-time seed: exempt
+}
+
+func methodDraws(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(3, func(i, j int) {})
+	return r.Intn(10) // methods on an explicit *rand.Rand: exempt
+}
+
+func annotated() int {
+	//coolair:allow-globalrand backoff jitter must desynchronize real processes
+	return rand.Intn(10)
+}

@@ -1,0 +1,27 @@
+// Package rand is a minimal stub of the standard library's math/rand
+// package: the analysistest loader resolves imports only within this
+// testdata tree. Only the identity (package path "math/rand", function
+// vs. *Rand method) matters to the analyzer.
+package rand
+
+// Source stands in for rand.Source.
+type Source interface {
+	Int63() int64
+}
+
+// Rand stands in for *rand.Rand: methods on it are the sanctioned
+// explicit-seed path.
+type Rand struct{}
+
+func (r *Rand) Intn(n int) int                     { return 0 }
+func (r *Rand) Float64() float64                   { return 0 }
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
+
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+
+func Intn(n int) int                     { return 0 }
+func Float64() float64                   { return 0 }
+func Int63() int64                       { return 0 }
+func Seed(seed int64)                    {}
+func Shuffle(n int, swap func(i, j int)) {}

@@ -1,0 +1,144 @@
+// Package maporder exercises the maporder analyzer. The first two
+// functions reconstruct the PR-7 model-fallback incident: the buggy
+// lowestTransition returned the first map entry the runtime happened to
+// yield, so fallback predictions differed between reruns of the same
+// trace until the metamorphic batch suite caught it.
+package maporder
+
+import "sort"
+
+// Transition mirrors the model package's (From, To) band-pair key.
+type Transition struct {
+	From, To int
+}
+
+// lowestTransitionBuggy is the PR-7 incident verbatim: "any entry" via
+// first-iteration return, which is a different entry every run.
+func lowestTransitionBuggy(groups map[Transition][]float64) (Transition, []float64) {
+	for tr, g := range groups { // want `nondeterministic map iteration: the loop returns from inside the body`
+		return tr, g
+	}
+	return Transition{}, nil
+}
+
+// lowestTransitionFixed is the deterministic repair: a strict min over
+// the totally ordered key. The heuristic cannot see the total order, so
+// the annotation carries the proof obligation.
+func lowestTransitionFixed(groups map[Transition][]float64) (Transition, []float64) {
+	best := Transition{From: 1 << 30, To: 1 << 30}
+	var bestG []float64
+	//coolair:allow-maporder strict min over the totally ordered (From, To) key; ties impossible
+	for tr, g := range groups {
+		if tr.From < best.From || (tr.From == best.From && tr.To < best.To) {
+			best, bestG = tr, g
+		}
+	}
+	return best, bestG
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `nondeterministic map iteration: append to "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // materialize-then-sort: the canonical idiom, exempt
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSortSlice(m map[Transition]int) []Transition {
+	var keys []Transition
+	for tr := range m {
+		keys = append(keys, tr)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].From < keys[j].From })
+	return keys
+}
+
+func floatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `nondeterministic map iteration: floating-point accumulation into "sum"`
+		sum += v
+	}
+	return sum
+}
+
+func intAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // integer addition commutes exactly: exempt
+		total += v
+	}
+	return total
+}
+
+func minSelection(m map[string]float64) string {
+	best := ""
+	bestV := 1e18
+	for k, v := range m { // want `nondeterministic map iteration: selection into "bestV"`
+		if v < bestV {
+			bestV = v
+			best = k
+		}
+	}
+	return best
+}
+
+func earlyBreak(m map[string]int, needle int) string {
+	found := ""
+	for k, v := range m { // want `nondeterministic map iteration: the loop breaks early`
+		if v == needle {
+			found = k
+			break
+		}
+	}
+	return found
+}
+
+func nestedBreak(m map[string][]int) int {
+	n := 0
+	for _, vs := range m { // the break exits the inner loop, not the range: exempt
+		for _, v := range vs {
+			if v < 0 {
+				break
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func convert(v int) (int, error) { return v, nil }
+
+func errPropagation(m map[string]int) (map[string]int, error) {
+	out := make(map[string]int, len(m))
+	var err error
+	for k, v := range m { // error-guarded return: only failing runs observe order, exempt
+		if out[k], err = convert(v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func keyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // writes keyed by the iteration variable commute: exempt
+		out[k] = v * 2
+	}
+	return out
+}
+
+func rangeSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs { // not a map: exempt
+		out = append(out, x)
+	}
+	return out
+}

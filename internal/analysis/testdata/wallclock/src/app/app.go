@@ -1,0 +1,31 @@
+// Package app is simulated logic: none of the standing exemptions
+// (package main, the trace subtree, sim's clock.go, RecordSpan-bearing
+// functions) apply, so every wall-clock read here must be annotated.
+package app
+
+import "time"
+
+// tracer mimics the trace plane's span sink; a function that calls
+// RecordSpan is phase-span instrumentation and may time itself.
+type tracer struct{}
+
+func (tracer) RecordSpan(name string, d time.Duration) {}
+
+func decide(obs time.Time) time.Duration {
+	start := time.Now()          // want `wall clock in simulated logic: time\.Now`
+	elapsed := time.Since(start) // want `wall clock in simulated logic: time\.Since`
+	time.Sleep(elapsed)          // want `wall clock in simulated logic: time\.Sleep`
+	return obs.Sub(start)        // a method on an acquired instant: exempt
+}
+
+func decideAnnotated() time.Time {
+	//coolair:allow-wallclock span timing accumulated outside a RecordSpan-bearing function
+	return time.Now()
+}
+
+func timedPhase(tr tracer) time.Time {
+	start := time.Now() // feeds RecordSpan below: exempt
+	t := time.Unix(0, 0)
+	tr.RecordSpan("phase", time.Since(start))
+	return t
+}

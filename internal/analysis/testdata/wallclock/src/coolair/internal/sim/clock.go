@@ -1,0 +1,9 @@
+// Package sim mirrors coolair/internal/sim: clock.go is the sanctioned
+// wall-time bridge and is exempt by file name; every other file in the
+// package is simulated logic.
+package sim
+
+import "time"
+
+// WallStart is allowed to read the host clock: this file IS the bridge.
+func WallStart() time.Time { return time.Now() }

@@ -1,0 +1,8 @@
+package sim
+
+import "time"
+
+// Step is simulated logic even though it lives next to clock.go.
+func Step() time.Time {
+	return time.Now() // want `wall clock in simulated logic: time\.Now`
+}

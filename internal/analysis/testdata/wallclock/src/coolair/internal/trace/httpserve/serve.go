@@ -1,0 +1,7 @@
+// Package httpserve sits under the trace prefix: the whole subtree is
+// an observability / wall-clock domain and is exempt wholesale.
+package httpserve
+
+import "time"
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,19 @@
+// Package time is a minimal stub of the standard library's time
+// package: the analysistest loader resolves imports only within this
+// testdata tree. Only the identity (package path "time" + function
+// name, and method-vs-function) matters to the analyzer.
+package time
+
+// Duration stands in for time.Duration.
+type Duration int64
+
+// Time stands in for time.Time.
+type Time struct{}
+
+// Sub is a method: subtracting two already-acquired instants is fine.
+func (t Time) Sub(u Time) Duration { return 0 }
+
+func Now() Time                 { return Time{} }
+func Since(t Time) Duration     { return 0 }
+func Sleep(d Duration)          {}
+func Unix(sec, nsec int64) Time { return Time{} }

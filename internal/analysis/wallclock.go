@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// WallclockAllowMarker suppresses a wallclock finding when it appears on
+// the call's line or on the line above it. Every use should say why the
+// wall-clock read cannot influence simulated state (the canonical one:
+// span timing accumulated outside a RecordSpan-bearing function, like
+// Guard.tryInner feeding Guard.Decide's overhead span).
+const WallclockAllowMarker = "coolair:allow-wallclock"
+
+// wallclockFuncs are the time entry points that leak the host's wall
+// clock. time.Time.Sub and friends are fine — the damage is done at the
+// point a wall-clock value is acquired, not where it is subtracted.
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Sleep": true,
+}
+
+// wallclockTracePrefix names the package subtree that may read the wall
+// clock freely: the trace plane (phase-span latencies and the HTTP
+// server machinery are observability, not simulation).
+const wallclockTracePrefix = "coolair/internal/trace"
+
+// Wallclock flags time.Now, time.Since, and time.Sleep in simulated
+// logic. The repo's reproducibility contract — golden decision digest,
+// batch metamorphic suite, crash-safe resume — requires every decision
+// to be a pure function of (seed, trace, observation); logic that reads
+// the host clock produces runs that cannot be replayed. Simulated code
+// takes time from sim.Clock and from observation timestamps instead.
+//
+// Allowlisted without annotation:
+//
+//   - package main (cmd/ entry points time their own phases and pace
+//     real-time daemons; none of it feeds back into decisions),
+//   - coolair/internal/trace and its subpackages (phase-span latency
+//     observation and HTTP serving are wall-clock domains by nature),
+//   - clock.go in coolair/internal/sim (sim.Clock is the sanctioned
+//     bridge between wall time and simulated time),
+//   - functions that call RecordSpan (phase-span instrumentation:
+//     the measured wall time flows into a latency histogram, never
+//     into control decisions),
+//   - _test.go files.
+//
+// Everything else needs //coolair:allow-wallclock <reason>.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flag time.Now/Since/Sleep in simulated logic (time comes from sim.Clock and observations)",
+	Run:  runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	if path := pass.Pkg.Path(); path == wallclockTracePrefix || strings.HasPrefix(path, wallclockTracePrefix+"/") {
+		return nil
+	}
+	simClockFile := pass.Pkg.Path() == "coolair/internal/sim"
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		if simClockFile && filepath.Base(filename) == "clock.go" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if callsRecordSpan(fd.Body) {
+				continue
+			}
+			checkWallclockCalls(pass, f, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkWallclockCalls(pass *Pass, f *ast.File, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		fn, isFunc := obj.(*types.Func)
+		if !isFunc || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockFuncs[fn.Name()] {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // a method like t.Sub — not a wall-clock read
+		}
+		if pass.Allowlisted(f, WallclockAllowMarker, call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"wall clock in simulated logic: time.%s makes the run unreproducible — take time from sim.Clock or the observation timestamp, or annotate with //%s <reason>",
+			fn.Name(), WallclockAllowMarker)
+		return true
+	})
+}
+
+// callsRecordSpan reports whether the body contains a RecordSpan method
+// call: the marker of phase-span instrumentation, whose wall-clock reads
+// feed latency histograms rather than simulated state.
+func callsRecordSpan(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "RecordSpan" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -257,6 +257,7 @@ func (m *Model) humModel(tr cooling.Transition) mlearn.Regressor {
 func lowestTransition[V any](models map[cooling.Transition]V) (cooling.Transition, bool) {
 	var best cooling.Transition
 	found := false
+	//coolair:allow-maporder strict min over the totally ordered (From, To) key: every iteration order yields the same winner
 	for tr := range models {
 		if !found || tr.From < best.From || (tr.From == best.From && tr.To < best.To) {
 			best, found = tr, true
