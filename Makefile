@@ -10,7 +10,7 @@ BENCH_COUNT   := 5
 BENCH_WORLD_PATTERN := BenchmarkWorldThroughput$$
 BENCH_WORLD_COUNT   := 3
 
-.PHONY: build test vet lint check bench bench-check fuzz serve
+.PHONY: build test vet lint check bench bench-check fuzz serve loadtest
 
 build:
 	go build ./...
@@ -56,6 +56,18 @@ bench-check:
 # hour per wall second. See README "Live telemetry".
 serve:
 	go run ./cmd/coolair-serve -speed 3600
+
+# loadtest runs the full-scale fleet acceptance profile: a 64-site
+# fleet under 2,000 concurrent scrape+SSE clients, SIGKILLed between
+# two load phases, with p99 scrape latency, stall, and SSE cursor
+# continuity thresholds enforced (exit 1 on violation). CI runs the
+# same harness at reduced scale with -race (job: fleet-smoke).
+loadtest:
+	go build -o coolair-serve.loadtest ./cmd/coolair-serve
+	go run ./cmd/coolair-loadtest -serve-bin ./coolair-serve.loadtest \
+		-fleet world:64 -scrapers 1000 -streamers 1000 \
+		-duration 20s -p99 250ms -kill
+	rm -f coolair-serve.loadtest
 
 # fuzz exercises the trace JSONL round-trip fuzzer beyond the checked-in
 # corpus. CI runs the same 10-second budget.

@@ -1,0 +1,238 @@
+// Command coolair-loadtest drives the fleet load/chaos harness against
+// a coolair-serve daemon and enforces the acceptance thresholds: p99
+// scrape latency under budget, zero site stalls, SSE cursor continuity
+// — and, with -kill, cursors resuming past the kill point after a
+// SIGKILL warm reboot. Exit status 1 means a threshold was violated.
+//
+// Target an already-running fleet:
+//
+//	coolair-loadtest -addr http://127.0.0.1:8080 -scrapers 100 -streamers 100
+//
+// Or let the harness own the daemon lifecycle (spawn, load, SIGKILL,
+// warm reboot, verify resume) — the full acceptance profile behind
+// `make loadtest`:
+//
+//	go build -o coolair-serve ./cmd/coolair-serve
+//	coolair-loadtest -serve-bin ./coolair-serve -fleet world:64 \
+//	    -scrapers 1000 -streamers 1000 -duration 20s -kill
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"coolair/internal/loadtest"
+)
+
+type config struct {
+	addr     string
+	serveBin string
+	fleet    string
+	workers  int
+	speed    float64
+	days     int
+
+	scrapers  int
+	streamers int
+	interval  time.Duration
+	duration  time.Duration
+	p99       time.Duration
+	errRate   float64
+	kill      bool
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "base URL of a running fleet (e.g. http://127.0.0.1:8080); empty spawns one via -serve-bin")
+	flag.StringVar(&cfg.serveBin, "serve-bin", "", "coolair-serve binary to spawn when -addr is empty")
+	flag.StringVar(&cfg.fleet, "fleet", "world:64", "fleet spec for the spawned daemon")
+	flag.IntVar(&cfg.workers, "fleet-workers", 0, "worker-pool size for the spawned daemon (0 = GOMAXPROCS)")
+	flag.Float64Var(&cfg.speed, "speed", 600, "clock speed for the spawned daemon (sim seconds per wall second)")
+	flag.IntVar(&cfg.days, "days", 2, "days to simulate in the spawned daemon")
+	flag.IntVar(&cfg.scrapers, "scrapers", 1000, "concurrent scrape clients")
+	flag.IntVar(&cfg.streamers, "streamers", 1000, "concurrent SSE clients")
+	flag.DurationVar(&cfg.interval, "scrape-interval", 500*time.Millisecond, "each scraper's pause between requests")
+	flag.DurationVar(&cfg.duration, "duration", 20*time.Second, "length of each load phase")
+	flag.DurationVar(&cfg.p99, "p99", 250*time.Millisecond, "p99 scrape latency budget")
+	flag.Float64Var(&cfg.errRate, "max-error-rate", 0.01, "tolerated scrape error rate per phase")
+	flag.BoolVar(&cfg.kill, "kill", false, "SIGKILL the spawned daemon between two phases and verify warm-boot cursor resume")
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if err := run(cfg, logger); err != nil {
+		logger.Error("loadtest failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config, logger *slog.Logger) error {
+	ctx := context.Background()
+	base := cfg.addr
+	var d *daemon
+	if base == "" {
+		if cfg.serveBin == "" {
+			return fmt.Errorf("need -addr or -serve-bin")
+		}
+		stateDir, err := os.MkdirTemp("", "coolair-loadtest-state-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(stateDir)
+		d = &daemon{cfg: cfg, stateDir: stateDir, logger: logger}
+		if err := d.start(); err != nil {
+			return err
+		}
+		defer d.stop()
+		base = d.base
+	} else if cfg.kill {
+		return fmt.Errorf("-kill requires a harness-owned daemon (-serve-bin), not -addr")
+	}
+
+	if err := waitFleetReady(ctx, base, 5*time.Minute); err != nil {
+		return err
+	}
+
+	logger.Info("phase 1: steady-state load")
+	rep1, err := loadtest.Run(ctx, loadtest.Config{
+		BaseURL: base, Scrapers: cfg.scrapers, Streamers: cfg.streamers,
+		Duration: cfg.duration, ScrapeInterval: cfg.interval, Logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+	printReport("steady-state", rep1)
+	if err := loadtest.Assert(rep1, cfg.p99, cfg.errRate); err != nil {
+		return err
+	}
+
+	if !cfg.kill {
+		return nil
+	}
+
+	logger.Info("phase 2: SIGKILL and warm reboot under load")
+	if err := d.kill(); err != nil {
+		return err
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
+	base = d.base
+	if err := waitFleetReady(ctx, base, 2*time.Minute); err != nil {
+		return fmt.Errorf("warm reboot: %w", err)
+	}
+	rep2, err := loadtest.Run(ctx, loadtest.Config{
+		BaseURL: base, Scrapers: cfg.scrapers, Streamers: cfg.streamers,
+		Duration: cfg.duration, ScrapeInterval: cfg.interval, Logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+	printReport("post-reboot", rep2)
+	if err := loadtest.Assert(rep2, cfg.p99, cfg.errRate); err != nil {
+		return err
+	}
+	if err := loadtest.VerifyResume(rep1.SiteCursor, rep2.SiteCursor); err != nil {
+		return err
+	}
+	logger.Info("resume verified: every site's SSE cursor passed its pre-kill high-water mark")
+	return nil
+}
+
+// printReport renders the EXPERIMENTS.md-style result row.
+func printReport(phase string, r *loadtest.Report) {
+	fmt.Printf("%-14s sites=%d scrapes=%d errors=%d p50=%v p90=%v p99=%v max=%v events=%d drops=%d reconnects=%d stalled=%d\n",
+		phase, r.Sites, r.Scrapes, r.ScrapeErrors, r.P50, r.P90, r.P99, r.Max,
+		r.Events, r.Drops, r.Reconnects, len(r.Stalled))
+}
+
+// daemon owns a spawned coolair-serve process across kill/restart
+// cycles (same state dir, same spec — the warm-boot contract).
+type daemon struct {
+	cfg      config
+	stateDir string
+	logger   *slog.Logger
+	cmd      *exec.Cmd
+	base     string
+}
+
+func (d *daemon) start() error {
+	addrFile := filepath.Join(d.stateDir, "addr")
+	os.Remove(addrFile)
+	args := []string{
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+		"-fleet", d.cfg.fleet, "-state-dir", d.stateDir,
+		"-days", strconv.Itoa(d.cfg.days),
+		"-speed", strconv.FormatFloat(d.cfg.speed, 'g', -1, 64),
+		"-checkpoint-every", "300",
+	}
+	if d.cfg.workers > 0 {
+		args = append(args, "-fleet-workers", strconv.Itoa(d.cfg.workers))
+	}
+	cmd := exec.Command(d.cfg.serveBin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", d.cfg.serveBin, err)
+	}
+	d.cmd = cmd
+
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			d.base = "http://" + string(raw)
+			d.logger.Info("daemon up", "base", d.base, "pid", cmd.Process.Pid)
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return fmt.Errorf("daemon never wrote %s", addrFile)
+}
+
+func (d *daemon) kill() error {
+	d.logger.Info("SIGKILL", "pid", d.cmd.Process.Pid)
+	if err := d.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	d.cmd.Wait()
+	return nil
+}
+
+func (d *daemon) stop() {
+	if d.cmd != nil && d.cmd.ProcessState == nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}
+
+// waitFleetReady polls /readyz until the whole fleet answers 200.
+func waitFleetReady(ctx context.Context, base string, budget time.Duration) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(budget)
+	var lastBody string
+	for time.Now().Before(deadline) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			body := make([]byte, 256)
+			n, _ := resp.Body.Read(body)
+			lastBody = string(body[:n])
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("fleet not ready within %v (last: %s)", budget, lastBody)
+}

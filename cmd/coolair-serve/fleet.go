@@ -1,0 +1,260 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"coolair/internal/experiments"
+	"coolair/internal/sim"
+	"coolair/internal/store"
+	"coolair/internal/trace"
+	"coolair/internal/trace/httpserve"
+)
+
+// Fleet mode: one daemon, N managed sites. Every site gets its own
+// ring, supervisor, and (with -state-dir) store shard; all sites share
+// one model lab (train once per fidelity, deploy fleet-wide — the
+// paper's worldwide-deployment story), one wall-clock anchor, and one
+// bounded worker pool so a 64-site fleet on an 8-core box interleaves
+// instead of thrashing. Site failures are isolated: a panicking site
+// burns through its own restart budget and circuit breaker while the
+// rest of the fleet keeps serving.
+
+// Fleet rings are smaller than the single-site default (4096/16384):
+// a DecisionRecord is ~3 KB, so 64 default rings would hold ~1 GB.
+// 512 decisions cover several simulated hours of scrollback per site.
+const (
+	fleetRingDecisions = 512
+	fleetRingTicks     = 4096
+)
+
+// fleetSite is one site's runtime assembly.
+type fleetSite struct {
+	spec experiments.FleetSite
+	ring *trace.Ring
+	sup  *supervisor
+}
+
+// fleet owns the per-site supervisors and the shared infrastructure.
+type fleet struct {
+	cfg    serveConfig
+	sites  []*fleetSite
+	pool   *sim.WorkerPool
+	logger *slog.Logger
+}
+
+// newFleet parses the spec and assembles every site: shared lab and
+// model registry, per-site ring, store shard, fault plan, and a
+// pool-gated clock.
+func newFleet(cfg serveConfig, logger *slog.Logger) (*fleet, error) {
+	specs, err := experiments.ParseFleetSpec(cfg.fleetSpec)
+	if err != nil {
+		return nil, fmt.Errorf("-fleet: %w", err)
+	}
+
+	var reg *store.Registry
+	if cfg.stateDir != "" {
+		r, err := store.Open(cfg.stateDir)
+		if err != nil {
+			return nil, err
+		}
+		reg = r
+		logger.Info("state plane enabled", "dir", reg.Dir(),
+			"checkpoint_every_sim_s", cfg.checkpointEvery, "sharded_by", "site")
+	}
+	lab := experiments.NewLab()
+	lab.Store = reg
+	lab.Logger = logger
+
+	workers := cfg.fleetWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := sim.NewWorkerPool(workers)
+	// One shared anchor: every site paces against the same wall-to-sim
+	// mapping, so the fleet marches through the simulated day together.
+	var shared sim.Clock
+	if cfg.speed > 0 {
+		shared = sim.NewSharedScaledClock(cfg.speed)
+	}
+
+	f := &fleet{cfg: cfg, pool: pool, logger: logger}
+	for _, spec := range specs {
+		siteCfg := cfg
+		if cfg.faultSeed != 0 {
+			// Per-site fault plans: same campaign shape, offset seeds.
+			siteCfg.faultSeed = cfg.faultSeed + spec.Seed
+		}
+		if cfg.chaosSite != "" && cfg.chaosSite != spec.ID {
+			siteCfg.chaosPanicAfter = 0 // chaos targets one site only
+		}
+
+		ring := trace.NewRing(fleetRingDecisions, fleetRingTicks)
+		var runReg *store.Registry
+		if reg != nil {
+			shard, err := reg.Shard(spec.ID)
+			if err != nil {
+				return nil, fmt.Errorf("site %s: %w", spec.ID, err)
+			}
+			runReg = shard
+		}
+
+		sup, err := newSupervisor(siteCfg, spec.Climate, spec.System, ring, reg, lab,
+			logger.With("site", spec.ID))
+		if err != nil {
+			return nil, fmt.Errorf("site %s: %w", spec.ID, err)
+		}
+		sup.site = spec.ID
+		sup.siteSeed = spec.Seed
+		sup.runReg = runReg
+		gated := pool.Gate(shared)
+		sup.clock = gated
+		sup.gated = gated
+
+		f.sites = append(f.sites, &fleetSite{spec: spec, ring: ring, sup: sup})
+	}
+	logger.Info("fleet assembled", "sites", len(f.sites), "workers", pool.Size())
+	return f, nil
+}
+
+// mount registers the fleet surface: the legacy-shaped per-site planes
+// under /sites/<id>/, the JSON listing, and the combined metrics page.
+func (f *fleet) mount(mux *http.ServeMux) {
+	for _, s := range f.sites {
+		httpserve.MountSitePlane(mux, "/sites/"+s.spec.ID, s.ring, s.sup.ready)
+	}
+	mux.Handle("/sites", httpserve.SitesHandler(f.snapshot))
+	mux.Handle("/metrics", httpserve.FleetMetricsHandler(f.series))
+	mux.Handle("/healthz", httpserve.HealthHandler())
+	mux.Handle("/readyz", httpserve.ReadyHandler(f.ready))
+	mux.Handle("/debug/pprof/", httpserve.PprofMux())
+}
+
+// snapshot builds the /sites rows in boot order.
+func (f *fleet) snapshot() []httpserve.SiteStatus {
+	out := make([]httpserve.SiteStatus, 0, len(f.sites))
+	for _, s := range f.sites {
+		met := s.ring.Metrics()
+		ready, reason := s.sup.ready()
+		cur := s.ring.Cursor()
+		out = append(out, httpserve.SiteStatus{
+			ID:        s.spec.ID,
+			Location:  s.spec.Climate.Name,
+			System:    s.spec.System.Name,
+			Seed:      s.spec.Seed,
+			Mode:      serveMode(s.sup.mode.Load()).String(),
+			Ready:     ready,
+			Reason:    reason,
+			Regime:    int(met.ActiveRegime.Value()),
+			SimTime:   met.SimTimeSeconds.Value(),
+			Cursor:    fmt.Sprintf("%d-%d", cur.Decisions, cur.Ticks),
+			Decisions: met.DecisionsTotal.Value(),
+			Restarts:  met.RestartsTotal.Value(),
+		})
+	}
+	return out
+}
+
+// series feeds the combined /metrics page.
+func (f *fleet) series() []trace.SiteSeries {
+	out := make([]trace.SiteSeries, 0, len(f.sites))
+	for _, s := range f.sites {
+		ready, _ := s.sup.ready()
+		out = append(out, trace.SiteSeries{Site: s.spec.ID, Ready: ready, Reg: s.ring.Metrics()})
+	}
+	return out
+}
+
+// ready answers the fleet-level readiness probe: 200 only when every
+// site is ready, with a not-ready census as the 503 body otherwise.
+func (f *fleet) ready() (bool, string) {
+	ready := 0
+	for _, s := range f.sites {
+		if ok, _ := s.sup.ready(); ok {
+			ready++
+		}
+	}
+	if ready == len(f.sites) {
+		return true, ""
+	}
+	return false, fmt.Sprintf("%d/%d sites ready", ready, len(f.sites))
+}
+
+// run drives every site's supervised loop to completion (or ctx
+// cancellation). Site failures are contained: a site whose loop returns
+// an error is marked stopped (its breaker state explains it on /sites
+// and /readyz) and the rest of the fleet runs on. run itself only
+// reports the fleet-level outcome — it never kills the daemon for one
+// site's misconfiguration.
+func (f *fleet) run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for _, s := range f.sites {
+		wg.Add(1)
+		go func(s *fleetSite) {
+			defer wg.Done()
+			err := s.sup.loop(ctx)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				s.sup.setMode(modeCrashLoop, fmt.Sprintf("stopped: %v", err))
+				f.logger.Error("site run loop failed, site stopped", "site", s.spec.ID, "err", err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if ctx.Err() == nil {
+		f.logger.Info("fleet complete, telemetry plane stays up until signal")
+	}
+	return nil
+}
+
+// runFleet is run()'s fleet-mode twin: bind the HTTP plane, boot every
+// site's supervised loop, and block until the shutdown signal.
+func runFleet(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen func(addr string)) error {
+	f, err := newFleet(cfg, logger)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	f.mount(mux)
+
+	srv, err := httpserve.Start(cfg.addr, mux)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			logger.Warn("http shutdown", "err", err)
+		}
+	}()
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(srv.Addr()), 0o644); err != nil {
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
+	if onListen != nil {
+		onListen(srv.Addr())
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- f.run(ctx) }()
+	select {
+	case <-ctx.Done():
+		logger.Info("shutdown signal received, stopping fleet")
+		<-done
+		return nil
+	case err := <-done:
+		if err != nil {
+			return err
+		}
+		<-ctx.Done()
+		return nil
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFleetChaosKillAndWarmReboot extends the PR-6 crash drill to a
+// whole fleet: SIGKILL a mid-run three-site daemon (one trained all-nd
+// site, two baselines) and boot a successor on the same state
+// directory. The warm boot must bring every site back with zero
+// retraining — models and per-site run states come off the sharded
+// store — and every site must resume at (not before) its own kill
+// point, with SSE event numbering continuing past the restored cursor
+// instead of resetting to 1.
+func TestFleetChaosKillAndWarmReboot(t *testing.T) {
+	bin := buildDaemon(t)
+	state := t.TempDir()
+	args := []string{
+		"-fleet", "newark:all-nd,chad:baseline,santiago:baseline",
+		"-days", "2", "-start", "150",
+		"-state-dir", state, "-checkpoint-every", "600", "-speed", "7200",
+	}
+	siteIDs := []string{"newark-0", "chad-1", "santiago-2"}
+
+	// Boot 1: cold — one training (the single all-nd site), per-site
+	// checkpoints accumulating against per-site store shards.
+	d1 := startDaemon(t, bin, args...)
+	waitReady(t, d1.base, 180*time.Second)
+	if got := metricValue(t, d1.base, "fleet_trainings_total"); got != 1 {
+		t.Errorf("cold boot fleet_trainings_total = %v, want 1 (one all-nd site)", got)
+	}
+	for _, id := range siteIDs {
+		waitMetricAtLeast(t, d1.base+"/sites/"+id, "checkpoints_total", 1, 60*time.Second)
+	}
+	killPoint := make(map[string]float64, len(siteIDs))
+	for _, s := range getSites(t, d1.base).Sites {
+		killPoint[s.ID] = s.SimTime
+	}
+	d1.kill()
+
+	// Boot 2: warm — the whole fleet restores from the sharded store.
+	rebootStart := time.Now()
+	d2 := startDaemon(t, bin, args...)
+	waitReady(t, d2.base, 60*time.Second)
+	t.Logf("fleet warm reboot ready in %s", time.Since(rebootStart))
+
+	if got := metricValue(t, d2.base, "fleet_trainings_total"); got != 0 {
+		t.Errorf("warm boot retrained: fleet_trainings_total = %v, want 0", got)
+	}
+	// At least one restore per site (the run state; newark also reloads
+	// its model snapshot) and no failures anywhere in the fleet.
+	if got := metricValue(t, d2.base, "fleet_state_restore_success_total"); got < 3 {
+		t.Errorf("fleet_state_restore_success_total = %v, want >= 3 (one run state per site)", got)
+	}
+	if got := metricValue(t, d2.base, "fleet_state_restore_failure_total"); got != 0 {
+		t.Errorf("fleet_state_restore_failure_total = %v, want 0", got)
+	}
+
+	// Every site pushes past its own kill point instead of restarting
+	// the run, and its SSE numbering continues from the restored cursor.
+	for _, id := range siteIDs {
+		plane := d2.base + "/sites/" + id
+		waitMetricAtLeast(t, plane, "sim_time_seconds", killPoint[id], 90*time.Second)
+		if dec, _ := firstStreamID(t, plane+"/stream"); dec <= 1 {
+			t.Errorf("site %s SSE cursor reset after warm boot: first event decision seq %d, want > 1", id, dec)
+		}
+	}
+	d2.term()
+}

@@ -21,11 +21,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
-	"coolair/internal/core"
 	"coolair/internal/experiments"
 	"coolair/internal/store"
 	"coolair/internal/trace"
@@ -55,10 +53,15 @@ type serveConfig struct {
 	restartBackoff  time.Duration
 	addrFile        string // write the bound address here (exec-based tests)
 
+	// Fleet mode: a non-empty spec turns the daemon multi-tenant.
+	fleetSpec    string // experiments.ParseFleetSpec grammar; "" = single site
+	fleetWorkers int    // bounded worker-pool size; 0 = GOMAXPROCS
+
 	// Chaos knobs (deterministic fault/crash injection for the tests).
 	faultSeed       int64
 	chaosPanicAfter int
 	chaosPanicCount int
+	chaosSite       string // fleet mode: the one site -chaos-panic-after targets ("" = all)
 }
 
 func main() {
@@ -77,9 +80,12 @@ func main() {
 	flag.IntVar(&cfg.maxRestarts, "max-restarts", 5, "run-loop panics tolerated before the crash-loop circuit breaker opens")
 	flag.DurationVar(&cfg.restartBackoff, "restart-backoff", 500*time.Millisecond, "initial restart backoff after a run-loop panic (doubles per restart, jittered)")
 	flag.StringVar(&cfg.addrFile, "addr-file", "", "write the bound HTTP address to this file after listening")
+	flag.StringVar(&cfg.fleetSpec, "fleet", "", "multi-site fleet spec, e.g. world:16 or newark:all-nd:4,chad:baseline or @file (empty = single site)")
+	flag.IntVar(&cfg.fleetWorkers, "fleet-workers", 0, "fleet worker-pool size: max sites computing a physics step concurrently (0 = GOMAXPROCS)")
 	flag.Int64Var(&cfg.faultSeed, "fault-seed", 0, "inject a deterministic sensor-fault plan derived from this seed (0 disables)")
 	flag.IntVar(&cfg.chaosPanicAfter, "chaos-panic-after", 0, "inject a controller panic after this many decisions (0 disables; testing only)")
 	flag.IntVar(&cfg.chaosPanicCount, "chaos-panic-count", 1, "how many times -chaos-panic-after fires before disarming")
+	flag.StringVar(&cfg.chaosSite, "chaos-site", "", "fleet mode: restrict -chaos-panic-after to this site id (empty = every site)")
 	logFormat := flag.String("log", "text", "log format: text|json")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	flag.Parse()
@@ -115,6 +121,9 @@ func main() {
 // final state remains inspectable; onListen (may be nil) receives the
 // bound address.
 func run(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen func(addr string)) error {
+	if cfg.fleetSpec != "" {
+		return runFleet(ctx, cfg, logger, onListen)
+	}
 	cl, ok := findClimate(cfg.location)
 	if !ok {
 		return fmt.Errorf("unknown location %q", cfg.location)
@@ -135,16 +144,14 @@ func run(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen fun
 	}
 
 	ring := trace.NewRing(0, 0)
-	sup, err := newSupervisor(cfg, cl, sys, ring, reg, logger)
+	sup, err := newSupervisor(cfg, cl, sys, ring, reg, nil, logger)
 	if err != nil {
 		return err
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", httpserve.MetricsHandler(ring.Metrics()))
+	httpserve.MountSitePlane(mux, "", ring, sup.ready)
 	mux.Handle("/healthz", httpserve.HealthHandler())
-	mux.Handle("/readyz", httpserve.ReadyHandler(sup.ready))
-	mux.Handle("/stream", &httpserve.StreamHandler{Ring: ring})
 	mux.Handle("/debug/pprof/", httpserve.PprofMux())
 
 	// Bind before booting the run loop: /healthz answers (and bind
@@ -188,35 +195,9 @@ func run(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen fun
 	}
 }
 
-func findClimate(name string) (weather.Climate, bool) {
-	for _, c := range weather.StudyLocations() {
-		if strings.EqualFold(c.Name, name) {
-			return c, true
-		}
-	}
-	return weather.Climate{}, false
-}
+// findClimate / findSystem are thin aliases for the experiments-layer
+// lookups (the fleet spec parser uses the same vocabulary, so the CLI
+// and the spec grammar cannot drift apart).
+func findClimate(name string) (weather.Climate, bool) { return experiments.ClimateByName(name) }
 
-func findSystem(name string) (experiments.System, bool) {
-	switch strings.ToLower(name) {
-	case "baseline":
-		return experiments.BaselineSystem(), true
-	case "temperature":
-		return experiments.CoolAirSystem(core.VersionTemperature), true
-	case "energy":
-		return experiments.CoolAirSystem(core.VersionEnergy), true
-	case "variation":
-		return experiments.CoolAirSystem(core.VersionVariation), true
-	case "all-nd", "allnd":
-		return experiments.CoolAirSystem(core.VersionAllND), true
-	case "all-def", "alldef":
-		s := experiments.CoolAirSystem(core.VersionAllDEF)
-		s.Deferrable = true
-		return s, true
-	case "energy-def":
-		s := experiments.CoolAirSystem(core.VersionEnergyDEF)
-		s.Deferrable = true
-		return s, true
-	}
-	return experiments.System{}, false
-}
+func findSystem(name string) (experiments.System, bool) { return experiments.SystemByName(name) }

@@ -44,6 +44,10 @@ const (
 	// modeCrashLoop: the restart circuit breaker opened; the run loop is
 	// stopped but the HTTP plane stays up for observability.
 	modeCrashLoop
+	// modeComplete: the simulation finished cleanly; the plane stays up
+	// (and /readyz stays 200) so the final state remains inspectable —
+	// a fleet listing distinguishes a finished site from a live one.
+	modeComplete
 )
 
 func (m serveMode) String() string {
@@ -58,6 +62,8 @@ func (m serveMode) String() string {
 		return "running"
 	case modeCrashLoop:
 		return "crash-loop"
+	case modeComplete:
+		return "complete"
 	}
 	return fmt.Sprintf("mode(%d)", int32(m))
 }
@@ -86,9 +92,21 @@ type supervisor struct {
 	days   []int
 	ring   *trace.Ring
 	reg    *store.Registry // nil without -state-dir
+	runReg *store.Registry // run-state home: reg, or a per-site shard in fleet mode
 	lab    *experiments.Lab
 	inj    *faults.Injector
 	logger *slog.Logger
+
+	// Fleet identity (zero values for the single-site daemon): site is
+	// the fleet site id (stamped on run-state snapshots and in the
+	// fingerprint), siteSeed offsets the fault plan, clock overrides the
+	// speed-derived clock (the fleet's pool-gated shared clock), and
+	// gated, when set, has its slot released whenever a run attempt
+	// exits so a finished or crashed site cannot starve the pool.
+	site     string
+	siteSeed int64
+	clock    sim.Clock
+	gated    *sim.GatedClock
 
 	mode     atomic.Int32
 	reasonMu sync.Mutex
@@ -106,12 +124,16 @@ type supervisor struct {
 }
 
 // newSupervisor assembles the supervisor: workload, day schedule, fault
-// plan, and the model lab wired to the registry.
+// plan, and the model lab wired to the registry. lab may be nil (a
+// private lab is created); the fleet passes one shared lab so N sites
+// train — or restore — each fidelity's model exactly once.
 func newSupervisor(cfg serveConfig, cl weather.Climate, sys experiments.System,
-	ring *trace.Ring, reg *store.Registry, logger *slog.Logger) (*supervisor, error) {
-	lab := experiments.NewLab()
-	lab.Store = reg
-	lab.Logger = logger
+	ring *trace.Ring, reg *store.Registry, lab *experiments.Lab, logger *slog.Logger) (*supervisor, error) {
+	if lab == nil {
+		lab = experiments.NewLab()
+		lab.Store = reg
+		lab.Logger = logger
+	}
 	wl := lab.Facebook()
 	if cfg.workloadName == "nutch" {
 		wl = lab.Nutch()
@@ -140,7 +162,7 @@ func newSupervisor(cfg serveConfig, cl weather.Climate, sys experiments.System,
 
 	s := &supervisor{
 		cfg: cfg, cl: cl, sys: sys, wl: wl, days: days,
-		ring: ring, reg: reg, lab: lab, inj: inj, logger: logger,
+		ring: ring, reg: reg, runReg: reg, lab: lab, inj: inj, logger: logger,
 		chaosRemaining: cfg.chaosPanicCount,
 	}
 	s.setMode(modeBooting, "booting")
@@ -181,11 +203,14 @@ func (s *supervisor) setMode(m serveMode, reason string) {
 // is live and the first decision has landed; otherwise the current
 // lifecycle reason explains the 503.
 func (s *supervisor) ready() (bool, string) {
-	if serveMode(s.mode.Load()) == modeRunning {
+	switch serveMode(s.mode.Load()) {
+	case modeRunning:
 		if s.ring.Cursor().Decisions >= 1 {
 			return true, ""
 		}
 		return false, "running: awaiting first decision"
+	case modeComplete:
+		return true, ""
 	}
 	s.reasonMu.Lock()
 	defer s.reasonMu.Unlock()
@@ -197,9 +222,9 @@ func (s *supervisor) ready() (bool, string) {
 // here — resuming across a config change would splice two different
 // runs together.
 func (s *supervisor) fingerprint() string {
-	return fmt.Sprintf("v1|loc=%s|sys=%s|wl=%s|days=%v|guard=%t|seed=%d|train=%d|faults=%d",
-		s.cl.Name, s.sys.Name, s.cfg.workloadName, s.days, s.cfg.guard,
-		s.lab.Seed, s.lab.TrainDays, s.cfg.faultSeed)
+	return fmt.Sprintf("v2|site=%s|loc=%s|sys=%s|wl=%s|days=%v|guard=%t|seed=%d|train=%d|faults=%d|siteseed=%d",
+		s.site, s.cl.Name, s.sys.Name, s.cfg.workloadName, s.days, s.cfg.guard,
+		s.lab.Seed, s.lab.TrainDays, s.cfg.faultSeed, s.siteSeed)
 }
 
 // loop is the supervised run loop: run, and on panic record the event,
@@ -226,6 +251,7 @@ func (s *supervisor) loop(ctx context.Context) error {
 			return nil // graceful shutdown
 		}
 		if err == nil {
+			s.setMode(modeComplete, "")
 			s.logger.Info("simulation complete, telemetry plane stays up until signal")
 			return nil
 		}
@@ -284,6 +310,12 @@ func (s *supervisor) runOnce(ctx context.Context) (err error) {
 		if r := recover(); r != nil {
 			err = &panicError{val: r, stack: debug.Stack()}
 		}
+		// Whatever way the attempt ended, give the fleet pool its slot
+		// back: a completed, crashed, or circuit-broken site must never
+		// hold compute capacity the live sites could use.
+		if s.gated != nil {
+			s.gated.Release()
+		}
 	}()
 	met := s.ring.Metrics()
 
@@ -340,8 +372,8 @@ func (s *supervisor) runOnce(ctx context.Context) (err error) {
 	fp := s.fingerprint()
 	runCfg := s.baseRunCfg(ctx)
 	runCfg.KeepAllActive = s.sys.Baseline
-	if s.reg != nil {
-		st, err := s.reg.LoadRunState("serve", fp)
+	if s.runReg != nil {
+		st, err := s.runReg.LoadRunState("serve", fp, s.site)
 		switch {
 		case err == nil:
 			met.StateRestoreSuccessTotal.Inc()
@@ -363,14 +395,14 @@ func (s *supervisor) runOnce(ctx context.Context) (err error) {
 		}
 		runCfg.CheckpointSeconds = s.cfg.checkpointEvery
 		runCfg.Checkpoint = func(cp *sim.Checkpoint) {
-			st := &store.RunState{Fingerprint: fp, Sim: *cp}
+			st := &store.RunState{Fingerprint: fp, Site: s.site, Sim: *cp}
 			cur := s.ring.Cursor()
 			st.SavedDecisions, st.SavedTicks = cur.Decisions, cur.Ticks
 			if guard != nil {
 				gs := guard.StateSnapshot()
 				st.Guard = &gs
 			}
-			if err := s.reg.SaveRunState("serve", st); err != nil {
+			if err := s.runReg.SaveRunState("serve", st); err != nil {
 				s.logger.Warn("checkpoint write failed", "err", err)
 				return
 			}
@@ -432,8 +464,8 @@ func (s *supervisor) trainDegraded(ctx context.Context) error {
 // baseRunCfg is the shared run configuration (degraded and managed
 // runs differ only in controller and checkpointing).
 func (s *supervisor) baseRunCfg(ctx context.Context) sim.RunConfig {
-	var clock sim.Clock
-	if s.cfg.speed > 0 {
+	clock := s.clock
+	if clock == nil && s.cfg.speed > 0 {
 		clock = sim.NewScaledClock(s.cfg.speed)
 	}
 	return sim.RunConfig{

@@ -28,6 +28,11 @@ var wallclockFuncs = map[string]bool{
 // server machinery are observability, not simulation).
 const wallclockTracePrefix = "coolair/internal/trace"
 
+// wallclockLoadtestPkg is the fleet load-test harness: its whole job is
+// measuring real HTTP latency against a live daemon, so every timing in
+// it is wall-clock by nature and none of it touches simulated state.
+const wallclockLoadtestPkg = "coolair/internal/loadtest"
+
 // Wallclock flags time.Now, time.Since, and time.Sleep in simulated
 // logic. The repo's reproducibility contract — golden decision digest,
 // batch metamorphic suite, crash-safe resume — requires every decision
@@ -43,6 +48,8 @@ const wallclockTracePrefix = "coolair/internal/trace"
 //     observation and HTTP serving are wall-clock domains by nature),
 //   - clock.go in coolair/internal/sim (sim.Clock is the sanctioned
 //     bridge between wall time and simulated time),
+//   - coolair/internal/loadtest (the harness measures real scrape and
+//     stream latency against a live daemon — wall clock is the point),
 //   - functions that call RecordSpan (phase-span instrumentation:
 //     the measured wall time flows into a latency histogram, never
 //     into control decisions),
@@ -60,6 +67,9 @@ func runWallclock(pass *Pass) error {
 		return nil
 	}
 	if path := pass.Pkg.Path(); path == wallclockTracePrefix || strings.HasPrefix(path, wallclockTracePrefix+"/") {
+		return nil
+	}
+	if pass.Pkg.Path() == wallclockLoadtestPkg {
 		return nil
 	}
 	simClockFile := pass.Pkg.Path() == "coolair/internal/sim"

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"coolair/internal/weather"
+)
+
+func TestParseFleetSpecGroups(t *testing.T) {
+	sites, err := ParseFleetSpec("newark:all-nd:2, chad:baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("sites = %d, want 3", len(sites))
+	}
+	wantIDs := []string{"newark-0", "newark-1", "chad-2"}
+	for i, s := range sites {
+		if s.ID != wantIDs[i] {
+			t.Errorf("site %d id = %q, want %q", i, s.ID, wantIDs[i])
+		}
+		if s.Seed != int64(i) {
+			t.Errorf("site %d seed = %d, want %d", i, s.Seed, i)
+		}
+	}
+	if sites[0].Climate.Name != "Newark" || sites[0].System.Name != "All-ND" {
+		t.Errorf("site 0 = %s/%s, want Newark/All-ND", sites[0].Climate.Name, sites[0].System.Name)
+	}
+	if !sites[2].System.Baseline {
+		t.Errorf("site 2 system = %+v, want baseline", sites[2].System)
+	}
+}
+
+// TestParseFleetSpecWorld pins the world:N group to the world sweep's
+// even-subsample formula and checks the ids are safe for URLs, metric
+// labels, and shard directories.
+func TestParseFleetSpecWorld(t *testing.T) {
+	sites, err := ParseFleetSpec("world:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 4 {
+		t.Fatalf("sites = %d, want 4", len(sites))
+	}
+	grid := weather.WorldGrid()
+	idRE := regexp.MustCompile(`^[a-z0-9+-]+$`)
+	for i, s := range sites {
+		want := grid[i*len(grid)/4].Name
+		if s.Climate.Name != want {
+			t.Errorf("site %d climate = %q, want %q", i, s.Climate.Name, want)
+		}
+		if !idRE.MatchString(s.ID) {
+			t.Errorf("site %d id %q outside the safe alphabet", i, s.ID)
+		}
+		if s.System.Name != "All-ND" {
+			t.Errorf("site %d system = %q, want All-ND default", i, s.System.Name)
+		}
+	}
+}
+
+// TestParseFleetSpecDeterministic: the same spec yields the same sites
+// — warm boot and shard determinism both depend on it.
+func TestParseFleetSpecDeterministic(t *testing.T) {
+	a, err := ParseFleetSpec("world:8:energy,newark:all-nd:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseFleetSpec("world:8:energy,newark:all-nd:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Climate.Name != b[i].Climate.Name ||
+			a[i].System.Name != b[i].System.Name || a[i].Seed != b[i].Seed {
+			t.Errorf("site %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParseFleetSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.txt")
+	body := "# the fleet\nnewark:all-nd\n\nchad:baseline\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sites, err := ParseFleetSpec("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2 || sites[0].ID != "newark-0" || sites[1].ID != "chad-1" {
+		t.Fatalf("sites = %+v", sites)
+	}
+}
+
+func TestParseFleetSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		" , ",
+		"mars:all-nd",
+		"newark:warp-drive",
+		"newark:all-nd:0",
+		"newark:all-nd:x",
+		"world:0",
+		"world:4:warp-drive",
+		"world",
+		"newark",
+		"newark:all-nd:2:3",
+		"@/definitely/not/a/file",
+	} {
+		if _, err := ParseFleetSpec(spec); err == nil {
+			t.Errorf("spec %q: want error, got none", spec)
+		}
+	}
+}

@@ -1,0 +1,511 @@
+// Package loadtest drives concurrent scrape and SSE clients against a
+// running coolair-serve fleet and reports what the plane sustained:
+// scrape latency percentiles, stream event/drop/reconnect counts,
+// per-connection cursor monotonicity, per-site progress (stall
+// detection), and the per-site SSE cursor high-water marks a chaos
+// orchestrator needs to prove that a SIGKILL'd fleet resumes past the
+// kill point. The same harness runs at reduced scale (tens of clients)
+// race-clean inside CI and at full scale (thousands of clients) via
+// `make loadtest`.
+package loadtest
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"coolair/internal/trace/httpserve"
+)
+
+// Config shapes one load-test phase against a live fleet.
+type Config struct {
+	// BaseURL of the daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Scrapers is the number of concurrent metrics-scraping clients.
+	// They round-robin over the fleet page and every site's page.
+	Scrapers int
+	// Streamers is the number of concurrent SSE clients, round-robined
+	// over the sites. Disconnected streamers reconnect with their last
+	// event id, exactly like a real dashboard. Most streamers start at
+	// the site's advertised live cursor (a reconnecting dashboard);
+	// every eighth starts from zero and replays the full retained
+	// window (a fresh one).
+	Streamers int
+	// Duration is how long the phase runs.
+	Duration time.Duration
+	// ScrapeInterval is each scraper's pause between requests (0 means
+	// 50ms — a tight-but-not-busy polling loop).
+	ScrapeInterval time.Duration
+	// Logger receives progress lines (nil = silent).
+	Logger *slog.Logger
+}
+
+// Report is what one phase measured.
+type Report struct {
+	Sites int // sites listed by /sites at phase start
+
+	// Scrape plane.
+	Scrapes      int64
+	ScrapeErrors int64
+	P50, P90, P99, Max time.Duration
+
+	// Stream plane.
+	Events              int64 // decision/tick events received
+	Drops               int64 // "dropped" events (slow-client ring overwrites)
+	Reconnects          int64 // stream reconnects (daemon restart, network)
+	MonotonicViolations int64 // within-connection cursor regressions
+	Resets              int64 // reconnects whose cursor fell below half the pre-disconnect id
+
+	// Stalled lists sites whose simulated time did not advance over the
+	// phase while they claimed to be running.
+	Stalled []string
+
+	// SiteCursor is the per-site high-water mark of SSE decision
+	// cursors seen during the phase. A chaos orchestrator snapshots it
+	// before a kill and calls VerifyResume with the post-reboot phase's
+	// map to prove every site's stream resumed past the kill point.
+	SiteCursor map[string]uint64
+}
+
+// Run executes one load-test phase: list the sites, fan out the scrape
+// and stream workers, run for cfg.Duration, and aggregate the report.
+// The error covers harness-level failures (unreachable daemon, no
+// sites); threshold judgments are the caller's (see Assert).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	interval := cfg.ScrapeInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+
+	// One shared transport sized for the fleet of clients: the default
+	// transport keeps only 2 idle connections per host, which at
+	// thousands of scrapers degenerates into a TCP churn benchmark
+	// (every request a fresh handshake) instead of an HTTP one.
+	tr := &http.Transport{}
+	if def, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr = def.Clone()
+	}
+	tr.MaxIdleConns = cfg.Scrapers + cfg.Streamers + 16
+	tr.MaxIdleConnsPerHost = tr.MaxIdleConns
+
+	client := &http.Client{Timeout: 30 * time.Second, Transport: tr}
+	before, err := fetchSites(ctx, client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: list sites: %w", err)
+	}
+	if len(before.Sites) == 0 {
+		return nil, fmt.Errorf("loadtest: %s/sites lists no sites", cfg.BaseURL)
+	}
+
+	// The scrape targets: fleet page plus every per-site page.
+	paths := []string{"/metrics", "/sites"}
+	for _, s := range before.Sites {
+		paths = append(paths, "/sites/"+s.ID+"/metrics")
+	}
+
+	phase, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	logger.Info("loadtest phase starting", "sites", len(before.Sites),
+		"scrapers", cfg.Scrapers, "streamers", cfg.Streamers, "duration", cfg.Duration)
+
+	// Clients ramp up over the first quarter of the phase (capped at
+	// 2s) instead of all connecting in the same millisecond — a
+	// thousand simultaneous handshakes plus replays is a thundering
+	// herd no real client population produces. The ramp window is
+	// warmup: its traffic loads the server but is excluded from the
+	// scrape statistics, which judge what the plane *sustains*.
+	ramp := cfg.Duration / 4
+	if ramp > 2*time.Second {
+		ramp = 2 * time.Second
+	}
+	measureAfter := time.Now().Add(ramp)
+
+	rep := &Report{Sites: len(before.Sites), SiteCursor: map[string]uint64{}}
+	var mu sync.Mutex // guards rep aggregation and the latency pool
+	var lats []time.Duration
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Scrapers; w++ {
+		wg.Add(1)
+		delay := ramp * time.Duration(w) / time.Duration(max(cfg.Scrapers, 1))
+		go func(w int, delay time.Duration) {
+			defer wg.Done()
+			if !sleepCtx(phase, delay) {
+				return
+			}
+			local := scrapeWorker(phase, tr, cfg.BaseURL, paths, w, interval, measureAfter)
+			mu.Lock()
+			rep.Scrapes += local.scrapes
+			rep.ScrapeErrors += local.errors
+			lats = append(lats, local.lats...)
+			mu.Unlock()
+		}(w, delay)
+	}
+	// Most streamers attach at the site's advertised live cursor (the
+	// reconnecting-dashboard population); a small bounded cohort replays
+	// the full retained window to exercise the cold-start path. The
+	// cohort is capped in absolute size: real dashboards carry
+	// Last-Event-ID, so cold replays arrive a few at a time no matter
+	// how large the fleet audience is — and an uncapped fraction of a
+	// thousand streamers is a replay storm, not a workload.
+	cold := cfg.Streamers / 16
+	if cold > 32 {
+		cold = 32
+	}
+	if cold < 1 {
+		cold = 1
+	}
+	stride := max(cfg.Streamers/cold, 1)
+	for w := 0; w < cfg.Streamers; w++ {
+		wg.Add(1)
+		s := before.Sites[w%len(before.Sites)]
+		site, startID := s.ID, s.Cursor
+		if w%stride == 0 {
+			startID = "" // full replay of the retained window
+		}
+		delay := ramp * time.Duration(w) / time.Duration(max(cfg.Streamers, 1))
+		go func(site, startID string, delay time.Duration) {
+			defer wg.Done()
+			if !sleepCtx(phase, delay) {
+				return
+			}
+			local := streamWorker(phase, tr, cfg.BaseURL, site, startID)
+			mu.Lock()
+			rep.Events += local.events
+			rep.Drops += local.drops
+			rep.Reconnects += local.reconnects
+			rep.MonotonicViolations += local.monotonic
+			rep.Resets += local.resets
+			if local.maxDec > rep.SiteCursor[site] {
+				rep.SiteCursor[site] = local.maxDec
+			}
+			mu.Unlock()
+		}(site, startID, delay)
+	}
+	wg.Wait()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		rep.P50, rep.P90, rep.P99 = lats[n*50/100], lats[n*90/100], lats[min(n*99/100, n-1)]
+		rep.Max = lats[n-1]
+	}
+
+	// Stall detection: every site that still claims to be live must have
+	// advanced its simulated time over the phase. Completed and stopped
+	// sites are excluded — finishing is not stalling.
+	after, err := fetchSites(ctx, client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: re-list sites: %w", err)
+	}
+	startSim := map[string]float64{}
+	for _, s := range before.Sites {
+		startSim[s.ID] = s.SimTime
+	}
+	for _, s := range after.Sites {
+		if s.Mode == "running" || s.Mode == "degraded" {
+			if begin, ok := startSim[s.ID]; ok && s.SimTime <= begin {
+				rep.Stalled = append(rep.Stalled, s.ID)
+			}
+		}
+	}
+	if len(after.Sites) < len(before.Sites) {
+		return nil, fmt.Errorf("loadtest: fleet dropped sites mid-test: %d -> %d",
+			len(before.Sites), len(after.Sites))
+	}
+
+	logger.Info("loadtest phase done", "scrapes", rep.Scrapes, "scrape_errors", rep.ScrapeErrors,
+		"p99", rep.P99, "events", rep.Events, "drops", rep.Drops,
+		"reconnects", rep.Reconnects, "stalled", len(rep.Stalled))
+	return rep, nil
+}
+
+// Assert judges a report against the acceptance thresholds: bounded p99
+// scrape latency, zero stalled sites, zero cursor violations or resets,
+// and a bounded scrape error rate (reconnect-era scrapes may fail while
+// a killed daemon is down; steady-state phases pass 0).
+func Assert(rep *Report, p99Budget time.Duration, maxErrorRate float64) error {
+	var problems []string
+	if p99Budget > 0 && rep.P99 > p99Budget {
+		problems = append(problems, fmt.Sprintf("p99 scrape latency %v exceeds %v", rep.P99, p99Budget))
+	}
+	if len(rep.Stalled) > 0 {
+		problems = append(problems, fmt.Sprintf("%d stalled sites: %v", len(rep.Stalled), rep.Stalled))
+	}
+	if rep.MonotonicViolations > 0 {
+		problems = append(problems, fmt.Sprintf("%d SSE cursor regressions within a connection", rep.MonotonicViolations))
+	}
+	if rep.Resets > 0 {
+		problems = append(problems, fmt.Sprintf("%d SSE cursor resets across reconnects", rep.Resets))
+	}
+	if rep.Scrapes == 0 {
+		problems = append(problems, "no scrapes completed")
+	} else if rate := float64(rep.ScrapeErrors) / float64(rep.Scrapes+rep.ScrapeErrors); rate > maxErrorRate {
+		problems = append(problems, fmt.Sprintf("scrape error rate %.3f exceeds %.3f", rate, maxErrorRate))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("loadtest: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// VerifyResume proves the post-reboot fleet carried every site's SSE
+// cursor past the pre-kill high-water mark: for each site observed
+// before the kill, the post phase must have seen a strictly larger
+// decision cursor. (The warm boot restores the last checkpoint, which
+// may lag the kill point — so the requirement is on the post phase's
+// maximum, which keeps growing as the resumed run emits decisions.)
+func VerifyResume(pre, post map[string]uint64) error {
+	sites := make([]string, 0, len(pre))
+	for site := range pre {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	var problems []string
+	for _, site := range sites {
+		before := pre[site]
+		if before == 0 {
+			continue // site emitted nothing pre-kill; nothing to resume past
+		}
+		after, ok := post[site]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("site %s: no stream events after reboot", site))
+			continue
+		}
+		if after <= before {
+			problems = append(problems, fmt.Sprintf("site %s: cursor %d did not pass pre-kill %d", site, after, before))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("resume verification: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// fetchSites GETs and decodes the /sites listing.
+func fetchSites(ctx context.Context, client *http.Client, base string) (*httpserve.SiteList, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/sites", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /sites: %s", resp.Status)
+	}
+	var list httpserve.SiteList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, err
+	}
+	return &list, nil
+}
+
+// scrapeResult is one scrape worker's tally.
+type scrapeResult struct {
+	scrapes int64
+	errors  int64
+	lats    []time.Duration
+}
+
+// scrapeWorker polls the scrape paths round-robin (offset by the worker
+// index so workers spread over the pages) until the phase ends.
+// Requests started before measureAfter are warmup: they load the server
+// but are not tallied.
+func scrapeWorker(ctx context.Context, tr http.RoundTripper, base string, paths []string, offset int, interval time.Duration, measureAfter time.Time) scrapeResult {
+	var res scrapeResult
+	client := &http.Client{Timeout: 10 * time.Second, Transport: tr}
+	for i := offset; ; i++ {
+		select {
+		case <-ctx.Done():
+			return res
+		default:
+		}
+		start := time.Now()
+		measured := start.After(measureAfter)
+		ok := scrapeOnce(ctx, client, base+paths[i%len(paths)])
+		if !measured {
+			// warmup traffic
+		} else if ok {
+			res.scrapes++
+			res.lats = append(res.lats, time.Since(start))
+		} else if ctx.Err() == nil {
+			res.errors++
+		}
+		select {
+		case <-ctx.Done():
+			return res
+		case <-time.After(interval):
+		}
+	}
+}
+
+func scrapeOnce(ctx context.Context, client *http.Client, url string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err == nil && resp.StatusCode == http.StatusOK
+}
+
+// streamResult is one SSE worker's tally.
+type streamResult struct {
+	events     int64
+	drops      int64
+	reconnects int64
+	monotonic  int64 // within-connection cursor regressions
+	resets     int64 // cross-reconnect cursor collapses (below half the last id)
+	maxDec     uint64
+}
+
+// streamWorker holds one SSE connection to a site open, reconnecting
+// with its last event id when the connection drops (the daemon was
+// killed, the server restarted), until the phase ends. startID is the
+// initial Last-Event-ID ("" replays the full retained window).
+func streamWorker(ctx context.Context, tr http.RoundTripper, base, site, startID string) streamResult {
+	var res streamResult
+	lastID := startID
+	var lastDec, lastTick uint64
+	first := true
+	for ctx.Err() == nil {
+		if !first {
+			res.reconnects++
+			select {
+			case <-ctx.Done():
+				return res
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		first = false
+		connFirst := true
+		streamConn(ctx, tr, base+"/sites/"+site+"/stream", lastID, func(event, id string) {
+			dec, tick, ok := parseEventID(id)
+			if !ok {
+				return
+			}
+			if event == "dropped" {
+				res.drops++
+			} else {
+				res.events++
+			}
+			if connFirst {
+				connFirst = false
+				// Across a reconnect the server may legitimately resume
+				// from its last checkpoint, slightly behind our last id —
+				// but a cursor collapsing to (near) zero means the warm
+				// boot lost the restored cursor entirely.
+				if lastDec > 1 && dec < lastDec/2 {
+					res.resets++
+				}
+			} else if dec < lastDec || (dec == lastDec && tick < lastTick) {
+				res.monotonic++
+			}
+			lastDec, lastTick = dec, tick
+			if dec > res.maxDec {
+				res.maxDec = dec
+			}
+			lastID = id
+		})
+	}
+	return res
+}
+
+// streamConn runs one SSE connection, invoking onEvent for every framed
+// event until the stream breaks or ctx ends.
+func streamConn(ctx context.Context, tr http.RoundTripper, url, lastID string, onEvent func(event, id string)) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	event, id := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			id = strings.TrimPrefix(line, "id: ")
+		case line == "":
+			if event != "" && id != "" {
+				onEvent(event, id)
+			}
+			event, id = "", ""
+		}
+	}
+}
+
+// parseEventID decodes the "<decisions>-<ticks>" SSE event id.
+func parseEventID(s string) (dec, tick uint64, ok bool) {
+	d, t, found := strings.Cut(s, "-")
+	if !found {
+		return 0, 0, false
+	}
+	dv, err1 := strconv.ParseUint(d, 10, 64)
+	tv, err2 := strconv.ParseUint(t, 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return dv, tv, true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sleepCtx waits for d, returning false if ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

@@ -1,0 +1,192 @@
+package loadtest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coolair/internal/trace"
+	"coolair/internal/trace/httpserve"
+)
+
+func TestParseEventID(t *testing.T) {
+	if d, tk, ok := parseEventID("17-230"); !ok || d != 17 || tk != 230 {
+		t.Fatalf("parseEventID = %d, %d, %t", d, tk, ok)
+	}
+	for _, bad := range []string{"", "17", "a-b", "17-", "-230"} {
+		if _, _, ok := parseEventID(bad); ok {
+			t.Errorf("parseEventID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAssert(t *testing.T) {
+	good := &Report{Scrapes: 100, P99: 50 * time.Millisecond}
+	if err := Assert(good, 250*time.Millisecond, 0); err != nil {
+		t.Fatalf("clean report rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		rep  Report
+		want string
+	}{
+		{"slow p99", Report{Scrapes: 10, P99: time.Second}, "p99"},
+		{"stalled", Report{Scrapes: 10, Stalled: []string{"newark-0"}}, "stalled"},
+		{"cursor regression", Report{Scrapes: 10, MonotonicViolations: 1}, "regressions"},
+		{"cursor reset", Report{Scrapes: 10, Resets: 2}, "resets"},
+		{"no scrapes", Report{}, "no scrapes"},
+		{"error rate", Report{Scrapes: 50, ScrapeErrors: 50}, "error rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Assert(&tc.rep, 250*time.Millisecond, 0.01)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyResume(t *testing.T) {
+	pre := map[string]uint64{"a": 100, "b": 40, "silent": 0}
+	if err := VerifyResume(pre, map[string]uint64{"a": 150, "b": 41}); err != nil {
+		t.Fatalf("resumed fleet rejected: %v", err)
+	}
+	if err := VerifyResume(pre, map[string]uint64{"a": 150}); err == nil ||
+		!strings.Contains(err.Error(), "site b") {
+		t.Fatalf("missing site not caught: %v", err)
+	}
+	if err := VerifyResume(pre, map[string]uint64{"a": 90, "b": 41}); err == nil ||
+		!strings.Contains(err.Error(), "site a") {
+		t.Fatalf("stuck cursor not caught: %v", err)
+	}
+}
+
+// fakeFleet mounts a real fleet-shaped surface (SitesHandler, per-site
+// MountSitePlane over live rings) so Run exercises the same handlers
+// the daemon serves.
+func fakeFleet(t *testing.T, siteIDs []string) (*httptest.Server, []*trace.Ring) {
+	t.Helper()
+	mux := http.NewServeMux()
+	rings := make([]*trace.Ring, len(siteIDs))
+	var tick atomic.Int64
+	for i, id := range siteIDs {
+		rings[i] = trace.NewRing(64, 64)
+		httpserve.MountSitePlane(mux, "/sites/"+id, rings[i], func() (bool, string) { return true, "" })
+	}
+	mux.Handle("/sites", httpserve.SitesHandler(func() []httpserve.SiteStatus {
+		// Sim time advances per snapshot so the stall detector sees a
+		// live fleet.
+		now := float64(tick.Add(1))
+		out := make([]httpserve.SiteStatus, len(siteIDs))
+		for i, id := range siteIDs {
+			out[i] = httpserve.SiteStatus{ID: id, Mode: "running", Ready: true, SimTime: now}
+		}
+		return out
+	}))
+	mux.Handle("/metrics", httpserve.FleetMetricsHandler(func() []trace.SiteSeries {
+		out := make([]trace.SiteSeries, len(siteIDs))
+		for i, id := range siteIDs {
+			out[i] = trace.SiteSeries{Site: id, Ready: true, Reg: rings[i].Metrics()}
+		}
+		return out
+	}))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, rings
+}
+
+func recordDecisions(r *trace.Ring, n int, startTime float64) {
+	for i := 0; i < n; i++ {
+		rec := trace.DecisionRecord{Time: startTime + float64(i)*300, Winner: -1, Hold: true}
+		rec.Day = int32(rec.Time / 86400)
+		r.RecordDecision(&rec)
+	}
+}
+
+// TestRunAgainstFakeFleet drives a reduced-scale load phase end to end:
+// scrapes land, streamers replay the retained window and follow new
+// events, the cursor map fills, and the clean run passes Assert.
+func TestRunAgainstFakeFleet(t *testing.T) {
+	srv, rings := fakeFleet(t, []string{"newark-0", "chad-1"})
+	for _, r := range rings {
+		recordDecisions(r, 10, 0)
+	}
+	// Keep recording during the phase so streamers exercise the live
+	// tail, not just the replay.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+				recordDecisions(rings[i%len(rings)], 1, 3000+float64(i)*300)
+			}
+		}
+	}()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:        srv.URL,
+		Scrapers:       4,
+		Streamers:      4,
+		Duration:       700 * time.Millisecond,
+		ScrapeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sites != 2 {
+		t.Errorf("Sites = %d, want 2", rep.Sites)
+	}
+	if rep.Scrapes == 0 || rep.Events == 0 {
+		t.Fatalf("no traffic measured: %+v", rep)
+	}
+	if rep.MonotonicViolations != 0 || rep.Resets != 0 {
+		t.Fatalf("cursor violations on a healthy fleet: %+v", rep)
+	}
+	if len(rep.Stalled) != 0 {
+		t.Fatalf("stalls on an advancing fleet: %v", rep.Stalled)
+	}
+	for _, id := range []string{"newark-0", "chad-1"} {
+		if rep.SiteCursor[id] == 0 {
+			t.Errorf("no cursor high-water mark for %s: %v", id, rep.SiteCursor)
+		}
+	}
+	if err := Assert(rep, 5*time.Second, 0.01); err != nil {
+		t.Fatalf("healthy phase failed thresholds: %v", err)
+	}
+}
+
+// TestRunDetectsStall: a fleet whose sim time freezes while claiming to
+// run is reported stalled.
+func TestRunDetectsStall(t *testing.T) {
+	mux := http.NewServeMux()
+	ring := trace.NewRing(16, 16)
+	recordDecisions(ring, 3, 0)
+	httpserve.MountSitePlane(mux, "/sites/frozen-0", ring, func() (bool, string) { return true, "" })
+	mux.Handle("/sites", httpserve.SitesHandler(func() []httpserve.SiteStatus {
+		return []httpserve.SiteStatus{{ID: "frozen-0", Mode: "running", Ready: true, SimTime: 1234}}
+	}))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL: srv.URL, Scrapers: 1, Streamers: 1,
+		Duration: 200 * time.Millisecond, ScrapeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stalled) != 1 || rep.Stalled[0] != "frozen-0" {
+		t.Fatalf("Stalled = %v, want [frozen-0]", rep.Stalled)
+	}
+	if err := Assert(rep, time.Minute, 1); err == nil {
+		t.Fatal("stalled fleet passed Assert")
+	}
+}

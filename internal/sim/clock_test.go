@@ -2,6 +2,8 @@ package sim
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -107,5 +109,124 @@ func TestRunUnderClock(t *testing.T) {
 	}
 	if res.Summary.Days != 1 {
 		t.Fatalf("days = %d, want 1", res.Summary.Days)
+	}
+}
+
+// TestSharedScaledClockConcurrent: many runs pacing one shared clock is
+// race-safe and anchored exactly once — a site that starts later does
+// not re-anchor the fleet's wall-to-sim mapping.
+func TestSharedScaledClockConcurrent(t *testing.T) {
+	c := NewSharedScaledClock(10000)
+	ctx := context.Background()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for s := 0.0; s < 50; s += 10 {
+				if err := c.Pace(ctx, s); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWorkerPoolBoundsConcurrency: N gated runs over a size-2 pool
+// never have more than 2 in their compute section at once, and all of
+// them finish (no slot is lost).
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	pool := NewWorkerPool(2)
+	ctx := context.Background()
+	var active, peak atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		gate := pool.Gate(nil)
+		go func() {
+			defer wg.Done()
+			defer gate.Release()
+			for i := 0; i < 20; i++ {
+				if err := gate.Pace(ctx, float64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				cur := active.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond) // the "physics step"
+				active.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("%d runs computed concurrently over a 2-slot pool", p)
+	}
+}
+
+// TestGatedClockRelease: a site holding the only slot blocks the next
+// site until it releases — and Release is idempotent, so a double
+// release cannot mint an extra slot.
+func TestGatedClockRelease(t *testing.T) {
+	pool := NewWorkerPool(1)
+	ctx := context.Background()
+	a, b := pool.Gate(nil), pool.Gate(nil)
+	if err := a.Pace(ctx, 0); err != nil { // a holds the slot
+		t.Fatal(err)
+	}
+
+	got := make(chan error, 1)
+	go func() { got <- b.Pace(ctx, 0) }()
+	select {
+	case err := <-got:
+		t.Fatalf("b acquired a held slot: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	a.Release()
+	a.Release() // idempotent: must not add a second slot
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("b never acquired the released slot")
+	}
+
+	// b holds the one slot now; a third gate must still block (the
+	// double release above must not have over-filled the pool).
+	c := pool.Gate(nil)
+	cctx, cancel := context.WithCancel(ctx)
+	cgot := make(chan error, 1)
+	go func() { cgot <- c.Pace(cctx, 0) }()
+	select {
+	case <-cgot:
+		t.Fatal("pool over-filled by double release")
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	if err := <-cgot; err != context.Canceled {
+		t.Fatalf("cancelled gated Pace returned %v", err)
+	}
+	b.Release()
+}
+
+// TestWorkerPoolSizeClamp: non-positive sizes clamp to one slot.
+func TestWorkerPoolSizeClamp(t *testing.T) {
+	if got := NewWorkerPool(0).Size(); got != 1 {
+		t.Fatalf("Size() = %d, want 1", got)
+	}
+	if got := NewWorkerPool(-3).Size(); got != 1 {
+		t.Fatalf("Size() = %d, want 1", got)
 	}
 }

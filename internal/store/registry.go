@@ -71,6 +71,18 @@ func Open(dir string) (*Registry, error) {
 // Dir returns the registry's root directory.
 func (r *Registry) Dir() string { return r.dir }
 
+// Shard returns (creating if needed) the sub-registry for one fleet
+// site, rooted at dir/sites/<sanitized-site>. Sharding keeps every
+// site's run state in its own directory so a fleet warm boot restores
+// each site from its own files; the trained-model snapshots stay in the
+// parent registry, shared across sites (train once, deploy fleet-wide).
+func (r *Registry) Shard(site string) (*Registry, error) {
+	if site == "" {
+		return nil, fmt.Errorf("store: empty shard site")
+	}
+	return Open(filepath.Join(r.dir, "sites", sanitize(site)))
+}
+
 // ModelPath returns the path the key's snapshot lives at (chaos tests
 // corrupt it deliberately).
 func (r *Registry) ModelPath(k ModelKey) string {

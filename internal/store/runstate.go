@@ -22,6 +22,12 @@ type RunState struct {
 	// daemon (location, system, workload, days, seed, guard). Loaders
 	// pass the current fingerprint and a mismatch is ErrFingerprint.
 	Fingerprint string
+	// Site is the fleet site id that owns this run state ("" for a
+	// single-site daemon). Loaders pass their own site id and a
+	// mismatch is ErrSite: a fleet warm boot must never replay one
+	// site's ring cursor or checkpoint into another site's run, even
+	// when an operator points two sites at the same shard directory.
+	Site string
 	// SavedDecisions / SavedTicks are the flight-recorder sequence
 	// counters at capture (trace.Cursor), restored into the fresh ring
 	// so post-restart record IDs continue the pre-crash numbering.
@@ -37,6 +43,10 @@ type RunState struct {
 // ErrFingerprint marks a run-state snapshot that belongs to a
 // different configuration than the one trying to resume from it.
 var ErrFingerprint = fmt.Errorf("store: run-state fingerprint mismatch")
+
+// ErrSite marks a run-state snapshot that belongs to a different fleet
+// site than the one trying to resume from it.
+var ErrSite = fmt.Errorf("store: run-state site mismatch")
 
 // runStateName is the on-disk name of a run-state snapshot.
 func runStateName(name string) string { return "runstate_" + sanitize(name) + ".snap" }
@@ -65,12 +75,13 @@ func (r *Registry) SaveRunState(name string, st *RunState) error {
 }
 
 // LoadRunState reads, verifies, and decodes the named run state,
-// checking it against the caller's configuration fingerprint. A missing
-// snapshot satisfies errors.Is(err, os.ErrNotExist); a damaged one
-// ErrCorrupt; a snapshot from a different configuration
-// ErrFingerprint. All three mean "cold boot" to the daemon — only the
-// log line differs.
-func (r *Registry) LoadRunState(name, fingerprint string) (*RunState, error) {
+// checking it against the caller's configuration fingerprint and fleet
+// site id ("" for a single-site daemon). A missing snapshot satisfies
+// errors.Is(err, os.ErrNotExist); a damaged one ErrCorrupt; a snapshot
+// from a different configuration ErrFingerprint; one owned by another
+// site ErrSite. All four mean "cold boot" to the daemon — only the log
+// line differs.
+func (r *Registry) LoadRunState(name, fingerprint, site string) (*RunState, error) {
 	path := r.RunStatePath(name)
 	payload, err := ReadSnapshot(path, KindRunState)
 	if err != nil {
@@ -79,6 +90,9 @@ func (r *Registry) LoadRunState(name, fingerprint string) (*RunState, error) {
 	var st RunState
 	if err := gob.NewDecoder(readerOf(payload)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	if st.Site != site {
+		return nil, fmt.Errorf("%w: %s: snapshot %q, run %q", ErrSite, path, st.Site, site)
 	}
 	if st.Fingerprint != fingerprint {
 		return nil, fmt.Errorf("%w: %s: snapshot %q, run %q", ErrFingerprint, path, st.Fingerprint, fingerprint)

@@ -203,13 +203,13 @@ func TestRegistryRunStateRoundTrip(t *testing.T) {
 	if reg.HasRunState("serve") {
 		t.Fatal("HasRunState true before save")
 	}
-	if _, err := reg.LoadRunState("serve", fp); !errors.Is(err, os.ErrNotExist) {
+	if _, err := reg.LoadRunState("serve", fp, ""); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("load before save = %v, want os.ErrNotExist", err)
 	}
 	if err := reg.SaveRunState("serve", st); err != nil {
 		t.Fatal(err)
 	}
-	got, err := reg.LoadRunState("serve", fp)
+	got, err := reg.LoadRunState("serve", fp, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,68 @@ func TestRegistryRunStateRoundTrip(t *testing.T) {
 	}
 
 	// A snapshot from a different configuration never seeds a resume.
-	if _, err := reg.LoadRunState("serve", "v1|loc=chad|sys=all-nd"); !errors.Is(err, ErrFingerprint) {
+	if _, err := reg.LoadRunState("serve", "v1|loc=chad|sys=all-nd", ""); !errors.Is(err, ErrFingerprint) {
 		t.Fatalf("fingerprint mismatch = %v, want ErrFingerprint", err)
+	}
+
+	// A snapshot owned by another fleet site never seeds a resume, even
+	// with a matching fingerprint: ErrSite keeps one site's ring cursor
+	// and checkpoint out of every other site's run.
+	if _, err := reg.LoadRunState("serve", fp, "chad-1"); !errors.Is(err, ErrSite) {
+		t.Fatalf("site mismatch = %v, want ErrSite", err)
+	}
+	st.Site = "newark-0"
+	if err := reg.SaveRunState("serve", st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadRunState("serve", fp, ""); !errors.Is(err, ErrSite) {
+		t.Fatalf("site-owned snapshot loaded by single-site run = %v, want ErrSite", err)
+	}
+	if got, err := reg.LoadRunState("serve", fp, "newark-0"); err != nil || got.Site != "newark-0" {
+		t.Fatalf("owning site load = %+v, %v", got, err)
+	}
+}
+
+// TestRegistryShard pins the fleet layout: each site's run state lives
+// in its own sites/<id> directory under the parent registry, so two
+// sites never collide on the "serve" run-state name, while model
+// snapshots stay shared in the parent.
+func TestRegistryShard(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Shard(""); err == nil {
+		t.Fatal("empty shard site accepted")
+	}
+	a, err := reg.Shard("Newark 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Dir(), filepath.Join(reg.Dir(), "sites", "newark-0"); got != want {
+		t.Fatalf("shard dir = %q, want %q", got, want)
+	}
+	b, err := reg.Shard("chad-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const fp = "v2|loc=x"
+	if err := a.SaveRunState("serve", &RunState{Fingerprint: fp, Site: "newark-0", SavedDecisions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveRunState("serve", &RunState{Fingerprint: fp, Site: "chad-1", SavedDecisions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ga, err := a.LoadRunState("serve", fp, "newark-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := b.LoadRunState("serve", fp, "chad-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.SavedDecisions != 1 || gb.SavedDecisions != 2 {
+		t.Fatalf("shards collided: a=%d b=%d", ga.SavedDecisions, gb.SavedDecisions)
 	}
 }

@@ -1,10 +1,10 @@
 package trace
 
 import (
-	"fmt"
 	"io"
 	"math"
-	"strings"
+	"strconv"
+	"sync"
 )
 
 // Prometheus text exposition (version 0.0.4): every metric family is
@@ -13,6 +13,11 @@ import (
 // per-phase latency histograms render as one family labeled by phase.
 // The format test in expose_test.go parses this output back line by
 // line, so the renderer and the parser pin each other.
+//
+// The renderer appends into a pooled []byte with strconv instead of
+// going through fmt: under fleet load the serve plane renders hundreds
+// of expositions per second, and per-line fmt.Fprintf plus a fresh
+// strings.Builder per request dominated the daemon's CPU profile.
 
 // counterFamilies fixes the render order and metadata of the plain
 // counters.
@@ -70,78 +75,178 @@ var gaugeFamilies = []struct {
 		func(r *Registry) *Gauge { return &r.RingDecisions }},
 	{"ring_ticks", "Tick records currently retained in the ring buffer.",
 		func(r *Registry) *Gauge { return &r.RingTicks }},
-	{"serve_mode", "Serve daemon mode code (0 booting, 1 restoring, 2 degraded, 3 running, 4 crash-loop).",
+	{"serve_mode", "Serve daemon mode code (0 booting, 1 restoring, 2 degraded, 3 running, 4 crash-loop, 5 complete).",
 		func(r *Registry) *Gauge { return &r.ServeMode }},
 	{"sim_time_seconds", "Simulated time at the last tick record (absolute seconds).",
 		func(r *Registry) *Gauge { return &r.SimTimeSeconds }},
 }
 
+// phaseLabels precomputes the phase="<name>" label pair for each
+// decision-pipeline phase.
+var phaseLabels = func() [NumPhases]string {
+	var out [NumPhases]string
+	for p := Phase(0); p < NumPhases; p++ {
+		out[p] = "phase=" + strconv.Quote(p.String())
+	}
+	return out
+}()
+
+// bufPool recycles exposition buffers across requests: a fleet page is
+// hundreds of kilobytes, and allocating (and growing) one per scrape
+// made the garbage collector a first-order cost under load.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 16<<10)
+	return &b
+}}
+
+// writeBuf hands a pooled buffer to render, writes the result to w, and
+// recycles the buffer.
+func writeBuf(w io.Writer, render func(b []byte) []byte) error {
+	bp := bufPool.Get().(*[]byte)
+	b := render((*bp)[:0])
+	_, err := w.Write(b)
+	*bp = b[:0]
+	bufPool.Put(bp)
+	return err
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
 // format with # HELP/# TYPE metadata for every family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	var b strings.Builder
+	return writeBuf(w, func(b []byte) []byte { return r.appendPrometheus(b, "", true) })
+}
+
+// WritePrometheusLabeled renders the registry with the given label pair
+// (e.g. `site="newark-0"`) merged into every series' label set — the
+// fleet plane's per-site dimension. An empty label string renders the
+// plain single-site exposition. When meta is false the # HELP/# TYPE
+// headers are omitted (the fleet renderer emits each family's metadata
+// once, not once per site).
+func (r *Registry) WritePrometheusLabeled(w io.Writer, label string, meta bool) error {
+	return writeBuf(w, func(b []byte) []byte { return r.appendPrometheus(b, label, meta) })
+}
+
+// appendPrometheus is the shared renderer behind WritePrometheus and
+// WritePrometheusLabeled: label ("" or `site="x"`) is applied to every
+// series, meta controls the # HELP/# TYPE headers.
+func (r *Registry) appendPrometheus(b []byte, label string, meta bool) []byte {
+	labelSet := ""
+	if label != "" {
+		labelSet = "{" + label + "}"
+	}
 	for _, f := range counterFamilies {
-		writeMeta(&b, f.name, f.help, "counter")
-		fmt.Fprintf(&b, "%s %d\n", f.name, f.get(r).Value())
+		if meta {
+			b = appendMeta(b, f.name, f.help, "counter")
+		}
+		b = append(b, f.name...)
+		b = append(b, labelSet...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, f.get(r).Value(), 10)
+		b = append(b, '\n')
 	}
 	for _, f := range gaugeFamilies {
-		writeMeta(&b, f.name, f.help, "gauge")
-		fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(f.get(r).Value()))
+		if meta {
+			b = appendMeta(b, f.name, f.help, "gauge")
+		}
+		b = append(b, f.name...)
+		b = append(b, labelSet...)
+		b = append(b, ' ')
+		b = appendValue(b, f.get(r).Value())
+		b = append(b, '\n')
 	}
-	writeMeta(&b, "prediction_abs_error", "Absolute one-period-ahead hottest-inlet prediction error (degrees Celsius).", "histogram")
-	writeHistogram(&b, "prediction_abs_error", "", r.PredictionAbsError)
-	writeMeta(&b, "decision_phase_seconds", "Wall time spent per decision-pipeline phase (seconds per decision).", "histogram")
+	if meta {
+		b = appendMeta(b, "prediction_abs_error", "Absolute one-period-ahead hottest-inlet prediction error (degrees Celsius).", "histogram")
+	}
+	b = appendHistogram(b, "prediction_abs_error", label, r.PredictionAbsError)
+	if meta {
+		b = appendMeta(b, "decision_phase_seconds", "Wall time spent per decision-pipeline phase (seconds per decision).", "histogram")
+	}
 	for p := Phase(0); p < NumPhases; p++ {
-		writeHistogram(&b, "decision_phase_seconds", fmt.Sprintf("phase=%q", p), r.PhaseSeconds[p])
+		phaseLabel := phaseLabels[p]
+		if label != "" {
+			phaseLabel = label + "," + phaseLabel
+		}
+		b = appendHistogram(b, "decision_phase_seconds", phaseLabel, r.PhaseSeconds[p])
 	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	return b
 }
 
 // renderString backs Registry.String.
 func (r *Registry) renderString() string {
-	var b strings.Builder
-	_ = r.WritePrometheus(&b)
-	return b.String()
+	return string(r.appendPrometheus(nil, "", true))
 }
 
-func writeMeta(b *strings.Builder, name, help, typ string) {
-	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
-	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+func appendMeta(b []byte, name, help, typ string) []byte {
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, help...)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	return b
 }
 
-// writeHistogram renders one histogram's _bucket/_sum/_count series.
+// appendHistogram renders one histogram's _bucket/_sum/_count series.
 // extraLabel ("" or `phase="x"`) is merged into every series' label
-// set, le last, matching Prometheus convention.
-func writeHistogram(b *strings.Builder, name, extraLabel string, h *Histogram) {
-	bounds, cum := h.Buckets()
-	sep := ""
+// set, le last, matching Prometheus convention. The le="..." pairs come
+// from the histogram's construction-time cache — bucket bounds are
+// immutable, so formatting them per scrape was pure waste.
+func appendHistogram(b []byte, name, extraLabel string, h *Histogram) []byte {
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		b = append(b, name...)
+		b = append(b, "_bucket{"...)
+		if extraLabel != "" {
+			b = append(b, extraLabel...)
+			b = append(b, ',')
+		}
+		b = append(b, h.leLabels[i]...)
+		b = append(b, "} "...)
+		b = strconv.AppendInt(b, run, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, name...)
+	b = append(b, "_sum"...)
 	if extraLabel != "" {
-		sep = ","
+		b = append(b, '{')
+		b = append(b, extraLabel...)
+		b = append(b, '}')
 	}
-	for i, bound := range bounds {
-		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, extraLabel, sep, formatValue(bound), cum[i])
-	}
-	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, extraLabel, sep, cum[len(cum)-1])
+	b = append(b, ' ')
+	b = appendValue(b, h.Sum())
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count"...)
 	if extraLabel != "" {
-		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, extraLabel, formatValue(h.Sum()))
-		fmt.Fprintf(b, "%s_count{%s} %d\n", name, extraLabel, h.Count())
-		return
+		b = append(b, '{')
+		b = append(b, extraLabel...)
+		b = append(b, '}')
 	}
-	fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(h.Sum()))
-	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, h.Count(), 10)
+	b = append(b, '\n')
+	return b
 }
 
-// formatValue renders one sample value: shortest float form, with the
+// appendValue renders one sample value: shortest float form, with the
 // exposition spellings of the non-finite values.
-func formatValue(v float64) string {
+func appendValue(b []byte, v float64) []byte {
 	switch {
 	case math.IsNaN(v):
-		return "NaN"
+		return append(b, "NaN"...)
 	case math.IsInf(v, 1):
-		return "+Inf"
+		return append(b, "+Inf"...)
 	case math.IsInf(v, -1):
-		return "-Inf"
+		return append(b, "-Inf"...)
 	}
-	return fmt.Sprintf("%g", v)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// formatValue is appendValue as a string (bucket-label cache, tests).
+func formatValue(v float64) string {
+	return string(appendValue(nil, v))
 }

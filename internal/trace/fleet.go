@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"io"
+	"strconv"
+)
+
+// Fleet exposition: one /metrics page for a multi-site daemon. The
+// fleet-level series come first (fleet_sites, fleet_sites_ready, and a
+// fleet_<counter> sum for every counter family), then each site's full
+// registry rendered with a site="<id>" label. The per-family # HELP/
+// # TYPE metadata is emitted once by the first site, not per site —
+// Prometheus requires exactly one metadata block per family.
+
+// SiteSeries is one site's contribution to the fleet exposition.
+type SiteSeries struct {
+	// Site is the label value; it must already be a safe identifier
+	// (the fleet spec parser enforces this).
+	Site string
+	// Ready reports whether the site's supervisor is serving decisions.
+	Ready bool
+	// Reg is the site's registry. Nil sites are skipped.
+	Reg *Registry
+}
+
+// fleetCounterMeta precomputes the fleet_<name> aggregate family names
+// and help strings so the per-scrape render path does no string
+// concatenation.
+var fleetCounterMeta = func() []struct{ name, help string } {
+	out := make([]struct{ name, help string }, len(counterFamilies))
+	for i, f := range counterFamilies {
+		out[i].name = "fleet_" + f.name
+		out[i].help = "Fleet-wide sum of " + f.name + " over all sites."
+	}
+	return out
+}()
+
+// WriteFleetPrometheus renders the combined exposition for a fleet of
+// sites: fleet aggregates first, then per-site labeled series.
+func WriteFleetPrometheus(w io.Writer, sites []SiteSeries) error {
+	return writeBuf(w, func(b []byte) []byte { return appendFleetPrometheus(b, sites) })
+}
+
+func appendFleetPrometheus(b []byte, sites []SiteSeries) []byte {
+	ready := 0
+	live := 0
+	for _, s := range sites {
+		if s.Reg == nil {
+			continue
+		}
+		live++
+		if s.Ready {
+			ready++
+		}
+	}
+	b = appendMeta(b, "fleet_sites", "Sites configured in this fleet.", "gauge")
+	b = append(b, "fleet_sites "...)
+	b = strconv.AppendInt(b, int64(live), 10)
+	b = append(b, '\n')
+	b = appendMeta(b, "fleet_sites_ready", "Sites currently ready to serve decisions.", "gauge")
+	b = append(b, "fleet_sites_ready "...)
+	b = strconv.AppendInt(b, int64(ready), 10)
+	b = append(b, '\n')
+
+	// Fleet-wide counter sums: one fleet_<name> series per counter
+	// family, summed over every site's registry.
+	for i, f := range counterFamilies {
+		var sum int64
+		for _, s := range sites {
+			if s.Reg == nil {
+				continue
+			}
+			sum += f.get(s.Reg).Value()
+		}
+		b = appendMeta(b, fleetCounterMeta[i].name, fleetCounterMeta[i].help, "counter")
+		b = append(b, fleetCounterMeta[i].name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, sum, 10)
+		b = append(b, '\n')
+	}
+
+	// Per-site series, site label on every sample. Metadata once, from
+	// the first live site.
+	meta := true
+	for _, s := range sites {
+		if s.Reg == nil {
+			continue
+		}
+		b = s.Reg.appendPrometheus(b, "site="+strconv.Quote(s.Site), meta)
+		meta = false
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLabeledExpositionEmptyLabelIdentical pins the refactor seam: the
+// labeled renderer with an empty label must produce byte-identical
+// output to the original single-site renderer.
+func TestLabeledExpositionEmptyLabelIdentical(t *testing.T) {
+	r := NewRegistry()
+	r.DecisionsTotal.Add(3)
+	r.InletMaxC.Set(27.5)
+	r.PredictionAbsError.Observe(0.2)
+	r.RecordSpan(PhaseGuard, 5e-6)
+
+	var plain, labeled strings.Builder
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheusLabeled(&labeled, "", true); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != labeled.String() {
+		t.Errorf("empty-label exposition differs from plain:\n--- plain ---\n%s\n--- labeled ---\n%s",
+			plain.String(), labeled.String())
+	}
+}
+
+// TestLabeledExposition checks that a site label lands on every sample
+// line (counters, gauges, histogram series) and the output still parses
+// under the format rules.
+func TestLabeledExposition(t *testing.T) {
+	r := NewRegistry()
+	r.DecisionsTotal.Add(9)
+	r.InletMaxC.Set(24)
+	r.PredictionAbsError.Observe(1.5)
+	r.RecordSpan(PhasePredict, 1e-5)
+
+	var b strings.Builder
+	if err := r.WritePrometheusLabeled(&b, `site="newark-0"`, true); err != nil {
+		t.Fatal(err)
+	}
+	_, samples := parsePrometheus(t, b.String())
+	if len(samples) == 0 {
+		t.Fatal("no samples rendered")
+	}
+	for _, s := range samples {
+		if !strings.Contains(s.labels, `site="newark-0"`) {
+			t.Errorf("sample %s%s missing site label", s.name, s.labels)
+		}
+	}
+	// le must still come last on bucket series.
+	for _, s := range samples {
+		if strings.HasSuffix(s.name, "_bucket") {
+			idxSite := strings.Index(s.labels, `site=`)
+			idxLe := strings.Index(s.labels, `le=`)
+			if idxLe < idxSite {
+				t.Errorf("le label not last: %s%s", s.name, s.labels)
+			}
+		}
+	}
+}
+
+// TestFleetExposition renders a three-site fleet (one not ready, one
+// nil) and checks the aggregate series, the per-site labeling, and the
+// single-metadata-block rule via the format parser.
+func TestFleetExposition(t *testing.T) {
+	a := NewRegistry()
+	a.DecisionsTotal.Add(10)
+	a.GuardInterventionsTotal.Add(2)
+	b := NewRegistry()
+	b.DecisionsTotal.Add(5)
+	b.RestartsTotal.Inc()
+
+	sites := []SiteSeries{
+		{Site: "newark-0", Ready: true, Reg: a},
+		{Site: "chad-1", Ready: false, Reg: b},
+		{Site: "ghost", Ready: true, Reg: nil}, // skipped entirely
+	}
+	var out strings.Builder
+	if err := WriteFleetPrometheus(&out, sites); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	_, samples := parsePrometheus(t, text)
+
+	get := func(name, labels string) (float64, bool) {
+		for _, s := range samples {
+			if s.name == name && s.labels == labels {
+				return s.value, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := get("fleet_sites", ""); !ok || v != 2 {
+		t.Errorf("fleet_sites = %v (found %v), want 2", v, ok)
+	}
+	if v, ok := get("fleet_sites_ready", ""); !ok || v != 1 {
+		t.Errorf("fleet_sites_ready = %v (found %v), want 1", v, ok)
+	}
+	if v, ok := get("fleet_decisions_total", ""); !ok || v != 15 {
+		t.Errorf("fleet_decisions_total = %v (found %v), want 15", v, ok)
+	}
+	if v, ok := get("fleet_guard_interventions_total", ""); !ok || v != 2 {
+		t.Errorf("fleet_guard_interventions_total = %v (found %v), want 2", v, ok)
+	}
+	if v, ok := get("fleet_restarts_total", ""); !ok || v != 1 {
+		t.Errorf("fleet_restarts_total = %v (found %v), want 1", v, ok)
+	}
+	if v, ok := get("decisions_total", `{site="newark-0"}`); !ok || v != 10 {
+		t.Errorf(`decisions_total{site="newark-0"} = %v (found %v), want 10`, v, ok)
+	}
+	if v, ok := get("decisions_total", `{site="chad-1"}`); !ok || v != 5 {
+		t.Errorf(`decisions_total{site="chad-1"} = %v (found %v), want 5`, v, ok)
+	}
+	if _, ok := get("decisions_total", `{site="ghost"}`); ok {
+		t.Error("nil-registry site rendered samples")
+	}
+	// Exactly one metadata block per family across the whole page.
+	if n := strings.Count(text, "# TYPE decisions_total counter"); n != 1 {
+		t.Errorf("decisions_total TYPE lines = %d, want 1", n)
+	}
+	if n := strings.Count(text, "# TYPE decision_phase_seconds histogram"); n != 1 {
+		t.Errorf("decision_phase_seconds TYPE lines = %d, want 1", n)
+	}
+}

@@ -1,0 +1,87 @@
+// Fleet-plane handlers: the multi-site daemon mounts one site plane per
+// site under /sites/{id}/ plus a JSON /sites listing and a combined
+// /metrics page. MountSitePlane is the router seam shared with the
+// single-site daemon — the same helper registers /stream, /metrics, and
+// /readyz whether the prefix is "" (legacy single-site URLs) or
+// "/sites/<id>" (fleet), so adding the fleet surface cannot drift the
+// single-site paths.
+package httpserve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"coolair/internal/trace"
+)
+
+// MountSitePlane registers one site's observability endpoints on mux
+// under prefix: prefix+"/metrics", prefix+"/stream", prefix+"/readyz".
+// The single-site daemon mounts at prefix "" (the PR-5 URLs); the fleet
+// daemon mounts each site at "/sites/<id>". Sites are known at boot, so
+// the routes are plain exact-path registrations — no wildcard matching.
+func MountSitePlane(mux *http.ServeMux, prefix string, ring *trace.Ring, ready func() (bool, string)) {
+	mux.Handle(prefix+"/metrics", MetricsHandler(ring.Metrics()))
+	mux.Handle(prefix+"/readyz", ReadyHandler(ready))
+	mux.Handle(prefix+"/stream", &StreamHandler{Ring: ring})
+}
+
+// SiteStatus is one site's row in the /sites listing.
+type SiteStatus struct {
+	ID       string `json:"id"`
+	Location string `json:"location"`
+	System   string `json:"system"`
+	Seed     int64  `json:"seed"`
+	// Mode is the site's supervisor lifecycle state (the serve_mode
+	// string: booting, restoring, degraded, running, crash-loop, ...).
+	Mode  string `json:"mode"`
+	Ready bool   `json:"ready"`
+	// Reason explains a not-ready site ("" when ready).
+	Reason string `json:"reason,omitempty"`
+	// Regime is the site's effective cooling-mode code at the last
+	// record (the active_regime gauge).
+	Regime int `json:"regime"`
+	// SimTime is the site's simulated time in absolute seconds.
+	SimTime float64 `json:"sim_time_seconds"`
+	// Cursor is the site's current SSE stream position
+	// ("<decisions>-<ticks>"): a client passing it as Last-Event-ID
+	// follows the live tail without replaying the retained window.
+	Cursor string `json:"cursor,omitempty"`
+	// Decisions / Restarts mirror the site's counters.
+	Decisions int64 `json:"decisions"`
+	Restarts  int64 `json:"restarts"`
+}
+
+// SiteList is the /sites response body.
+type SiteList struct {
+	Sites []SiteStatus `json:"sites"`
+	Total int          `json:"total"`
+	Ready int          `json:"ready"`
+}
+
+// SitesHandler serves the JSON fleet listing. snapshot is called per
+// request and must return the sites in their stable boot order.
+func SitesHandler(snapshot func() []SiteStatus) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sites := snapshot()
+		list := SiteList{Sites: sites, Total: len(sites)}
+		for _, s := range sites {
+			if s.Ready {
+				list.Ready++
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(list)
+	})
+}
+
+// FleetMetricsHandler serves the combined fleet exposition: fleet-level
+// aggregates plus every site's registry labeled site="<id>". snapshot
+// is called per request.
+func FleetMetricsHandler(snapshot func() []trace.SiteSeries) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = trace.WriteFleetPrometheus(w, snapshot())
+	})
+}

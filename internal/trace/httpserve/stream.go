@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"coolair/internal/trace"
@@ -35,6 +36,60 @@ type StreamHandler struct {
 	Ring *trace.Ring
 	// Keepalive overrides the idle-comment interval (0 means 15s).
 	Keepalive time.Duration
+
+	// render memoizes recent decision encodings across this handler's
+	// connections (lazily built; the zero handler works).
+	renderOnce sync.Once
+	render     *renderCache
+}
+
+// renderCacheSlots bounds the per-handler render cache. It only needs
+// to cover the window concurrent clients replay in near-lockstep; a
+// miss just pays the one-connection marshal cost again.
+const renderCacheSlots = 128
+
+// renderCache memoizes the JSONL encoding of recent decision records by
+// ring sequence number, so a site fanning out to many SSE clients
+// marshals each record once instead of once per connection. Sequence
+// numbers are monotonic and never reused, which makes a filled slot
+// unambiguous: it either holds exactly this seq's bytes or another
+// seq's. Cached slices are read-only by contract.
+type renderCache struct {
+	mu   sync.Mutex
+	seq  []uint64 // 0 = empty (decision seqs start at 1)
+	data [][]byte
+}
+
+func (h *StreamHandler) renderCache() *renderCache {
+	h.renderOnce.Do(func() {
+		h.render = &renderCache{
+			seq:  make([]uint64, renderCacheSlots),
+			data: make([][]byte, renderCacheSlots),
+		}
+	})
+	return h.render
+}
+
+// rendered returns the JSONL encoding of d, from cache when another
+// connection already rendered this seq. Two racing misses both marshal
+// and store equal bytes — wasteful but correct.
+func (c *renderCache) rendered(seq uint64, d *trace.DecisionRecord) ([]byte, error) {
+	slot := seq % uint64(len(c.seq))
+	c.mu.Lock()
+	if c.seq[slot] == seq {
+		b := c.data[slot]
+		c.mu.Unlock()
+		return b, nil
+	}
+	c.mu.Unlock()
+	b, err := trace.AppendDecisionJSONL(nil, d)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.seq[slot], c.data[slot] = seq, b
+	c.mu.Unlock()
+	return b, nil
 }
 
 func (h *StreamHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -59,6 +114,7 @@ func (h *StreamHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	cur := parseCursor(r.Header.Get("Last-Event-ID"))
 
 	ctx := r.Context()
+	rc := h.renderCache()
 	var decBuf [64]trace.DecisionRecord
 	var tickBuf [256]trace.TickRecord
 	var data []byte
@@ -95,9 +151,9 @@ func (h *StreamHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				j++
 				idT++
 			} else {
-				data, err = trace.AppendDecisionJSONL(data[:0], &decBuf[i])
-				i++
 				idD++
+				data, err = rc.rendered(idD, &decBuf[i])
+				i++
 			}
 			if err != nil {
 				continue

@@ -56,10 +56,14 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // with an implicit +Inf bucket at the end. All methods are safe for
 // concurrent use; Observe performs no allocation.
 type Histogram struct {
-	bounds  []float64
-	counts  []atomic.Int64 // len(bounds)+1; non-cumulative per bucket
-	total   atomic.Int64
-	sumBits atomic.Uint64 // float64 bit pattern, CAS-updated
+	bounds []float64
+	// leLabels caches the le="<bound>" label pair for each bucket
+	// (+Inf last) — bounds are immutable, so the exposition renderer
+	// reuses these instead of re-formatting floats on every scrape.
+	leLabels []string
+	counts   []atomic.Int64 // len(bounds)+1; non-cumulative per bucket
+	total    atomic.Int64
+	sumBits  atomic.Uint64 // float64 bit pattern, CAS-updated
 }
 
 // NewHistogram creates a histogram with the given ascending bucket
@@ -68,7 +72,12 @@ type Histogram struct {
 func NewHistogram(bounds ...float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	le := make([]string, len(bs)+1)
+	for i, bound := range bs {
+		le[i] = `le="` + formatValue(bound) + `"`
+	}
+	le[len(bs)] = `le="+Inf"`
+	return &Histogram{bounds: bs, leLabels: le, counts: make([]atomic.Int64, len(bs)+1)}
 }
 
 // Observe records one sample. NaN samples are dropped (they carry no
