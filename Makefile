@@ -2,7 +2,7 @@
 # .github/workflows/ci.yml), so a green `make check bench-check` locally
 # predicts a green CI run.
 
-BENCH_PATTERN := BenchmarkCoolAirDecision$$|BenchmarkCoolAirDecisionBatch$$|BenchmarkCoolAirDecisionTraced$$|BenchmarkPredictWindow$$|BenchmarkTMYGeneration$$
+BENCH_PATTERN := BenchmarkCoolAirDecision$$|BenchmarkCoolAirDecisionBatch$$|BenchmarkCoolAirDecisionTraced$$|BenchmarkPredictWindow$$|BenchmarkTMYGeneration$$|BenchmarkSeriesAppend$$|BenchmarkSeriesCollectTick$$
 BENCH_COUNT   := 5
 
 # The world-sweep throughput benchmark runs ~1 s/op, so it gets its own
@@ -58,14 +58,15 @@ serve:
 	go run ./cmd/coolair-serve -speed 3600
 
 # loadtest runs the full-scale fleet acceptance profile: a 64-site
-# fleet under 2,000 concurrent scrape+SSE clients, SIGKILLed between
-# two load phases, with p99 scrape latency, stall, and SSE cursor
-# continuity thresholds enforced (exit 1 on violation). CI runs the
-# same harness at reduced scale with -race (job: fleet-smoke).
+# fleet under 2,000 concurrent mixed clients (scrape + SSE + query
+# plane), SIGKILLed between two load phases, with p99 scrape/query
+# latency, stall, and SSE cursor continuity thresholds enforced (exit 1
+# on violation). CI runs the same harness at reduced scale with -race
+# (job: fleet-smoke).
 loadtest:
 	go build -o coolair-serve.loadtest ./cmd/coolair-serve
 	go run ./cmd/coolair-loadtest -serve-bin ./coolair-serve.loadtest \
-		-fleet world:64 -scrapers 1000 -streamers 1000 \
+		-fleet world:64 -scrapers 800 -streamers 800 -query-clients 400 \
 		-duration 20s -p99 250ms -kill
 	rm -f coolair-serve.loadtest
 

@@ -14,6 +14,8 @@ import (
 	"coolair/internal/core"
 	"coolair/internal/experiments"
 	"coolair/internal/model"
+	"coolair/internal/trace"
+	"coolair/internal/trace/series"
 	"coolair/internal/units"
 	"coolair/internal/weather"
 )
@@ -352,6 +354,43 @@ func BenchmarkPredictWindow(b *testing.B) {
 		if _, err := m.PredictWindowInto(&sc, state, sched); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSeriesAppend isolates the time-series store's append: one
+// sample into the raw ring plus its rollup cascade. The store is
+// fixed-memory by construction, so the append path must not allocate —
+// the baseline gate enforces 0 allocs/op.
+func BenchmarkSeriesAppend(b *testing.B) {
+	db := series.NewDB(series.FleetConfig())
+	id := db.Register("bench_metric")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Append(id, float64(i), 25+float64(i%7))
+	}
+}
+
+// BenchmarkSeriesCollectTick is the full telemetry tee on the sim hot
+// path: a tick record copied into the flight-recorder ring, fanned into
+// the per-metric series store, and an SLO engine observation (throttled
+// to one evaluation per simulated minute, so its query cost amortizes
+// to ~0 per tick). This is the per-tick overhead coolair-serve adds
+// over the bare ring.
+func BenchmarkSeriesCollectTick(b *testing.B) {
+	ring := trace.NewRing(0, 0)
+	db := series.NewDB(series.FleetConfig())
+	eng := series.NewEngine(db, nil, ring.Metrics(), 0)
+	c := series.NewCollector(ring, db, eng)
+	rec := trace.TickRecord{
+		OutsideTemp: 20, OutsideRH: 55, InletMin: 22, InletMax: 28,
+		InsideRH: 45, CoolingW: 1500, ITW: 90e3, Utilization: 0.4,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Time = float64(i)
+		c.RecordTick(&rec)
 	}
 }
 

@@ -42,6 +42,7 @@ type config struct {
 
 	scrapers  int
 	streamers int
+	queriers  int
 	interval  time.Duration
 	duration  time.Duration
 	p99       time.Duration
@@ -59,6 +60,7 @@ func main() {
 	flag.IntVar(&cfg.days, "days", 2, "days to simulate in the spawned daemon")
 	flag.IntVar(&cfg.scrapers, "scrapers", 1000, "concurrent scrape clients")
 	flag.IntVar(&cfg.streamers, "streamers", 1000, "concurrent SSE clients")
+	flag.IntVar(&cfg.queriers, "query-clients", 0, "concurrent query-plane clients (/api/query, /api/alerts, /dashboard)")
 	flag.DurationVar(&cfg.interval, "scrape-interval", 500*time.Millisecond, "each scraper's pause between requests")
 	flag.DurationVar(&cfg.duration, "duration", 20*time.Second, "length of each load phase")
 	flag.DurationVar(&cfg.p99, "p99", 250*time.Millisecond, "p99 scrape latency budget")
@@ -103,7 +105,8 @@ func run(cfg config, logger *slog.Logger) error {
 	logger.Info("phase 1: steady-state load")
 	rep1, err := loadtest.Run(ctx, loadtest.Config{
 		BaseURL: base, Scrapers: cfg.scrapers, Streamers: cfg.streamers,
-		Duration: cfg.duration, ScrapeInterval: cfg.interval, Logger: logger,
+		QueryClients: cfg.queriers,
+		Duration:     cfg.duration, ScrapeInterval: cfg.interval, Logger: logger,
 	})
 	if err != nil {
 		return err
@@ -130,7 +133,8 @@ func run(cfg config, logger *slog.Logger) error {
 	}
 	rep2, err := loadtest.Run(ctx, loadtest.Config{
 		BaseURL: base, Scrapers: cfg.scrapers, Streamers: cfg.streamers,
-		Duration: cfg.duration, ScrapeInterval: cfg.interval, Logger: logger,
+		QueryClients: cfg.queriers,
+		Duration:     cfg.duration, ScrapeInterval: cfg.interval, Logger: logger,
 	})
 	if err != nil {
 		return err
@@ -148,8 +152,9 @@ func run(cfg config, logger *slog.Logger) error {
 
 // printReport renders the EXPERIMENTS.md-style result row.
 func printReport(phase string, r *loadtest.Report) {
-	fmt.Printf("%-14s sites=%d scrapes=%d errors=%d p50=%v p90=%v p99=%v max=%v events=%d drops=%d reconnects=%d stalled=%d\n",
+	fmt.Printf("%-14s sites=%d scrapes=%d errors=%d p50=%v p90=%v p99=%v max=%v queries=%d qerrors=%d qp50=%v qp99=%v events=%d drops=%d reconnects=%d stalled=%d\n",
 		phase, r.Sites, r.Scrapes, r.ScrapeErrors, r.P50, r.P90, r.P99, r.Max,
+		r.Queries, r.QueryErrors, r.QueryP50, r.QueryP99,
 		r.Events, r.Drops, r.Reconnects, len(r.Stalled))
 }
 

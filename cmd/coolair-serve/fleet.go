@@ -16,6 +16,7 @@ import (
 	"coolair/internal/store"
 	"coolair/internal/trace"
 	"coolair/internal/trace/httpserve"
+	"coolair/internal/trace/series"
 )
 
 // Fleet mode: one daemon, N managed sites. Every site gets its own
@@ -125,16 +126,56 @@ func newFleet(cfg serveConfig, logger *slog.Logger) (*fleet, error) {
 }
 
 // mount registers the fleet surface: the legacy-shaped per-site planes
-// under /sites/<id>/, the JSON listing, and the combined metrics page.
-func (f *fleet) mount(mux *http.ServeMux) {
+// under /sites/<id>/, the JSON listing, the combined metrics page, the
+// fleet-scope query/alert endpoints, and the dashboard. proc may be
+// nil (tests).
+func (f *fleet) mount(mux *http.ServeMux, proc *trace.Proc) {
 	for _, s := range f.sites {
-		httpserve.MountSitePlane(mux, "/sites/"+s.spec.ID, s.ring, s.sup.ready)
+		httpserve.MountSitePlane(mux, "/sites/"+s.spec.ID, httpserve.SitePlane{
+			Ring: s.ring, Ready: s.sup.ready, DB: s.sup.db, Alerts: s.sup.alerts,
+		})
 	}
-	mux.Handle("/sites", httpserve.SitesHandler(f.snapshot))
-	mux.Handle("/metrics", httpserve.FleetMetricsHandler(f.series))
+	mux.Handle("/sites", httpserve.Gzip(httpserve.SitesHandler(f.snapshot)))
+	mux.Handle("/metrics", httpserve.Gzip(httpserve.FleetMetricsHandler(f.series, proc)))
+	mux.Handle("/api/query", httpserve.Cached(httpserve.DefaultQueryCacheTTL,
+		httpserve.Gzip(httpserve.FleetQueryHandler(f.dbs, f.now))))
+	mux.Handle("/api/alerts", httpserve.Cached(httpserve.DefaultQueryCacheTTL,
+		httpserve.Gzip(httpserve.FleetAlertsHandler(f.engines))))
+	mux.Handle("/dashboard", httpserve.DashboardHandler())
 	mux.Handle("/healthz", httpserve.HealthHandler())
 	mux.Handle("/readyz", httpserve.ReadyHandler(f.ready))
 	mux.Handle("/debug/pprof/", httpserve.PprofMux())
+}
+
+// dbs snapshots the per-site series stores for the fleet query plane.
+func (f *fleet) dbs() map[string]*series.DB {
+	out := make(map[string]*series.DB, len(f.sites))
+	for _, s := range f.sites {
+		out[s.spec.ID] = s.sup.db
+	}
+	return out
+}
+
+// engines snapshots the per-site alert engines.
+func (f *fleet) engines() map[string]*series.Engine {
+	out := make(map[string]*series.Engine, len(f.sites))
+	for _, s := range f.sites {
+		out[s.spec.ID] = s.sup.alerts
+	}
+	return out
+}
+
+// now is the fleet's sim time: the furthest site's clock (sites march
+// together on the shared anchor; a crashed site must not pin "now" in
+// the past).
+func (f *fleet) now() float64 {
+	var max float64
+	for _, s := range f.sites {
+		if t := s.ring.Metrics().SimTimeSeconds.Value(); t > max {
+			max = t
+		}
+	}
+	return max
 }
 
 // snapshot builds the /sites rows in boot order.
@@ -220,8 +261,10 @@ func runFleet(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListe
 	if err != nil {
 		return err
 	}
+	proc := trace.NewProc(buildVersion())
+	proc.Start(ctx, 0)
 	mux := http.NewServeMux()
-	f.mount(mux)
+	f.mount(mux, proc)
 
 	srv, err := httpserve.Start(cfg.addr, mux)
 	if err != nil {

@@ -1,9 +1,77 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strconv"
 	"testing"
 	"time"
+
+	"coolair/internal/trace/httpserve"
+	"coolair/internal/trace/series"
 )
+
+// siteQuery fetches a site plane's /api/query for one metric over
+// [0, to] at hourly resolution and decodes the body.
+func siteQuery(t *testing.T, plane string, to float64) httpserve.QueryResponse {
+	t.Helper()
+	v := url.Values{}
+	v.Set("metric", series.MetricInletMax)
+	v.Set("from", "0")
+	v.Set("to", strconv.FormatFloat(to, 'f', -1, 64))
+	v.Set("step", "3600")
+	qurl := plane + "/api/query?" + v.Encode()
+	resp, err := http.Get(qurl)
+	if err != nil {
+		t.Fatalf("GET %s: %v", qurl, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", qurl, resp.StatusCode)
+	}
+	var body httpserve.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode %s: %v", qurl, err)
+	}
+	return body
+}
+
+// siteAlerts fetches and decodes a site plane's /api/alerts.
+func siteAlerts(t *testing.T, plane string) httpserve.AlertsResponse {
+	t.Helper()
+	resp, err := http.Get(plane + "/api/alerts")
+	if err != nil {
+		t.Fatalf("GET %s/api/alerts: %v", plane, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s/api/alerts = %d, want 200", plane, resp.StatusCode)
+	}
+	var body httpserve.AlertsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode alerts: %v", err)
+	}
+	return body
+}
+
+// waitAlertEvent polls a site's /api/alerts until the named rule has a
+// firing transition in its event history.
+func waitAlertEvent(t *testing.T, plane, rule string, budget time.Duration) series.Event {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for {
+		for _, ev := range siteAlerts(t, plane).Events {
+			if ev.Rule == rule && ev.State == "firing" {
+				return ev
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no %q firing event on %s within %s", rule, plane, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
 
 // TestFleetChaosKillAndWarmReboot extends the PR-6 crash drill to a
 // whole fleet: SIGKILL a mid-run three-site daemon (one trained all-nd
@@ -12,7 +80,9 @@ import (
 // retraining — models and per-site run states come off the sharded
 // store — and every site must resume at (not before) its own kill
 // point, with SSE event numbering continuing past the restored cursor
-// instead of resetting to 1.
+// instead of resetting to 1. The time-series plane rides the same
+// snapshots: per-site query history and alert transitions recorded
+// before the kill must still be served by the successor.
 func TestFleetChaosKillAndWarmReboot(t *testing.T) {
 	bin := buildDaemon(t)
 	state := t.TempDir()
@@ -23,9 +93,17 @@ func TestFleetChaosKillAndWarmReboot(t *testing.T) {
 	}
 	siteIDs := []string{"newark-0", "chad-1", "santiago-2"}
 
+	// Boot 1 additionally injects one controller panic on a baseline
+	// site. The supervisor records the panic as a guard intervention,
+	// so the guard-intervening SLO alert fires — giving the reboot an
+	// alert history that must survive.
+	const chaosSite = "chad-1"
+	args1 := append(append([]string{}, args...),
+		"-chaos-panic-after", "8", "-chaos-panic-count", "1", "-chaos-site", chaosSite)
+
 	// Boot 1: cold — one training (the single all-nd site), per-site
 	// checkpoints accumulating against per-site store shards.
-	d1 := startDaemon(t, bin, args...)
+	d1 := startDaemon(t, bin, args1...)
 	waitReady(t, d1.base, 180*time.Second)
 	if got := metricValue(t, d1.base, "fleet_trainings_total"); got != 1 {
 		t.Errorf("cold boot fleet_trainings_total = %v, want 1 (one all-nd site)", got)
@@ -33,13 +111,32 @@ func TestFleetChaosKillAndWarmReboot(t *testing.T) {
 	for _, id := range siteIDs {
 		waitMetricAtLeast(t, d1.base+"/sites/"+id, "checkpoints_total", 1, 60*time.Second)
 	}
+	// The injected panic surfaces as an alert transition; wait for it,
+	// then for further checkpoints so the snapshot contains it.
+	chaosPlane := d1.base + "/sites/" + chaosSite
+	panicEvent := waitAlertEvent(t, chaosPlane, "guard-intervening", 120*time.Second)
+	ckpt := metricValue(t, chaosPlane, "checkpoints_total")
+	waitMetricAtLeast(t, chaosPlane, "checkpoints_total", ckpt+2, 60*time.Second)
+
 	killPoint := make(map[string]float64, len(siteIDs))
 	for _, s := range getSites(t, d1.base).Sites {
 		killPoint[s.ID] = s.SimTime
 	}
+	// Pre-kill series history: the earliest hourly rollup bucket each
+	// site can serve (hourly buckets never evict within a 2-day run).
+	firstBucket := make(map[string]float64, len(siteIDs))
+	for _, id := range siteIDs {
+		q := siteQuery(t, d1.base+"/sites/"+id, killPoint[id])
+		if len(q.Series) != 1 || len(q.Series[0].Points) == 0 {
+			t.Fatalf("site %s served no pre-kill history: %+v", id, q.Series)
+		}
+		firstBucket[id] = q.Series[0].Points[0].T
+	}
 	d1.kill()
 
 	// Boot 2: warm — the whole fleet restores from the sharded store.
+	// No chaos flags this time: any guard history the successor serves
+	// came off the snapshot, not a fresh injection.
 	rebootStart := time.Now()
 	d2 := startDaemon(t, bin, args...)
 	waitReady(t, d2.base, 60*time.Second)
@@ -65,6 +162,28 @@ func TestFleetChaosKillAndWarmReboot(t *testing.T) {
 		if dec, _ := firstStreamID(t, plane+"/stream"); dec <= 1 {
 			t.Errorf("site %s SSE cursor reset after warm boot: first event decision seq %d, want > 1", id, dec)
 		}
+		// The time-series history restored with the run state: the
+		// successor still serves the same earliest hourly bucket.
+		q := siteQuery(t, plane, killPoint[id])
+		if len(q.Series) != 1 || len(q.Series[0].Points) == 0 {
+			t.Errorf("site %s lost its query history across the reboot: %+v", id, q.Series)
+		} else if got := q.Series[0].Points[0].T; got != firstBucket[id] {
+			t.Errorf("site %s earliest bucket = %g after reboot, want %g (restored, not re-accumulated)",
+				id, got, firstBucket[id])
+		}
+	}
+	// The pre-kill alert transition is still in the successor's event
+	// history, at its original timestamp — restored, since this boot
+	// injected no panic.
+	restored := false
+	for _, ev := range siteAlerts(t, d2.base+"/sites/"+chaosSite).Events {
+		if ev.Rule == "guard-intervening" && ev.State == "firing" && ev.Time == panicEvent.Time {
+			restored = true
+			break
+		}
+	}
+	if !restored {
+		t.Errorf("guard-intervening firing event at t=%g did not survive the reboot", panicEvent.Time)
 	}
 	d2.term()
 }

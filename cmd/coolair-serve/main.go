@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -108,7 +109,7 @@ func main() {
 
 	if err := run(ctx, cfg, logger, func(addr string) {
 		logger.Info("telemetry plane listening", "addr", addr,
-			"endpoints", "/metrics /healthz /readyz /stream /debug/pprof/")
+			"endpoints", "/metrics /healthz /readyz /stream /api/query /api/alerts /dashboard /debug/pprof/")
 	}); err != nil {
 		logger.Error("serve failed", "err", err)
 		os.Exit(1)
@@ -149,8 +150,14 @@ func run(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen fun
 		return err
 	}
 
+	proc := trace.NewProc(buildVersion())
+	proc.Start(ctx, 0)
+
 	mux := http.NewServeMux()
-	httpserve.MountSitePlane(mux, "", ring, sup.ready)
+	httpserve.MountSitePlane(mux, "", httpserve.SitePlane{
+		Ring: ring, Ready: sup.ready, DB: sup.db, Alerts: sup.alerts, Proc: proc,
+	})
+	mux.Handle("/dashboard", httpserve.DashboardHandler())
 	mux.Handle("/healthz", httpserve.HealthHandler())
 	mux.Handle("/debug/pprof/", httpserve.PprofMux())
 
@@ -193,6 +200,15 @@ func run(ctx context.Context, cfg serveConfig, logger *slog.Logger, onListen fun
 		<-ctx.Done()
 		return nil
 	}
+}
+
+// buildVersion labels the coolair_build_info series from the binary's
+// embedded module info ("dev" for unstamped builds).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
 }
 
 // findClimate / findSystem are thin aliases for the experiments-layer

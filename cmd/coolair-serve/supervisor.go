@@ -20,6 +20,7 @@ import (
 	"coolair/internal/store"
 	"coolair/internal/tks"
 	"coolair/internal/trace"
+	"coolair/internal/trace/series"
 	"coolair/internal/weather"
 	"coolair/internal/workload"
 )
@@ -108,6 +109,28 @@ type supervisor struct {
 	clock    sim.Clock
 	gated    *sim.GatedClock
 
+	// Time-series plane: the collector tees the run's records into the
+	// ring and folds them into the site's series store, where the alert
+	// engine scores the SLO rules. The run loop records through the
+	// collector, never the ring directly.
+	db        *series.DB
+	alerts    *series.Engine
+	collector *series.Collector
+	// seriesRestored: the series blob is consulted once per process —
+	// in-process restarts keep the live in-memory history, which is
+	// fresher than any snapshot.
+	seriesRestored bool
+	// lastSeriesSave wall-throttles series snapshots (encoding the
+	// whole plane is heavier than a run-state checkpoint, and at high
+	// sim speeds checkpoints land several times per wall second).
+	// lastSeriesFired/lastSeriesFiring record the alert engine's
+	// transition counters at the last save so an alert state change
+	// bypasses the throttle — history can afford to lag a few
+	// seconds, alert transitions cannot.
+	lastSeriesSave   time.Time
+	lastSeriesFired  uint64
+	lastSeriesFiring int
+
 	mode     atomic.Int32
 	reasonMu sync.Mutex
 	reason   string
@@ -165,6 +188,16 @@ func newSupervisor(cfg serveConfig, cl weather.Climate, sys experiments.System,
 		ring: ring, reg: reg, runReg: reg, lab: lab, inj: inj, logger: logger,
 		chaosRemaining: cfg.chaosPanicCount,
 	}
+	// Time-series plane: fleet sites take the small per-site sizing so a
+	// world-scale daemon's memory stays bounded (mirroring the ring
+	// downsizing above).
+	seriesCfg := series.DefaultConfig()
+	if cfg.fleetSpec != "" {
+		seriesCfg = series.FleetConfig()
+	}
+	s.db = series.NewDB(seriesCfg)
+	s.alerts = series.NewEngine(s.db, nil, ring.Metrics(), 0)
+	s.collector = series.NewCollector(ring, s.db, s.alerts)
 	s.setMode(modeBooting, "booting")
 	return s, nil
 }
@@ -299,7 +332,10 @@ func (s *supervisor) recordPanic() {
 		Hold:   true,
 	}
 	rec.Day = int32(rec.Time / 86400)
-	s.ring.RecordDecision(&rec)
+	// Through the collector, not the ring: the panic must land in the
+	// guard_interventions series too, so the SLO engine sees it (the
+	// chaos smoke asserts an injected panic raises an alert).
+	s.collector.RecordDecision(&rec)
 }
 
 // runOnce boots (restoring what the registry holds) and drives one
@@ -373,6 +409,7 @@ func (s *supervisor) runOnce(ctx context.Context) (err error) {
 	runCfg := s.baseRunCfg(ctx)
 	runCfg.KeepAllActive = s.sys.Baseline
 	if s.runReg != nil {
+		s.restoreSeries(fp)
 		st, err := s.runReg.LoadRunState("serve", fp, s.site)
 		switch {
 		case err == nil:
@@ -407,6 +444,7 @@ func (s *supervisor) runOnce(ctx context.Context) (err error) {
 				return
 			}
 			met.CheckpointsTotal.Inc()
+			s.maybeSaveSeries(fp)
 		}
 	}
 
@@ -423,6 +461,68 @@ func (s *supervisor) runOnce(ctx context.Context) (err error) {
 		"avg_violation_c", res.Summary.AvgViolation,
 		"jobs_completed", res.JobsCompleted)
 	return nil
+}
+
+// restoreSeries loads the time-series plane's snapshot once per
+// process (in-process restarts already hold fresher in-memory state).
+// Any failure is a logged empty start, never a boot error — history is
+// telemetry, not correctness.
+func (s *supervisor) restoreSeries(fp string) {
+	if s.seriesRestored {
+		return
+	}
+	s.seriesRestored = true
+	met := s.ring.Metrics()
+	blob, err := s.runReg.LoadSeriesBlob("serve")
+	switch {
+	case err == nil:
+		if rerr := series.RestoreState(s.db, s.alerts, fp, blob); rerr != nil {
+			met.StateRestoreFailureTotal.Inc()
+			s.logger.Warn("series snapshot unusable, starting empty", "err", rerr)
+			return
+		}
+		met.StateRestoreSuccessTotal.Inc()
+		s.logger.Info("time-series plane restored", "alerts_firing", s.alerts.FiringCount())
+	case errors.Is(err, os.ErrNotExist):
+		// Nothing saved yet: a genuine cold boot.
+	default:
+		met.StateRestoreFailureTotal.Inc()
+		s.logger.Warn("series snapshot unreadable, starting empty", "err", err)
+	}
+}
+
+// seriesSaveMinInterval wall-throttles series snapshots: encoding the
+// whole plane costs more than a run-state checkpoint, and at high sim
+// speeds checkpoints land several times per wall second. At fleet
+// scale the cadence is a real load: 64 sites gob-encoding and
+// double-fsyncing their full plane every second was ~8% of daemon CPU
+// plus an fsync storm under the loadtest profile. A SIGKILL inside
+// the window costs at most that many wall-seconds of chart history;
+// alert transitions bypass the throttle below, so the crash-survival
+// contract (`TestFleetChaosKillAndWarmReboot`) never waits on it.
+const seriesSaveMinInterval = 5 * time.Second
+
+// maybeSaveSeries persists the time-series plane alongside a run-state
+// checkpoint, at most once per seriesSaveMinInterval of wall time —
+// immediately, throttle bypassed, when any alert fired or resolved
+// since the last save.
+func (s *supervisor) maybeSaveSeries(fp string) {
+	now := time.Now()
+	fired, firing := s.alerts.FiredTotal(), s.alerts.FiringCount()
+	transitioned := fired != s.lastSeriesFired || firing != s.lastSeriesFiring
+	if !transitioned && !s.lastSeriesSave.IsZero() && now.Sub(s.lastSeriesSave) < seriesSaveMinInterval {
+		return
+	}
+	s.lastSeriesSave = now
+	s.lastSeriesFired, s.lastSeriesFiring = fired, firing
+	blob, err := series.EncodeState(s.db, s.alerts, fp)
+	if err != nil {
+		s.logger.Warn("series snapshot encode failed", "err", err)
+		return
+	}
+	if err := s.runReg.SaveSeriesBlob("serve", blob); err != nil {
+		s.logger.Warn("series snapshot write failed", "err", err)
+	}
 }
 
 // trainDegraded runs the training campaign in the background while a
@@ -471,7 +571,7 @@ func (s *supervisor) baseRunCfg(ctx context.Context) sim.RunConfig {
 	return sim.RunConfig{
 		Days: s.days, Trace: s.wl,
 		Faults:   s.inj,
-		Recorder: s.ring,
+		Recorder: s.collector,
 		Context:  ctx,
 		Clock:    clock,
 		Logger:   s.logger,

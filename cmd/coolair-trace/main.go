@@ -7,6 +7,12 @@
 //	coolair-trace run.jsonl
 //	coolair-trace -top 5 run.jsonl
 //	coolair-trace -csv ticks run.jsonl > ticks.csv
+//
+// The query subcommand (see query.go) renders the serve daemon's
+// time-series plane instead — live over /api/query, or offline from a
+// series snapshot blob:
+//
+//	coolair-trace query -addr http://127.0.0.1:8080 -metric inlet_max_celsius
 package main
 
 import (
@@ -29,6 +35,9 @@ func main() {
 // run is the testable entry point: args are the command-line arguments
 // after the program name, the trace comes from the named file or stdin.
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "query" {
+		return runQuery(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("coolair-trace", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	top := fs.Int("top", 10, "how many worst prediction errors to list")

@@ -1,0 +1,335 @@
+// The query subcommand renders the daemon's time-series plane in the
+// terminal: live against /api/query (single-site or fleet root), or
+// offline from a series snapshot blob written by the state plane —
+// post-mortem inspection of a dead daemon's history.
+//
+//	coolair-trace query -addr http://127.0.0.1:8080                      # list metrics
+//	coolair-trace query -addr http://127.0.0.1:8080 -metric inlet_max_celsius -from now-6h
+//	coolair-trace query -addr http://127.0.0.1:8080 -site newark-0 -metric cooling_watts -step 1h
+//	coolair-trace query -addr http://127.0.0.1:8080 -alerts
+//	coolair-trace query -snap state/series_serve.snap -metric inlet_max_celsius
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+
+	"coolair/internal/store"
+	"coolair/internal/trace/series"
+)
+
+// queryConfig is the parsed `query` command line.
+type queryConfig struct {
+	addr      string
+	site      string
+	snap      string
+	metric    string
+	from, to  string
+	step      string
+	rows      int
+	alerts    bool
+	maxPoints int
+}
+
+// runQuery is the `query` subcommand entry point.
+func runQuery(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("coolair-trace query", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var cfg queryConfig
+	fs.StringVar(&cfg.addr, "addr", "", "base URL of a running daemon (e.g. http://127.0.0.1:8080)")
+	fs.StringVar(&cfg.site, "site", "", "fleet mode: scope to one site id (empty = fleet aggregate)")
+	fs.StringVar(&cfg.snap, "snap", "", "offline mode: read a series snapshot blob instead of a live daemon")
+	fs.StringVar(&cfg.metric, "metric", "", "comma-separated metric names (empty lists what's available)")
+	fs.StringVar(&cfg.from, "from", "now-6h", "window start: now, now-<dur>, or absolute sim seconds")
+	fs.StringVar(&cfg.to, "to", "now", "window end (same grammar as -from)")
+	fs.StringVar(&cfg.step, "step", "", "bucket width (60, 15m, 1h, ...; empty = automatic resolution)")
+	fs.IntVar(&cfg.rows, "n", 12, "table rows to print (latest N buckets; sparkline always covers the window)")
+	fs.IntVar(&cfg.maxPoints, "max-points", 0, "cap the result length (0 = server default)")
+	fs.BoolVar(&cfg.alerts, "alerts", false, "show the SLO alert states and events instead of series")
+	fs.Usage = func() {
+		fmt.Fprintln(stdout, "usage: coolair-trace query (-addr URL | -snap file) [-site id] [-metric a,b] [-from X] [-to Y] [-step S] [-alerts]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (cfg.addr == "") == (cfg.snap == "") {
+		return fmt.Errorf("query: need exactly one of -addr or -snap")
+	}
+	// Accept a bare host:port — "localhost:8080" parses as a URL with
+	// scheme "localhost", which net/http rejects with a baffling error.
+	if cfg.addr != "" && !strings.Contains(cfg.addr, "://") {
+		cfg.addr = "http://" + cfg.addr
+	}
+	if cfg.snap != "" {
+		return querySnap(cfg, stdout)
+	}
+	return queryLive(cfg, stdout)
+}
+
+// wirePoint is the superset of the site (Point) and fleet (FleetPoint)
+// bucket shapes — decoding either response into one renderer.
+type wirePoint struct {
+	T     float64 `json:"t"`
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	P99   float64 `json:"p99"`
+	Count int64   `json:"count"`
+	Sites int     `json:"sites"`
+}
+
+type wireSeries struct {
+	Metric string      `json:"metric"`
+	Res    float64     `json:"res"`
+	Points []wirePoint `json:"points"`
+}
+
+type wireQueryResponse struct {
+	Now     float64      `json:"now"`
+	Series  []wireSeries `json:"series"`
+	Metrics []string     `json:"metrics"`
+}
+
+// wireAlerts is the superset of the site and fleet /api/alerts bodies.
+type wireAlerts struct {
+	Firing int                   `json:"firing"`
+	Alerts []series.Alert        `json:"alerts"`
+	Events []series.Event        `json:"events"`
+	Sites  map[string]wireAlerts `json:"sites"`
+}
+
+// queryLive renders from a running daemon's query plane.
+func queryLive(cfg queryConfig, stdout io.Writer) error {
+	if cfg.alerts {
+		var body wireAlerts
+		if err := getJSON(cfg.addr+"/api/alerts?"+siteParam(cfg.site), &body); err != nil {
+			return err
+		}
+		if body.Sites != nil {
+			fmt.Fprintf(stdout, "fleet: %d firing across %d sites\n", body.Firing, len(body.Sites))
+			ids := make([]string, 0, len(body.Sites))
+			for id := range body.Sites {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				sa := body.Sites[id]
+				if sa.Firing == 0 && !anyAlertOff(sa.Alerts) {
+					continue // quiet site: all rules OK, nothing to report
+				}
+				fmt.Fprintf(stdout, "\nsite %s:\n", id)
+				printAlerts(stdout, sa)
+			}
+			return nil
+		}
+		printAlerts(stdout, body)
+		return nil
+	}
+
+	params := url.Values{}
+	if cfg.site != "" {
+		params.Set("site", cfg.site)
+	}
+	if cfg.metric != "" {
+		params.Set("metric", cfg.metric)
+		params.Set("from", cfg.from)
+		params.Set("to", cfg.to)
+		if cfg.step != "" {
+			params.Set("step", cfg.step)
+		}
+		if cfg.maxPoints > 0 {
+			params.Set("max_points", fmt.Sprint(cfg.maxPoints))
+		}
+	}
+	var body wireQueryResponse
+	if err := getJSON(cfg.addr+"/api/query?"+params.Encode(), &body); err != nil {
+		return err
+	}
+	if cfg.metric == "" {
+		for _, m := range body.Metrics {
+			fmt.Fprintln(stdout, m)
+		}
+		return nil
+	}
+	for i, s := range body.Series {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		printSeries(stdout, s, cfg.rows)
+	}
+	return nil
+}
+
+// querySnap renders from an offline snapshot blob: geometry and data
+// come from the blob, "now" is the newest sample it holds. The file is
+// a store envelope (versioned, CRC-checksummed) around the series
+// payload, as coolair-serve writes with -state-dir.
+func querySnap(cfg queryConfig, stdout io.Writer) error {
+	raw, err := store.ReadSnapshot(cfg.snap, store.KindSeries)
+	if err != nil {
+		return err
+	}
+	db, events, fp, err := series.DecodeBlob(raw)
+	if err != nil {
+		return err
+	}
+	if cfg.alerts {
+		fmt.Fprintf(stdout, "%s (config %s): %d snapshotted alert events\n", cfg.snap, fp, len(events))
+		for _, ev := range events {
+			fmt.Fprintf(stdout, "  t=%10.0fs  %-24s %-8s value=%g\n", ev.Time, ev.Rule, ev.State, ev.Value)
+		}
+		return nil
+	}
+	metrics := db.Metrics()
+	if cfg.metric == "" {
+		fmt.Fprintf(stdout, "%s (config %s): %d metrics\n", cfg.snap, fp, len(metrics))
+		for _, m := range metrics {
+			fmt.Fprintln(stdout, " ", m)
+		}
+		return nil
+	}
+	now := 0.0
+	for _, m := range metrics {
+		if s, ok := db.Latest(m); ok && s.T > now {
+			now = s.T
+		}
+	}
+	rg, err := series.ParseRange(cfg.from, cfg.to, cfg.step, now)
+	if err != nil {
+		return err
+	}
+	if cfg.maxPoints > 0 {
+		rg.MaxPoints = cfg.maxPoints
+	}
+	first := true
+	for _, m := range strings.Split(cfg.metric, ",") {
+		if m = strings.TrimSpace(m); m == "" {
+			continue
+		}
+		if !first {
+			fmt.Fprintln(stdout)
+		}
+		first = false
+		res := db.Query(m, rg)
+		ws := wireSeries{Metric: res.Metric, Res: res.Res, Points: make([]wirePoint, len(res.Points))}
+		for i, p := range res.Points {
+			ws.Points[i] = wirePoint{T: p.T, Min: p.Min, Mean: p.Mean, Max: p.Max, Count: p.Count}
+		}
+		printSeries(stdout, ws, cfg.rows)
+	}
+	return nil
+}
+
+// printSeries renders one metric: a mean-value sparkline over the whole
+// window, then the latest rows as a table.
+func printSeries(w io.Writer, s wireSeries, rows int) {
+	res := "raw"
+	if s.Res > 0 {
+		res = fmt.Sprintf("%gs buckets", s.Res)
+	}
+	fmt.Fprintf(w, "%s  (%s, %d points)\n", s.Metric, res, len(s.Points))
+	if len(s.Points) == 0 {
+		fmt.Fprintln(w, "  no data in range")
+		return
+	}
+	fmt.Fprintf(w, "  %s\n", sparkline(s.Points, 72))
+	fleet := s.Points[len(s.Points)-1].Sites > 0
+	if fleet {
+		fmt.Fprintln(w, "           t        min       mean        max        p99  sites")
+	} else {
+		fmt.Fprintln(w, "           t        min       mean        max  count")
+	}
+	start := len(s.Points) - rows
+	if start < 0 {
+		start = 0
+	}
+	for _, p := range s.Points[start:] {
+		if fleet {
+			fmt.Fprintf(w, "  %10.0f  %9.3f  %9.3f  %9.3f  %9.3f  %5d\n", p.T, p.Min, p.Mean, p.Max, p.P99, p.Sites)
+		} else {
+			fmt.Fprintf(w, "  %10.0f  %9.3f  %9.3f  %9.3f  %5d\n", p.T, p.Min, p.Mean, p.Max, p.Count)
+		}
+	}
+}
+
+// sparkline compresses the means into width cells of block characters.
+func sparkline(pts []wirePoint, width int) string {
+	if len(pts) < width {
+		width = len(pts)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		lo, hi = math.Min(lo, p.Mean), math.Max(hi, p.Mean)
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for c := 0; c < width; c++ {
+		// Mean of the means falling into this cell.
+		lop, hip := c*len(pts)/width, (c+1)*len(pts)/width
+		sum, n := 0.0, 0
+		for _, p := range pts[lop:hip] {
+			sum, n = sum+p.Mean, n+1
+		}
+		v := sum / float64(max(n, 1))
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return fmt.Sprintf("%s  [%.3f .. %.3f]", b.String(), lo, hi)
+}
+
+// printAlerts renders one engine's alert table and event history.
+func printAlerts(w io.Writer, a wireAlerts) {
+	fmt.Fprintf(w, "%d firing\n", a.Firing)
+	for _, al := range a.Alerts {
+		fmt.Fprintf(w, "  %-24s %-8s value=%g samples=%d since=%.0fs\n",
+			al.Rule.Name, al.State, al.Value, al.Samples, al.Since)
+	}
+	if len(a.Events) > 0 {
+		fmt.Fprintln(w, "events:")
+		for _, ev := range a.Events {
+			fmt.Fprintf(w, "  t=%10.0fs  %-24s %-8s value=%g\n", ev.Time, ev.Rule, ev.State, ev.Value)
+		}
+	}
+}
+
+// anyAlertOff reports whether any rule is out of the OK state.
+func anyAlertOff(alerts []series.Alert) bool {
+	for _, a := range alerts {
+		if a.State != series.StateOK.String() {
+			return true
+		}
+	}
+	return false
+}
+
+func siteParam(site string) string {
+	if site == "" {
+		return ""
+	}
+	return "site=" + url.QueryEscape(site)
+}
+
+// getJSON fetches and decodes one query-plane endpoint.
+func getJSON(u string, into any) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// queryStub serves a minimal site-shaped /api/query and /api/alerts.
+func queryStub(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/query", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("metric") == "" {
+			w.Write([]byte(`{"metrics": ["inlet_max_celsius"]}`))
+			return
+		}
+		w.Write([]byte(`{"now": 7200, "series": [{"metric": "inlet_max_celsius", "resolution": 60,
+			"points": [{"t": 3600, "min": 20, "mean": 22, "max": 25, "count": 6, "last": 24}]}]}`))
+	})
+	mux.HandleFunc("/api/alerts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"now": 7200, "firing": 0, "alerts": [], "events": []}`))
+	})
+	return httptest.NewServer(mux)
+}
+
+func TestRunQueryLive(t *testing.T) {
+	srv := queryStub(t)
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := runQuery([]string{"-addr", srv.URL, "-metric", "inlet_max_celsius", "-from", "0", "-to", "7200"}, &out); err != nil {
+		t.Fatalf("runQuery: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"inlet_max_celsius", "22"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunQueryBareHostPort pins that -addr accepts the README's
+// "localhost:8080" form: without normalization, url.Parse reads the
+// host as a URL scheme and net/http fails with a baffling error.
+func TestRunQueryBareHostPort(t *testing.T) {
+	srv := queryStub(t)
+	defer srv.Close()
+
+	bare := strings.TrimPrefix(srv.URL, "http://")
+	var out strings.Builder
+	if err := runQuery([]string{"-addr", bare}, &out); err != nil {
+		t.Fatalf("runQuery with bare host:port: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "inlet_max_celsius") {
+		t.Errorf("metric listing missing:\n%s", out.String())
+	}
+}
+
+func TestRunQueryFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := runQuery([]string{}, &out); err == nil {
+		t.Error("no -addr or -snap should error")
+	}
+	if err := runQuery([]string{"-addr", "x", "-snap", "y"}, &out); err == nil {
+		t.Error("both -addr and -snap should error")
+	}
+}

@@ -40,6 +40,13 @@ type Config struct {
 	// every eighth starts from zero and replays the full retained
 	// window (a fresh one).
 	Streamers int
+	// QueryClients is the number of concurrent query-plane clients.
+	// They round-robin over /api/query (fleet scope and per-site, a mix
+	// of raw-window and rollup-window ranges), /api/alerts, and
+	// /dashboard — the dashboard's own request population — and half of
+	// them negotiate gzip. Their latencies are tallied separately
+	// (QueryP99) and judged against the same p99 budget as scrapes.
+	QueryClients int
 	// Duration is how long the phase runs.
 	Duration time.Duration
 	// ScrapeInterval is each scraper's pause between requests (0 means
@@ -54,9 +61,14 @@ type Report struct {
 	Sites int // sites listed by /sites at phase start
 
 	// Scrape plane.
-	Scrapes      int64
-	ScrapeErrors int64
+	Scrapes            int64
+	ScrapeErrors       int64
 	P50, P90, P99, Max time.Duration
+
+	// Query plane (/api/query, /api/alerts, /dashboard).
+	Queries                      int64
+	QueryErrors                  int64
+	QueryP50, QueryP99, QueryMax time.Duration
 
 	// Stream plane.
 	Events              int64 // decision/tick events received
@@ -115,6 +127,20 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	for _, s := range before.Sites {
 		paths = append(paths, "/sites/"+s.ID+"/metrics")
 	}
+	// The query targets: what a dashboard population generates — the
+	// page itself, the alert feed, fleet-scope queries over both raw and
+	// rollup windows, and per-site sparkline queries.
+	queryPaths := []string{
+		"/dashboard",
+		"/api/alerts",
+		"/api/query?metric=inlet_max_celsius&from=now-1h&to=now",
+		"/api/query?metric=cooling_watts&from=now-6h&to=now&step=60",
+		"/api/query?metric=prediction_abs_error_celsius&from=now-24h&to=now&step=3600",
+	}
+	for _, s := range before.Sites {
+		queryPaths = append(queryPaths,
+			"/sites/"+s.ID+"/api/query?metric=inlet_max_celsius,outside_celsius&from=now-6h&to=now")
+	}
 
 	phase, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
@@ -134,8 +160,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	measureAfter := time.Now().Add(ramp)
 
 	rep := &Report{Sites: len(before.Sites), SiteCursor: map[string]uint64{}}
-	var mu sync.Mutex // guards rep aggregation and the latency pool
-	var lats []time.Duration
+	var mu sync.Mutex // guards rep aggregation and the latency pools
+	var lats, qlats []time.Duration
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Scrapers; w++ {
@@ -146,11 +172,27 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			if !sleepCtx(phase, delay) {
 				return
 			}
-			local := scrapeWorker(phase, tr, cfg.BaseURL, paths, w, interval, measureAfter)
+			local := scrapeWorker(phase, tr, cfg.BaseURL, paths, w, interval, measureAfter, false)
 			mu.Lock()
 			rep.Scrapes += local.scrapes
 			rep.ScrapeErrors += local.errors
 			lats = append(lats, local.lats...)
+			mu.Unlock()
+		}(w, delay)
+	}
+	for w := 0; w < cfg.QueryClients; w++ {
+		wg.Add(1)
+		delay := ramp * time.Duration(w) / time.Duration(max(cfg.QueryClients, 1))
+		go func(w int, delay time.Duration) {
+			defer wg.Done()
+			if !sleepCtx(phase, delay) {
+				return
+			}
+			local := scrapeWorker(phase, tr, cfg.BaseURL, queryPaths, w, interval, measureAfter, w%2 == 0)
+			mu.Lock()
+			rep.Queries += local.scrapes
+			rep.QueryErrors += local.errors
+			qlats = append(qlats, local.lats...)
 			mu.Unlock()
 		}(w, delay)
 	}
@@ -202,6 +244,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.P50, rep.P90, rep.P99 = lats[n*50/100], lats[n*90/100], lats[min(n*99/100, n-1)]
 		rep.Max = lats[n-1]
 	}
+	sort.Slice(qlats, func(i, j int) bool { return qlats[i] < qlats[j] })
+	if n := len(qlats); n > 0 {
+		rep.QueryP50, rep.QueryP99 = qlats[n*50/100], qlats[min(n*99/100, n-1)]
+		rep.QueryMax = qlats[n-1]
+	}
 
 	// Stall detection: every site that still claims to be live must have
 	// advanced its simulated time over the phase. Completed and stopped
@@ -227,7 +274,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	logger.Info("loadtest phase done", "scrapes", rep.Scrapes, "scrape_errors", rep.ScrapeErrors,
-		"p99", rep.P99, "events", rep.Events, "drops", rep.Drops,
+		"p99", rep.P99, "queries", rep.Queries, "query_errors", rep.QueryErrors,
+		"query_p99", rep.QueryP99, "events", rep.Events, "drops", rep.Drops,
 		"reconnects", rep.Reconnects, "stalled", len(rep.Stalled))
 	return rep, nil
 }
@@ -254,6 +302,17 @@ func Assert(rep *Report, p99Budget time.Duration, maxErrorRate float64) error {
 		problems = append(problems, "no scrapes completed")
 	} else if rate := float64(rep.ScrapeErrors) / float64(rep.Scrapes+rep.ScrapeErrors); rate > maxErrorRate {
 		problems = append(problems, fmt.Sprintf("scrape error rate %.3f exceeds %.3f", rate, maxErrorRate))
+	}
+	// The query plane (when the phase ran query clients) answers to the
+	// same budgets: a dashboard that lags behind the scrape plane is a
+	// dashboard nobody watches.
+	if p99Budget > 0 && rep.QueryP99 > p99Budget {
+		problems = append(problems, fmt.Sprintf("p99 query latency %v exceeds %v", rep.QueryP99, p99Budget))
+	}
+	if total := rep.Queries + rep.QueryErrors; total > 0 {
+		if rate := float64(rep.QueryErrors) / float64(total); rate > maxErrorRate {
+			problems = append(problems, fmt.Sprintf("query error rate %.3f exceeds %.3f", rate, maxErrorRate))
+		}
 	}
 	if len(problems) > 0 {
 		return fmt.Errorf("loadtest: %s", strings.Join(problems, "; "))
@@ -325,8 +384,9 @@ type scrapeResult struct {
 // scrapeWorker polls the scrape paths round-robin (offset by the worker
 // index so workers spread over the pages) until the phase ends.
 // Requests started before measureAfter are warmup: they load the server
-// but are not tallied.
-func scrapeWorker(ctx context.Context, tr http.RoundTripper, base string, paths []string, offset int, interval time.Duration, measureAfter time.Time) scrapeResult {
+// but are not tallied. A gzip worker negotiates compression — the
+// latency it measures includes the server-side compress cost.
+func scrapeWorker(ctx context.Context, tr http.RoundTripper, base string, paths []string, offset int, interval time.Duration, measureAfter time.Time, gzip bool) scrapeResult {
 	var res scrapeResult
 	client := &http.Client{Timeout: 10 * time.Second, Transport: tr}
 	for i := offset; ; i++ {
@@ -337,7 +397,7 @@ func scrapeWorker(ctx context.Context, tr http.RoundTripper, base string, paths 
 		}
 		start := time.Now()
 		measured := start.After(measureAfter)
-		ok := scrapeOnce(ctx, client, base+paths[i%len(paths)])
+		ok := scrapeOnce(ctx, client, base+paths[i%len(paths)], gzip)
 		if !measured {
 			// warmup traffic
 		} else if ok {
@@ -354,10 +414,23 @@ func scrapeWorker(ctx context.Context, tr http.RoundTripper, base string, paths 
 	}
 }
 
-func scrapeOnce(ctx context.Context, client *http.Client, url string) bool {
+func scrapeOnce(ctx context.Context, client *http.Client, url string, gzip bool) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return false
+	}
+	if gzip {
+		// Explicit header: the transport then hands us the compressed
+		// body as-is, which we discard — status is the health signal.
+		req.Header.Set("Accept-Encoding", "gzip")
+	} else {
+		// Explicit identity, because an unset header is not "plain":
+		// the transport silently adds "Accept-Encoding: gzip" and
+		// transparently decompresses, so the entire non-gzip cohort
+		// was covertly paying the server's compressor — at fleet
+		// scale, deflate was ~a third of daemon CPU. The profile's
+		// gzip share is a knob, not an accident of the HTTP client.
+		req.Header.Set("Accept-Encoding", "identity")
 	}
 	resp, err := client.Do(req)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"coolair/internal/trace"
 	"coolair/internal/trace/httpserve"
+	"coolair/internal/trace/series"
 )
 
 func TestParseEventID(t *testing.T) {
@@ -74,10 +75,24 @@ func fakeFleet(t *testing.T, siteIDs []string) (*httptest.Server, []*trace.Ring)
 	mux := http.NewServeMux()
 	rings := make([]*trace.Ring, len(siteIDs))
 	var tick atomic.Int64
+	dbs := make(map[string]*series.DB, len(siteIDs))
 	for i, id := range siteIDs {
 		rings[i] = trace.NewRing(64, 64)
-		httpserve.MountSitePlane(mux, "/sites/"+id, rings[i], func() (bool, string) { return true, "" })
+		db := series.NewDB(series.FleetConfig())
+		idInlet := db.Register(series.MetricInletMax)
+		for k := 0; k < 200; k++ {
+			db.Append(idInlet, float64(k)*120, 20+float64(k%10))
+		}
+		dbs[id] = db
+		httpserve.MountSitePlane(mux, "/sites/"+id, httpserve.SitePlane{
+			Ring: rings[i], Ready: func() (bool, string) { return true, "" },
+			DB: db, Alerts: series.NewEngine(db, nil, rings[i].Metrics(), 0),
+		})
 	}
+	mux.Handle("/api/query", httpserve.Gzip(httpserve.FleetQueryHandler(
+		func() map[string]*series.DB { return dbs },
+		func() float64 { return 200 * 120 })))
+	mux.Handle("/dashboard", httpserve.DashboardHandler())
 	mux.Handle("/sites", httpserve.SitesHandler(func() []httpserve.SiteStatus {
 		// Sim time advances per snapshot so the stall detector sees a
 		// live fleet.
@@ -94,7 +109,7 @@ func fakeFleet(t *testing.T, siteIDs []string) (*httptest.Server, []*trace.Ring)
 			out[i] = trace.SiteSeries{Site: id, Ready: true, Reg: rings[i].Metrics()}
 		}
 		return out
-	}))
+	}, nil))
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv, rings
@@ -169,7 +184,9 @@ func TestRunDetectsStall(t *testing.T) {
 	mux := http.NewServeMux()
 	ring := trace.NewRing(16, 16)
 	recordDecisions(ring, 3, 0)
-	httpserve.MountSitePlane(mux, "/sites/frozen-0", ring, func() (bool, string) { return true, "" })
+	httpserve.MountSitePlane(mux, "/sites/frozen-0", httpserve.SitePlane{
+		Ring: ring, Ready: func() (bool, string) { return true, "" },
+	})
 	mux.Handle("/sites", httpserve.SitesHandler(func() []httpserve.SiteStatus {
 		return []httpserve.SiteStatus{{ID: "frozen-0", Mode: "running", Ready: true, SimTime: 1234}}
 	}))

@@ -1,0 +1,45 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// Series blobs: the time-series plane (internal/trace/series) encodes
+// its whole state — metric rings, rollup buckets, alert-engine state —
+// into one opaque byte blob; the registry persists it with the same
+// atomic, checksummed snapshot machinery as models and run states. The
+// payload stays opaque on purpose: store guarantees integrity and
+// atomicity, the series package owns the schema, and neither imports
+// the other's internals.
+
+// seriesBlobName is the on-disk name of a series snapshot.
+func seriesBlobName(name string) string { return "series_" + sanitize(name) + ".snap" }
+
+// SeriesBlobPath returns the path the named series snapshot lives at.
+func (r *Registry) SeriesBlobPath(name string) string {
+	return filepath.Join(r.dir, seriesBlobName(name))
+}
+
+// HasSeriesBlob reports whether a named series snapshot exists
+// (without verifying it).
+func (r *Registry) HasSeriesBlob(name string) bool {
+	return exists(r.SeriesBlobPath(name))
+}
+
+// SaveSeriesBlob atomically writes the encoded series state under the
+// name.
+func (r *Registry) SaveSeriesBlob(name string, blob []byte) error {
+	if err := WriteSnapshot(r.SeriesBlobPath(name), KindSeries, blob); err != nil {
+		return fmt.Errorf("store: save series %q: %w", name, err)
+	}
+	return nil
+}
+
+// LoadSeriesBlob reads and verifies the named series snapshot,
+// returning the opaque payload for the series package to decode. A
+// missing snapshot satisfies errors.Is(err, os.ErrNotExist); a damaged
+// one ErrCorrupt.
+func (r *Registry) LoadSeriesBlob(name string) ([]byte, error) {
+	return ReadSnapshot(r.SeriesBlobPath(name), KindSeries)
+}

@@ -35,6 +35,10 @@ const (
 	KindModel uint32 = 1
 	// KindRunState tags a run-state checkpoint (gob of RunState).
 	KindRunState uint32 = 2
+	// KindSeries tags a time-series-plane checkpoint (opaque blob
+	// encoded by internal/trace/series — the store never decodes it,
+	// it only guarantees atomicity and integrity).
+	KindSeries uint32 = 3
 )
 
 // SnapshotVersion is the current format version written into every

@@ -49,6 +49,8 @@ var counterFamilies = []struct {
 		func(r *Registry) *Counter { return &r.StateRestoreFailureTotal }},
 	{"checkpoints_total", "Run-state checkpoints persisted to the state directory.",
 		func(r *Registry) *Counter { return &r.CheckpointsTotal }},
+	{"alerts_total", "SLO alert firings (transitions into the firing state).",
+		func(r *Registry) *Counter { return &r.AlertsTotal }},
 }
 
 // gaugeFamilies fixes the render order and metadata of the
@@ -79,6 +81,8 @@ var gaugeFamilies = []struct {
 		func(r *Registry) *Gauge { return &r.ServeMode }},
 	{"sim_time_seconds", "Simulated time at the last tick record (absolute seconds).",
 		func(r *Registry) *Gauge { return &r.SimTimeSeconds }},
+	{"alerts_active", "SLO alert rules currently in the firing state.",
+		func(r *Registry) *Gauge { return &r.AlertsActive }},
 }
 
 // phaseLabels precomputes the phase="<name>" label pair for each

@@ -1,0 +1,188 @@
+// Query-plane handlers: /api/query serves the site's time-series store
+// (internal/trace/series) as JSON with automatic resolution selection,
+// /api/alerts the SLO engine's live rule states and transition events.
+// Both are plain GET endpoints designed for the embedded dashboard and
+// for curl — parameters are query terms, output is indented JSON.
+package httpserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"coolair/internal/trace/series"
+)
+
+// QueryResponse is the /api/query body: one Result per requested
+// metric, tagged with the sim-time "now" the range was resolved
+// against.
+type QueryResponse struct {
+	Now    float64         `json:"now"`
+	Series []series.Result `json:"series"`
+}
+
+// parseQueryRange extracts the from/to/step/max_points terms. now is
+// the site's current sim time.
+func parseQueryRange(r *http.Request, now float64) (series.Range, error) {
+	q := r.URL.Query()
+	rg, err := series.ParseRange(q.Get("from"), q.Get("to"), q.Get("step"), now)
+	if err != nil {
+		return rg, err
+	}
+	if mp := q.Get("max_points"); mp != "" {
+		n, err := strconv.Atoi(mp)
+		if err != nil || n <= 0 {
+			return rg, err
+		}
+		rg.MaxPoints = n
+	}
+	return rg, nil
+}
+
+// splitMetrics parses the metric= term (comma-separated list).
+func splitMetrics(r *http.Request) []string {
+	var out []string
+	for _, m := range strings.Split(r.URL.Query().Get("metric"), ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// QueryHandler serves one site's /api/query. now() supplies the
+// current sim time (the sim_time_seconds gauge); db is the site's
+// store. GET /api/query?metric=a,b&from=now-1h&to=now&step=60
+// — omit metric to list the registered metric names instead.
+func QueryHandler(db *series.DB, now func() float64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		metrics := splitMetrics(r)
+		if len(metrics) == 0 {
+			writeJSON(w, map[string]any{"metrics": db.Metrics()})
+			return
+		}
+		n := now()
+		rg, err := parseQueryRange(r, n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := QueryResponse{Now: n, Series: make([]series.Result, 0, len(metrics))}
+		for _, m := range metrics {
+			resp.Series = append(resp.Series, db.Query(m, rg))
+		}
+		writeJSON(w, resp)
+	})
+}
+
+// AlertsResponse is the /api/alerts body.
+type AlertsResponse struct {
+	Firing int            `json:"firing"`
+	Alerts []series.Alert `json:"alerts"`
+	Events []series.Event `json:"events"`
+}
+
+// AlertsHandler serves one site's /api/alerts: every rule's live state
+// plus the retained transition events (oldest first).
+func AlertsHandler(engine *series.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, AlertsResponse{
+			Firing: engine.FiringCount(),
+			Alerts: engine.Alerts(),
+			Events: engine.Events(),
+		})
+	})
+}
+
+// FleetQueryResponse is the fleet /api/query body: cross-site
+// aggregates per bucket (min/mean/max/p99 over per-site bucket means).
+type FleetQueryResponse struct {
+	Now    float64              `json:"now"`
+	Series []series.FleetResult `json:"series"`
+}
+
+// FleetQueryHandler serves the fleet-root /api/query. dbs() snapshots
+// the per-site stores; now() the fleet sim time. ?site=<id> scopes the
+// query to one site (same shape as the site endpoint); without it the
+// response is the cross-site aggregate.
+func FleetQueryHandler(dbs func() map[string]*series.DB, now func() float64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		all := dbs()
+		if site := r.URL.Query().Get("site"); site != "" {
+			db, ok := all[site]
+			if !ok {
+				http.Error(w, "unknown site "+strconv.Quote(site), http.StatusNotFound)
+				return
+			}
+			QueryHandler(db, now).ServeHTTP(w, r)
+			return
+		}
+		metrics := splitMetrics(r)
+		if len(metrics) == 0 {
+			names := map[string]bool{}
+			for _, db := range all {
+				for _, m := range db.Metrics() {
+					names[m] = true
+				}
+			}
+			out := make([]string, 0, len(names))
+			for m := range names {
+				out = append(out, m)
+			}
+			sort.Strings(out) // deterministic listing regardless of map order
+			writeJSON(w, map[string]any{"metrics": out})
+			return
+		}
+		n := now()
+		rg, err := parseQueryRange(r, n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := FleetQueryResponse{Now: n, Series: make([]series.FleetResult, 0, len(metrics))}
+		for _, m := range metrics {
+			resp.Series = append(resp.Series, series.FleetQuery(all, m, rg))
+		}
+		writeJSON(w, resp)
+	})
+}
+
+// FleetAlertsResponse is the fleet /api/alerts body: per-site alert
+// status keyed by site id, plus the fleet-wide firing count.
+type FleetAlertsResponse struct {
+	Firing int                       `json:"firing"`
+	Sites  map[string]AlertsResponse `json:"sites"`
+}
+
+// FleetAlertsHandler serves the fleet-root /api/alerts. engines()
+// snapshots the per-site alert engines. ?site=<id> scopes to one site.
+func FleetAlertsHandler(engines func() map[string]*series.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		all := engines()
+		if site := r.URL.Query().Get("site"); site != "" {
+			e, ok := all[site]
+			if !ok {
+				http.Error(w, "unknown site "+strconv.Quote(site), http.StatusNotFound)
+				return
+			}
+			AlertsHandler(e).ServeHTTP(w, r)
+			return
+		}
+		resp := FleetAlertsResponse{Sites: make(map[string]AlertsResponse, len(all))}
+		for id, e := range all {
+			ar := AlertsResponse{Firing: e.FiringCount(), Alerts: e.Alerts(), Events: e.Events()}
+			resp.Firing += ar.Firing
+			resp.Sites[id] = ar
+		}
+		writeJSON(w, resp)
+	})
+}

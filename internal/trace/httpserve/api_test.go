@@ -1,0 +1,336 @@
+package httpserve
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"coolair/internal/trace"
+	"coolair/internal/trace/series"
+)
+
+// queryPlane assembles a mounted site plane with a populated series
+// store and a firing alert.
+func queryPlane(t *testing.T) (*httptest.Server, *series.DB) {
+	t.Helper()
+	ring := trace.NewRing(8, 8)
+	db := series.NewDB(series.FleetConfig())
+	id := db.Register(series.MetricInletMax)
+	for i := 0; i < 100; i++ {
+		db.Append(id, float64(i)*60, 20+float64(i%8))
+	}
+	engine := series.NewEngine(db, []series.Rule{{
+		Name: "hot", Metric: series.MetricInletMax, Agg: series.AggMax,
+		Op: series.OpAbove, Threshold: 25, Window: 1e6,
+	}}, ring.Metrics(), 60)
+	engine.Evaluate(6000)
+
+	mux := http.NewServeMux()
+	MountSitePlane(mux, "", SitePlane{
+		Ring: ring, Ready: func() (bool, string) { return true, "" },
+		DB: db, Alerts: engine,
+	})
+	mux.Handle("/dashboard", DashboardHandler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, db
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, _ := queryPlane(t)
+	var body QueryResponse
+	getDecode(t, srv.URL+"/api/query?metric="+series.MetricInletMax+"&from=0&to=6000&step=60", &body)
+	if len(body.Series) != 1 || body.Series[0].Metric != series.MetricInletMax {
+		t.Fatalf("series = %+v", body.Series)
+	}
+	if got := body.Series[0]; got.Res != 60 || len(got.Points) == 0 {
+		t.Fatalf("res=%g points=%d, want 60s buckets with data", got.Res, len(got.Points))
+	}
+}
+
+func TestQueryEndpointListsMetrics(t *testing.T) {
+	srv, db := queryPlane(t)
+	var body struct {
+		Metrics []string `json:"metrics"`
+	}
+	getDecode(t, srv.URL+"/api/query", &body)
+	if len(body.Metrics) != len(db.Metrics()) || body.Metrics[0] != series.MetricInletMax {
+		t.Fatalf("metrics = %v", body.Metrics)
+	}
+}
+
+func TestQueryEndpointBadRange(t *testing.T) {
+	srv, _ := queryPlane(t)
+	for _, q := range []string{
+		"metric=x&from=oops", "metric=x&to=oops", "metric=x&step=-1", "metric=x&from=100&to=50",
+	} {
+		resp, err := http.Get(srv.URL + "/api/query?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("?%s -> %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	srv, _ := queryPlane(t)
+	var body AlertsResponse
+	getDecode(t, srv.URL+"/api/alerts", &body)
+	if body.Firing != 1 || len(body.Alerts) != 1 || body.Alerts[0].State != "firing" {
+		t.Fatalf("alerts body = %+v, want one firing rule", body)
+	}
+	if len(body.Events) != 1 || body.Events[0].State != "firing" {
+		t.Fatalf("events = %+v", body.Events)
+	}
+}
+
+func TestFleetQueryEndpoint(t *testing.T) {
+	dbs := map[string]*series.DB{}
+	for _, site := range []string{"a", "b"} {
+		db := series.NewDB(series.FleetConfig())
+		id := db.Register("m")
+		db.Append(id, 30, 10)
+		dbs[site] = db
+	}
+	h := FleetQueryHandler(func() map[string]*series.DB { return dbs }, func() float64 { return 60 })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var body FleetQueryResponse
+	getDecode(t, srv.URL+"?metric=m&from=0&to=60", &body)
+	if len(body.Series) != 1 || len(body.Series[0].Points) != 1 {
+		t.Fatalf("fleet body = %+v", body)
+	}
+	if p := body.Series[0].Points[0]; p.Sites != 2 || p.Mean != 10 {
+		t.Fatalf("fleet point = %+v, want sites=2 mean=10", p)
+	}
+
+	// ?site= scopes to one site with the site-shaped body.
+	var one QueryResponse
+	getDecode(t, srv.URL+"?site=a&metric=m&from=0&to=60", &one)
+	if len(one.Series) != 1 || len(one.Series[0].Points) != 1 {
+		t.Fatalf("site-scoped body = %+v", one)
+	}
+	resp, err := http.Get(srv.URL + "?site=nope&metric=m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown site -> %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDashboardServed(t *testing.T) {
+	srv, _ := queryPlane(t)
+	resp, err := http.Get(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"/api/query", "/api/alerts", "/stream", "canvas", "coolair"} {
+		if !bytes.Contains(bytes.ToLower(page), []byte(strings.ToLower(want))) {
+			t.Errorf("dashboard page lacks %q", want)
+		}
+	}
+}
+
+// TestGzipNegotiation: a gzip-accepting client gets a compressed body
+// that decompresses to exactly the plain bytes; a plain client's bytes
+// are untouched (the CI greps parse them).
+func TestGzipNegotiation(t *testing.T) {
+	srv, _ := queryPlane(t)
+	for _, path := range []string{"/metrics", "/api/query?metric=" + series.MetricInletMax + "&from=0&to=6000"} {
+		plain := rawGet(t, srv.URL+path, "")
+		zipped := rawGet(t, srv.URL+path, "gzip")
+		if plain.encoding != "" {
+			t.Fatalf("%s: plain request got Content-Encoding %q", path, plain.encoding)
+		}
+		if zipped.encoding != "gzip" {
+			t.Fatalf("%s: gzip request got Content-Encoding %q", path, zipped.encoding)
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(zipped.body))
+		if err != nil {
+			t.Fatalf("%s: bad gzip stream: %v", path, err)
+		}
+		unzipped, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("%s: decompress: %v", path, err)
+		}
+		if !bytes.Equal(unzipped, plain.body) {
+			t.Fatalf("%s: gzip body decompresses to different bytes (%d vs %d)",
+				path, len(unzipped), len(plain.body))
+		}
+		if len(zipped.body) >= len(plain.body) {
+			t.Errorf("%s: compression did not shrink the body (%d >= %d)",
+				path, len(zipped.body), len(plain.body))
+		}
+	}
+}
+
+func TestAcceptsGzip(t *testing.T) {
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{"gzip", true},
+		{"gzip, deflate, br", true},
+		{"deflate, gzip;q=1.0", true},
+		{"gzip;q=0", false},
+		{"gzip;q=0.0", false},
+		{"*", true},
+		{"*;q=0", false},
+		{"identity", false},
+		{"GZIP", false}, // encodings are case-sensitive tokens here: be strict
+	}
+	for _, tc := range cases {
+		if got := acceptsGzip(tc.header); got != tc.want {
+			t.Errorf("acceptsGzip(%q) = %t, want %t", tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestStreamNeverGzipped: the SSE endpoint ignores Accept-Encoding —
+// compression would buffer frames and defeat the heartbeats.
+func TestStreamNeverGzipped(t *testing.T) {
+	srv, _ := queryPlane(t)
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("SSE stream negotiated Content-Encoding %q", enc)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}
+
+// TestKeepaliveDefaultInterval pins the idle heartbeat cadence the
+// loadtest and dashboard reconnect logic assume.
+func TestKeepaliveDefaultInterval(t *testing.T) {
+	if defaultKeepalive != 15*time.Second {
+		t.Fatalf("defaultKeepalive = %v, want 15s", defaultKeepalive)
+	}
+}
+
+// TestKeepaliveRepeatsAndYieldsToRecords: an idle stream heartbeats
+// repeatedly, and a record arriving after heartbeats is framed with the
+// correct cursor (comments never disturb event ids).
+func TestKeepaliveRepeatsAndYieldsToRecords(t *testing.T) {
+	ring := trace.NewRing(4, 4)
+	srv := httptest.NewServer(&StreamHandler{Ring: ring, Keepalive: 20 * time.Millisecond})
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+
+	comments := 0
+	for comments < 3 {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case strings.HasPrefix(line, ":"):
+			comments++
+		case strings.TrimSpace(line) == "":
+		default:
+			t.Fatalf("idle stream emitted %q before any record", line)
+		}
+	}
+
+	rec := trace.DecisionRecord{Time: 42, Winner: -1, Hold: true}
+	ring.RecordDecision(&rec)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasPrefix(line, "id: ") {
+			if got := strings.TrimSpace(strings.TrimPrefix(line, "id: ")); got != "1-0" {
+				t.Fatalf("first record after heartbeats has id %q, want 1-0", got)
+			}
+			return
+		}
+	}
+	t.Fatal("no record framed after heartbeats")
+}
+
+type rawResponse struct {
+	body     []byte
+	encoding string
+}
+
+// rawGet fetches without the transport's transparent decompression so
+// the wire bytes are observable.
+func rawGet(t *testing.T, url, acceptEncoding string) rawResponse {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acceptEncoding != "" {
+		req.Header.Set("Accept-Encoding", acceptEncoding)
+	}
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rawResponse{body: body, encoding: resp.Header.Get("Content-Encoding")}
+}
+
+func getDecode(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}

@@ -1,0 +1,129 @@
+package httpserve
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Cached wraps h with a short-TTL response memo that demand-collapses
+// the dashboard fan-in. A query URL is not per-client state: when 400
+// dashboards poll the same /api/query range, the fleet aggregation,
+// JSON encode, and gzip are identical work 400 times over — on the
+// query plane that repeated render, not the store scan, is what blows
+// the p99 budget. The memo renders each (URL, encoding) once per TTL
+// window and replays the recorded bytes to everyone else asking within
+// it; concurrent first requests for a key block on a single render
+// (sync.Once) instead of racing N copies of it.
+//
+// The TTL trades staleness for load shed. Series buckets advance once
+// per simulated minute at the finest resolution, so a sub-second memo
+// is invisible to chart consumers — same reasoning as the SSE
+// renderCache, applied one layer up.
+//
+// Replayed responses are byte-for-byte what the inner handler wrote —
+// including negotiated gzip bodies, which is why the encoding is part
+// of the key — so the plain-output identity pinned by the gzip tests
+// holds through the memo. Error responses (bad range, unknown site)
+// are memoized too: a dashboard retry-looping a typo'd URL is exactly
+// the repeated identical traffic the memo exists to absorb.
+
+// DefaultQueryCacheTTL is the memo window the daemons mount query and
+// alert endpoints with. One second keeps a 64-site fleet's render rate
+// bounded by the count of distinct dashboard URLs rather than the
+// client population.
+const DefaultQueryCacheTTL = time.Second
+
+// memoMaxEntries bounds the memo map. Real dashboard populations cycle
+// a small fixed URL set; only adversarial query strings approach the
+// cap, at which point the memo resets wholesale — correctness never
+// depends on an entry surviving.
+const memoMaxEntries = 256
+
+// cachedResponse is one rendered response. The once gate doubles as
+// the publication barrier: waiters that lose the render race observe
+// the filled fields through Once's happens-before edge.
+type cachedResponse struct {
+	once     sync.Once
+	header   http.Header
+	code     int
+	body     []byte
+	deadline time.Time
+}
+
+type responseMemo struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	entries map[string]*cachedResponse
+}
+
+// lookup returns the live entry for key, minting a fresh one when the
+// key is absent or its window has lapsed.
+func (m *responseMemo) lookup(key string, now time.Time) *cachedResponse {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[key]; ok && now.Before(e.deadline) {
+		return e
+	}
+	if len(m.entries) >= memoMaxEntries {
+		m.entries = make(map[string]*cachedResponse, memoMaxEntries)
+	}
+	e := &cachedResponse{deadline: now.Add(m.ttl)}
+	m.entries[key] = e
+	return e
+}
+
+// memoRecorder captures the inner handler's response for replay. It
+// deliberately implements only http.ResponseWriter: query handlers
+// write complete bodies, and a Flush no-op inside the recorder is
+// harmless (Gzip's flusher forwarding type-asserts before calling).
+type memoRecorder struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (r *memoRecorder) Header() http.Header { return r.header }
+
+func (r *memoRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *memoRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+// Cached returns h wrapped in a response memo with the given TTL. Wrap
+// outside Gzip so the memo stores the negotiated encoding and replays
+// skip the compressor too. Never wrap a streaming handler: the
+// recorder buffers the whole body before anything reaches the client.
+func Cached(ttl time.Duration, h http.Handler) http.Handler {
+	memo := &responseMemo{ttl: ttl, entries: make(map[string]*cachedResponse)}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Path + "?" + r.URL.RawQuery
+		if acceptsGzip(r.Header.Get("Accept-Encoding")) {
+			key += "\x00gzip"
+		}
+		e := memo.lookup(key, time.Now())
+		e.once.Do(func() {
+			rec := &memoRecorder{header: make(http.Header)}
+			h.ServeHTTP(rec, r)
+			if rec.code == 0 {
+				rec.code = http.StatusOK
+			}
+			e.header, e.code, e.body = rec.header, rec.code, rec.body.Bytes()
+		})
+		hdr := w.Header()
+		for k, vs := range e.header {
+			hdr[k] = vs
+		}
+		w.WriteHeader(e.code)
+		_, _ = w.Write(e.body)
+	})
+}

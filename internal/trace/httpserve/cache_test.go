@@ -1,0 +1,189 @@
+package httpserve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// memoGet fetches without transparent decompression so the wire bytes
+// and negotiated headers are observable.
+func memoGet(t *testing.T, url string, gzip bool) (body []byte, header http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Always pin the header: left unset, the transport silently adds
+	// "Accept-Encoding: gzip" and transparently decompresses, hiding
+	// the wire encoding this helper exists to observe.
+	if gzip {
+		req.Header.Set("Accept-Encoding", "gzip")
+	} else {
+		req.Header.Set("Accept-Encoding", "identity")
+	}
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, resp.Header
+}
+
+// countingHandler renders a body that embeds how many times it has run,
+// so a replayed response is distinguishable from a fresh render.
+func countingHandler(calls *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"render": %d, "path": %q}`, n, r.URL.Path)
+	})
+}
+
+func TestCachedCollapsesIdenticalRequests(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(Cached(time.Minute, countingHandler(&calls)))
+	defer srv.Close()
+
+	first, _ := memoGet(t, srv.URL+"/api/query?metric=a", false)
+	second, hdr := memoGet(t, srv.URL+"/api/query?metric=a", false)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("identical URLs rendered %d times, want 1", got)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("replayed body differs:\n%s\nvs\n%s", first, second)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("replay lost Content-Type: %q", ct)
+	}
+
+	memoGet(t, srv.URL+"/api/query?metric=b", false)
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("distinct query string should render fresh: %d calls, want 2", got)
+	}
+}
+
+// TestCachedKeysOnEncoding pins that gzip-negotiated and plain clients
+// get separate memo entries: replaying a compressed body to a plain
+// client (or vice versa) would corrupt the response.
+func TestCachedKeysOnEncoding(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(Cached(time.Minute, Gzip(countingHandler(&calls))))
+	defer srv.Close()
+
+	_, plainHdr := memoGet(t, srv.URL+"/api/query?metric=a", false)
+	if enc := plainHdr.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("plain client got Content-Encoding %q", enc)
+	}
+	_, gzHdr := memoGet(t, srv.URL+"/api/query?metric=a", true)
+	if enc := gzHdr.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("gzip client got Content-Encoding %q, want gzip", enc)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("plain and gzip variants should each render once: %d calls, want 2", got)
+	}
+	// Replays within the window serve the stored variant.
+	memoGet(t, srv.URL+"/api/query?metric=a", false)
+	memoGet(t, srv.URL+"/api/query?metric=a", true)
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("variant replays re-rendered: %d calls, want 2", got)
+	}
+}
+
+func TestCachedExpires(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(Cached(time.Millisecond, countingHandler(&calls)))
+	defer srv.Close()
+
+	memoGet(t, srv.URL+"/api/query?metric=a", false)
+	time.Sleep(5 * time.Millisecond)
+	memoGet(t, srv.URL+"/api/query?metric=a", false)
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("lapsed entry should re-render: %d calls, want 2", got)
+	}
+}
+
+// TestCachedSingleFlight pins the thundering-herd behavior: concurrent
+// first requests for one key produce exactly one inner render, with
+// every waiter served the same bytes.
+func TestCachedSingleFlight(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-release
+		fmt.Fprint(w, "rendered once")
+	})
+	srv := httptest.NewServer(Cached(time.Minute, slow))
+	defer srv.Close()
+
+	const clients = 16
+	bodies := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/api/query")
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			buf := make([]byte, 64)
+			n, _ := resp.Body.Read(buf)
+			bodies[i] = string(buf[:n])
+		}(i)
+	}
+	// Let the herd pile up on the in-flight render, then release it.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("concurrent identical requests rendered %d times, want 1", got)
+	}
+	for i, b := range bodies {
+		if b != "rendered once" {
+			t.Fatalf("client %d got %q", i, b)
+		}
+	}
+}
+
+// TestCachedPreservesStatus pins that non-200 responses replay with
+// their original status code — a memoized 400 must not turn into a 200.
+func TestCachedPreservesStatus(t *testing.T) {
+	var calls atomic.Int64
+	bad := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad range", http.StatusBadRequest)
+	})
+	srv := httptest.NewServer(Cached(time.Minute, bad))
+	defer srv.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/api/query?from=nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("request %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("error response should memoize too: %d calls, want 1", got)
+	}
+}

@@ -1,0 +1,27 @@
+package httpserve
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the embedded, dependency-free live dashboard: a
+// world heatmap of sites colored by cooling regime and alert state,
+// per-site sparklines fed from /api/query, and live updates riding the
+// existing SSE stream cursors. One self-contained page — no external
+// scripts, fonts, or build step — so it works from an air-gapped
+// daemon and adds nothing to the deploy.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// DashboardHandler serves the embedded dashboard page. The page
+// adapts to its host at runtime: /sites answering means fleet mode,
+// a 404 means the legacy single-site daemon (same endpoints, root
+// prefix).
+func DashboardHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(dashboardHTML)
+	})
+}

@@ -12,17 +12,56 @@ import (
 	"net/http"
 
 	"coolair/internal/trace"
+	"coolair/internal/trace/series"
 )
 
+// SitePlane is one site's observability surface: the flight-recorder
+// ring (metrics + SSE stream), the readiness probe, and — when the
+// site has a time-series plane — its store and alert engine.
+type SitePlane struct {
+	Ring  *trace.Ring
+	Ready func() (bool, string)
+	// DB, when non-nil, mounts /api/query over the site's series store.
+	DB *series.DB
+	// Alerts, when non-nil, mounts /api/alerts over the SLO engine.
+	Alerts *series.Engine
+	// Proc, when non-nil, appends the process self-telemetry to this
+	// plane's /metrics page. Set it on the daemon's root plane only —
+	// process stats are per-process, not per-site.
+	Proc *trace.Proc
+}
+
 // MountSitePlane registers one site's observability endpoints on mux
-// under prefix: prefix+"/metrics", prefix+"/stream", prefix+"/readyz".
-// The single-site daemon mounts at prefix "" (the PR-5 URLs); the fleet
-// daemon mounts each site at "/sites/<id>". Sites are known at boot, so
-// the routes are plain exact-path registrations — no wildcard matching.
-func MountSitePlane(mux *http.ServeMux, prefix string, ring *trace.Ring, ready func() (bool, string)) {
-	mux.Handle(prefix+"/metrics", MetricsHandler(ring.Metrics()))
-	mux.Handle(prefix+"/readyz", ReadyHandler(ready))
-	mux.Handle(prefix+"/stream", &StreamHandler{Ring: ring})
+// under prefix: prefix+"/metrics", prefix+"/stream", prefix+"/readyz",
+// and (when the plane carries them) prefix+"/api/query" and
+// prefix+"/api/alerts". The single-site daemon mounts at prefix ""
+// (the PR-5 URLs); the fleet daemon mounts each site at "/sites/<id>".
+// Sites are known at boot, so the routes are plain exact-path
+// registrations — no wildcard matching. Text/JSON endpoints are gzip-
+// negotiated; the SSE stream never is (compression would buffer
+// frames and defeat the heartbeats).
+func MountSitePlane(mux *http.ServeMux, prefix string, p SitePlane) {
+	metrics := MetricsHandler(p.Ring.Metrics())
+	if p.Proc != nil {
+		reg, proc := p.Ring.Metrics(), p.Proc
+		metrics = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+			_ = proc.WritePrometheus(w)
+		})
+	}
+	mux.Handle(prefix+"/metrics", Gzip(metrics))
+	mux.Handle(prefix+"/readyz", ReadyHandler(p.Ready))
+	mux.Handle(prefix+"/stream", &StreamHandler{Ring: p.Ring})
+	if p.DB != nil {
+		reg := p.Ring.Metrics()
+		mux.Handle(prefix+"/api/query", Cached(DefaultQueryCacheTTL, Gzip(QueryHandler(p.DB, func() float64 {
+			return reg.SimTimeSeconds.Value()
+		}))))
+	}
+	if p.Alerts != nil {
+		mux.Handle(prefix+"/api/alerts", Cached(DefaultQueryCacheTTL, Gzip(AlertsHandler(p.Alerts))))
+	}
 }
 
 // SiteStatus is one site's row in the /sites listing.
@@ -78,10 +117,15 @@ func SitesHandler(snapshot func() []SiteStatus) http.Handler {
 
 // FleetMetricsHandler serves the combined fleet exposition: fleet-level
 // aggregates plus every site's registry labeled site="<id>". snapshot
-// is called per request.
-func FleetMetricsHandler(snapshot func() []trace.SiteSeries) http.Handler {
+// is called per request. proc (may be nil) appends the process
+// self-telemetry — one copy for the whole page, since the fleet shares
+// a process.
+func FleetMetricsHandler(snapshot func() []trace.SiteSeries, proc *trace.Proc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = trace.WriteFleetPrometheus(w, snapshot())
+		if proc != nil {
+			_ = proc.WritePrometheus(w)
+		}
 	})
 }

@@ -1,0 +1,88 @@
+package httpserve
+
+import (
+	"compress/gzip"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Gzip transparently compresses responses for clients that advertise
+// gzip in Accept-Encoding. A fleet /metrics page is hundreds of
+// kilobytes of highly repetitive text — site-labeled series compress
+// ~20×, which matters when a thousand scrapers poll it. Writers come
+// from a pool so a scrape burst doesn't allocate a fresh compressor
+// per request. A client that doesn't accept gzip gets the inner
+// handler's bytes untouched (pinned byte-identical by test), so plain
+// curl and exposition-format parsers see exactly the PR-5 output.
+//
+// Never wrap an SSE handler: compression buffers frames and defeats
+// the keep-alive heartbeats.
+
+// gzipPool recycles gzip writers across requests. BestSpeed: the
+// output is scraped once and discarded, so the extra ratio of higher
+// levels is not worth the CPU under scrape load.
+var gzipPool = sync.Pool{New: func() any {
+	zw, _ := gzip.NewWriterLevel(nil, gzip.BestSpeed)
+	return zw
+}}
+
+// acceptsGzip parses an Accept-Encoding header: gzip must be listed
+// (or covered by a wildcard) with a non-zero quality value.
+func acceptsGzip(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		enc, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		enc = strings.TrimSpace(enc)
+		if enc != "gzip" && enc != "*" {
+			continue
+		}
+		if !hasQ {
+			return true
+		}
+		q = strings.TrimSpace(q)
+		if v, ok := strings.CutPrefix(q, "q="); ok {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			return err != nil || f > 0
+		}
+		return true
+	}
+	return false
+}
+
+// gzipResponseWriter wraps the response, deferring the gzip writer
+// until the first body byte so error paths (http.Error from an inner
+// handler) still negotiate correctly.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	zw *gzip.Writer
+}
+
+func (g *gzipResponseWriter) Write(p []byte) (int, error) { return g.zw.Write(p) }
+
+// Flush forwards to the underlying flusher after draining the
+// compressor, preserving incremental delivery for handlers that flush.
+func (g *gzipResponseWriter) Flush() {
+	_ = g.zw.Flush()
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Gzip wraps h with Accept-Encoding-negotiated gzip compression.
+func Gzip(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !acceptsGzip(r.Header.Get("Accept-Encoding")) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Add("Vary", "Accept-Encoding")
+		zw := gzipPool.Get().(*gzip.Writer)
+		zw.Reset(w)
+		gw := &gzipResponseWriter{ResponseWriter: w, zw: zw}
+		h.ServeHTTP(gw, r)
+		_ = zw.Close()
+		gzipPool.Put(zw)
+	})
+}

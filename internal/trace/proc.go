@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Proc is the daemon's process/runtime self-telemetry: uptime, heap and
+// GC gauges from runtime.ReadMemStats, the goroutine count, and a
+// build-info series. It is process-wide (one Proc per daemon, not per
+// site) and sampled off the hot path — a background goroutine refreshes
+// the gauges on a wall-clock interval, so rendering /metrics never
+// calls ReadMemStats inline and the record path never sees it at all.
+type Proc struct {
+	start time.Time
+
+	// Version and GoVersion label the coolair_build_info series.
+	Version   string
+	GoVersion string
+
+	UptimeSeconds      Gauge
+	Goroutines         Gauge
+	HeapAllocBytes     Gauge
+	HeapSysBytes       Gauge
+	HeapObjects        Gauge
+	GCCycles           Gauge
+	GCPauseTotalSecond Gauge
+	NextGCBytes        Gauge
+}
+
+// NewProc creates self-telemetry for this process. version is the
+// daemon's build/version string (free-form; "dev" when unset).
+func NewProc(version string) *Proc {
+	if version == "" {
+		version = "dev"
+	}
+	p := &Proc{start: time.Now(), Version: version, GoVersion: runtime.Version()}
+	p.Sample()
+	return p
+}
+
+// Sample refreshes every gauge once. Safe for concurrent use with
+// renders; callers other than the background loop use it to get fresh
+// numbers in tests.
+func (p *Proc) Sample() {
+	p.UptimeSeconds.Set(time.Since(p.start).Seconds())
+	p.Goroutines.Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.HeapAllocBytes.Set(float64(ms.HeapAlloc))
+	p.HeapSysBytes.Set(float64(ms.HeapSys))
+	p.HeapObjects.Set(float64(ms.HeapObjects))
+	p.GCCycles.Set(float64(ms.NumGC))
+	p.GCPauseTotalSecond.Set(float64(ms.PauseTotalNs) / 1e9)
+	p.NextGCBytes.Set(float64(ms.NextGC))
+}
+
+// Start launches the background sampler at the given wall interval
+// (≤0 → 10s), stopping when ctx ends.
+func (p *Proc) Start(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				p.Sample()
+			}
+		}
+	}()
+}
+
+// procGaugeFamilies fixes the render order and metadata of the process
+// gauges.
+var procGaugeFamilies = []struct {
+	name, help string
+	get        func(*Proc) *Gauge
+}{
+	{"process_uptime_seconds", "Wall-clock seconds since the daemon started.",
+		func(p *Proc) *Gauge { return &p.UptimeSeconds }},
+	{"process_goroutines", "Current goroutine count.",
+		func(p *Proc) *Gauge { return &p.Goroutines }},
+	{"process_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func(p *Proc) *Gauge { return &p.HeapAllocBytes }},
+	{"process_heap_sys_bytes", "Bytes of heap obtained from the OS (runtime.MemStats.HeapSys).",
+		func(p *Proc) *Gauge { return &p.HeapSysBytes }},
+	{"process_heap_objects", "Number of allocated heap objects.",
+		func(p *Proc) *Gauge { return &p.HeapObjects }},
+	{"process_gc_cycles_total", "Completed GC cycles (runtime.MemStats.NumGC).",
+		func(p *Proc) *Gauge { return &p.GCCycles }},
+	{"process_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time in seconds.",
+		func(p *Proc) *Gauge { return &p.GCPauseTotalSecond }},
+	{"process_next_gc_bytes", "Heap size target of the next GC cycle.",
+		func(p *Proc) *Gauge { return &p.NextGCBytes }},
+}
+
+// AppendPrometheus renders the process self-telemetry (including the
+// coolair_build_info constant series) in exposition format, appended
+// to b.
+func (p *Proc) AppendPrometheus(b []byte) []byte {
+	for _, f := range procGaugeFamilies {
+		b = appendMeta(b, f.name, f.help, "gauge")
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = appendValue(b, f.get(p).Value())
+		b = append(b, '\n')
+	}
+	b = appendMeta(b, "coolair_build_info", "Build metadata; the labels carry the version, the value is always 1.", "gauge")
+	b = append(b, "coolair_build_info{version="...)
+	b = strconv.AppendQuote(b, p.Version)
+	b = append(b, ",go="...)
+	b = strconv.AppendQuote(b, p.GoVersion)
+	b = append(b, "} 1\n"...)
+	return b
+}
+
+// WritePrometheus renders the process self-telemetry to w.
+func (p *Proc) WritePrometheus(w io.Writer) error {
+	return writeBuf(w, p.AppendPrometheus)
+}

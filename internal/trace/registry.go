@@ -166,6 +166,11 @@ type Registry struct {
 	StateRestoreFailureTotal Counter
 	CheckpointsTotal         Counter
 
+	// AlertsTotal counts SLO alert firings (transitions into the firing
+	// state); AlertsActive (below, with the gauges) is how many rules
+	// are firing right now. Both are fed by the series alert engine.
+	AlertsTotal Counter
+
 	// Current-state gauges, refreshed by the ring on every record.
 	// InletMaxC/InletMinC are the pod-inlet extremes (°C); OutsideTempC
 	// and OutsideRH the outside air; ActiveRegime the effective cooling
@@ -187,6 +192,8 @@ type Registry struct {
 	// (absolute seconds) — after a warm boot it resumes near the
 	// checkpointed tick instead of zero, which the chaos tests assert.
 	SimTimeSeconds Gauge
+	// AlertsActive is the number of SLO alert rules currently firing.
+	AlertsActive Gauge
 
 	// PredictionAbsError is the |predicted − realized| hottest-inlet
 	// error (°C) between consecutive decisions.

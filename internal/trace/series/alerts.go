@@ -1,0 +1,374 @@
+package series
+
+import (
+	"sync"
+
+	"coolair/internal/trace"
+)
+
+// Agg names the aggregation a threshold Rule applies over its window.
+type Agg string
+
+const (
+	AggMean  Agg = "mean"
+	AggMax   Agg = "max"
+	AggMin   Agg = "min"
+	AggSum   Agg = "sum"
+	AggCount Agg = "count"
+)
+
+// Op is a Rule's comparison direction.
+type Op string
+
+const (
+	OpAbove Op = ">"
+	OpBelow Op = "<"
+)
+
+// Rule is one declarative SLO condition over a metric's recent window
+// (sim-time seconds). Two shapes share the struct:
+//
+//   - Threshold: Agg(metric over Window) Op Threshold — e.g. "mean
+//     prediction_abs_error_celsius over 1h > 1.0".
+//   - Burn (Burn=true): the fraction of window samples with value Op
+//     BurnValue must exceed Threshold — e.g. "more than 10% of the last
+//     hour's inlet_max_celsius samples above 30 °C". This is the
+//     error-budget burn-rate shape: the fraction is the budget burn
+//     over the lookback window.
+//
+// The condition must hold continuously for For sim-seconds before the
+// rule fires (For=0 fires immediately); it resolves on the first clean
+// evaluation.
+type Rule struct {
+	Name      string  `json:"name"`
+	Metric    string  `json:"metric"`
+	Agg       Agg     `json:"agg,omitempty"`
+	Op        Op      `json:"op"`
+	Threshold float64 `json:"threshold"`
+	Window    float64 `json:"window_seconds"`
+	For       float64 `json:"for_seconds,omitempty"`
+	Burn      bool    `json:"burn,omitempty"`
+	BurnValue float64 `json:"burn_value,omitempty"`
+}
+
+// DefaultRules is the stock SLO set wired into coolair-serve: the
+// paper's §5 temperature-violation budget as a burn-rate rule, model
+// quality, guard health, and decision latency.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			// >10% of the last simulated hour's ticks had the hottest
+			// inlet above the 30 °C red line (paper §5 violation budget).
+			Name: "temp-violation-burn", Metric: MetricInletMax,
+			Burn: true, BurnValue: 30, Op: OpAbove, Threshold: 0.10,
+			Window: 3600,
+		},
+		{
+			// The model is drifting: mean |predicted − realized| hottest
+			// inlet above 1 °C over the last simulated hour.
+			Name: "prediction-error-high", Metric: MetricPredErr,
+			Agg: AggMean, Op: OpAbove, Threshold: 1.0, Window: 3600,
+		},
+		{
+			// Any guard intervention in the last simulated hour (sum of
+			// the 0/1 intervention series).
+			Name: "guard-intervening", Metric: MetricGuard,
+			Agg: AggSum, Op: OpAbove, Threshold: 0.5, Window: 3600,
+		},
+		{
+			// A decision burned more than 50 ms of wall clock in the last
+			// simulated hour.
+			Name: "decision-latency-high", Metric: MetricDecisionSec,
+			Agg: AggMax, Op: OpAbove, Threshold: 0.050, Window: 3600,
+		},
+	}
+}
+
+// AlertState is one rule's position in the firing lifecycle.
+type AlertState int32
+
+const (
+	// StateOK: condition false at the last evaluation.
+	StateOK AlertState = iota
+	// StatePending: condition true but not yet held For seconds.
+	StatePending
+	// StateFiring: condition held For seconds and the alert is active.
+	StateFiring
+)
+
+// String implements fmt.Stringer (the JSON/exposition spelling).
+func (s AlertState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateFiring:
+		return "firing"
+	}
+	return "ok"
+}
+
+// Alert is one rule's live status, as served by /api/alerts.
+type Alert struct {
+	Rule  Rule   `json:"rule"`
+	State string `json:"state"`
+	// Value is the rule expression's value at the last evaluation
+	// (aggregate, or burn fraction for burn rules).
+	Value float64 `json:"value"`
+	// Since is the sim time the condition first became true for the
+	// current pending/firing episode (0 when OK).
+	Since float64 `json:"since,omitempty"`
+	// Samples is how many window samples the evaluation saw.
+	Samples int64 `json:"samples"`
+}
+
+// Event is one alert transition (into firing, or back to ok), kept in
+// a bounded ring for /api/alerts consumers that poll.
+type Event struct {
+	Time  float64 `json:"t"`
+	Rule  string  `json:"rule"`
+	State string  `json:"state"` // "firing" or "resolved"
+	Value float64 `json:"value"`
+}
+
+// eventCap bounds the engine's transition history.
+const eventCap = 256
+
+// ruleState is one rule's evaluation state machine.
+type ruleState struct {
+	state   AlertState
+	since   float64 // sim time the condition became true
+	value   float64
+	samples int64
+}
+
+// Engine evaluates a rule set against a DB on a sim-time cadence and
+// maintains alert states, a transition-event ring, and the registry's
+// alerts_active/alerts_total metrics.
+type Engine struct {
+	mu    sync.Mutex
+	db    *DB
+	rules []Rule
+	st    []ruleState
+	reg   *trace.Registry
+
+	// evalEvery throttles evaluation (sim seconds between sweeps).
+	evalEvery float64
+	lastEval  float64
+	evaluated bool
+
+	events     []Event
+	eventsHead int
+	eventsLen  int
+	firedTotal uint64
+}
+
+// NewEngine creates an engine over db with the given rules (nil →
+// DefaultRules). reg may be nil (no metrics). Evaluation runs at most
+// once per evalEvery sim-seconds (≤0 → 60).
+func NewEngine(db *DB, rules []Rule, reg *trace.Registry, evalEvery float64) *Engine {
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	if evalEvery <= 0 {
+		evalEvery = 60
+	}
+	return &Engine{
+		db: db, rules: rules, st: make([]ruleState, len(rules)),
+		reg: reg, evalEvery: evalEvery,
+		events: make([]Event, eventCap),
+	}
+}
+
+// Observe advances the engine to sim time now, evaluating the rules if
+// the throttle interval elapsed (or time went backward, i.e. a resume
+// rewind — re-evaluating is harmless and keeps the clock sane).
+func (e *Engine) Observe(now float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.evaluated && now >= e.lastEval && now-e.lastEval < e.evalEvery {
+		return
+	}
+	e.lastEval = now
+	e.evaluated = true
+	e.evalLocked(now)
+}
+
+// Evaluate forces an immediate rule sweep at sim time now.
+func (e *Engine) Evaluate(now float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lastEval = now
+	e.evaluated = true
+	e.evalLocked(now)
+}
+
+func (e *Engine) evalLocked(now float64) {
+	active := 0
+	for i := range e.rules {
+		r := &e.rules[i]
+		st := &e.st[i]
+		value, samples := e.db.evalRule(r, now)
+		st.value, st.samples = value, samples
+		breach := samples > 0 && compare(value, r.Op, r.Threshold)
+		switch {
+		case !breach:
+			if st.state == StateFiring {
+				e.pushEvent(Event{Time: now, Rule: r.Name, State: "resolved", Value: value})
+			}
+			st.state = StateOK
+			st.since = 0
+		case st.state == StateOK:
+			st.since = now
+			if r.For <= 0 {
+				st.state = StateFiring
+				e.fire(now, r, value)
+			} else {
+				st.state = StatePending
+			}
+		case st.state == StatePending:
+			if now-st.since >= r.For {
+				st.state = StateFiring
+				e.fire(now, r, value)
+			}
+		}
+		if st.state == StateFiring {
+			active++
+		}
+	}
+	if e.reg != nil {
+		e.reg.AlertsActive.Set(float64(active))
+	}
+}
+
+func (e *Engine) fire(now float64, r *Rule, value float64) {
+	e.firedTotal++
+	e.pushEvent(Event{Time: now, Rule: r.Name, State: "firing", Value: value})
+	if e.reg != nil {
+		e.reg.AlertsTotal.Inc()
+	}
+}
+
+func (e *Engine) pushEvent(ev Event) {
+	if e.eventsLen < len(e.events) {
+		e.events[(e.eventsHead+e.eventsLen)%len(e.events)] = ev
+		e.eventsLen++
+		return
+	}
+	e.events[e.eventsHead] = ev
+	e.eventsHead = (e.eventsHead + 1) % len(e.events)
+}
+
+// compare applies the rule operator.
+func compare(v float64, op Op, threshold float64) bool {
+	if op == OpBelow {
+		return v < threshold
+	}
+	return v > threshold
+}
+
+// evalRule computes one rule's expression value over [now-Window, now]
+// from the metric's raw ring (the finest truth available; window sizes
+// are chosen within raw retention). Returns the value and the number
+// of window samples seen.
+func (db *DB) evalRule(r *Rule, now float64) (float64, int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id, ok := db.byName[r.Metric]
+	if !ok {
+		return 0, 0
+	}
+	s := db.series[id]
+	from := now - r.Window
+	var (
+		n     int64
+		sum   float64
+		mn    float64
+		mx    float64
+		burnN int64
+	)
+	for i := 0; i < s.rawLen; i++ {
+		smp := &s.raw[(s.rawHead+i)%len(s.raw)]
+		if smp.T < from || smp.T > now {
+			continue
+		}
+		if n == 0 {
+			mn, mx = smp.V, smp.V
+		} else {
+			if smp.V < mn {
+				mn = smp.V
+			}
+			if smp.V > mx {
+				mx = smp.V
+			}
+		}
+		sum += smp.V
+		n++
+		if r.Burn && compare(smp.V, r.Op, r.BurnValue) {
+			burnN++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	if r.Burn {
+		return float64(burnN) / float64(n), n
+	}
+	switch r.Agg {
+	case AggMax:
+		return mx, n
+	case AggMin:
+		return mn, n
+	case AggSum:
+		return sum, n
+	case AggCount:
+		return float64(n), n
+	default: // AggMean
+		return sum / float64(n), n
+	}
+}
+
+// Alerts returns every rule's live status, rule order.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, len(e.rules))
+	for i := range e.rules {
+		st := &e.st[i]
+		out[i] = Alert{
+			Rule: e.rules[i], State: st.state.String(),
+			Value: st.value, Since: st.since, Samples: st.samples,
+		}
+	}
+	return out
+}
+
+// Events returns the retained transition events, oldest first.
+func (e *Engine) Events() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Event, e.eventsLen)
+	for i := 0; i < e.eventsLen; i++ {
+		out[i] = e.events[(e.eventsHead+i)%len(e.events)]
+	}
+	return out
+}
+
+// FiringCount returns how many rules are currently firing.
+func (e *Engine) FiringCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for i := range e.st {
+		if e.st[i].state == StateFiring {
+			n++
+		}
+	}
+	return n
+}
+
+// FiredTotal returns the number of firing transitions ever seen.
+func (e *Engine) FiredTotal() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firedTotal
+}

@@ -1,0 +1,203 @@
+package series
+
+import (
+	"testing"
+
+	"coolair/internal/trace"
+)
+
+// alertDB builds a DB with one metric and returns both.
+func alertDB() (*DB, ID) {
+	db := NewDB(Config{RawCap: 128, Rollups: []RollupConfig{{Res: 60, Cap: 16}}})
+	return db, db.Register("m")
+}
+
+func TestThresholdRuleFiresAndResolves(t *testing.T) {
+	db, id := alertDB()
+	reg := trace.NewRegistry()
+	e := NewEngine(db, []Rule{{
+		Name: "hot", Metric: "m", Agg: AggMean, Op: OpAbove, Threshold: 10, Window: 100,
+	}}, reg, 60)
+
+	db.Append(id, 10, 5)
+	e.Evaluate(10)
+	if got := e.Alerts()[0]; got.State != "ok" || e.FiringCount() != 0 {
+		t.Fatalf("below threshold: %+v firing=%d", got, e.FiringCount())
+	}
+
+	db.Append(id, 20, 50)
+	e.Evaluate(20)
+	got := e.Alerts()[0]
+	if got.State != "firing" || e.FiringCount() != 1 {
+		t.Fatalf("above threshold: %+v firing=%d", got, e.FiringCount())
+	}
+	if got.Value != 27.5 { // mean(5, 50)
+		t.Errorf("value = %g, want 27.5", got.Value)
+	}
+	if reg.AlertsActive.Value() != 1 || reg.AlertsTotal.Value() != 1 {
+		t.Errorf("registry: active=%g total=%d, want 1/1",
+			reg.AlertsActive.Value(), reg.AlertsTotal.Value())
+	}
+	if e.FiredTotal() != 1 {
+		t.Errorf("FiredTotal = %d, want 1", e.FiredTotal())
+	}
+
+	// The breaching samples age out of the window: resolve.
+	e.Evaluate(200)
+	if got := e.Alerts()[0]; got.State != "ok" || e.FiringCount() != 0 {
+		t.Fatalf("aged out: %+v firing=%d", got, e.FiringCount())
+	}
+	if reg.AlertsActive.Value() != 0 {
+		t.Errorf("alerts_active = %g after resolve, want 0", reg.AlertsActive.Value())
+	}
+	evs := e.Events()
+	if len(evs) != 2 || evs[0].State != "firing" || evs[1].State != "resolved" {
+		t.Fatalf("events = %+v, want firing then resolved", evs)
+	}
+}
+
+func TestForHoldDelaysFiring(t *testing.T) {
+	db, id := alertDB()
+	e := NewEngine(db, []Rule{{
+		Name: "hot", Metric: "m", Agg: AggMax, Op: OpAbove, Threshold: 10,
+		Window: 1000, For: 120,
+	}}, nil, 60)
+
+	db.Append(id, 10, 50)
+	e.Evaluate(10)
+	if got := e.Alerts()[0]; got.State != "pending" {
+		t.Fatalf("first breach state = %s, want pending", got.State)
+	}
+	e.Evaluate(100) // held 90s < 120s
+	if got := e.Alerts()[0]; got.State != "pending" {
+		t.Fatalf("held 90s state = %s, want still pending", got.State)
+	}
+	e.Evaluate(130) // held 120s
+	if got := e.Alerts()[0]; got.State != "firing" {
+		t.Fatalf("held 120s state = %s, want firing", got.State)
+	}
+	// Only the transition into firing is an event — pending is not.
+	if evs := e.Events(); len(evs) != 1 || evs[0].State != "firing" || evs[0].Time != 130 {
+		t.Fatalf("events = %+v, want one firing at t=130", evs)
+	}
+}
+
+func TestBurnRule(t *testing.T) {
+	db, id := alertDB()
+	e := NewEngine(db, []Rule{{
+		Name: "burn", Metric: "m", Burn: true, BurnValue: 30, Op: OpAbove,
+		Threshold: 0.10, Window: 100,
+	}}, nil, 60)
+
+	// 1 of 20 samples above 30 °C: 5% burn, under the 10% budget.
+	for i := 0; i < 19; i++ {
+		db.Append(id, float64(i), 25)
+	}
+	db.Append(id, 19, 35)
+	e.Evaluate(20)
+	got := e.Alerts()[0]
+	if got.State != "ok" || got.Value != 0.05 {
+		t.Fatalf("5%% burn: state=%s value=%g, want ok 0.05", got.State, got.Value)
+	}
+
+	// 3 more hot samples: 4 of 23 ≈ 17% burn.
+	for i := 20; i < 23; i++ {
+		db.Append(id, float64(i), 40)
+	}
+	e.Evaluate(23)
+	got = e.Alerts()[0]
+	if got.State != "firing" {
+		t.Fatalf("17%% burn: state=%s, want firing", got.State)
+	}
+	if got.Value <= 0.10 || got.Samples != 23 {
+		t.Errorf("value=%g samples=%d, want >0.10 over 23", got.Value, got.Samples)
+	}
+}
+
+// TestNoSamplesNoBreach: a rule over an empty (or fully aged-out)
+// window never fires — absence of data is not a violation.
+func TestNoSamplesNoBreach(t *testing.T) {
+	db, _ := alertDB()
+	e := NewEngine(db, []Rule{{
+		Name: "hot", Metric: "m", Agg: AggCount, Op: OpBelow, Threshold: 5, Window: 100,
+	}}, nil, 60)
+	e.Evaluate(1000)
+	if got := e.Alerts()[0]; got.State != "ok" || got.Samples != 0 {
+		t.Fatalf("empty window: %+v, want ok with 0 samples", got)
+	}
+}
+
+func TestObserveThrottle(t *testing.T) {
+	db, id := alertDB()
+	e := NewEngine(db, []Rule{{
+		Name: "hot", Metric: "m", Agg: AggMax, Op: OpAbove, Threshold: 10, Window: 1000,
+	}}, nil, 60)
+
+	e.Observe(0) // first observation evaluates
+	db.Append(id, 10, 50)
+	e.Observe(30) // throttled: 30s < 60s since last eval
+	if got := e.Alerts()[0]; got.State != "ok" {
+		t.Fatalf("throttled Observe evaluated: %+v", got)
+	}
+	e.Observe(61) // interval elapsed
+	if got := e.Alerts()[0]; got.State != "firing" {
+		t.Fatalf("Observe after interval did not evaluate: %+v", got)
+	}
+	// Time going backward (resume rewind) re-evaluates instead of
+	// waiting for sim time to catch back up.
+	e.Observe(5)
+	if e.Alerts()[0].Samples != 0 {
+		t.Fatalf("rewound Observe did not re-evaluate at t=5: %+v", e.Alerts()[0])
+	}
+}
+
+func TestEventRingBounded(t *testing.T) {
+	db, id := alertDB()
+	e := NewEngine(db, []Rule{{
+		Name: "flap", Metric: "m", Agg: AggMax, Op: OpAbove, Threshold: 10, Window: 10,
+	}}, nil, 60)
+	// Flap the rule far past the event cap.
+	for i := 0; i < 2*eventCap; i++ {
+		ts := float64(i * 100)
+		db.Append(id, ts, 50)
+		e.Evaluate(ts) // firing
+		e.Evaluate(ts + 50)
+	}
+	evs := e.Events()
+	if len(evs) != eventCap {
+		t.Fatalf("event ring holds %d, want bounded at %d", len(evs), eventCap)
+	}
+	// Oldest-first, and the retained tail is the newest transitions.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("events out of order at %d: %+v then %+v", i, evs[i-1], evs[i])
+		}
+	}
+	if e.FiredTotal() != uint64(2*eventCap) {
+		t.Errorf("FiredTotal = %d, want %d", e.FiredTotal(), 2*eventCap)
+	}
+}
+
+func TestDefaultRulesShape(t *testing.T) {
+	db := NewDB(FleetConfig())
+	for _, m := range StandardMetrics() {
+		db.Register(m)
+	}
+	e := NewEngine(db, nil, nil, 0)
+	alerts := e.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("no default rules")
+	}
+	metrics := map[string]bool{}
+	for _, m := range db.Metrics() {
+		metrics[m] = true
+	}
+	for _, a := range alerts {
+		if !metrics[a.Rule.Metric] {
+			t.Errorf("rule %s watches unregistered metric %q", a.Rule.Name, a.Rule.Metric)
+		}
+		if a.Rule.Window <= 0 {
+			t.Errorf("rule %s has no window", a.Rule.Name)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package series
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one query-result bucket. For raw-resolution results every
+// field reflects the single sample (Count=1). T is the bucket start
+// (or the sample instant for raw points), simulated seconds.
+type Point struct {
+	T     float64 `json:"t"`
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	Last  float64 `json:"last"`
+	Count int64   `json:"count"`
+}
+
+// Result is one metric's answer to a Query: the resolution actually
+// served (0 = raw samples) and the points in ascending time order.
+type Result struct {
+	Metric string  `json:"metric"`
+	Res    float64 `json:"res"`
+	Points []Point `json:"points"`
+}
+
+// Range is a parsed query window. Step 0 lets the store pick the
+// finest resolution that covers the window within MaxPoints.
+type Range struct {
+	From float64
+	To   float64
+	Step float64
+	// MaxPoints bounds the result length (0 → DefaultMaxPoints).
+	MaxPoints int
+}
+
+// DefaultMaxPoints bounds a query result when the caller doesn't.
+const DefaultMaxPoints = 2000
+
+var errBadRange = errors.New("series: bad range")
+
+// ParseRange parses from/to/step query terms. from and to accept
+// absolute simulated seconds ("86400", "1.5e5"), "now", or
+// "now-<dur>" where <dur> is seconds or a duration token
+// ("15m", "2h", "1.5d", "90s", bare "300"). step accepts the same
+// duration tokens; empty means automatic. now is the current simulated
+// time supplied by the caller. Defaults: from=now-1h, to=now.
+func ParseRange(fromS, toS, stepS string, now float64) (Range, error) {
+	r := Range{From: now - 3600, To: now}
+	if fromS != "" {
+		v, err := parseInstant(fromS, now)
+		if err != nil {
+			return r, fmt.Errorf("%w: from=%q", errBadRange, fromS)
+		}
+		r.From = v
+	}
+	if toS != "" {
+		v, err := parseInstant(toS, now)
+		if err != nil {
+			return r, fmt.Errorf("%w: to=%q", errBadRange, toS)
+		}
+		r.To = v
+	}
+	if stepS != "" {
+		v, err := parseDuration(stepS)
+		if err != nil || v <= 0 {
+			return r, fmt.Errorf("%w: step=%q", errBadRange, stepS)
+		}
+		r.Step = v
+	}
+	if math.IsNaN(r.From) || math.IsNaN(r.To) || math.IsInf(r.From, 0) || math.IsInf(r.To, 0) {
+		return r, fmt.Errorf("%w: non-finite bound", errBadRange)
+	}
+	if r.To < r.From {
+		return r, fmt.Errorf("%w: to < from", errBadRange)
+	}
+	return r, nil
+}
+
+// parseInstant handles "now", "now-<dur>", and absolute seconds.
+func parseInstant(s string, now float64) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "now" {
+		return now, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "now-"); ok {
+		d, err := parseDuration(rest)
+		if err != nil {
+			return 0, err
+		}
+		return now - d, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseDuration parses "<float>[s|m|h|d]" into seconds (bare numbers
+// are seconds). Rejects negatives and non-finite values.
+func parseDuration(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, errBadRange
+	}
+	mult := 1.0
+	switch s[len(s)-1] {
+	case 's':
+		s = s[:len(s)-1]
+	case 'm':
+		mult, s = 60, s[:len(s)-1]
+	case 'h':
+		mult, s = 3600, s[:len(s)-1]
+	case 'd':
+		mult, s = 86400, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, errBadRange
+	}
+	return v * mult, nil
+}
+
+// Query serves one metric over the window. Resolution selection: an
+// explicit Step picks the smallest rollup resolution ≥ Step (or the
+// coarsest if none reaches it); otherwise the store serves raw samples
+// when they cover the window start within MaxPoints, else the finest
+// rollup that does (falling back to the coarsest level). Unknown
+// metrics return an empty raw result.
+func (db *DB) Query(name string, r Range) Result {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res := Result{Metric: name, Points: []Point{}}
+	id, ok := db.byName[name]
+	if !ok {
+		return res
+	}
+	s := db.series[id]
+	maxPts := r.MaxPoints
+	if maxPts <= 0 {
+		maxPts = DefaultMaxPoints
+	}
+
+	if r.Step > 0 {
+		ri := s.pickByStep(r.Step)
+		if ri >= 0 {
+			res.Res = s.roll[ri].res
+			res.Points = s.roll[ri].collect(r, maxPts)
+			return res
+		}
+		// No rollups configured at all: fall through to raw.
+	} else if ri, raw := s.pickAuto(r, maxPts); !raw {
+		res.Res = s.roll[ri].res
+		res.Points = s.roll[ri].collect(r, maxPts)
+		return res
+	}
+	res.Points = s.collectRaw(r, maxPts)
+	return res
+}
+
+// pickByStep returns the index of the smallest rollup with res ≥ step,
+// or the coarsest when none reaches step; -1 with no rollups.
+func (s *Series) pickByStep(step float64) int {
+	best := -1
+	for i := range s.roll {
+		if s.roll[i].res >= step {
+			if best < 0 || s.roll[i].res < s.roll[best].res {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for i := range s.roll {
+		if best < 0 || s.roll[i].res > s.roll[best].res {
+			best = i
+		}
+	}
+	return best
+}
+
+// pickAuto chooses raw samples when they cover the window start within
+// the point budget; otherwise the finest rollup whose retention covers
+// From (or the coarsest configured level). Returns (rollupIdx, raw).
+func (s *Series) pickAuto(r Range, maxPts int) (int, bool) {
+	if oldest, ok := s.rawOldest(); ok && oldest <= r.From {
+		if n := s.countRaw(r); n <= maxPts {
+			return -1, true
+		}
+	}
+	if len(s.roll) == 0 {
+		return -1, true
+	}
+	// Rollups are configured finest-first; take the first level that
+	// both covers the window start and fits the point budget.
+	for i := range s.roll {
+		ru := &s.roll[i]
+		if cov, ok := ru.oldestCovered(); ok && cov > r.From {
+			continue
+		}
+		if (r.To-r.From)/ru.res <= float64(maxPts) {
+			return i, false
+		}
+	}
+	return len(s.roll) - 1, false
+}
+
+// countRaw counts retained raw samples inside the window.
+func (s *Series) countRaw(r Range) int {
+	n := 0
+	for i := 0; i < s.rawLen; i++ {
+		smp := &s.raw[(s.rawHead+i)%len(s.raw)]
+		if smp.T >= r.From && smp.T <= r.To {
+			n++
+		}
+	}
+	return n
+}
+
+// collectRaw returns window samples as Count=1 points, ascending by
+// time. The raw ring is append-ordered; a checkpoint-resume rewind can
+// interleave times, so sort rather than assume monotone.
+func (s *Series) collectRaw(r Range, maxPts int) []Point {
+	pts := make([]Point, 0, min(s.rawLen, maxPts))
+	for i := 0; i < s.rawLen; i++ {
+		smp := &s.raw[(s.rawHead+i)%len(s.raw)]
+		if smp.T < r.From || smp.T > r.To {
+			continue
+		}
+		pts = append(pts, Point{T: smp.T, Min: smp.V, Mean: smp.V, Max: smp.V, Last: smp.V, Count: 1})
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].T < pts[b].T })
+	if len(pts) > maxPts {
+		pts = pts[len(pts)-maxPts:]
+	}
+	return pts
+}
+
+// oldestCovered reports the oldest bucket start the ring retains.
+func (r *rollup) oldestCovered() (float64, bool) {
+	oldest := int64(math.MaxInt64)
+	found := false
+	for _, bi := range r.idx {
+		if bi >= 0 && bi < oldest {
+			oldest, found = bi, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return float64(oldest) * r.res, true
+}
+
+// collect returns the ring's buckets intersecting the window, ascending
+// by bucket start, skipping empty/stale slots.
+func (r *rollup) collect(rg Range, maxPts int) []Point {
+	lo := int64(math.Floor(rg.From / r.res))
+	hi := int64(math.Floor(rg.To / r.res))
+	pts := make([]Point, 0, min(int(hi-lo+1), len(r.idx)))
+	for _, bi := range r.idx {
+		if bi < lo || bi > hi {
+			continue
+		}
+		b := &r.buckets[r.slotFor(bi)]
+		if b.Count == 0 {
+			continue
+		}
+		pts = append(pts, Point{
+			T: float64(bi) * r.res, Min: b.Min, Mean: b.Mean(), Max: b.Max, Last: b.Last, Count: b.Count,
+		})
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].T < pts[b].T })
+	if len(pts) > maxPts {
+		pts = pts[len(pts)-maxPts:]
+	}
+	return pts
+}
+
+// Latest returns the most recently appended sample for the metric.
+func (db *DB) Latest(name string) (Sample, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id, ok := db.byName[name]
+	if !ok {
+		return Sample{}, false
+	}
+	s := db.series[id]
+	if s.rawLen == 0 {
+		return Sample{}, false
+	}
+	return s.raw[(s.rawHead+s.rawLen-1)%len(s.raw)], true
+}
+
+// FleetPoint is one fleet-aggregate bucket: min/mean/max/p99 across the
+// per-site bucket means at one bucket start.
+type FleetPoint struct {
+	T     float64 `json:"t"`
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	P99   float64 `json:"p99"`
+	Sites int     `json:"sites"`
+}
+
+// FleetResult is the cross-site aggregate answer for one metric.
+type FleetResult struct {
+	Metric string       `json:"metric"`
+	Res    float64      `json:"res"`
+	Points []FleetPoint `json:"points"`
+}
+
+// FleetQuery aggregates one metric across site DBs per bucket start.
+// Step (or 60s when unset) snaps to each DB's rollup grid so bucket
+// starts align across sites; p99 is the nearest-rank percentile over
+// per-site bucket means.
+func FleetQuery(dbs map[string]*DB, name string, r Range) FleetResult {
+	if r.Step <= 0 {
+		r.Step = 60
+	}
+	out := FleetResult{Metric: name, Points: []FleetPoint{}}
+	byT := make(map[float64][]float64)
+	for _, db := range dbs {
+		res := db.Query(name, r)
+		if out.Res == 0 {
+			out.Res = res.Res
+		}
+		for _, p := range res.Points {
+			byT[p.T] = append(byT[p.T], p.Mean)
+		}
+	}
+	ts := make([]float64, 0, len(byT))
+	for t := range byT {
+		ts = append(ts, t)
+	}
+	sort.Float64s(ts)
+	for _, t := range ts {
+		vs := byT[t]
+		sort.Float64s(vs)
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		rank := int(math.Ceil(0.99*float64(len(vs)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		out.Points = append(out.Points, FleetPoint{
+			T: t, Min: vs[0], Mean: sum / float64(len(vs)), Max: vs[len(vs)-1],
+			P99: vs[rank], Sites: len(vs),
+		})
+	}
+	return out
+}

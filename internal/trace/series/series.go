@@ -1,0 +1,276 @@
+// Package series is the in-process time-series plane of the flight
+// recorder: a fixed-memory store of per-metric samples in simulated
+// time, cascaded into multi-resolution downsampled rollups, queryable
+// over HTTP as /api/query and scored against declarative SLO rules
+// (alerts.go). The append path performs no allocation — every ring and
+// bucket is sized at construction — so feeding the store from the
+// decision/tick record path does not disturb the allocation-free hot
+// path the bench gates pin (BenchmarkSeriesAppend,
+// BenchmarkSeriesCollectTick).
+//
+// Layout: each registered metric owns one Series — a ring of raw
+// samples plus one rollup ring per configured resolution. A rollup ring
+// is keyed by bucket index (floor(t/res)): slot = index mod capacity,
+// with the owning index stored per slot, so out-of-order appends (a
+// warm boot resuming behind the kill point re-runs part of a day) fold
+// into the right bucket and a wrapped slot can never masquerade as
+// current data — queries verify the stored index before reading a
+// bucket. Buckets carry min/max/sum/count/last, which is enough to
+// serve min/mean/max/count/last at query time and to aggregate across
+// sites (fleet rollups take a p99 over per-site bucket values).
+package series
+
+import (
+	"math"
+	"sync"
+)
+
+// Sample is one raw observation: a value at a simulated-time instant
+// (absolute seconds, the same timebase trace records carry).
+type Sample struct {
+	T float64
+	V float64
+}
+
+// Bucket is one downsampled rollup bucket. Mean is served as Sum/Count
+// at query time; Last is the most recently appended sample's value (by
+// append order, which is what a dashboard's "current" readout wants).
+type Bucket struct {
+	Min   float64
+	Max   float64
+	Sum   float64
+	Last  float64
+	Count int64
+}
+
+// fold adds one sample to the bucket.
+func (b *Bucket) fold(v float64) {
+	if v < b.Min {
+		b.Min = v
+	}
+	if v > b.Max {
+		b.Max = v
+	}
+	b.Sum += v
+	b.Last = v
+	b.Count++
+}
+
+// reset re-initializes the bucket to hold exactly one sample.
+func (b *Bucket) reset(v float64) {
+	b.Min, b.Max, b.Sum, b.Last, b.Count = v, v, v, v, 1
+}
+
+// Mean returns the bucket's mean sample value (0 when empty).
+func (b *Bucket) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// RollupConfig sizes one downsampling resolution: Res is the bucket
+// width in simulated seconds, Cap the number of retained buckets.
+type RollupConfig struct {
+	Res float64
+	Cap int
+}
+
+// Config sizes a DB: the raw-sample ring and the rollup cascade.
+// Resolutions must be ascending; retention per level is Res×Cap of
+// simulated time (assuming contiguous appends).
+type Config struct {
+	// RawCap is the per-metric raw sample ring capacity.
+	RawCap int
+	// Rollups lists the downsampled resolutions, finest first.
+	Rollups []RollupConfig
+}
+
+// DefaultConfig is the single-site sizing: at the 2-minute tick cadence
+// the raw ring holds ~5.7 simulated days, the 1-minute rollup one day,
+// and the 1-hour rollup 32 days — a full paper year sample at hourly
+// resolution, a day at full detail.
+func DefaultConfig() Config {
+	return Config{
+		RawCap: 4096,
+		Rollups: []RollupConfig{
+			{Res: 60, Cap: 1440},
+			{Res: 3600, Cap: 768},
+		},
+	}
+}
+
+// FleetConfig is the per-site sizing for multi-tenant daemons: ~21 KB
+// per metric per site (a 64-site fleet with the standard metric set
+// stays under 20 MB; world:1520 under 500 MB), retaining ~8.5 simulated
+// hours raw, 4 hours at 1-minute, and 10 days at 1-hour resolution.
+func FleetConfig() Config {
+	return Config{
+		RawCap: 256,
+		Rollups: []RollupConfig{
+			{Res: 60, Cap: 240},
+			{Res: 3600, Cap: 240},
+		},
+	}
+}
+
+// rollup is one resolution's bucket ring. idx[slot] holds the bucket
+// index (floor(t/res)) the slot currently stores, or -1 when empty.
+type rollup struct {
+	res     float64
+	idx     []int64
+	buckets []Bucket
+}
+
+// slotFor maps a bucket index to its ring slot.
+func (r *rollup) slotFor(bi int64) int {
+	s := int(bi % int64(len(r.idx)))
+	if s < 0 {
+		s += len(r.idx)
+	}
+	return s
+}
+
+// append folds one sample into the bucket owning time t, opening (or
+// recycling) the slot when it holds a different bucket index.
+func (r *rollup) append(t, v float64) {
+	bi := int64(math.Floor(t / r.res))
+	s := r.slotFor(bi)
+	if r.idx[s] != bi {
+		r.idx[s] = bi
+		r.buckets[s].reset(v)
+		return
+	}
+	r.buckets[s].fold(v)
+}
+
+// Series is one metric's store: the raw ring plus the rollup cascade.
+type Series struct {
+	raw     []Sample
+	rawHead int // index of the oldest raw sample
+	rawLen  int
+	roll    []rollup
+	// appended counts every sample ever appended (snapshot provenance
+	// and "did anything land" checks).
+	appended uint64
+}
+
+func newSeries(cfg Config) *Series {
+	s := &Series{raw: make([]Sample, cfg.RawCap)}
+	for _, rc := range cfg.Rollups {
+		r := rollup{res: rc.Res, idx: make([]int64, rc.Cap), buckets: make([]Bucket, rc.Cap)}
+		for i := range r.idx {
+			r.idx[i] = -1
+		}
+		s.roll = append(s.roll, r)
+	}
+	return s
+}
+
+// append records one sample: raw ring (newest wins) plus every rollup.
+func (s *Series) append(t, v float64) {
+	if s.rawLen < len(s.raw) {
+		s.raw[(s.rawHead+s.rawLen)%len(s.raw)] = Sample{T: t, V: v}
+		s.rawLen++
+	} else {
+		s.raw[s.rawHead] = Sample{T: t, V: v}
+		s.rawHead = (s.rawHead + 1) % len(s.raw)
+	}
+	for i := range s.roll {
+		s.roll[i].append(t, v)
+	}
+	s.appended++
+}
+
+// rawOldest returns the oldest retained raw sample time (and whether
+// any sample is retained). Samples are stored in append order; after a
+// resume rewind the "oldest" is still the first retained slot, which is
+// what coverage selection wants — an approximation the range filter
+// corrects for.
+func (s *Series) rawOldest() (float64, bool) {
+	if s.rawLen == 0 {
+		return 0, false
+	}
+	return s.raw[s.rawHead].T, true
+}
+
+// ID is a registered metric's handle. Appends go through IDs so the
+// hot path never hashes a metric name.
+type ID int
+
+// DB is one site's time-series store: a fixed set of registered
+// metrics, each with its own Series, behind one mutex (appends arrive
+// from the site's single run loop; readers are HTTP queries).
+type DB struct {
+	mu     sync.Mutex
+	cfg    Config
+	names  []string
+	byName map[string]ID
+	series []*Series
+}
+
+// NewDB creates an empty store with the given sizing.
+func NewDB(cfg Config) *DB {
+	if cfg.RawCap <= 0 {
+		cfg.RawCap = DefaultConfig().RawCap
+	}
+	if len(cfg.Rollups) == 0 {
+		cfg.Rollups = DefaultConfig().Rollups
+	}
+	return &DB{cfg: cfg, byName: make(map[string]ID)}
+}
+
+// Register adds a metric (idempotent: an existing name returns its
+// original ID). Call during assembly, before concurrent appends.
+func (db *DB) Register(name string) ID {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if id, ok := db.byName[name]; ok {
+		return id
+	}
+	id := ID(len(db.series))
+	db.byName[name] = id
+	db.names = append(db.names, name)
+	db.series = append(db.series, newSeries(db.cfg))
+	return id
+}
+
+// Metrics returns the registered metric names in registration order.
+func (db *DB) Metrics() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, len(db.names))
+	copy(out, db.names)
+	return out
+}
+
+// Append records one sample for the metric. Unknown IDs are dropped
+// (the zero DB has no metrics). Allocation-free.
+func (db *DB) Append(id ID, t, v float64) {
+	if math.IsNaN(v) {
+		return // NaN carries no magnitude to downsample
+	}
+	db.mu.Lock()
+	if int(id) >= 0 && int(id) < len(db.series) {
+		db.series[id].append(t, v)
+	}
+	db.mu.Unlock()
+}
+
+// Lookup resolves a metric name to its ID.
+func (db *DB) Lookup(name string) (ID, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id, ok := db.byName[name]
+	return id, ok
+}
+
+// Appended reports how many samples the metric has ever received.
+func (db *DB) Appended(id ID) uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(db.series) {
+		return 0
+	}
+	return db.series[id].appended
+}

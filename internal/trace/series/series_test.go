@@ -1,0 +1,336 @@
+package series
+
+import (
+	"math"
+	"testing"
+)
+
+// tinyConfig keeps ring geometry small enough to exercise wraparound
+// in a handful of appends.
+func tinyConfig() Config {
+	return Config{RawCap: 8, Rollups: []RollupConfig{{Res: 60, Cap: 4}, {Res: 3600, Cap: 3}}}
+}
+
+func wide() Range { return Range{From: 0, To: 1e12} }
+
+func TestRawRingWraparound(t *testing.T) {
+	db := NewDB(tinyConfig())
+	id := db.Register("m")
+	for i := 0; i < 20; i++ {
+		db.Append(id, float64(i), float64(i)*10)
+	}
+	// Force raw resolution: the window covers exactly the retained tail.
+	res := db.Query("m", Range{From: 12, To: 19})
+	if res.Res != 0 {
+		t.Fatalf("Res = %g, want raw (0)", res.Res)
+	}
+	if len(res.Points) != 8 {
+		t.Fatalf("got %d points, want the 8 newest", len(res.Points))
+	}
+	for i, p := range res.Points {
+		wantT := float64(12 + i)
+		if p.T != wantT || p.Mean != wantT*10 || p.Count != 1 {
+			t.Errorf("point %d = %+v, want t=%g v=%g", i, p, wantT, wantT*10)
+		}
+	}
+	// The overwritten prefix is no longer available raw: the same
+	// window now falls back to the rollup level, which retains it
+	// downsampled (history degrades, it doesn't vanish).
+	got := db.Query("m", Range{From: 0, To: 11})
+	if got.Res == 0 {
+		t.Errorf("overwritten window served raw (res=0): %+v", got.Points)
+	}
+	if len(got.Points) != 1 || got.Points[0].Count != 20 {
+		t.Errorf("rollup fallback = %+v, want one bucket folding all 20 samples", got.Points)
+	}
+}
+
+func TestRollupBucketStats(t *testing.T) {
+	db := NewDB(tinyConfig())
+	id := db.Register("m")
+	db.Append(id, 10, 1)
+	db.Append(id, 20, 5)
+	db.Append(id, 30, 3)
+	res := db.Query("m", Range{From: 0, To: 59, Step: 60})
+	if res.Res != 60 || len(res.Points) != 1 {
+		t.Fatalf("got res=%g points=%d, want one 60s bucket", res.Res, len(res.Points))
+	}
+	p := res.Points[0]
+	if p.T != 0 || p.Min != 1 || p.Max != 5 || p.Mean != 3 || p.Last != 3 || p.Count != 3 {
+		t.Fatalf("bucket = %+v, want min=1 max=5 mean=3 last=3 count=3", p)
+	}
+}
+
+// TestRollupSeam: samples either side of a bucket boundary must land in
+// different buckets, and the raw→rollup seam (a query window straddling
+// the boundary) serves both.
+func TestRollupSeam(t *testing.T) {
+	db := NewDB(tinyConfig())
+	id := db.Register("m")
+	db.Append(id, 59.999, 1)
+	db.Append(id, 60.0, 2)
+	res := db.Query("m", Range{From: 0, To: 120, Step: 60})
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d buckets, want 2 across the seam: %+v", len(res.Points), res.Points)
+	}
+	if res.Points[0].T != 0 || res.Points[0].Count != 1 || res.Points[0].Last != 1 {
+		t.Errorf("bucket 0 = %+v", res.Points[0])
+	}
+	if res.Points[1].T != 60 || res.Points[1].Count != 1 || res.Points[1].Last != 2 {
+		t.Errorf("bucket 60 = %+v", res.Points[1])
+	}
+}
+
+// TestRollupWraparound: a rollup ring past capacity retains only the
+// newest buckets, and recycled slots never serve their old bucket's
+// data for an old window.
+func TestRollupWraparound(t *testing.T) {
+	db := NewDB(tinyConfig()) // 60s ring holds 4 buckets
+	id := db.Register("m")
+	for bi := 0; bi < 10; bi++ {
+		db.Append(id, float64(bi)*60+30, float64(bi))
+	}
+	res := db.Query("m", Range{From: 0, To: 600, Step: 60})
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d buckets, want the 4 newest", len(res.Points))
+	}
+	for i, p := range res.Points {
+		wantBi := float64(6 + i)
+		if p.T != wantBi*60 || p.Mean != wantBi {
+			t.Errorf("bucket %d = %+v, want t=%g mean=%g", i, p, wantBi*60, wantBi)
+		}
+	}
+	// A window over only evicted buckets is empty, not stale data.
+	if got := db.Query("m", Range{From: 0, To: 120, Step: 60}); len(got.Points) != 0 {
+		t.Errorf("evicted window served stale buckets: %+v", got.Points)
+	}
+}
+
+// TestAutoResolution: without an explicit step, the store serves raw
+// when the ring covers the window, then cascades to coarser rollups as
+// the window outgrows each level's retention.
+func TestAutoResolution(t *testing.T) {
+	db := NewDB(Config{RawCap: 16, Rollups: []RollupConfig{{Res: 60, Cap: 60}, {Res: 3600, Cap: 48}}})
+	id := db.Register("m")
+	// 4 simulated hours at 30s cadence: raw keeps 8 minutes, the 60s
+	// level 1 hour, the 1h level everything.
+	end := 4 * 3600.0
+	for ts := 0.0; ts <= end; ts += 30 {
+		db.Append(id, ts, ts)
+	}
+	if res := db.Query("m", Range{From: end - 200, To: end}); res.Res != 0 {
+		t.Errorf("narrow window Res = %g, want raw", res.Res)
+	}
+	if res := db.Query("m", Range{From: end - 1800, To: end}); res.Res != 60 {
+		t.Errorf("half-hour window Res = %g, want 60", res.Res)
+	}
+	if res := db.Query("m", Range{From: 0, To: end}); res.Res != 3600 {
+		t.Errorf("full-history window Res = %g, want 3600", res.Res)
+	}
+}
+
+func TestExplicitStepSelection(t *testing.T) {
+	db := NewDB(tinyConfig())
+	id := db.Register("m")
+	db.Append(id, 30, 1)
+	cases := []struct {
+		step, wantRes float64
+	}{
+		{1, 60},      // smallest rollup ≥ step
+		{60, 60},     // exact match
+		{61, 3600},   // next level up
+		{7200, 3600}, // beyond every level: coarsest
+	}
+	for _, tc := range cases {
+		if res := db.Query("m", Range{From: 0, To: 100, Step: tc.step}); res.Res != tc.wantRes {
+			t.Errorf("step=%g: Res = %g, want %g", tc.step, res.Res, tc.wantRes)
+		}
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	db := NewDB(tinyConfig())
+	id := db.Register("m")
+	if res := db.Query("nope", wide()); len(res.Points) != 0 || res.Points == nil {
+		t.Errorf("unknown metric: want empty non-nil points, got %+v", res.Points)
+	}
+	if res := db.Query("m", wide()); len(res.Points) != 0 {
+		t.Errorf("empty series served points: %+v", res.Points)
+	}
+	db.Append(id, 100, 1)
+	if res := db.Query("m", Range{From: 200, To: 300}); len(res.Points) != 0 {
+		t.Errorf("out-of-window sample served: %+v", res.Points)
+	}
+	// NaN samples are dropped at the door.
+	db.Append(id, 110, math.NaN())
+	if got := db.Appended(id); got != 1 {
+		t.Errorf("Appended = %d after NaN, want 1", got)
+	}
+	// Unknown IDs are dropped, not panics.
+	db.Append(ID(99), 1, 1)
+}
+
+func TestQueryMaxPoints(t *testing.T) {
+	// A 1s rollup level: every sample is its own bucket, so MaxPoints
+	// must trim the result to the newest buckets.
+	db := NewDB(Config{RawCap: 32, Rollups: []RollupConfig{{Res: 1, Cap: 64}}})
+	id := db.Register("m")
+	for i := 0; i < 20; i++ {
+		db.Append(id, float64(i), float64(i))
+	}
+	res := db.Query("m", Range{From: 0, To: 100, MaxPoints: 5})
+	if len(res.Points) != 5 {
+		t.Fatalf("got %d points, want MaxPoints=5", len(res.Points))
+	}
+	// The newest survive the cap.
+	if res.Points[0].T != 15 || res.Points[4].T != 19 {
+		t.Errorf("kept window = [%g..%g], want [15..19]", res.Points[0].T, res.Points[4].T)
+	}
+}
+
+// TestResumeRewind: a warm boot resuming behind the kill point appends
+// older timestamps after newer ones. Raw queries still come back
+// time-sorted, and the rewound samples fold into their own buckets.
+func TestResumeRewind(t *testing.T) {
+	db := NewDB(Config{RawCap: 16, Rollups: []RollupConfig{{Res: 60, Cap: 16}}})
+	id := db.Register("m")
+	db.Append(id, 120, 1)
+	db.Append(id, 300, 3)
+	db.Append(id, 360, 4)
+	// Rewind: the resumed run replays t=180, appended after newer times.
+	db.Append(id, 180, 2)
+	res := db.Query("m", Range{From: 120, To: 400})
+	if res.Res != 0 || len(res.Points) != 4 {
+		t.Fatalf("res=%g points=%d, want 4 raw points: %+v", res.Res, len(res.Points), res.Points)
+	}
+	for i, want := range []float64{120, 180, 300, 360} {
+		if res.Points[i].T != want {
+			t.Fatalf("point %d at t=%g, want %g (sorted)", i, res.Points[i].T, want)
+		}
+	}
+	roll := db.Query("m", Range{From: 0, To: 400, Step: 60})
+	if len(roll.Points) != 4 {
+		t.Fatalf("rollup points = %d, want 4 distinct buckets: %+v", len(roll.Points), roll.Points)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	db := NewDB(tinyConfig())
+	id := db.Register("m")
+	if _, ok := db.Latest("m"); ok {
+		t.Fatal("empty series reported a latest sample")
+	}
+	db.Append(id, 10, 1)
+	db.Append(id, 20, 2)
+	if s, ok := db.Latest("m"); !ok || s.T != 20 || s.V != 2 {
+		t.Fatalf("Latest = %+v %t, want {20 2} true", s, ok)
+	}
+	if _, ok := db.Latest("nope"); ok {
+		t.Fatal("unknown metric reported a latest sample")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	db := NewDB(tinyConfig())
+	a := db.Register("m")
+	b := db.Register("m")
+	if a != b {
+		t.Fatalf("re-register returned %d, want original %d", b, a)
+	}
+	if got := db.Metrics(); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("Metrics = %v", got)
+	}
+}
+
+func TestFleetQuery(t *testing.T) {
+	dbs := map[string]*DB{}
+	for i, site := range []string{"a", "b", "c"} {
+		db := NewDB(tinyConfig())
+		id := db.Register("m")
+		// Site i contributes bucket means 10*(i+1) in bucket 0 and
+		// 10*(i+1)+1 in bucket 1.
+		db.Append(id, 30, float64(10*(i+1)))
+		db.Append(id, 90, float64(10*(i+1)+1))
+		dbs[site] = db
+	}
+	res := FleetQuery(dbs, "m", Range{From: 0, To: 120})
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d fleet buckets, want 2: %+v", len(res.Points), res.Points)
+	}
+	p := res.Points[0]
+	if p.T != 0 || p.Sites != 3 || p.Min != 10 || p.Max != 30 || p.Mean != 20 {
+		t.Errorf("bucket 0 = %+v, want min=10 mean=20 max=30 sites=3", p)
+	}
+	// Nearest-rank p99 over 3 values is the max.
+	if p.P99 != 30 {
+		t.Errorf("p99 = %g, want 30", p.P99)
+	}
+}
+
+func TestFleetQueryEmpty(t *testing.T) {
+	res := FleetQuery(map[string]*DB{}, "m", Range{From: 0, To: 100})
+	if len(res.Points) != 0 || res.Points == nil {
+		t.Fatalf("empty fleet: want empty non-nil points, got %+v", res.Points)
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		from, to, step string
+		wantFrom       float64
+		wantTo         float64
+		wantStep       float64
+	}{
+		{"", "", "", 6400, 10000, 0}, // defaults: now-1h .. now
+		{"now-15m", "now", "", 9100, 10000, 0},
+		{"now-1.5h", "now", "5m", 4600, 10000, 300},
+		{"now-1d", "now", "1h", -76400, 10000, 3600},
+		{"1000", "2000", "90s", 1000, 2000, 90},
+	}
+	for _, tc := range cases {
+		r, err := ParseRange(tc.from, tc.to, tc.step, 10000)
+		if err != nil {
+			t.Errorf("ParseRange(%q,%q,%q) error: %v", tc.from, tc.to, tc.step, err)
+			continue
+		}
+		if r.From != tc.wantFrom || r.To != tc.wantTo || r.Step != tc.wantStep {
+			t.Errorf("ParseRange(%q,%q,%q) = %+v, want from=%g to=%g step=%g",
+				tc.from, tc.to, tc.step, r, tc.wantFrom, tc.wantTo, tc.wantStep)
+		}
+	}
+	for _, bad := range [][3]string{
+		{"now-", "now", ""}, {"later", "now", ""}, {"now", "xx", ""},
+		{"", "", "-5"}, {"", "", "0"}, {"", "", "w"},
+		{"2000", "1000", ""}, // to < from
+		{"NaN", "now", ""}, {"Inf", "now", ""},
+	} {
+		if _, err := ParseRange(bad[0], bad[1], bad[2], 10000); err == nil {
+			t.Errorf("ParseRange(%q,%q,%q) accepted", bad[0], bad[1], bad[2])
+		}
+	}
+}
+
+// FuzzParseRange: no input may panic, and an accepted range is always
+// finite and ordered.
+func FuzzParseRange(f *testing.F) {
+	f.Add("now-1h", "now", "60", 1000.0)
+	f.Add("", "", "", 0.0)
+	f.Add("now-1.5d", "now-2m", "90s", 1e9)
+	f.Add("123", "456", "7", -5.0)
+	f.Add("now-", "-", "-", math.Inf(1))
+	f.Fuzz(func(t *testing.T, from, to, step string, now float64) {
+		r, err := ParseRange(from, to, step, now)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(r.From) || math.IsNaN(r.To) || math.IsInf(r.From, 0) || math.IsInf(r.To, 0) {
+			t.Fatalf("accepted non-finite range %+v from (%q,%q,%q,%g)", r, from, to, step, now)
+		}
+		if r.To < r.From {
+			t.Fatalf("accepted inverted range %+v from (%q,%q,%q,%g)", r, from, to, step, now)
+		}
+		if r.Step < 0 {
+			t.Fatalf("accepted negative step %+v", r)
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package series
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// Snapshot/restore: the whole time-series plane (every metric's rings
+// plus the alert engine's state machine and event history) round-trips
+// through one gob blob. The store layer persists the blob as an opaque
+// payload (store.KindSeries) so internal/store does not import this
+// package; the supervisor saves it from its checkpoint callback and
+// restores it once at warm boot, which is what lets /api/query history
+// and active alerts survive a SIGKILL.
+
+// ErrStateMismatch rejects a blob whose fingerprint or shape doesn't
+// match the restoring DB (config drift → cold start, like runstate).
+var ErrStateMismatch = errors.New("series: snapshot does not match this configuration")
+
+// seriesState is one metric's gob image.
+type seriesState struct {
+	Name     string
+	Raw      []Sample
+	RawHead  int
+	RawLen   int
+	Rollups  []rollupState
+	Appended uint64
+}
+
+type rollupState struct {
+	Res     float64
+	Idx     []int64
+	Buckets []Bucket
+}
+
+// engineState is the alert engine's gob image.
+type engineState struct {
+	RuleNames  []string
+	States     []int32
+	Since      []float64
+	Values     []float64
+	Samples    []int64
+	LastEval   float64
+	Evaluated  bool
+	Events     []Event
+	FiredTotal uint64
+}
+
+// blobState is the full snapshot payload.
+type blobState struct {
+	Fingerprint string
+	Series      []seriesState
+	Engine      *engineState
+}
+
+// EncodeState serializes db (and optionally engine) into a blob tagged
+// with fingerprint.
+func EncodeState(db *DB, e *Engine, fingerprint string) ([]byte, error) {
+	st := blobState{Fingerprint: fingerprint}
+	db.mu.Lock()
+	for i, s := range db.series {
+		ss := seriesState{
+			Name:     db.names[i],
+			Raw:      append([]Sample(nil), s.raw...),
+			RawHead:  s.rawHead,
+			RawLen:   s.rawLen,
+			Appended: s.appended,
+		}
+		for _, r := range s.roll {
+			ss.Rollups = append(ss.Rollups, rollupState{
+				Res:     r.res,
+				Idx:     append([]int64(nil), r.idx...),
+				Buckets: append([]Bucket(nil), r.buckets...),
+			})
+		}
+		st.Series = append(st.Series, ss)
+	}
+	db.mu.Unlock()
+
+	if e != nil {
+		e.mu.Lock()
+		es := &engineState{
+			LastEval:   e.lastEval,
+			Evaluated:  e.evaluated,
+			FiredTotal: e.firedTotal,
+		}
+		for i := range e.rules {
+			es.RuleNames = append(es.RuleNames, e.rules[i].Name)
+			es.States = append(es.States, int32(e.st[i].state))
+			es.Since = append(es.Since, e.st[i].since)
+			es.Values = append(es.Values, e.st[i].value)
+			es.Samples = append(es.Samples, e.st[i].samples)
+		}
+		for i := 0; i < e.eventsLen; i++ {
+			es.Events = append(es.Events, e.events[(e.eventsHead+i)%len(e.events)])
+		}
+		e.mu.Unlock()
+		st.Engine = es
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("series: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBlob rebuilds a standalone DB (plus the snapshotted alert
+// events and the writer's fingerprint) from a blob alone — ring
+// geometry comes from the blob itself, not a live config. Offline
+// inspection (coolair-trace query <file>) uses this; the daemon's warm
+// boot uses RestoreState, which validates against the live config.
+func DecodeBlob(blob []byte) (*DB, []Event, string, error) {
+	var st blobState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return nil, nil, "", fmt.Errorf("series: decode state: %w", err)
+	}
+	if len(st.Series) == 0 {
+		return nil, nil, "", fmt.Errorf("series: snapshot holds no series")
+	}
+	cfg := Config{RawCap: len(st.Series[0].Raw)}
+	for _, rs := range st.Series[0].Rollups {
+		cfg.Rollups = append(cfg.Rollups, RollupConfig{Res: rs.Res, Cap: len(rs.Buckets)})
+	}
+	db := NewDB(cfg)
+	for _, ss := range st.Series {
+		id := db.Register(ss.Name)
+		s := db.series[id]
+		if len(ss.Raw) != len(s.raw) || len(ss.Rollups) != len(s.roll) {
+			return nil, nil, "", fmt.Errorf("%w: metric %q geometry differs from the first series", ErrStateMismatch, ss.Name)
+		}
+		copy(s.raw, ss.Raw)
+		s.rawHead, s.rawLen, s.appended = ss.RawHead, ss.RawLen, ss.Appended
+		for i, rs := range ss.Rollups {
+			//coolair:allow-floateq rollup resolutions are exact configured constants (60, 3600), not computed values; identity here means "same geometry"
+			if rs.Res != s.roll[i].res || len(rs.Buckets) != len(s.roll[i].buckets) {
+				return nil, nil, "", fmt.Errorf("%w: metric %q rollup %d geometry differs", ErrStateMismatch, ss.Name, i)
+			}
+			copy(s.roll[i].idx, rs.Idx)
+			copy(s.roll[i].buckets, rs.Buckets)
+		}
+	}
+	var evs []Event
+	if st.Engine != nil {
+		evs = st.Engine.Events
+	}
+	return db, evs, st.Fingerprint, nil
+}
+
+// RestoreState decodes blob into db (and engine, when both are
+// non-nil), verifying the fingerprint and that every snapshotted
+// metric exists here with identical ring geometry. Partial restores
+// never happen: any mismatch rejects the whole blob before mutation.
+func RestoreState(db *DB, e *Engine, fingerprint string, blob []byte) error {
+	var st blobState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return fmt.Errorf("series: decode state: %w", err)
+	}
+	if st.Fingerprint != fingerprint {
+		return fmt.Errorf("%w: fingerprint %q != %q", ErrStateMismatch, st.Fingerprint, fingerprint)
+	}
+
+	db.mu.Lock()
+	// Validate every snapshotted series against the live geometry first.
+	for _, ss := range st.Series {
+		id, ok := db.byName[ss.Name]
+		if !ok {
+			db.mu.Unlock()
+			return fmt.Errorf("%w: unknown metric %q", ErrStateMismatch, ss.Name)
+		}
+		s := db.series[id]
+		if len(ss.Raw) != len(s.raw) || len(ss.Rollups) != len(s.roll) {
+			db.mu.Unlock()
+			return fmt.Errorf("%w: metric %q geometry changed", ErrStateMismatch, ss.Name)
+		}
+		for i, rs := range ss.Rollups {
+			//coolair:allow-floateq rollup resolutions are exact configured constants (60, 3600), not computed values; identity here means "same geometry"
+			if rs.Res != s.roll[i].res || len(rs.Idx) != len(s.roll[i].idx) || len(rs.Buckets) != len(s.roll[i].buckets) {
+				db.mu.Unlock()
+				return fmt.Errorf("%w: metric %q rollup %d changed", ErrStateMismatch, ss.Name, i)
+			}
+		}
+	}
+	for _, ss := range st.Series {
+		s := db.series[db.byName[ss.Name]]
+		copy(s.raw, ss.Raw)
+		s.rawHead, s.rawLen, s.appended = ss.RawHead, ss.RawLen, ss.Appended
+		for i, rs := range ss.Rollups {
+			copy(s.roll[i].idx, rs.Idx)
+			copy(s.roll[i].buckets, rs.Buckets)
+		}
+	}
+	db.mu.Unlock()
+
+	if e != nil && st.Engine != nil {
+		es := st.Engine
+		e.mu.Lock()
+		byName := make(map[string]int, len(e.rules))
+		for i := range e.rules {
+			byName[e.rules[i].Name] = i
+		}
+		active := 0
+		for i, name := range es.RuleNames {
+			ri, ok := byName[name]
+			if !ok {
+				continue // rule removed since the snapshot: drop its state
+			}
+			e.st[ri] = ruleState{
+				state:   AlertState(es.States[i]),
+				since:   es.Since[i],
+				value:   es.Values[i],
+				samples: es.Samples[i],
+			}
+			if e.st[ri].state == StateFiring {
+				active++
+			}
+		}
+		e.lastEval, e.evaluated, e.firedTotal = es.LastEval, es.Evaluated, es.FiredTotal
+		e.eventsHead, e.eventsLen = 0, 0
+		for _, ev := range es.Events {
+			e.pushEvent(ev)
+		}
+		if e.reg != nil {
+			e.reg.AlertsActive.Set(float64(active))
+			// alerts_total restarts from zero each boot like the other
+			// counters; FiredTotal carries the all-time count instead.
+		}
+		e.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package series
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"coolair/internal/trace"
+)
+
+// populated builds a DB+Engine pair with history: enough appends to
+// wrap the raw ring, a firing alert, and events.
+func populated(t *testing.T) (*DB, *Engine) {
+	t.Helper()
+	db := NewDB(Config{RawCap: 32, Rollups: []RollupConfig{{Res: 60, Cap: 8}, {Res: 3600, Cap: 4}}})
+	id := db.Register("m")
+	db.Register("other")
+	e := NewEngine(db, []Rule{{
+		Name: "hot", Metric: "m", Agg: AggMax, Op: OpAbove, Threshold: 10, Window: 1e6,
+	}}, nil, 60)
+	for i := 0; i < 100; i++ {
+		db.Append(id, float64(i)*30, float64(i))
+	}
+	e.Evaluate(3000)
+	if e.FiringCount() != 1 {
+		t.Fatal("setup: rule did not fire")
+	}
+	return db, e
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db, e := populated(t)
+	blob, err := EncodeState(db, e, "cfg-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh, identically shaped pair.
+	db2 := NewDB(Config{RawCap: 32, Rollups: []RollupConfig{{Res: 60, Cap: 8}, {Res: 3600, Cap: 4}}})
+	db2.Register("m")
+	db2.Register("other")
+	reg := trace.NewRegistry()
+	e2 := NewEngine(db2, []Rule{{
+		Name: "hot", Metric: "m", Agg: AggMax, Op: OpAbove, Threshold: 10, Window: 1e6,
+	}}, reg, 60)
+	if err := RestoreState(db2, e2, "cfg-v1", blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every resolution answers identically.
+	for _, rg := range []Range{
+		{From: 0, To: 3000},
+		{From: 0, To: 3000, Step: 60},
+		{From: 0, To: 3000, Step: 3600},
+		{From: 2500, To: 3000},
+	} {
+		a, b := db.Query("m", rg), db2.Query("m", rg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("query %+v diverged after restore:\n%+v\nvs\n%+v", rg, a, b)
+		}
+	}
+	if got, want := db2.Appended(ID(0)), db.Appended(ID(0)); got != want {
+		t.Errorf("appended = %d, want %d", got, want)
+	}
+
+	// Alert state machine and history survive.
+	if e2.FiringCount() != 1 {
+		t.Errorf("restored FiringCount = %d, want 1", e2.FiringCount())
+	}
+	if !reflect.DeepEqual(e.Alerts(), e2.Alerts()) {
+		t.Errorf("alerts diverged:\n%+v\nvs\n%+v", e.Alerts(), e2.Alerts())
+	}
+	if !reflect.DeepEqual(e.Events(), e2.Events()) {
+		t.Errorf("events diverged")
+	}
+	if e2.FiredTotal() != e.FiredTotal() {
+		t.Errorf("FiredTotal = %d, want %d", e2.FiredTotal(), e.FiredTotal())
+	}
+	// The active gauge is rebuilt; the boot-scoped counter is not.
+	if reg.AlertsActive.Value() != 1 {
+		t.Errorf("alerts_active = %g after restore, want 1", reg.AlertsActive.Value())
+	}
+	if reg.AlertsTotal.Value() != 0 {
+		t.Errorf("alerts_total = %d after restore, want 0 (boot-scoped)", reg.AlertsTotal.Value())
+	}
+}
+
+func TestRestoreRejectsFingerprintDrift(t *testing.T) {
+	db, e := populated(t)
+	blob, err := EncodeState(db, e, "cfg-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDB(Config{RawCap: 32, Rollups: []RollupConfig{{Res: 60, Cap: 8}, {Res: 3600, Cap: 4}}})
+	db2.Register("m")
+	db2.Register("other")
+	if err := RestoreState(db2, nil, "cfg-v2", blob); !errors.Is(err, ErrStateMismatch) {
+		t.Fatalf("fingerprint drift error = %v, want ErrStateMismatch", err)
+	}
+	if s, ok := db2.Latest("m"); ok {
+		t.Fatalf("rejected restore still mutated the DB: %+v", s)
+	}
+}
+
+func TestRestoreRejectsGeometryDrift(t *testing.T) {
+	db, e := populated(t)
+	blob, err := EncodeState(db, e, "cfg-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]Config{
+		"raw capacity": {RawCap: 64, Rollups: []RollupConfig{{Res: 60, Cap: 8}, {Res: 3600, Cap: 4}}},
+		"rollup cap":   {RawCap: 32, Rollups: []RollupConfig{{Res: 60, Cap: 16}, {Res: 3600, Cap: 4}}},
+		"rollup res":   {RawCap: 32, Rollups: []RollupConfig{{Res: 30, Cap: 8}, {Res: 3600, Cap: 4}}},
+		"level count":  {RawCap: 32, Rollups: []RollupConfig{{Res: 60, Cap: 8}}},
+	}
+	for name, cfg := range cases {
+		db2 := NewDB(cfg)
+		db2.Register("m")
+		db2.Register("other")
+		if err := RestoreState(db2, nil, "cfg-v1", blob); !errors.Is(err, ErrStateMismatch) {
+			t.Errorf("%s drift error = %v, want ErrStateMismatch", name, err)
+		}
+	}
+	// A missing metric is drift too.
+	db3 := NewDB(Config{RawCap: 32, Rollups: []RollupConfig{{Res: 60, Cap: 8}, {Res: 3600, Cap: 4}}})
+	db3.Register("m")
+	if err := RestoreState(db3, nil, "cfg-v1", blob); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("missing metric error = %v, want ErrStateMismatch", err)
+	}
+}
+
+func TestRestoreDropsRemovedRules(t *testing.T) {
+	db, e := populated(t)
+	blob, err := EncodeState(db, e, "cfg-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDB(Config{RawCap: 32, Rollups: []RollupConfig{{Res: 60, Cap: 8}, {Res: 3600, Cap: 4}}})
+	db2.Register("m")
+	db2.Register("other")
+	// The restoring engine renamed its rule set: snapshotted "hot"
+	// state has nowhere to land and is dropped, not misapplied.
+	e2 := NewEngine(db2, []Rule{{
+		Name: "different", Metric: "m", Agg: AggMax, Op: OpAbove, Threshold: 10, Window: 1e6,
+	}}, nil, 60)
+	if err := RestoreState(db2, e2, "cfg-v1", blob); err != nil {
+		t.Fatal(err)
+	}
+	if e2.FiringCount() != 0 {
+		t.Errorf("dropped rule's state applied: firing=%d", e2.FiringCount())
+	}
+	if e2.FiredTotal() != e.FiredTotal() {
+		t.Errorf("FiredTotal = %d, want carried %d", e2.FiredTotal(), e.FiredTotal())
+	}
+}
+
+func TestDecodeBlobStandalone(t *testing.T) {
+	db, e := populated(t)
+	blob, err := EncodeState(db, e, "cfg-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, events, fp, err := DecodeBlob(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != "cfg-v1" {
+		t.Errorf("fingerprint = %q", fp)
+	}
+	if !reflect.DeepEqual(db.Metrics(), db2.Metrics()) {
+		t.Errorf("metrics = %v, want %v", db2.Metrics(), db.Metrics())
+	}
+	rg := Range{From: 0, To: 3000, Step: 60}
+	if a, b := db.Query("m", rg), db2.Query("m", rg); !reflect.DeepEqual(a, b) {
+		t.Fatalf("standalone decode diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if !reflect.DeepEqual(events, e.Events()) {
+		t.Errorf("events = %+v, want %+v", events, e.Events())
+	}
+	if _, _, _, err := DecodeBlob([]byte("not a gob")); err == nil {
+		t.Error("garbage blob accepted")
+	}
+}
